@@ -1,0 +1,32 @@
+"""Benchmark of the suitability-factor ablation (extension experiment E8).
+
+Re-runs the iterative heuristic with each of the five B factors disabled in
+turn over the paper's six Table 4 instances and reports how much the battery
+cost degrades (or occasionally improves) per dropped factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import FACTOR_NAMES, run_ablation
+
+
+def test_factor_ablation(benchmark):
+    """Ablate each factor of B over the Table 4 problem instances."""
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    print()
+    print(result.to_table().to_text())
+    print("\nmean cost change when a factor is dropped (% of full-B cost):")
+    for factor, change in result.mean_degradation().items():
+        print(f"  -{factor:28s} {change:+7.2f} %")
+
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert set(row.ablated_costs) == set(FACTOR_NAMES)
+        assert all(math.isfinite(cost) and cost > 0 for cost in row.ablated_costs.values())
+        # Dropping a factor may help or hurt a single instance, but it never
+        # breaks feasibility handling (cost stays within a sane band).
+        for cost in row.ablated_costs.values():
+            assert cost <= row.full_cost * 3.0

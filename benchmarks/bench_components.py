@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the core components.
+
+Not tied to a specific paper artefact; these quantify the cost of the two
+inner loops everything else is built on — battery-model evaluation and one
+full scheduling run — and how the scheduler scales with graph size.  Useful
+when tuning the implementation or comparing machines.
+"""
+
+from __future__ import annotations
+
+from repro.battery import LoadProfile, RakhmatovVrudhulaModel
+from repro.baselines import rakhmatov_baseline
+from repro.core import battery_aware_schedule
+from repro.scheduling import SchedulingProblem
+from repro.battery import BatterySpec
+from repro.workloads import fork_join_graph, problem_with_tightness
+
+
+def test_battery_model_evaluation(benchmark):
+    """Time one sigma evaluation over a 100-interval discharge profile."""
+    model = RakhmatovVrudhulaModel(beta=0.273)
+    profile = LoadProfile.from_back_to_back(
+        durations=[3.0 + (i % 7) for i in range(100)],
+        currents=[100.0 + 10.0 * (i % 13) for i in range(100)],
+    )
+    sigma = benchmark(model.apparent_charge, profile)
+    assert sigma > profile.total_charge
+
+
+def test_iterative_scheduler_on_g3(benchmark, g3_problem):
+    """Time one complete iterative scheduling run on the paper's G3 instance."""
+    solution = benchmark(battery_aware_schedule, g3_problem)
+    assert solution.feasible
+
+
+def test_dp_baseline_on_g3(benchmark, g3_problem):
+    """Time the comparison baseline (DP + greedy sequencing) on G3."""
+    result = benchmark(rakhmatov_baseline, g3_problem)
+    assert result.feasible
+
+
+def test_iterative_scheduler_scaling(benchmark):
+    """Time the scheduler on a larger synthetic fork-join graph (3 x 8 + joins)."""
+    graph = fork_join_graph(num_stages=3, branches_per_stage=8, seed=17, name="fork-join-3x8")
+    problem = problem_with_tightness(graph, 0.5, battery=BatterySpec(beta=0.273))
+    solution = benchmark.pedantic(battery_aware_schedule, args=(problem,), rounds=3, iterations=1)
+    assert solution.feasible
+    assert isinstance(problem, SchedulingProblem)

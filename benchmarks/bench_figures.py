@@ -1,0 +1,65 @@
+"""Benchmark / regeneration of the paper's figures and Table 1 (E4-E7).
+
+* Figure 3 — window masks over the design-point matrix;
+* Figure 4 — the DPF calculation walk-through (DPF = 1/3);
+* Figure 5 — the G2 design-point data (and the reconstructed DAG as DOT);
+* Table 1 — the G3 design-point data, cross-checked against the paper's
+  voltage-scaling generation rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure3_windows,
+    figure4_walkthrough,
+    figure5_g2_table,
+    g2_dot,
+    scaling_regeneration_report,
+    table1_g3_table,
+)
+
+
+def test_figure3_windows(benchmark):
+    """Regenerate the Figure 3 window masks."""
+    table = benchmark(figure3_windows, 5, 4)
+    print()
+    print(table.to_text())
+    labels = [row[0] for row in table.rows]
+    assert labels == ["3:4", "2:4", "1:4"]
+    assert list(table.rows[-1][1:]) == ["X", "X", "X", "X"]
+
+
+def test_figure4_dpf_walkthrough(benchmark):
+    """Regenerate the Figure 4 DPF example: two promotions of T1, DPF = 1/3."""
+    walkthrough = benchmark(figure4_walkthrough)
+    print()
+    print(walkthrough.to_table().to_text())
+    print(walkthrough.summary())
+    assert walkthrough.promotions == (("T1", 2), ("T1", 1))
+    assert walkthrough.dpf == pytest.approx(1 / 3)
+
+
+def test_figure5_g2_data(benchmark):
+    """Regenerate the Figure 5 design-point data and the G2 DOT rendering."""
+    table = benchmark(figure5_g2_table)
+    print()
+    print(table.to_text())
+    dot = g2_dot()
+    assert len(table.rows) == 9
+    assert '"N1" -> ' in dot
+
+
+def test_table1_g3_data(benchmark):
+    """Regenerate Table 1 and verify it against the stated scaling rule."""
+    def regenerate():
+        return table1_g3_table(), scaling_regeneration_report(tolerance=0.05)
+
+    table, report = benchmark(regenerate)
+    print()
+    print(table.to_text())
+    print()
+    print(report.to_text())
+    assert len(table.rows) == 15
+    assert all(report.column("ok"))

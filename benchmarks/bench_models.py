@@ -1,0 +1,36 @@
+"""Benchmark of the battery-model cross-check (extension experiment E11).
+
+Evaluates a pool of candidate schedules for G2 at the 75-minute deadline
+under four battery abstractions and reports how strongly they agree on the
+ranking, and where the iterative heuristic's solution lands under each.
+"""
+
+from __future__ import annotations
+
+from repro.battery import BatterySpec
+from repro.experiments import battery_model_crosscheck
+from repro.scheduling import SchedulingProblem
+
+
+def test_battery_model_crosscheck(benchmark, g2_graph):
+    """Cross-check schedule rankings across battery models on G2 @ 75 minutes."""
+    problem = SchedulingProblem(
+        graph=g2_graph, deadline=75.0, battery=BatterySpec(beta=0.273), name="G2@75"
+    )
+    result = benchmark.pedantic(
+        battery_model_crosscheck, args=(problem,),
+        kwargs={"num_random_candidates": 15, "seed": 7},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(result.candidate_table().to_text())
+    print()
+    print(result.correlation_table().to_text())
+    print()
+    for model in result.model_names:
+        print(f"heuristic rank under {model}: {result.heuristic_rank(model)} "
+              f"of {len(result.candidates)}")
+
+    assert result.rank_correlation("analytical", "kibam") > 0.7
+    assert result.heuristic_rank("analytical") <= 3

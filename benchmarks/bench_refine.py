@@ -1,0 +1,51 @@
+"""Benchmark of the local-search refinement pass (extension experiment E10).
+
+The refinement pass (adjacent precedence-safe swaps plus single-column
+design-point shifts) is run on top of the iterative heuristic for all six
+Table 4 instances.  It may only ever improve the battery cost; the benchmark
+reports by how much and what it costs in time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.battery import BatterySpec
+from repro.core import battery_aware_schedule, refine_solution
+from repro.experiments import table4_problems
+
+
+def test_refinement_over_table4_instances(benchmark):
+    """Refine the heuristic's solution on every Table 4 problem instance."""
+    problems = table4_problems()
+    base_solutions = {problem.name: battery_aware_schedule(problem) for problem in problems}
+
+    def refine_all():
+        return {
+            problem.name: refine_solution(problem, base_solutions[problem.name])
+            for problem in problems
+        }
+
+    refined = benchmark.pedantic(refine_all, rounds=3, iterations=1)
+
+    table = TextTable(
+        title="Local-search refinement on top of the iterative heuristic",
+        headers=("problem", "heuristic sigma", "refined sigma", "improvement %"),
+        precision=2,
+    )
+    for problem in problems:
+        before = base_solutions[problem.name]
+        after = refined[problem.name]
+        table.add_row(
+            problem.name,
+            before.cost,
+            after.cost,
+            (before.cost - after.cost) / before.cost * 100.0,
+        )
+    print()
+    print(table.to_text())
+
+    for problem in problems:
+        before = base_solutions[problem.name]
+        after = refined[problem.name]
+        assert after.cost <= before.cost + 1e-9
+        assert after.makespan <= problem.deadline + 1e-9

@@ -1,0 +1,62 @@
+"""Benchmark of the deadline and beta sweeps (extension experiment E9).
+
+The deadline sweep extends Table 4's three samples per graph into a curve of
+battery cost versus deadline for the iterative heuristic and four baselines;
+the beta sweep shows the battery-awareness advantage shrinking as the
+battery approaches ideal behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import beta_sweep, deadline_sweep
+
+
+def test_deadline_sweep_g2(benchmark, g2_graph):
+    """Sweep the G2 deadline from just-feasible to fully-relaxed."""
+    result = benchmark.pedantic(deadline_sweep, args=(g2_graph,), kwargs={"num_points": 6},
+                                rounds=1, iterations=1)
+
+    print()
+    print(result.to_table().to_text())
+
+    ours = result.series("iterative (ours)")
+    baseline = result.series("dp-energy+greedy")
+    fastest = result.series("all-fastest")
+    # Costs fall as the deadline loosens, ours stays competitive everywhere
+    # and strictly below the battery-blind all-fastest bound.
+    assert ours[0] >= ours[-1]
+    assert all(o <= b * 1.05 for o, b in zip(ours, baseline))
+    assert ours[-1] < fastest[-1]
+
+
+def test_deadline_sweep_g3(benchmark, g3_graph):
+    """Sweep the G3 deadline; ours wins clearly in the loose-deadline regime."""
+    result = benchmark.pedantic(deadline_sweep, args=(g3_graph,), kwargs={"num_points": 5},
+                                rounds=1, iterations=1)
+
+    print()
+    print(result.to_table().to_text())
+
+    ours = result.series("iterative (ours)")
+    baseline = result.series("dp-energy+greedy")
+    # In the loose-deadline regime (but before the degenerate fully-relaxed
+    # point, where every algorithm converges to the all-slowest assignment)
+    # the battery-aware heuristic wins clearly.
+    assert ours[-2] < baseline[-2]
+    assert ours[-1] <= baseline[-1] * 1.001
+    assert ours[0] >= ours[-1]
+
+
+def test_beta_sweep_g2(benchmark, g2_graph):
+    """Scan the battery diffusion parameter at the 75-minute G2 deadline."""
+    result = benchmark.pedantic(
+        beta_sweep, args=(g2_graph, 75.0), kwargs={"betas": (0.15, 0.273, 0.6, 2.0)},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(result.to_table().to_text())
+
+    ours = result.series("iterative (ours)")
+    # A weaker battery (smaller beta) always looks more expensive.
+    assert ours[0] > ours[-1]

@@ -1,0 +1,37 @@
+"""Benchmark / regeneration of Table 3 (experiment E2 in DESIGN.md).
+
+Table 3 reports the battery capacity sigma and schedule duration Delta per
+window (1:5 ... 4:5) for every iteration of the illustrative G3 run,
+together with the per-iteration minimum.  The benchmark times one full
+reproduction, prints the regenerated rows next to the paper's headline
+numbers, and asserts the qualitative shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table3
+
+#: The paper's per-iteration minimum sigma values (mA·min) for reference.
+PAPER_ITERATION_MINIMA = (16353.0, 14725.0, 13737.0, 13737.0)
+
+
+def test_table3_reproduction(benchmark):
+    """Regenerate Table 3 and check its qualitative shape."""
+    result = benchmark(run_table3)
+
+    print()
+    print(result.to_table().to_text())
+    print(f"\npaper per-iteration minima: {PAPER_ITERATION_MINIMA}")
+    print(f"measured per-iteration minima: {tuple(round(v, 1) for v in result.iteration_minimums())}")
+
+    # The paper evaluates windows 1:5 through 4:5 for the 230-minute deadline.
+    assert result.window_labels == ("1:5", "2:5", "3:5", "4:5")
+
+    minima = result.iteration_minimums()
+    # First-iteration and converged values land near the paper's numbers.
+    assert abs(minima[0] - PAPER_ITERATION_MINIMA[0]) / PAPER_ITERATION_MINIMA[0] < 0.12
+    assert abs(result.solution.cost - 13737.0) / 13737.0 < 0.10
+    # Every reported schedule fits the 230-minute deadline.
+    for row in result.rows:
+        if not row.label.endswith("w"):
+            assert row.minimum[1] <= 230.0 + 1e-6

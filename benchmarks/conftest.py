@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md) and prints the regenerated rows so that
+running ``pytest benchmarks/ --benchmark-only -s`` shows both the timing and
+the reproduced content.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.battery import BatterySpec
+from repro.scheduling import SchedulingProblem
+from repro.taskgraph import build_g2, build_g3
+
+
+@pytest.fixture(scope="session")
+def g2_graph():
+    """The paper's G2 robotic-arm controller graph."""
+    return build_g2()
+
+
+@pytest.fixture(scope="session")
+def g3_graph():
+    """The paper's G3 fork-join graph."""
+    return build_g3()
+
+
+@pytest.fixture(scope="session")
+def g3_problem(g3_graph):
+    """The illustrative example problem (G3, deadline 230 min, beta 0.273)."""
+    return SchedulingProblem(
+        graph=g3_graph, deadline=230.0, battery=BatterySpec(beta=0.273), name="G3@230"
+    )

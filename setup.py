@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (which PEP 660 editable
+installs require) can still do a legacy ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

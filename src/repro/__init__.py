@@ -1,0 +1,166 @@
+"""Battery-aware task scheduling for portable computing platforms.
+
+A from-scratch reproduction of Khan & Vemuri, *"An Iterative Algorithm for
+Battery-Aware Task Scheduling on Portable Computing Platforms"* (DATE 2005):
+an iterative heuristic that jointly chooses a task execution order and one
+design point (voltage/frequency setting or FPGA bitstream) per task so that
+a task-graph deadline is met while the apparent charge drawn from the
+battery — per the Rakhmatov–Vrudhula analytical model — is minimised.
+
+Quickstart
+----------
+>>> from repro import (
+...     BatterySpec, SchedulingProblem, battery_aware_schedule, build_g3,
+... )
+>>> problem = SchedulingProblem(graph=build_g3(), deadline=230.0,
+...                             battery=BatterySpec(beta=0.273))
+>>> solution = battery_aware_schedule(problem)
+>>> solution.feasible
+True
+
+Subpackages
+-----------
+``repro.taskgraph``
+    Tasks, design points, DAGs, voltage-scaling synthesis, paper graphs.
+``repro.battery``
+    Load profiles and battery models (Rakhmatov–Vrudhula, ideal, Peukert).
+``repro.scheduling``
+    Sequences, assignments, schedules, list scheduling, battery cost.
+``repro.core``
+    The paper's iterative algorithm and its factor machinery.
+``repro.baselines``
+    The [1]-style DP+greedy baseline and further comparison schedulers.
+``repro.workloads``
+    Synthetic task-graph generators and the benchmark suite.
+``repro.analysis``
+    Metrics, text tables and algorithm comparisons.
+``repro.experiments``
+    Drivers reproducing every table and figure of the paper.
+"""
+
+from .baselines import (
+    BaselineResult,
+    all_fastest_baseline,
+    all_slowest_baseline,
+    best_uniform_baseline,
+    chowdhury_baseline,
+    exhaustive_optimum,
+    minimum_energy_assignment,
+    rakhmatov_baseline,
+    simulated_annealing_baseline,
+)
+from .battery import (
+    BatteryModel,
+    BatterySpec,
+    IdealBatteryModel,
+    KineticBatteryModel,
+    LoadInterval,
+    LoadProfile,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+    simulate_discharge,
+)
+from .core import (
+    BatteryAwareScheduler,
+    FactorWeights,
+    SchedulerConfig,
+    SchedulingSolution,
+    battery_aware_schedule,
+    refine_solution,
+)
+from .platform import DvsProcessor, FpgaFabric, OperatingPoint
+from .errors import (
+    BatteryModelError,
+    DeadlineError,
+    InfeasibleDeadlineError,
+    ReproError,
+    ScheduleError,
+    TaskGraphError,
+)
+from .scheduling import (
+    DesignPointAssignment,
+    Schedule,
+    SchedulingProblem,
+    battery_cost,
+    sequence_by_decreasing_energy,
+)
+from .taskgraph import (
+    DesignPoint,
+    Task,
+    TaskGraph,
+    build_g2,
+    build_g3,
+    scaled_design_points,
+)
+from .workloads import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+    problem_with_tightness,
+    tree_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # task graphs
+    "DesignPoint",
+    "Task",
+    "TaskGraph",
+    "build_g2",
+    "build_g3",
+    "scaled_design_points",
+    # battery
+    "BatteryModel",
+    "BatterySpec",
+    "IdealBatteryModel",
+    "PeukertModel",
+    "KineticBatteryModel",
+    "RakhmatovVrudhulaModel",
+    "LoadInterval",
+    "LoadProfile",
+    "simulate_discharge",
+    # platform models
+    "DvsProcessor",
+    "OperatingPoint",
+    "FpgaFabric",
+    # scheduling substrate
+    "DesignPointAssignment",
+    "Schedule",
+    "SchedulingProblem",
+    "battery_cost",
+    "sequence_by_decreasing_energy",
+    # core algorithm
+    "battery_aware_schedule",
+    "BatteryAwareScheduler",
+    "refine_solution",
+    "SchedulerConfig",
+    "SchedulingSolution",
+    "FactorWeights",
+    # baselines
+    "BaselineResult",
+    "rakhmatov_baseline",
+    "minimum_energy_assignment",
+    "chowdhury_baseline",
+    "simulated_annealing_baseline",
+    "exhaustive_optimum",
+    "all_fastest_baseline",
+    "all_slowest_baseline",
+    "best_uniform_baseline",
+    # workloads
+    "chain_graph",
+    "fork_join_graph",
+    "layered_graph",
+    "tree_graph",
+    "diamond_graph",
+    "problem_with_tightness",
+    # errors
+    "ReproError",
+    "TaskGraphError",
+    "ScheduleError",
+    "DeadlineError",
+    "InfeasibleDeadlineError",
+    "BatteryModelError",
+]

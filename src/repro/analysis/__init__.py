@@ -1,0 +1,43 @@
+"""Analysis helpers: metrics, text tables, comparisons, visualisation, export."""
+
+from .comparison import (
+    AlgorithmOutcome,
+    ComparisonRow,
+    compare_algorithms,
+    comparison_table,
+)
+from .export import (
+    comparison_rows_to_records,
+    save_json_records,
+    save_table_csv,
+    table_to_csv,
+    table_to_records,
+)
+from .metrics import (
+    ScheduleMetrics,
+    percent_difference,
+    percent_saving,
+    schedule_metrics,
+)
+from .tables import TextTable, format_value
+from .visualize import current_profile_chart, gantt_chart
+
+__all__ = [
+    "ScheduleMetrics",
+    "schedule_metrics",
+    "percent_difference",
+    "percent_saving",
+    "TextTable",
+    "format_value",
+    "AlgorithmOutcome",
+    "ComparisonRow",
+    "compare_algorithms",
+    "comparison_table",
+    "gantt_chart",
+    "current_profile_chart",
+    "table_to_csv",
+    "save_table_csv",
+    "table_to_records",
+    "comparison_rows_to_records",
+    "save_json_records",
+]

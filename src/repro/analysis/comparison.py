@@ -1,0 +1,106 @@
+"""Uniform comparison of schedulers across problem instances.
+
+The Table 4 reproduction, the sweeps and the ablation study all need the
+same thing: run several algorithms on the same problems and tabulate their
+battery costs side by side.  :func:`compare_algorithms` does that once, so
+every experiment shares one code path (and one set of tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..scheduling import SchedulingProblem
+from .metrics import percent_difference
+from .tables import TextTable
+
+__all__ = ["AlgorithmOutcome", "ComparisonRow", "compare_algorithms", "comparison_table"]
+
+#: An algorithm for comparison purposes: takes a problem, returns an object
+#: with ``cost`` and ``makespan`` attributes (SchedulingSolution and
+#: BaselineResult both qualify).
+Algorithm = Callable[[SchedulingProblem], object]
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """Cost and makespan one algorithm achieved on one problem."""
+
+    algorithm: str
+    cost: float
+    makespan: float
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """All algorithms' outcomes on one problem instance."""
+
+    problem: SchedulingProblem
+    outcomes: Tuple[AlgorithmOutcome, ...]
+
+    def outcome(self, algorithm: str) -> AlgorithmOutcome:
+        """Look up one algorithm's outcome by name."""
+        for outcome in self.outcomes:
+            if outcome.algorithm == algorithm:
+                return outcome
+        raise KeyError(f"no outcome recorded for algorithm {algorithm!r}")
+
+    def percent_difference(self, baseline: str, ours: str) -> float:
+        """The paper's "% Diff" between two named algorithms on this problem."""
+        return percent_difference(self.outcome(baseline).cost, self.outcome(ours).cost)
+
+
+def compare_algorithms(
+    problems: Sequence[SchedulingProblem],
+    algorithms: Mapping[str, Algorithm],
+) -> List[ComparisonRow]:
+    """Run every algorithm on every problem and collect the outcomes.
+
+    Algorithms that raise (e.g. an infeasible deadline for a baseline that
+    cannot trade speed for energy) are recorded with ``cost = inf`` and
+    ``feasible = False`` rather than aborting the whole comparison.
+    """
+    rows: List[ComparisonRow] = []
+    for problem in problems:
+        outcomes = []
+        for name, algorithm in algorithms.items():
+            try:
+                result = algorithm(problem)
+                cost = float(result.cost)
+                makespan = float(result.makespan)
+                feasible = bool(getattr(result, "feasible", makespan <= problem.deadline + 1e-9))
+            except Exception:
+                cost, makespan, feasible = float("inf"), float("inf"), False
+            outcomes.append(
+                AlgorithmOutcome(
+                    algorithm=name, cost=cost, makespan=makespan, feasible=feasible
+                )
+            )
+        rows.append(ComparisonRow(problem=problem, outcomes=tuple(outcomes)))
+    return rows
+
+
+def comparison_table(
+    rows: Sequence[ComparisonRow],
+    title: str = "Algorithm comparison",
+    baseline: Optional[str] = None,
+    ours: Optional[str] = None,
+) -> TextTable:
+    """Tabulate comparison rows; optionally add the paper-style "% Diff" column."""
+    if not rows:
+        return TextTable(title=title, headers=("problem",))
+    algorithm_names = [outcome.algorithm for outcome in rows[0].outcomes]
+    headers: List[str] = ["problem", "deadline"] + [f"{name} sigma" for name in algorithm_names]
+    include_diff = baseline is not None and ours is not None
+    if include_diff:
+        headers.append("% diff")
+    table = TextTable(title=title, headers=headers)
+    for row in rows:
+        cells: List = [row.problem.name or row.problem.graph.name, row.problem.deadline]
+        cells.extend(row.outcome(name).cost for name in algorithm_names)
+        if include_diff:
+            cells.append(row.percent_difference(baseline, ours))
+        table.add_row(*cells)
+    return table

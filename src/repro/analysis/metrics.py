@@ -1,0 +1,99 @@
+"""Schedule metrics used by reports, experiments and tests.
+
+These helpers compute the quantities the paper reports (battery capacity
+sigma, schedule duration Delta, percentage difference between algorithms)
+plus a few derived measures that make the extension experiments easier to
+read (slack usage, current-profile shape, recovery credit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..battery import BatteryModel, RakhmatovVrudhulaModel
+from ..core.factors import current_increase_fraction
+from ..errors import ConfigurationError
+from ..scheduling import Schedule
+
+__all__ = ["ScheduleMetrics", "schedule_metrics", "percent_difference", "percent_saving"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary measurements of one schedule under one battery model."""
+
+    makespan: float
+    """Completion time of the schedule (the paper's Delta)."""
+
+    slack: float
+    """Deadline minus makespan (negative when the deadline is missed)."""
+
+    total_energy: float
+    """Nominal energy of the chosen design points (battery-agnostic)."""
+
+    apparent_charge: float
+    """Battery cost sigma at completion (mA·min)."""
+
+    peak_current: float
+    """Largest design-point current in the schedule (mA)."""
+
+    average_current: float
+    """Charge-weighted mean current over the busy time (mA)."""
+
+    current_increase_fraction: float
+    """Fraction of adjacent slots whose current increases (the CIF shape metric)."""
+
+    rate_capacity_overhead: float
+    """``sigma - nominal charge``: the extra apparent charge caused by the
+    battery's rate-capacity effect (0 for an ideal battery)."""
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the schedule finished within its deadline."""
+        return self.slack >= -1e-9
+
+
+def schedule_metrics(
+    schedule: Schedule,
+    model: BatteryModel,
+    deadline: Optional[float] = None,
+) -> ScheduleMetrics:
+    """Measure a schedule under a battery model.
+
+    ``deadline`` defaults to the makespan itself (zero slack) when omitted.
+    """
+    profile = schedule.to_profile()
+    makespan = schedule.makespan
+    sigma = model.apparent_charge(profile, at_time=makespan)
+    nominal = profile.total_charge
+    deadline_value = makespan if deadline is None else float(deadline)
+    currents = [slot.current for slot in schedule]
+    return ScheduleMetrics(
+        makespan=makespan,
+        slack=deadline_value - makespan,
+        total_energy=schedule.total_energy,
+        apparent_charge=sigma,
+        peak_current=schedule.peak_current,
+        average_current=profile.average_current(),
+        current_increase_fraction=current_increase_fraction(currents),
+        rate_capacity_overhead=sigma - nominal,
+    )
+
+
+def percent_difference(baseline_cost: float, our_cost: float) -> float:
+    """The paper's "% Diff": how much *more* the baseline costs, relative to ours.
+
+    ``percent_difference(22686, 13737)`` is about 65.1, matching the last
+    column of Table 4.
+    """
+    if our_cost <= 0:
+        raise ConfigurationError("our_cost must be > 0 to compute a percentage difference")
+    return (baseline_cost - our_cost) / our_cost * 100.0
+
+
+def percent_saving(baseline_cost: float, our_cost: float) -> float:
+    """Relative saving of ours versus the baseline, in percent of the baseline."""
+    if baseline_cost <= 0:
+        raise ConfigurationError("baseline_cost must be > 0 to compute a saving")
+    return (baseline_cost - our_cost) / baseline_cost * 100.0

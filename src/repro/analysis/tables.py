@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment in :mod:`repro.experiments` returns its results as a
+:class:`TextTable` so that benchmarks, examples and the CLI can all print
+the same paper-style rows without duplicating formatting logic.  The output
+is monospace-aligned text (also valid Markdown when ``markdown=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["TextTable", "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, precision: int = 1) -> str:
+    """Render one cell: floats with fixed precision, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A titled table of rows, renderable as aligned text or Markdown."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    precision: int = 1
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row; must have exactly one cell per header."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        """All raw values of the named column."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self, markdown: bool = False) -> str:
+        """Render the table as aligned monospace text (or a Markdown table)."""
+        rendered = [
+            [format_value(cell, self.precision) for cell in row] for row in self.rows
+        ]
+        headers = [str(h) for h in self.headers]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+            for i in range(len(headers))
+        ]
+
+        def fmt_row(cells: Iterable[str]) -> str:
+            padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+            if markdown:
+                return "| " + " | ".join(padded) + " |"
+            return "  ".join(padded)
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(headers))
+        if markdown:
+            lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+        else:
+            lines.append("  ".join("-" * width for width in widths))
+        lines.extend(fmt_row(row) for row in rendered)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,105 @@
+"""Plain-text visualisation of schedules and discharge profiles.
+
+The library targets head-less and embedded-ish environments, so the
+visualisations are deliberately terminal friendly: an ASCII Gantt chart of a
+schedule (one row per task, bar length proportional to execution time and a
+design-point label inside the bar) and an ASCII step chart of the current
+profile a schedule induces.  Both are used by the examples and the CLI and
+are easy to paste into issues or lab notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..battery import LoadProfile
+from ..errors import ConfigurationError
+from ..scheduling import Schedule
+
+__all__ = ["gantt_chart", "current_profile_chart"]
+
+
+def gantt_chart(schedule: Schedule, width: int = 72, deadline: Optional[float] = None) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw (single processing element, so one bar per row).
+    width:
+        Number of character cells representing the full time axis.
+    deadline:
+        When given, a ``|`` marker row showing the deadline position is
+        appended (and the axis extends to the deadline if it lies beyond the
+        makespan).
+    """
+    if width < 10:
+        raise ConfigurationError("width must be >= 10")
+    slots = schedule.slots
+    if not slots:
+        return "(empty schedule)"
+    horizon = max(schedule.makespan, deadline or 0.0)
+    if horizon <= 0:
+        return "(empty schedule)"
+    scale = width / horizon
+    name_width = max(len(slot.name) for slot in slots)
+
+    lines = []
+    for slot in slots:
+        start_col = int(round(slot.start * scale))
+        end_col = max(start_col + 1, int(round(slot.finish * scale)))
+        bar_length = end_col - start_col
+        label = f"P{slot.design_point_column + 1}"
+        if bar_length >= len(label) + 2:
+            body = label.center(bar_length, "=")
+        else:
+            body = "=" * bar_length
+        line = (
+            f"{slot.name:<{name_width}} |"
+            + " " * start_col
+            + "[" + body + "]"
+        )
+        lines.append(line)
+
+    axis = f"{'':<{name_width}} |" + "-" * width
+    lines.append(axis)
+    legend = (
+        f"{'':<{name_width}} |0{'':{width - 12}}{horizon:>10.1f}"
+        if width > 12
+        else axis
+    )
+    lines.append(legend)
+    if deadline is not None:
+        marker_col = int(round(min(deadline, horizon) * scale))
+        lines.append(
+            f"{'deadline':<{name_width}} |" + " " * marker_col + "|" + f" {deadline:g}"
+        )
+    return "\n".join(lines)
+
+
+def current_profile_chart(
+    profile: LoadProfile, width: int = 72, height: int = 10
+) -> str:
+    """Render a discharge profile as an ASCII step chart of current vs. time."""
+    if width < 10 or height < 3:
+        raise ConfigurationError("width must be >= 10 and height >= 3")
+    if profile.is_empty:
+        return "(empty profile)"
+    horizon = profile.end_time
+    peak = profile.peak_current
+    if peak <= 0:
+        return "(zero-current profile)"
+    columns = []
+    for col in range(width):
+        t = horizon * (col + 0.5) / width
+        columns.append(profile.current_at(t))
+
+    lines = []
+    for row in range(height, 0, -1):
+        threshold = peak * (row - 0.5) / height
+        line = "".join("#" if current >= threshold else " " for current in columns)
+        lines.append(f"{peak * row / height:8.0f} |{line}")
+    lines.append(" " * 8 + " +" + "-" * width)
+    lines.append(" " * 8 + f"  0{'':{width - 12}}{horizon:>10.1f}")
+    lines.append(" " * 8 + "  current (mA) over time")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Baseline schedulers the paper compares against (or that bound its results).
+
+* :func:`rakhmatov_baseline` — the Table 4 comparison algorithm: dynamic
+  program minimising total energy under the deadline, followed by
+  Equation-5 greedy sequencing.
+* :func:`chowdhury_baseline` — last-task-first voltage downscaling ([7]).
+* :func:`all_fastest_baseline` / :func:`all_slowest_baseline` /
+  :func:`best_uniform_baseline` — uniform-column bounds.
+* :func:`simulated_annealing_baseline` — heavyweight metaheuristic yardstick.
+* :func:`exhaustive_optimum` — true optimum for small instances (testing).
+"""
+
+from .annealing import AnnealingConfig, simulated_annealing_baseline
+from .bounds import (
+    all_fastest_baseline,
+    all_slowest_baseline,
+    best_uniform_baseline,
+    uniform_baseline,
+)
+from .chowdhury import chowdhury_baseline, last_task_first_assignment
+from .common import BaselineResult
+from .dp_energy import minimum_energy_assignment
+from .exhaustive import enumerate_topological_orders, exhaustive_optimum
+from .greedy_sequence import (
+    equation5_weights,
+    greedy_current_sequence,
+    rakhmatov_baseline,
+)
+
+__all__ = [
+    "BaselineResult",
+    "minimum_energy_assignment",
+    "equation5_weights",
+    "greedy_current_sequence",
+    "rakhmatov_baseline",
+    "chowdhury_baseline",
+    "last_task_first_assignment",
+    "uniform_baseline",
+    "all_fastest_baseline",
+    "all_slowest_baseline",
+    "best_uniform_baseline",
+    "AnnealingConfig",
+    "simulated_annealing_baseline",
+    "enumerate_topological_orders",
+    "exhaustive_optimum",
+]

@@ -1,0 +1,203 @@
+"""Simulated-annealing baseline over joint (sequence, assignment) space.
+
+The paper argues that metaheuristics such as simulated annealing are too
+heavy to run *on* the battery-powered platform itself; the library still
+implements one, both as a quality yardstick for the iterative heuristic on
+synthetic workloads and to let users measure how close the heuristic gets to
+a search that spends orders of magnitude more evaluations.
+
+The state is a (precedence-respecting sequence, design-point assignment)
+pair.  Neighbourhood moves either
+
+* change one task's design point by one column, or
+* move one task to a different position within the window of positions
+  allowed by its predecessors and successors (which preserves validity by
+  construction).
+
+Deadline violations are admitted during the walk but penalised
+proportionally to the overshoot, so the search can traverse infeasible
+regions yet always reports a feasible incumbent when one exists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..battery import BatteryModel, LoadProfile
+from ..errors import ConfigurationError
+from ..scheduling import (
+    DesignPointAssignment,
+    SchedulingProblem,
+    sequence_by_decreasing_energy,
+)
+from ..taskgraph import TaskGraph
+from .common import BaselineResult
+
+__all__ = ["AnnealingConfig", "simulated_annealing_baseline"]
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Parameters of the annealing schedule."""
+
+    iterations: int = 20000
+    initial_temperature: float = 0.2
+    """Initial temperature as a fraction of the starting cost."""
+    final_temperature_ratio: float = 1e-3
+    """Geometric cooling target: final T = initial T * ratio."""
+    deadline_penalty: float = 10.0
+    """Cost multiplier applied per unit of deadline overshoot (relative)."""
+    seed: int = 2005
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if not (0 < self.final_temperature_ratio <= 1):
+            raise ConfigurationError("final_temperature_ratio must be in (0, 1]")
+        if self.initial_temperature <= 0:
+            raise ConfigurationError("initial_temperature must be > 0")
+
+
+def simulated_annealing_baseline(
+    problem: SchedulingProblem,
+    config: Optional[AnnealingConfig] = None,
+    model: Optional[BatteryModel] = None,
+) -> BaselineResult:
+    """Anneal over sequences and assignments; returns the best feasible state found."""
+    config = config or AnnealingConfig()
+    battery_model = model if model is not None else problem.model()
+    graph = problem.graph
+    deadline = problem.deadline
+    rng = random.Random(config.seed)
+
+    sequence = list(sequence_by_decreasing_energy(graph))
+    m = graph.uniform_design_point_count()
+    durations, currents = _design_point_tables(graph)
+    # Start from the fastest assignment so the walk begins feasible whenever
+    # the instance is feasible at all.
+    columns = {name: 0 for name in graph.task_names()}
+
+    def energy(seq: List[str], cols: dict) -> Tuple[float, float, bool]:
+        profile = LoadProfile.from_back_to_back(
+            durations=[durations[name][cols[name]] for name in seq],
+            currents=[currents[name][cols[name]] for name in seq],
+        )
+        makespan = profile.end_time
+        cost = battery_model.apparent_charge(profile, at_time=makespan)
+        feasible = makespan <= deadline + 1e-9
+        if not feasible:
+            overshoot = (makespan - deadline) / deadline
+            cost *= 1.0 + config.deadline_penalty * overshoot
+        return cost, makespan, feasible
+
+    current_cost, current_makespan, current_feasible = energy(sequence, columns)
+    best = (
+        list(sequence),
+        dict(columns),
+        current_cost,
+        current_makespan,
+        current_feasible,
+    )
+
+    initial_t = config.initial_temperature * max(current_cost, 1e-9)
+    final_t = initial_t * config.final_temperature_ratio
+    cooling = (final_t / initial_t) ** (1.0 / max(config.iterations - 1, 1))
+    temperature = initial_t
+
+    positions = {name: index for index, name in enumerate(sequence)}
+
+    for _ in range(config.iterations):
+        new_sequence = sequence
+        new_columns = columns
+        if rng.random() < 0.5:
+            # Design-point move: shift one task by one column.
+            name = rng.choice(list(columns))
+            column = columns[name]
+            delta = rng.choice((-1, 1))
+            new_column = min(max(column + delta, 0), m - 1)
+            if new_column == column:
+                continue
+            new_columns = dict(columns)
+            new_columns[name] = new_column
+        else:
+            # Sequence move: relocate one task within its legal position range.
+            name = rng.choice(sequence)
+            new_sequence = _relocate(graph, sequence, positions, name, rng)
+            if new_sequence is None:
+                continue
+
+        candidate_cost, candidate_makespan, candidate_feasible = energy(
+            new_sequence, new_columns
+        )
+        accept = candidate_cost <= current_cost or rng.random() < math.exp(
+            (current_cost - candidate_cost) / max(temperature, 1e-12)
+        )
+        if accept:
+            sequence = list(new_sequence)
+            columns = dict(new_columns)
+            positions = {task: index for index, task in enumerate(sequence)}
+            current_cost = candidate_cost
+            current_makespan = candidate_makespan
+            current_feasible = candidate_feasible
+            better_feasibility = current_feasible and not best[4]
+            better_cost = current_cost < best[2] and current_feasible >= best[4]
+            if better_feasibility or better_cost:
+                best = (
+                    list(sequence),
+                    dict(columns),
+                    current_cost,
+                    current_makespan,
+                    current_feasible,
+                )
+        temperature *= cooling
+
+    best_sequence, best_columns, best_cost, best_makespan, _ = best
+    assignment = DesignPointAssignment(best_columns)
+    return BaselineResult(
+        name="simulated-annealing",
+        graph=graph,
+        deadline=deadline,
+        sequence=tuple(best_sequence),
+        assignment=assignment,
+        cost=best_cost,
+        makespan=best_makespan,
+    )
+
+
+def _design_point_tables(graph: TaskGraph):
+    durations = {}
+    currents = {}
+    for task in graph:
+        points = task.ordered_design_points()
+        durations[task.name] = [dp.execution_time for dp in points]
+        currents[task.name] = [dp.current for dp in points]
+    return durations, currents
+
+
+def _relocate(
+    graph: TaskGraph,
+    sequence: List[str],
+    positions: dict,
+    name: str,
+    rng: random.Random,
+) -> Optional[List[str]]:
+    """Move ``name`` to a random legal position; None when it cannot move."""
+    index = positions[name]
+    predecessors = graph.predecessors(name)
+    successors = graph.successors(name)
+    lower = max((positions[p] for p in predecessors), default=-1) + 1
+    upper = min((positions[s] for s in successors), default=len(sequence)) - 1
+    if upper <= lower and (upper < index or lower > index):
+        return None
+    if upper < lower:
+        return None
+    target = rng.randint(lower, upper)
+    if target == index:
+        return None
+    new_sequence = list(sequence)
+    new_sequence.pop(index)
+    new_sequence.insert(target, name)
+    return new_sequence

@@ -1,0 +1,101 @@
+"""Chowdhury–Chakrabarti style last-task-first voltage downscaling ([7]).
+
+The related-work heuristic the paper cites as [7] starts from the fastest
+(highest-voltage) implementation of every task and then walks the schedule
+*backwards*, lowering each task's voltage level as far as the remaining
+deadline slack permits.  The insight it encodes — slack is best spent on
+tasks late in the discharge profile — is the same property the paper's own
+algorithm builds on, which makes this a useful intermediate baseline between
+the battery-blind dynamic program and the full iterative heuristic.
+
+The sequence is produced with the same average-energy list scheduler the
+core algorithm seeds itself with, so the comparison isolates the
+design-point policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..battery import BatteryModel
+from ..errors import InfeasibleDeadlineError
+from ..scheduling import (
+    DesignPointAssignment,
+    SchedulingProblem,
+    battery_cost,
+    sequence_by_decreasing_energy,
+)
+from ..taskgraph import TaskGraph, validate_sequence
+from .common import BaselineResult
+
+__all__ = ["last_task_first_assignment", "chowdhury_baseline"]
+
+_EPS = 1e-9
+
+
+def last_task_first_assignment(
+    graph: TaskGraph,
+    sequence: Sequence[str],
+    deadline: float,
+) -> DesignPointAssignment:
+    """Downscale tasks from the back of the sequence while the deadline holds.
+
+    Every task starts at its fastest design point; tasks are then visited
+    from the last to the first, and each is moved to the slowest design
+    point that still lets the *whole* task set meet the deadline (given the
+    choices already made for later tasks and the fastest choice for earlier
+    ones).
+
+    Raises
+    ------
+    InfeasibleDeadlineError
+        When even the all-fastest assignment misses the deadline.
+    """
+    validate_sequence(graph, sequence)
+    durations = {
+        name: [dp.execution_time for dp in graph.task(name).ordered_design_points()]
+        for name in sequence
+    }
+    chosen = {name: 0 for name in sequence}
+    makespan = sum(durations[name][0] for name in sequence)
+    if makespan > deadline + _EPS:
+        raise InfeasibleDeadlineError(
+            f"deadline {deadline:g} is below the all-fastest makespan {makespan:g}"
+        )
+
+    for name in reversed(list(sequence)):
+        options = durations[name]
+        current_column = chosen[name]
+        # Try progressively slower design points, keeping the slowest that fits.
+        for column in range(len(options) - 1, current_column, -1):
+            candidate_makespan = makespan - options[current_column] + options[column]
+            if candidate_makespan <= deadline + _EPS:
+                makespan = candidate_makespan
+                chosen[name] = column
+                break
+    return DesignPointAssignment(chosen)
+
+
+def chowdhury_baseline(
+    problem: SchedulingProblem,
+    model: Optional[BatteryModel] = None,
+    sequence: Optional[Sequence[str]] = None,
+) -> BaselineResult:
+    """Run the last-task-first downscaling heuristic on a problem instance."""
+    battery_model = model if model is not None else problem.model()
+    task_sequence: Tuple[str, ...] = (
+        tuple(sequence) if sequence is not None else sequence_by_decreasing_energy(problem.graph)
+    )
+    assignment = last_task_first_assignment(
+        problem.graph, task_sequence, problem.deadline
+    )
+    cost = battery_cost(problem.graph, task_sequence, assignment, battery_model)
+    return BaselineResult(
+        name="last-task-first",
+        graph=problem.graph,
+        deadline=problem.deadline,
+        sequence=task_sequence,
+        assignment=assignment,
+        cost=cost,
+        makespan=assignment.total_execution_time(problem.graph),
+    )

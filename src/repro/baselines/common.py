@@ -1,0 +1,51 @@
+"""Shared result type for the baseline schedulers.
+
+Every baseline returns the same structure as the core algorithm's essential
+output — a sequence, a design-point assignment and the battery cost of
+executing them — so that the comparison experiments (Table 4 and the
+extension sweeps) can treat all algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..scheduling import DesignPointAssignment, Schedule
+from ..taskgraph import TaskGraph
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of one baseline scheduler on one problem instance."""
+
+    name: str
+    """Algorithm label used in reports (e.g. ``"dp-energy+greedy"``)."""
+
+    graph: TaskGraph
+    deadline: float
+    sequence: Tuple[str, ...]
+    assignment: DesignPointAssignment
+    cost: float
+    """Battery cost sigma at schedule completion (mA·min)."""
+
+    makespan: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when the schedule meets the deadline."""
+        return self.makespan <= self.deadline + 1e-9
+
+    def schedule(self) -> Schedule:
+        """Materialise the baseline's schedule."""
+        return Schedule(self.graph, self.sequence, self.assignment)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "ok" if self.feasible else "DEADLINE MISS"
+        return (
+            f"{self.name}: sigma={self.cost:.1f} mA·min, "
+            f"makespan={self.makespan:.1f}/{self.deadline:g} ({status})"
+        )

@@ -1,0 +1,177 @@
+"""Minimum-energy design-point selection under a deadline (dynamic program).
+
+This is the design-point allocation half of the comparison algorithm the
+paper evaluates against (Section 5, "an approach in [1]"): Rakhmatov and
+Vrudhula's energy-management work selects, for every task, the design point
+that minimises the *total energy* of the task set subject to the sum of
+execution times fitting the deadline.  Because every task contributes
+exactly one choice, this is a multiple-choice knapsack, which the reference
+solves with dynamic programming.
+
+Execution times are real-valued (minutes with one decimal in the paper's
+tables), so the time axis is discretised onto a uniform grid.  The grid is
+chosen in two steps:
+
+1. If every execution time is an (almost exact) integer multiple of one of a
+   few decimal resolutions (1, 0.5, 0.1, ... minutes) and the deadline spans
+   a manageable number of such cells, that resolution is used and the DP is
+   *exact* — this covers the paper's data, whose durations have one decimal.
+2. Otherwise the deadline is split into ``time_steps`` cells and every
+   duration is rounded *up* to the grid, which keeps every solution the DP
+   declares feasible genuinely feasible (the makespan can only be
+   overestimated, by at most ``deadline / time_steps`` per task).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfeasibleDeadlineError
+from ..scheduling import DesignPointAssignment
+from ..taskgraph import TaskGraph
+
+__all__ = ["minimum_energy_assignment"]
+
+#: Decimal resolutions tried for an exact time grid, coarsest first.
+_EXACT_RESOLUTIONS = (1.0, 0.5, 0.25, 0.1, 0.05, 0.025, 0.01, 0.005, 0.001)
+
+#: Upper bound on the number of grid cells an "exact" resolution may need.
+_MAX_EXACT_CELLS = 200_000
+
+
+def _exact_resolution(durations, deadline: float) -> Optional[float]:
+    """The coarsest decimal resolution representing every duration exactly.
+
+    Returns ``None`` when no candidate resolution fits all durations (within
+    a tiny tolerance) or when the deadline would need too many grid cells.
+    """
+    for resolution in _EXACT_RESOLUTIONS:
+        if deadline / resolution > _MAX_EXACT_CELLS:
+            return None
+        if all(
+            abs(duration / resolution - round(duration / resolution)) < 1e-6
+            for duration in durations
+        ):
+            return resolution
+    return None
+
+
+def minimum_energy_assignment(
+    graph: TaskGraph,
+    deadline: float,
+    time_steps: int = 2000,
+) -> DesignPointAssignment:
+    """Pick one design point per task minimising total energy within the deadline.
+
+    Parameters
+    ----------
+    graph:
+        Task graph (only the per-task design points matter: on a single
+        processing element the makespan is order-independent).
+    deadline:
+        Completion deadline for the whole task set.
+    time_steps:
+        Number of grid cells the deadline is divided into for the dynamic
+        program.  Larger values tighten the rounding at the cost of memory
+        and time (table size is ``n_tasks * time_steps``).
+
+    Returns
+    -------
+    DesignPointAssignment
+        Energy-minimal assignment whose (rounded-up) makespan fits the
+        deadline.
+
+    Raises
+    ------
+    InfeasibleDeadlineError
+        When even the all-fastest assignment cannot fit the deadline.
+    """
+    if time_steps < 10:
+        raise ConfigurationError(f"time_steps must be >= 10, got {time_steps!r}")
+    if deadline <= 0 or not math.isfinite(deadline):
+        raise ConfigurationError(f"deadline must be finite and > 0, got {deadline!r}")
+
+    tasks = graph.tasks()
+    n = len(tasks)
+
+    all_durations = [
+        point.execution_time for task in tasks for point in task.design_points
+    ]
+    exact = _exact_resolution(all_durations, deadline)
+    if exact is not None:
+        resolution = exact
+        time_steps = int(math.floor(deadline / resolution + 1e-9))
+    else:
+        resolution = deadline / time_steps
+
+    # Pre-compute, per task, the (grid duration, energy, column) options,
+    # dominated options removed (slower *and* at least as much energy).
+    options: List[List[Tuple[int, float, int]]] = []
+    for task in tasks:
+        rows = []
+        for column, point in enumerate(task.ordered_design_points()):
+            if exact is not None:
+                grid_duration = int(round(point.execution_time / resolution))
+            else:
+                grid_duration = int(math.ceil(point.execution_time / resolution - 1e-12))
+            rows.append((grid_duration, point.energy, column))
+        rows.sort()
+        pruned: List[Tuple[int, float, int]] = []
+        best_energy = math.inf
+        for grid_duration, energy, column in rows:
+            if energy < best_energy - 1e-15:
+                pruned.append((grid_duration, energy, column))
+                best_energy = energy
+        options.append(pruned)
+
+    if sum(opts[0][0] for opts in options) > time_steps:
+        raise InfeasibleDeadlineError(
+            f"deadline {deadline:g} cannot be met even with the fastest design points"
+        )
+
+    # dp[t] = minimal energy using the tasks processed so far within t grid
+    # cells; choice[i][t] = column chosen for task i to achieve dp after task i.
+    infinity = math.inf
+    dp = np.full(time_steps + 1, infinity)
+    dp[0] = 0.0
+    choices: List[np.ndarray] = []
+
+    for task_index, opts in enumerate(options):
+        new_dp = np.full(time_steps + 1, infinity)
+        choice = np.full(time_steps + 1, -1, dtype=int)
+        for grid_duration, energy, column in opts:
+            if grid_duration > time_steps:
+                continue
+            shifted = dp[: time_steps + 1 - grid_duration] + energy
+            target = new_dp[grid_duration:]
+            better = shifted < target
+            target[better] = shifted[better]
+            choice_slice = choice[grid_duration:]
+            choice_slice[better] = column
+        choices.append(choice)
+        dp = new_dp
+
+    best_budget = int(np.argmin(dp))
+    if not math.isfinite(dp[best_budget]):
+        raise InfeasibleDeadlineError(
+            f"no design-point combination fits the deadline {deadline:g}"
+        )
+
+    # Backtrack the chosen columns.
+    assignment: Dict[str, int] = {}
+    budget = best_budget
+    for task_index in range(n - 1, -1, -1):
+        column = int(choices[task_index][budget])
+        if column < 0:  # pragma: no cover - defensive; cannot happen if dp finite
+            raise InfeasibleDeadlineError("dynamic program backtracking failed")
+        task = tasks[task_index]
+        grid_duration = next(
+            gd for gd, _, col in options[task_index] if col == column
+        )
+        assignment[task.name] = column
+        budget -= grid_duration
+
+    return DesignPointAssignment(assignment)

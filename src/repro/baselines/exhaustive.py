@@ -1,0 +1,128 @@
+"""Exhaustive search over sequences and assignments (small instances only).
+
+Enumerates every topological order of the task graph and every design-point
+combination, evaluating the battery cost of each feasible pair.  The state
+space is ``(#topological orders) * m^n``, so a guard refuses instances whose
+enumeration would exceed a configurable budget; within that budget the
+result is the true optimum, which the test-suite uses to check that the
+iterative heuristic and the annealer land close to (and never below) it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..battery import BatteryModel, LoadProfile
+from ..errors import ConfigurationError, InfeasibleDeadlineError
+from ..scheduling import DesignPointAssignment, SchedulingProblem
+from ..taskgraph import TaskGraph
+from .common import BaselineResult
+
+__all__ = ["enumerate_topological_orders", "exhaustive_optimum"]
+
+
+def enumerate_topological_orders(graph: TaskGraph, limit: Optional[int] = None) -> Iterator[Tuple[str, ...]]:
+    """Yield every topological order of ``graph`` (optionally capped at ``limit``)."""
+    names = graph.task_names()
+    indegree = {name: len(graph.predecessors(name)) for name in names}
+    produced = 0
+
+    def backtrack(prefix: List[str], indegree: dict) -> Iterator[Tuple[str, ...]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if len(prefix) == len(names):
+            produced += 1
+            yield tuple(prefix)
+            return
+        for name in names:
+            if name in prefix or indegree[name] != 0:
+                continue
+            next_indegree = dict(indegree)
+            next_indegree[name] = -1  # mark consumed
+            for child in graph.successors(name):
+                next_indegree[child] -= 1
+            prefix.append(name)
+            yield from backtrack(prefix, next_indegree)
+            prefix.pop()
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack([], indegree)
+
+
+def exhaustive_optimum(
+    problem: SchedulingProblem,
+    model: Optional[BatteryModel] = None,
+    max_states: int = 2_000_000,
+) -> BaselineResult:
+    """Brute-force the optimal (sequence, assignment) pair.
+
+    Raises
+    ------
+    ConfigurationError
+        When the instance would require more than ``max_states`` cost
+        evaluations.
+    InfeasibleDeadlineError
+        When no combination meets the deadline.
+    """
+    graph = problem.graph
+    deadline = problem.deadline
+    battery_model = model if model is not None else problem.model()
+    m = graph.uniform_design_point_count()
+    n = graph.num_tasks
+
+    orders = list(enumerate_topological_orders(graph))
+    state_count = len(orders) * (m**n)
+    if state_count > max_states:
+        raise ConfigurationError(
+            f"exhaustive search would evaluate {state_count} states "
+            f"(> max_states={max_states}); use a smaller instance"
+        )
+
+    durations = {
+        task.name: [dp.execution_time for dp in task.ordered_design_points()]
+        for task in graph
+    }
+    currents = {
+        task.name: [dp.current for dp in task.ordered_design_points()]
+        for task in graph
+    }
+
+    best_cost = math.inf
+    best: Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]] = None
+    names = graph.task_names()
+
+    for columns in itertools.product(range(m), repeat=n):
+        column_by_name = dict(zip(names, columns))
+        makespan = sum(durations[name][column_by_name[name]] for name in names)
+        if makespan > deadline + 1e-9:
+            continue
+        for order in orders:
+            profile = LoadProfile.from_back_to_back(
+                durations=[durations[name][column_by_name[name]] for name in order],
+                currents=[currents[name][column_by_name[name]] for name in order],
+            )
+            cost = battery_model.apparent_charge(profile, at_time=profile.end_time)
+            if cost < best_cost:
+                best_cost = cost
+                best = (order, columns, makespan)
+
+    if best is None:
+        raise InfeasibleDeadlineError(
+            f"no design-point combination meets the deadline {deadline:g}"
+        )
+
+    order, columns, makespan = best
+    assignment = DesignPointAssignment(dict(zip(names, columns)))
+    return BaselineResult(
+        name="exhaustive",
+        graph=graph,
+        deadline=deadline,
+        sequence=order,
+        assignment=assignment,
+        cost=best_cost,
+        makespan=makespan,
+    )

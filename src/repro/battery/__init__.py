@@ -1,0 +1,38 @@
+"""Battery substrate: discharge profiles and charge/lifetime models.
+
+Implements the paper's cost function — the Rakhmatov–Vrudhula analytical
+model of Equation 1, with its rate-capacity and recovery effects — alongside
+an ideal coulomb counter and a Peukert's-law model used as comparators, plus
+the :class:`LoadProfile` structure all of them consume.
+"""
+
+from .base import BatteryModel
+from .ideal import IdealBatteryModel
+from .kibam import KineticBatteryModel
+from .parameters import (
+    BETA_PRESETS,
+    PAPER_BETA,
+    BatterySpec,
+    battery_from_preset,
+)
+from .peukert import PeukertModel
+from .profile import LoadInterval, LoadProfile
+from .rakhmatov import DEFAULT_SERIES_TERMS, RakhmatovVrudhulaModel
+from .simulate import DischargeTrace, simulate_discharge
+
+__all__ = [
+    "BatteryModel",
+    "IdealBatteryModel",
+    "PeukertModel",
+    "KineticBatteryModel",
+    "RakhmatovVrudhulaModel",
+    "LoadInterval",
+    "LoadProfile",
+    "BatterySpec",
+    "battery_from_preset",
+    "BETA_PRESETS",
+    "PAPER_BETA",
+    "DEFAULT_SERIES_TERMS",
+    "DischargeTrace",
+    "simulate_discharge",
+]

@@ -1,0 +1,41 @@
+"""Ideal (coulomb-counting) battery model.
+
+An ideal battery delivers exactly its rated charge regardless of how fast it
+is discharged: the apparent charge lost by time ``T`` is simply the integral
+of the current drawn up to ``T``.  It is the ``beta -> infinity`` limit of
+the Rakhmatov–Vrudhula model and serves two purposes in this library:
+
+* a lower bound / sanity check on the analytical model (sigma_ideal <=
+  sigma_analytical for any profile, with equality only for zero load), and
+* a cost function under which task *ordering* is irrelevant, which isolates
+  how much of the paper's benefit comes from battery-awareness rather than
+  from plain energy minimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import BatteryModel
+from .profile import LoadProfile
+
+__all__ = ["IdealBatteryModel"]
+
+
+class IdealBatteryModel(BatteryModel):
+    """Coulomb counter: apparent charge equals the nominal charge drawn."""
+
+    def apparent_charge(self, profile: LoadProfile, at_time: Optional[float] = None) -> float:
+        """Charge drawn before ``at_time`` (defaults to the end of the profile)."""
+        if at_time is None:
+            at_time = profile.end_time
+        total = 0.0
+        for interval in profile:
+            if at_time <= interval.start:
+                continue
+            effective = min(interval.duration, at_time - interval.start)
+            total += interval.current * effective
+        return total
+
+    def __repr__(self) -> str:
+        return "IdealBatteryModel()"

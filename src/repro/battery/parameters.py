@@ -1,0 +1,81 @@
+"""Named battery parameter sets and the problem-level battery specification.
+
+The paper reports only the diffusion parameter used in its G3 example
+(``beta = 0.273`` with time in minutes) and otherwise assumes the capacity
+``alpha`` is "sufficiently large".  This module collects that value, a few
+additional presets spanning weak to nearly ideal cells (useful for
+sensitivity sweeps), and a small dataclass bundling ``alpha``/``beta`` so
+problem instances can carry their battery description around explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import BatteryModelError
+from .rakhmatov import RakhmatovVrudhulaModel
+
+__all__ = ["BatterySpec", "PAPER_BETA", "BETA_PRESETS", "battery_from_preset"]
+
+#: The beta value used for the paper's illustrative example (Section 4.2).
+PAPER_BETA: float = 0.273
+
+#: Representative diffusion parameters (1/sqrt(minute)).  Smaller beta means a
+#: battery whose capacity is more sensitive to the discharge rate.
+BETA_PRESETS: Dict[str, float] = {
+    "paper": PAPER_BETA,
+    "weak": 0.15,
+    "typical": 0.273,
+    "strong": 0.6,
+    "near-ideal": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Battery description attached to a scheduling problem.
+
+    Attributes
+    ----------
+    beta:
+        Rakhmatov–Vrudhula diffusion parameter.
+    capacity:
+        Available charge ``alpha`` in mA·min; ``math.inf`` reproduces the
+        paper's "sufficiently large" assumption (lifetime checks are skipped).
+    series_terms:
+        Series truncation order handed to the analytical model.
+    """
+
+    beta: float = PAPER_BETA
+    capacity: float = math.inf
+    series_terms: int = 10
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0 or not math.isfinite(self.beta):
+            raise BatteryModelError(f"beta must be finite and > 0, got {self.beta!r}")
+        if self.capacity <= 0:
+            raise BatteryModelError(f"capacity must be > 0, got {self.capacity!r}")
+        if self.series_terms < 1:
+            raise BatteryModelError(f"series_terms must be >= 1, got {self.series_terms!r}")
+
+    def model(self) -> RakhmatovVrudhulaModel:
+        """Instantiate the analytical model for this specification."""
+        return RakhmatovVrudhulaModel(beta=self.beta, series_terms=self.series_terms)
+
+    @property
+    def has_finite_capacity(self) -> bool:
+        """True when a real capacity (not the "sufficiently large" default) was given."""
+        return math.isfinite(self.capacity)
+
+
+def battery_from_preset(name: str, capacity: float = math.inf) -> BatterySpec:
+    """Build a :class:`BatterySpec` from one of the named beta presets."""
+    try:
+        beta = BETA_PRESETS[name]
+    except KeyError:
+        raise BatteryModelError(
+            f"unknown battery preset {name!r}; choose from {sorted(BETA_PRESETS)}"
+        ) from None
+    return BatterySpec(beta=beta, capacity=capacity)

@@ -1,0 +1,282 @@
+"""Piecewise-constant battery discharge profiles.
+
+The battery model of Rakhmatov and Vrudhula (Equation 1 of the paper)
+operates on a *load profile*: a sequence of ``n`` discharge intervals, the
+``k``-th drawing a constant current ``I_k`` from time ``t_k`` for a duration
+``Delta_k``.  Intervals may be separated by idle (zero-current) gaps during
+which the battery recovers part of its apparent lost charge.
+
+On the paper's single-processing-element platform a schedule maps directly
+onto such a profile: tasks execute back-to-back in sequence order, each
+contributing one interval whose current is that of its chosen design point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ProfileError
+
+__all__ = ["LoadInterval", "LoadProfile"]
+
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LoadInterval:
+    """One constant-current discharge interval.
+
+    Attributes
+    ----------
+    start:
+        Interval start time ``t_k`` (same unit as the rest of the problem;
+        the paper uses minutes).
+    duration:
+        Interval length ``Delta_k``; must be strictly positive.
+    current:
+        Constant current ``I_k`` drawn during the interval (mA); must be
+        non-negative (a zero-current interval models an explicit idle slot).
+    label:
+        Optional annotation, e.g. the task name that produced the interval.
+    """
+
+    start: float
+    duration: float
+    current: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start) or self.start < 0:
+            raise ProfileError(f"interval start must be finite and >= 0, got {self.start!r}")
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ProfileError(
+                f"interval duration must be finite and > 0, got {self.duration!r}"
+            )
+        if not math.isfinite(self.current) or self.current < 0:
+            raise ProfileError(
+                f"interval current must be finite and >= 0, got {self.current!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        """Interval end time ``t_k + Delta_k``."""
+        return self.start + self.duration
+
+    @property
+    def charge(self) -> float:
+        """Nominal charge drawn, ``I_k * Delta_k`` (mA·min)."""
+        return self.current * self.duration
+
+    def clipped(self, at_time: float) -> Optional["LoadInterval"]:
+        """The portion of this interval before ``at_time`` (or None if empty)."""
+        if at_time <= self.start + _TIME_EPS:
+            return None
+        if at_time >= self.end:
+            return self
+        return LoadInterval(
+            start=self.start,
+            duration=at_time - self.start,
+            current=self.current,
+            label=self.label,
+        )
+
+
+class LoadProfile:
+    """An ordered, non-overlapping sequence of :class:`LoadInterval` objects.
+
+    Instances are immutable once constructed; use the alternative
+    constructors to build them:
+
+    * :meth:`from_intervals` — explicit ``(start, duration, current)`` data;
+    * :meth:`from_back_to_back` — tasks executing consecutively starting at
+      time 0, which is how schedules are converted to profiles;
+    * :meth:`concatenate` — join profiles in time.
+    """
+
+    def __init__(self, intervals: Iterable[LoadInterval] = ()) -> None:
+        items: List[LoadInterval] = sorted(intervals, key=lambda iv: iv.start)
+        for earlier, later in zip(items, items[1:]):
+            if later.start < earlier.end - _TIME_EPS:
+                raise ProfileError(
+                    f"intervals overlap: {earlier} and {later}"
+                )
+        self._intervals: Tuple[LoadInterval, ...] = tuple(items)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_intervals(
+        cls, triples: Iterable[Tuple[float, float, float]]
+    ) -> "LoadProfile":
+        """Build from ``(start, duration, current)`` triples."""
+        return cls(LoadInterval(start, duration, current) for start, duration, current in triples)
+
+    @classmethod
+    def from_back_to_back(
+        cls,
+        durations: Sequence[float],
+        currents: Sequence[float],
+        labels: Optional[Sequence[str]] = None,
+        start_time: float = 0.0,
+    ) -> "LoadProfile":
+        """Build a gap-free profile of consecutive intervals starting at ``start_time``.
+
+        This is the schedule-to-profile conversion used throughout the
+        library: ``durations[i]`` / ``currents[i]`` are the execution time and
+        current of the ``i``-th task in the sequence.
+        """
+        if len(durations) != len(currents):
+            raise ProfileError("durations and currents must have the same length")
+        if labels is not None and len(labels) != len(durations):
+            raise ProfileError("labels, when given, must match durations in length")
+        intervals = []
+        clock = float(start_time)
+        for index, (duration, current) in enumerate(zip(durations, currents)):
+            label = labels[index] if labels is not None else ""
+            intervals.append(
+                LoadInterval(start=clock, duration=float(duration), current=float(current), label=label)
+            )
+            clock += float(duration)
+        return cls(intervals)
+
+    def concatenate(self, other: "LoadProfile", gap: float = 0.0) -> "LoadProfile":
+        """Append ``other`` after this profile, optionally separated by an idle gap."""
+        if gap < 0:
+            raise ProfileError("gap must be non-negative")
+        offset = self.end_time + gap
+        shifted = [
+            LoadInterval(iv.start + offset, iv.duration, iv.current, iv.label)
+            for iv in other
+        ]
+        return LoadProfile(list(self._intervals) + shifted)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[LoadInterval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __getitem__(self, index: int) -> LoadInterval:
+        return self._intervals[index]
+
+    @property
+    def intervals(self) -> Tuple[LoadInterval, ...]:
+        """All intervals in chronological order."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the profile has no intervals."""
+        return not self._intervals
+
+    @property
+    def start_time(self) -> float:
+        """Start time of the first interval (0.0 for an empty profile)."""
+        return self._intervals[0].start if self._intervals else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """End time of the last interval (0.0 for an empty profile)."""
+        return self._intervals[-1].end if self._intervals else 0.0
+
+    @property
+    def busy_time(self) -> float:
+        """Total time spent discharging (sum of interval durations)."""
+        return sum(iv.duration for iv in self._intervals)
+
+    @property
+    def total_charge(self) -> float:
+        """Nominal charge drawn, ignoring battery non-linearities (mA·min)."""
+        return sum(iv.charge for iv in self._intervals)
+
+    @property
+    def peak_current(self) -> float:
+        """Largest interval current (0.0 for an empty profile)."""
+        return max((iv.current for iv in self._intervals), default=0.0)
+
+    def average_current(self) -> float:
+        """Charge-weighted average current over the busy time (0 if empty)."""
+        busy = self.busy_time
+        return self.total_charge / busy if busy > 0 else 0.0
+
+    def current_at(self, time: float) -> float:
+        """Instantaneous current at ``time`` (0 during gaps / outside the profile)."""
+        for interval in self._intervals:
+            if interval.start - _TIME_EPS <= time < interval.end - _TIME_EPS:
+                return interval.current
+        return 0.0
+
+    def clipped(self, at_time: float) -> "LoadProfile":
+        """The sub-profile containing only load applied strictly before ``at_time``."""
+        clipped = []
+        for interval in self._intervals:
+            piece = interval.clipped(at_time)
+            if piece is not None:
+                clipped.append(piece)
+        return LoadProfile(clipped)
+
+    def merged(self) -> "LoadProfile":
+        """Coalesce adjacent intervals that share the same current.
+
+        Useful for compacting schedule-derived profiles where consecutive
+        tasks happen to use the same design-point current; the battery model
+        result is unchanged (verified by a property test).
+        """
+        merged: List[LoadInterval] = []
+        for interval in self._intervals:
+            if (
+                merged
+                and abs(merged[-1].end - interval.start) <= _TIME_EPS
+                and abs(merged[-1].current - interval.current) <= 1e-12
+            ):
+                last = merged.pop()
+                merged.append(
+                    LoadInterval(
+                        start=last.start,
+                        duration=last.duration + interval.duration,
+                        current=last.current,
+                        label=last.label,
+                    )
+                )
+            else:
+                merged.append(interval)
+        return LoadProfile(merged)
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dictionary (JSON-friendly)."""
+        return {
+            "intervals": [
+                {
+                    "start": iv.start,
+                    "duration": iv.duration,
+                    "current": iv.current,
+                    "label": iv.label,
+                }
+                for iv in self._intervals
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadProfile":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            LoadInterval(
+                start=float(item["start"]),
+                duration=float(item["duration"]),
+                current=float(item["current"]),
+                label=str(item.get("label", "")),
+            )
+            for item in data["intervals"]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadProfile({len(self._intervals)} intervals, "
+            f"end={self.end_time:g}, charge={self.total_charge:g})"
+        )

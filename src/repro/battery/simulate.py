@@ -1,0 +1,142 @@
+"""Time-domain simulation of a battery under a discharge profile.
+
+The analytical models answer point questions ("what is sigma at T?").  For
+plots, intuition and validation it is often more useful to have the whole
+trajectory: how the apparent charge, the recoverable part and the remaining
+state of charge evolve over the profile.  :func:`simulate_discharge` samples
+any :class:`~repro.battery.BatteryModel` on a uniform time grid and returns
+a :class:`DischargeTrace` with exactly that, plus helpers to locate the
+depletion time and render a quick ASCII plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import BatteryModelError
+from .base import BatteryModel
+from .ideal import IdealBatteryModel
+from .profile import LoadProfile
+
+__all__ = ["DischargeTrace", "simulate_discharge"]
+
+
+@dataclass(frozen=True)
+class DischargeTrace:
+    """Sampled battery state over a discharge profile."""
+
+    times: Tuple[float, ...]
+    """Sample instants (time units)."""
+
+    apparent_charge: Tuple[float, ...]
+    """Model sigma at each sample (mA·min)."""
+
+    delivered_charge: Tuple[float, ...]
+    """Plain coulomb count at each sample (mA·min)."""
+
+    current: Tuple[float, ...]
+    """Instantaneous load current at each sample (mA)."""
+
+    capacity: Optional[float] = None
+    """Battery capacity used for state-of-charge, when given."""
+
+    @property
+    def unavailable_charge(self) -> Tuple[float, ...]:
+        """The recoverable part: apparent minus delivered charge at each sample."""
+        return tuple(a - d for a, d in zip(self.apparent_charge, self.delivered_charge))
+
+    def state_of_charge(self) -> Tuple[float, ...]:
+        """Remaining fraction of the capacity (requires ``capacity``)."""
+        if self.capacity is None:
+            raise BatteryModelError("state_of_charge requires a capacity")
+        return tuple(
+            max(0.0, 1.0 - sigma / self.capacity) for sigma in self.apparent_charge
+        )
+
+    def depletion_time(self) -> Optional[float]:
+        """First sample at which the apparent charge reaches the capacity."""
+        if self.capacity is None:
+            raise BatteryModelError("depletion_time requires a capacity")
+        for time, sigma in zip(self.times, self.apparent_charge):
+            if sigma >= self.capacity:
+                return time
+        return None
+
+    def peak_unavailable_charge(self) -> float:
+        """Largest recoverable charge observed along the trace."""
+        return max(self.unavailable_charge, default=0.0)
+
+    def ascii_plot(self, width: int = 60, height: int = 12) -> str:
+        """Coarse ASCII plot of sigma (``*``) and delivered charge (``.``) over time."""
+        if not self.times:
+            return "(empty trace)"
+        top = max(self.apparent_charge) or 1.0
+        columns = min(width, len(self.times))
+        step = max(1, len(self.times) // columns)
+        sampled = list(zip(self.times, self.apparent_charge, self.delivered_charge))[::step]
+        grid = [[" "] * len(sampled) for _ in range(height)]
+        for col, (_, sigma, delivered) in enumerate(sampled):
+            sigma_row = height - 1 - int((height - 1) * sigma / top)
+            delivered_row = height - 1 - int((height - 1) * delivered / top)
+            grid[delivered_row][col] = "."
+            grid[sigma_row][col] = "*"
+        lines = ["".join(row) for row in grid]
+        lines.append("-" * len(sampled))
+        lines.append(
+            f"0 .. {self.times[-1]:g} time units | '*' apparent charge, '.' delivered "
+            f"(max {top:.0f} mA·min)"
+        )
+        return "\n".join(lines)
+
+
+def simulate_discharge(
+    model: BatteryModel,
+    profile: LoadProfile,
+    capacity: Optional[float] = None,
+    num_samples: int = 200,
+    horizon: Optional[float] = None,
+) -> DischargeTrace:
+    """Sample a battery model over a profile on a uniform time grid.
+
+    Parameters
+    ----------
+    model:
+        Any battery model (analytical, ideal, Peukert, KiBaM...).
+    profile:
+        The discharge profile to simulate.
+    capacity:
+        Optional battery capacity (mA·min) enabling state-of-charge and
+        depletion queries on the returned trace.
+    num_samples:
+        Number of evenly spaced samples (minimum 2).
+    horizon:
+        End of the simulated window; defaults to the profile end, and may be
+        set beyond it to observe post-completion recovery.
+    """
+    if num_samples < 2:
+        raise BatteryModelError("num_samples must be >= 2")
+    if capacity is not None and capacity <= 0:
+        raise BatteryModelError("capacity must be > 0 when given")
+    end = float(horizon) if horizon is not None else profile.end_time
+    if end <= 0:
+        end = 1.0
+    ideal = IdealBatteryModel()
+    times: List[float] = []
+    sigmas: List[float] = []
+    delivered: List[float] = []
+    currents: List[float] = []
+    for index in range(num_samples):
+        t = end * index / (num_samples - 1)
+        times.append(t)
+        sigmas.append(model.apparent_charge(profile, at_time=t))
+        delivered.append(ideal.apparent_charge(profile, at_time=t))
+        currents.append(profile.current_at(t))
+    return DischargeTrace(
+        times=tuple(times),
+        apparent_charge=tuple(sigmas),
+        delivered_charge=tuple(delivered),
+        current=tuple(currents),
+        capacity=capacity,
+    )

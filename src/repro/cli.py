@@ -1,0 +1,143 @@
+"""Command-line interface for the reproduction.
+
+Examples
+--------
+Regenerate the paper's tables::
+
+    python -m repro.cli table2
+    python -m repro.cli table3
+    python -m repro.cli table4
+
+Regenerate the figure artefacts and the scaling check::
+
+    python -m repro.cli figures
+
+Schedule an arbitrary task graph stored as JSON::
+
+    python -m repro.cli schedule my_graph.json --deadline 120 --beta 0.273
+
+Run the extension experiments::
+
+    python -m repro.cli ablation
+    python -m repro.cli sweep --graph g3 --points 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import gantt_chart
+from .battery import BatterySpec
+from .core import SchedulerConfig, battery_aware_schedule, refine_solution
+from .experiments import (
+    deadline_sweep,
+    figure3_windows,
+    figure4_walkthrough,
+    figure5_g2_table,
+    run_ablation,
+    run_table2,
+    run_table3,
+    run_table4,
+    scaling_regeneration_report,
+    table1_g3_table,
+)
+from .scheduling import SchedulingProblem
+from .taskgraph import build_g2, build_g3, load_json
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="batsched",
+        description="Battery-aware task sequencing and design-point assignment (DATE 2005 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table2", help="reproduce Table 2 (sequences per iteration)")
+    subparsers.add_parser("table3", help="reproduce Table 3 (sigma/Delta per window)")
+    table4 = subparsers.add_parser("table4", help="reproduce Table 4 (comparison with the [1]-style baseline)")
+    table4.add_argument("--no-paper", action="store_true", help="omit the published reference columns")
+    subparsers.add_parser("figures", help="reproduce Figures 3-5 and the Table 1 scaling check")
+    subparsers.add_parser("ablation", help="factor ablation over the Table 4 instances")
+
+    sweep = subparsers.add_parser("sweep", help="deadline sweep of ours vs. baselines")
+    sweep.add_argument("--graph", choices=("g2", "g3"), default="g3")
+    sweep.add_argument("--points", type=int, default=6)
+
+    schedule = subparsers.add_parser("schedule", help="schedule a task graph stored as JSON")
+    schedule.add_argument("graph", help="path to a task-graph JSON file (see repro.taskgraph.io)")
+    schedule.add_argument("--deadline", type=float, required=True)
+    schedule.add_argument("--beta", type=float, default=0.273)
+    schedule.add_argument("--json", action="store_true", help="emit the solution as JSON")
+    schedule.add_argument("--refine", action="store_true",
+                          help="polish the result with the local-search refinement pass")
+    schedule.add_argument("--gantt", action="store_true",
+                          help="also print an ASCII Gantt chart of the schedule")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    out: List[str] = []
+
+    if args.command == "table2":
+        out.append(run_table2().to_table().to_text())
+    elif args.command == "table3":
+        out.append(run_table3().to_table().to_text())
+    elif args.command == "table4":
+        out.append(run_table4().to_table(include_paper=not args.no_paper).to_text())
+    elif args.command == "figures":
+        out.append(figure3_windows().to_text())
+        out.append("")
+        walkthrough = figure4_walkthrough()
+        out.append(walkthrough.to_table().to_text())
+        out.append(walkthrough.summary())
+        out.append("")
+        out.append(figure5_g2_table().to_text())
+        out.append("")
+        out.append(table1_g3_table().to_text())
+        out.append("")
+        out.append(scaling_regeneration_report().to_text())
+    elif args.command == "ablation":
+        result = run_ablation()
+        out.append(result.to_table().to_text())
+        out.append("")
+        out.append("mean cost change when dropping each factor (%):")
+        for factor, change in result.mean_degradation().items():
+            out.append(f"  {factor}: {change:+.2f}")
+    elif args.command == "sweep":
+        graph = build_g3() if args.graph == "g3" else build_g2()
+        out.append(deadline_sweep(graph, num_points=args.points).to_table().to_text())
+    elif args.command == "schedule":
+        graph = load_json(args.graph)
+        problem = SchedulingProblem(
+            graph=graph, deadline=args.deadline, battery=BatterySpec(beta=args.beta)
+        )
+        solution = battery_aware_schedule(problem, config=SchedulerConfig())
+        if args.refine:
+            solution = refine_solution(problem, solution)
+        if args.json:
+            out.append(json.dumps(solution.to_dict(), indent=2))
+        else:
+            out.append(solution.summary())
+            out.append("sequence: " + ",".join(solution.sequence))
+            out.append("design points: " + ",".join(solution.design_point_labels()))
+            if args.gantt:
+                out.append("")
+                out.append(gantt_chart(solution.schedule(), deadline=problem.deadline))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+
+    print("\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Result records produced by the iterative scheduler.
+
+The paper reports its progress per iteration (Tables 2 and 3): the task
+sequence used, the design-point assignment chosen per window, the battery
+capacity and duration of each window's result, and the weighted sequence
+prepared for the next iteration.  :class:`IterationRecord` captures exactly
+that, and :class:`SchedulingSolution` bundles the best solution found with
+the full iteration history so experiments and tests can reconstruct the
+tables without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..scheduling import DesignPointAssignment, Schedule
+from ..taskgraph import TaskGraph
+from .windows import WindowEvaluation, WindowRecord
+
+__all__ = ["IterationRecord", "SchedulingSolution"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Everything the algorithm did during one outer iteration."""
+
+    index: int
+    """1-based iteration number (matches the paper's "Iter" column)."""
+
+    sequence: Tuple[str, ...]
+    """Task sequence used for this iteration (the paper's ``S<index>``)."""
+
+    windows: WindowEvaluation
+    """All windows evaluated for the sequence, including the winning one."""
+
+    weighted_sequence: Tuple[str, ...]
+    """Sequence produced by Equation 4 for the next iteration (``S<index>w``)."""
+
+    weighted_cost: float
+    """Battery cost of the weighted sequence under the winning assignment."""
+
+    weighted_makespan: float
+    """Makespan of the weighted sequence (identical task set, same sum of times)."""
+
+    cost: float
+    """The iteration's ``MinBCost``: min(winning window cost, weighted cost)."""
+
+    improved_by_weighted: bool
+    """True when the weighted sequence beat the winning window's cost."""
+
+    @property
+    def best_window(self) -> WindowRecord:
+        """The window whose assignment won this iteration."""
+        return self.windows.best
+
+    @property
+    def assignment(self) -> DesignPointAssignment:
+        """Design-point assignment selected in this iteration."""
+        return self.windows.best.assignment
+
+    @property
+    def best_sequence(self) -> Tuple[str, ...]:
+        """The sequence achieving this iteration's ``cost``."""
+        return self.weighted_sequence if self.improved_by_weighted else self.sequence
+
+
+@dataclass(frozen=True)
+class SchedulingSolution:
+    """Final output of the battery-aware scheduler."""
+
+    graph: TaskGraph
+    deadline: float
+    sequence: Tuple[str, ...]
+    assignment: DesignPointAssignment
+    cost: float
+    makespan: float
+    iterations: Tuple[IterationRecord, ...]
+    converged: bool
+    """True when the paper's stopping rule fired (no improvement), False when
+    the iteration cap was hit first."""
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of outer iterations executed."""
+        return len(self.iterations)
+
+    @property
+    def feasible(self) -> bool:
+        """True when the returned schedule meets the deadline."""
+        return self.makespan <= self.deadline + 1e-9
+
+    def schedule(self) -> Schedule:
+        """Materialise the winning schedule (start/finish times per task)."""
+        return Schedule(self.graph, self.sequence, self.assignment)
+
+    def design_point_labels(self, prefix: str = "P") -> Tuple[str, ...]:
+        """Paper-style per-slot design-point labels of the winning schedule."""
+        return self.schedule().design_point_labels(prefix=prefix)
+
+    def iteration_costs(self) -> Tuple[float, ...]:
+        """Per-iteration ``MinBCost`` values (non-increasing until convergence)."""
+        return tuple(record.cost for record in self.iterations)
+
+    def to_dict(self) -> dict:
+        """Compact JSON-friendly summary (omits per-window assignments)."""
+        return {
+            "graph": self.graph.name,
+            "deadline": self.deadline,
+            "sequence": list(self.sequence),
+            "assignment": self.assignment.to_dict(),
+            "cost": self.cost,
+            "makespan": self.makespan,
+            "converged": self.converged,
+            "iterations": [
+                {
+                    "index": record.index,
+                    "sequence": list(record.sequence),
+                    "cost": record.cost,
+                    "best_window": record.best_window.label,
+                    "windows": [
+                        {
+                            "label": window.label,
+                            "cost": window.cost,
+                            "makespan": window.makespan,
+                            "feasible": window.feasible,
+                        }
+                        for window in record.windows.records
+                    ],
+                    "weighted_sequence": list(record.weighted_sequence),
+                    "weighted_cost": record.weighted_cost,
+                }
+                for record in self.iterations
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        status = "meets" if self.feasible else "MISSES"
+        return (
+            f"{self.graph.name or 'graph'}: sigma={self.cost:.1f} mA·min, "
+            f"makespan={self.makespan:.1f} ({status} deadline {self.deadline:g}), "
+            f"{self.num_iterations} iterations, "
+            f"{'converged' if self.converged else 'iteration cap reached'}"
+        )

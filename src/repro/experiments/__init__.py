@@ -1,0 +1,64 @@
+"""Experiment harness: one driver per paper table/figure plus extensions.
+
+See DESIGN.md for the experiment index (E1-E9).  Every driver returns a
+structured result object with a ``to_table()`` method, so the benchmarks,
+the CLI and the examples share one code path.
+"""
+
+from .ablation import FACTOR_NAMES, AblationResult, AblationRow, run_ablation
+from .figures import (
+    Figure4Walkthrough,
+    figure3_windows,
+    figure4_walkthrough,
+    figure5_g2_table,
+    g2_dot,
+    scaling_regeneration_report,
+    table1_g3_table,
+)
+from .illustrative import g3_problem, run_illustrative_example
+from .models import (
+    CandidateSchedule,
+    ModelCrossCheck,
+    battery_model_crosscheck,
+    default_models,
+)
+from .sweep import SweepPoint, SweepResult, beta_sweep, deadline_sweep, default_algorithms
+from .table2 import Table2Result, Table2Row, run_table2
+from .table3 import Table3Result, Table3Row, run_table3
+from .table4 import PAPER_TABLE4, Table4Result, Table4Row, run_table4, table4_problems
+
+__all__ = [
+    "g3_problem",
+    "run_illustrative_example",
+    "run_table2",
+    "Table2Result",
+    "Table2Row",
+    "run_table3",
+    "Table3Result",
+    "Table3Row",
+    "run_table4",
+    "Table4Result",
+    "Table4Row",
+    "PAPER_TABLE4",
+    "table4_problems",
+    "figure3_windows",
+    "figure4_walkthrough",
+    "Figure4Walkthrough",
+    "figure5_g2_table",
+    "table1_g3_table",
+    "scaling_regeneration_report",
+    "g2_dot",
+    "run_ablation",
+    "AblationResult",
+    "AblationRow",
+    "FACTOR_NAMES",
+    "deadline_sweep",
+    "beta_sweep",
+    "default_algorithms",
+    "SweepResult",
+    "SweepPoint",
+    "battery_model_crosscheck",
+    "default_models",
+    "ModelCrossCheck",
+    "CandidateSchedule",
+]

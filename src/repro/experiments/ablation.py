@@ -1,0 +1,108 @@
+"""Ablation of the suitability factors (extension experiment E8).
+
+The paper combines five factors into the suitability ``B`` with equal
+weight but does not analyse how much each contributes.  This experiment
+re-runs the iterative heuristic with one factor disabled at a time (its
+weight set to zero) over a set of problems and reports the battery cost
+relative to the full ``B``, quantifying each factor's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import TextTable
+from ..core import FactorWeights, SchedulerConfig, battery_aware_schedule
+from ..scheduling import SchedulingProblem
+from .table4 import table4_problems
+
+__all__ = ["AblationRow", "AblationResult", "FACTOR_NAMES", "run_ablation"]
+
+#: The factors that can be dropped, in the order they appear in ``B``.
+FACTOR_NAMES: Tuple[str, ...] = (
+    "slack_ratio",
+    "current_ratio",
+    "energy_ratio",
+    "current_increase_fraction",
+    "design_point_fraction",
+)
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Costs of the full heuristic and each single-factor ablation on one problem."""
+
+    problem_name: str
+    deadline: float
+    full_cost: float
+    ablated_costs: Dict[str, float]
+
+    def degradation_percent(self, factor: str) -> float:
+        """How much worse (positive) or better (negative) dropping ``factor`` is."""
+        return (self.ablated_costs[factor] - self.full_cost) / self.full_cost * 100.0
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """All ablation rows plus helpers to summarise them."""
+
+    rows: Tuple[AblationRow, ...]
+
+    def to_table(self) -> TextTable:
+        """Per-problem costs for the full ``B`` and every single-factor drop."""
+        headers = ["problem", "deadline", "full B"] + [f"-{name}" for name in FACTOR_NAMES]
+        table = TextTable(title="Ablation of the suitability factors", headers=headers)
+        for row in self.rows:
+            cells: List = [row.problem_name, row.deadline, row.full_cost]
+            cells.extend(row.ablated_costs[name] for name in FACTOR_NAMES)
+            table.add_row(*cells)
+        return table
+
+    def mean_degradation(self) -> Dict[str, float]:
+        """Average percentage cost change per dropped factor across all problems."""
+        if not self.rows:
+            return {name: 0.0 for name in FACTOR_NAMES}
+        return {
+            name: sum(row.degradation_percent(name) for row in self.rows) / len(self.rows)
+            for name in FACTOR_NAMES
+        }
+
+
+def run_ablation(
+    problems: Optional[Sequence[SchedulingProblem]] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> AblationResult:
+    """Run the full heuristic and each single-factor ablation over ``problems``.
+
+    Defaults to the six Table 4 instances, which keeps the experiment
+    anchored to the paper's workloads.
+    """
+    base_config = config or SchedulerConfig()
+    problem_list = list(problems) if problems is not None else list(table4_problems())
+
+    rows: List[AblationRow] = []
+    for problem in problem_list:
+        full = battery_aware_schedule(problem, config=base_config)
+        ablated_costs: Dict[str, float] = {}
+        for factor in FACTOR_NAMES:
+            ablated_config = SchedulerConfig(
+                max_iterations=base_config.max_iterations,
+                evaluate_at=base_config.evaluate_at,
+                factor_weights=FactorWeights.without(factor),
+                require_feasible_windows=base_config.require_feasible_windows,
+                repair_infeasible=base_config.repair_infeasible,
+                record_evaluations=False,
+                improvement_tolerance=base_config.improvement_tolerance,
+            )
+            ablated = battery_aware_schedule(problem, config=ablated_config)
+            ablated_costs[factor] = ablated.cost
+        rows.append(
+            AblationRow(
+                problem_name=problem.name or problem.graph.name,
+                deadline=problem.deadline,
+                full_cost=full.cost,
+                ablated_costs=ablated_costs,
+            )
+        )
+    return AblationResult(rows=tuple(rows))

@@ -1,0 +1,230 @@
+"""Battery-model cross-check (extension experiment E11).
+
+The whole approach rests on one cost function — the Rakhmatov–Vrudhula
+apparent charge.  This experiment asks how much the *ranking* of candidate
+schedules depends on that choice: a pool of candidate solutions (the
+iterative heuristic, every baseline, and a spread of random valid
+schedules) is evaluated under the analytical model, the Kinetic Battery
+Model, Peukert's law and an ideal coulomb counter, and the pairwise rank
+correlation between the models is reported, along with where each model
+would place the heuristic's solution.
+
+A high rank agreement between the analytical model and KiBaM (two very
+different formulations of the same physics) is evidence that the scheduler
+is not over-fitting one abstraction; a low agreement with the ideal model is
+expected — it is exactly the battery-awareness the paper argues for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import TextTable
+from ..baselines import (
+    all_fastest_baseline,
+    best_uniform_baseline,
+    chowdhury_baseline,
+    rakhmatov_baseline,
+)
+from ..battery import (
+    BatteryModel,
+    IdealBatteryModel,
+    KineticBatteryModel,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+)
+from ..core import battery_aware_schedule
+from ..errors import ConfigurationError
+from ..scheduling import DesignPointAssignment, SchedulingProblem, battery_cost
+from ..taskgraph import TaskGraph
+
+__all__ = ["CandidateSchedule", "ModelCrossCheck", "default_models", "battery_model_crosscheck"]
+
+
+@dataclass(frozen=True)
+class CandidateSchedule:
+    """One candidate solution and its cost under every battery model."""
+
+    label: str
+    sequence: Tuple[str, ...]
+    assignment: DesignPointAssignment
+    costs: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ModelCrossCheck:
+    """Result of the cross-check on one problem instance."""
+
+    problem: SchedulingProblem
+    candidates: Tuple[CandidateSchedule, ...]
+    model_names: Tuple[str, ...]
+
+    def rank_correlation(self, first: str, second: str) -> float:
+        """Spearman rank correlation of candidate costs under two models."""
+        first_ranks = _ranks([c.costs[first] for c in self.candidates])
+        second_ranks = _ranks([c.costs[second] for c in self.candidates])
+        return _pearson(first_ranks, second_ranks)
+
+    def heuristic_rank(self, model: str) -> int:
+        """1-based rank of the iterative heuristic's solution under ``model``."""
+        ordered = sorted(self.candidates, key=lambda c: c.costs[model])
+        for index, candidate in enumerate(ordered, start=1):
+            if candidate.label == "iterative (ours)":
+                return index
+        raise KeyError("the heuristic's candidate is missing from the pool")
+
+    def correlation_table(self) -> TextTable:
+        """Pairwise rank correlations between all battery models."""
+        table = TextTable(
+            title=f"Rank correlation of schedule costs across battery models "
+                  f"({self.problem.name or self.problem.graph.name})",
+            headers=("model", *self.model_names),
+            precision=3,
+        )
+        for first in self.model_names:
+            row = [first]
+            for second in self.model_names:
+                row.append(self.rank_correlation(first, second))
+            table.add_row(*row)
+        return table
+
+    def candidate_table(self) -> TextTable:
+        """Costs of every candidate under every model."""
+        table = TextTable(
+            title="Candidate schedules under each battery model (mA·min)",
+            headers=("candidate", *self.model_names),
+        )
+        for candidate in self.candidates:
+            table.add_row(candidate.label, *(candidate.costs[m] for m in self.model_names))
+        return table
+
+
+def default_models(beta: float = 0.273) -> Dict[str, BatteryModel]:
+    """The four battery abstractions compared by the cross-check."""
+    return {
+        "analytical": RakhmatovVrudhulaModel(beta=beta),
+        "kibam": KineticBatteryModel(c=0.625, k=0.5),
+        "peukert": PeukertModel(exponent=1.2, reference_current=300.0),
+        "ideal": IdealBatteryModel(),
+    }
+
+
+def battery_model_crosscheck(
+    problem: SchedulingProblem,
+    models: Optional[Dict[str, BatteryModel]] = None,
+    num_random_candidates: int = 20,
+    seed: int = 2005,
+) -> ModelCrossCheck:
+    """Evaluate a pool of candidate schedules under several battery models.
+
+    The pool contains the iterative heuristic, four baselines and
+    ``num_random_candidates`` random feasible-or-not schedules (random valid
+    topological order, random design-point columns biased towards low power
+    so most of them meet loose deadlines).
+    """
+    if num_random_candidates < 0:
+        raise ConfigurationError("num_random_candidates must be >= 0")
+    model_map = models if models is not None else default_models(problem.battery.beta)
+    graph = problem.graph
+    rng = random.Random(seed)
+
+    candidates: List[Tuple[str, Sequence[str], DesignPointAssignment]] = []
+
+    ours = battery_aware_schedule(problem)
+    candidates.append(("iterative (ours)", ours.sequence, ours.assignment))
+    for label, algorithm in (
+        ("dp-energy+greedy", rakhmatov_baseline),
+        ("last-task-first", chowdhury_baseline),
+        ("best-uniform", best_uniform_baseline),
+        ("all-fastest", all_fastest_baseline),
+    ):
+        try:
+            result = algorithm(problem)
+        except Exception:
+            continue
+        candidates.append((label, result.sequence, result.assignment))
+
+    m = graph.uniform_design_point_count()
+    durations = {
+        task.name: [dp.execution_time for dp in task.ordered_design_points()]
+        for task in graph
+    }
+    for index in range(num_random_candidates):
+        sequence = _random_topological_order(graph, rng)
+        columns = {
+            name: rng.choice(range(m // 2, m)) if rng.random() < 0.7 else rng.randrange(m)
+            for name in graph.task_names()
+        }
+        # Repair to feasibility so every candidate is comparable: keep
+        # promoting random tasks to faster design points until the deadline
+        # holds (always possible because the problem itself is feasible).
+        makespan = sum(durations[name][columns[name]] for name in columns)
+        while makespan > problem.deadline + 1e-9:
+            promotable = [name for name, column in columns.items() if column > 0]
+            if not promotable:
+                break
+            name = rng.choice(promotable)
+            makespan -= durations[name][columns[name]] - durations[name][columns[name] - 1]
+            columns[name] -= 1
+        candidates.append((f"random-{index + 1}", sequence, DesignPointAssignment(columns)))
+
+    evaluated = []
+    for label, sequence, assignment in candidates:
+        costs = {
+            name: battery_cost(graph, sequence, assignment, model)
+            for name, model in model_map.items()
+        }
+        evaluated.append(
+            CandidateSchedule(
+                label=label, sequence=tuple(sequence), assignment=assignment, costs=costs
+            )
+        )
+
+    return ModelCrossCheck(
+        problem=problem,
+        candidates=tuple(evaluated),
+        model_names=tuple(model_map),
+    )
+
+
+# ---------------------------------------------------------------------------
+# small numeric helpers (kept local to avoid a scipy dependency on this path)
+# ---------------------------------------------------------------------------
+
+def _random_topological_order(graph: TaskGraph, rng: random.Random) -> List[str]:
+    remaining_preds = {name: len(graph.predecessors(name)) for name in graph.task_names()}
+    ready = [name for name, count in remaining_preds.items() if count == 0]
+    order: List[str] = []
+    while ready:
+        choice = rng.choice(ready)
+        ready.remove(choice)
+        order.append(choice)
+        for child in graph.successors(choice):
+            remaining_preds[child] -= 1
+            if remaining_preds[child] == 0:
+                ready.append(child)
+    return order
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    indexed = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, index in enumerate(indexed, start=1):
+        ranks[index] = float(rank)
+    return ranks
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 1.0
+    return cov / (var_x * var_y) ** 0.5

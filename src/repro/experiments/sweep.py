@@ -1,0 +1,155 @@
+"""Deadline and battery sweeps (extension experiment E9).
+
+Two sweeps extend the paper's point comparisons into curves:
+
+* :func:`deadline_sweep` — for one graph, scan the deadline from just above
+  the all-fastest makespan to the all-slowest makespan and record the
+  battery cost of the iterative heuristic and the baselines at every point.
+  The paper's Table 4 rows are three samples of this curve per graph.
+* :func:`beta_sweep` — fix the deadline and scan the battery's diffusion
+  parameter ``beta``: as the battery approaches ideal behaviour the gap
+  between battery-aware and energy-only scheduling should close, which is
+  the motivating claim of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis import TextTable
+from ..baselines import (
+    all_fastest_baseline,
+    best_uniform_baseline,
+    chowdhury_baseline,
+    rakhmatov_baseline,
+)
+from ..battery import BatterySpec
+from ..core import SchedulerConfig, battery_aware_schedule
+from ..errors import ConfigurationError
+from ..scheduling import SchedulingProblem
+from ..taskgraph import TaskGraph
+
+__all__ = ["SweepPoint", "SweepResult", "default_algorithms", "deadline_sweep", "beta_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Costs of every algorithm at one sweep coordinate."""
+
+    coordinate: float
+    """The swept value (a deadline or a beta)."""
+
+    costs: Dict[str, float]
+    """Algorithm name -> battery cost sigma (inf when the algorithm failed)."""
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labelled series of sweep points."""
+
+    parameter: str
+    graph_name: str
+    points: Tuple[SweepPoint, ...]
+    algorithms: Tuple[str, ...]
+
+    def to_table(self) -> TextTable:
+        """One row per sweep coordinate, one sigma column per algorithm."""
+        table = TextTable(
+            title=f"{self.parameter} sweep on {self.graph_name}",
+            headers=(self.parameter, *self.algorithms),
+        )
+        for point in self.points:
+            table.add_row(point.coordinate, *(point.costs[name] for name in self.algorithms))
+        return table
+
+    def series(self, algorithm: str) -> Tuple[float, ...]:
+        """The cost curve of one algorithm across the sweep."""
+        return tuple(point.costs[algorithm] for point in self.points)
+
+
+def default_algorithms(
+    config: Optional[SchedulerConfig] = None,
+) -> Dict[str, Callable[[SchedulingProblem], object]]:
+    """The algorithm set used by the sweeps: ours plus three baselines."""
+    scheduler_config = config or SchedulerConfig()
+    return {
+        "iterative (ours)": lambda problem: battery_aware_schedule(problem, config=scheduler_config),
+        "dp-energy+greedy": rakhmatov_baseline,
+        "last-task-first": chowdhury_baseline,
+        "best-uniform": best_uniform_baseline,
+        "all-fastest": all_fastest_baseline,
+    }
+
+
+def _evaluate(problem: SchedulingProblem, algorithms: Mapping[str, Callable]) -> Dict[str, float]:
+    costs: Dict[str, float] = {}
+    for name, algorithm in algorithms.items():
+        try:
+            result = algorithm(problem)
+            costs[name] = float(result.cost)
+        except Exception:
+            costs[name] = float("inf")
+    return costs
+
+
+def deadline_sweep(
+    graph: TaskGraph,
+    num_points: int = 8,
+    battery: Optional[BatterySpec] = None,
+    algorithms: Optional[Mapping[str, Callable]] = None,
+    margin: float = 0.02,
+) -> SweepResult:
+    """Scan the deadline between the all-fastest and all-slowest makespans.
+
+    ``margin`` keeps the tightest point slightly above the all-fastest
+    makespan so every algorithm has at least a sliver of slack to work with.
+    """
+    if num_points < 2:
+        raise ConfigurationError("num_points must be >= 2")
+    battery = battery or BatterySpec()
+    algorithms = dict(algorithms) if algorithms is not None else default_algorithms()
+    lo = graph.min_makespan()
+    hi = graph.max_makespan()
+    span = hi - lo
+    points: List[SweepPoint] = []
+    for index in range(num_points):
+        fraction = margin + (1.0 - margin) * index / (num_points - 1)
+        deadline = lo + fraction * span
+        problem = SchedulingProblem(
+            graph=graph, deadline=deadline, battery=battery, name=f"{graph.name}@{deadline:.1f}"
+        )
+        points.append(SweepPoint(coordinate=deadline, costs=_evaluate(problem, algorithms)))
+    return SweepResult(
+        parameter="deadline",
+        graph_name=graph.name or "graph",
+        points=tuple(points),
+        algorithms=tuple(algorithms),
+    )
+
+
+def beta_sweep(
+    graph: TaskGraph,
+    deadline: float,
+    betas: Sequence[float] = (0.1, 0.2, 0.273, 0.4, 0.8, 1.6, 5.0),
+    algorithms: Optional[Mapping[str, Callable]] = None,
+) -> SweepResult:
+    """Scan the battery diffusion parameter at a fixed deadline."""
+    if not betas:
+        raise ConfigurationError("at least one beta value is required")
+    algorithms = dict(algorithms) if algorithms is not None else default_algorithms()
+    points: List[SweepPoint] = []
+    for beta in betas:
+        problem = SchedulingProblem(
+            graph=graph,
+            deadline=deadline,
+            battery=BatterySpec(beta=beta),
+            name=f"{graph.name}@beta={beta:g}",
+        )
+        points.append(SweepPoint(coordinate=float(beta), costs=_evaluate(problem, algorithms)))
+    return SweepResult(
+        parameter="beta",
+        graph_name=graph.name or "graph",
+        points=tuple(points),
+        algorithms=tuple(algorithms),
+    )

@@ -1,0 +1,170 @@
+"""Reproduction of Table 4: iterative heuristic vs. the [1]-style baseline.
+
+The paper evaluates both algorithms on G2 (deadlines 55, 75 and 95 minutes)
+and G3 (deadlines 100, 150 and 230 minutes) and reports the battery capacity
+each consumes plus the percentage by which the baseline exceeds the
+heuristic.  :func:`run_table4` reruns both algorithms on the same six
+problem instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis import TextTable, percent_difference
+from ..baselines import rakhmatov_baseline
+from ..battery import BatterySpec
+from ..core import SchedulerConfig, battery_aware_schedule
+from ..scheduling import SchedulingProblem
+from ..taskgraph import (
+    G2_TABLE4_DEADLINES,
+    G3_BETA,
+    G3_TABLE4_DEADLINES,
+    build_g2,
+    build_g3,
+)
+
+__all__ = ["Table4Row", "Table4Result", "PAPER_TABLE4", "run_table4"]
+
+#: The paper's published Table 4 numbers, keyed by (graph, deadline):
+#: (our algorithm sigma, baseline [1] sigma, % difference).
+PAPER_TABLE4: Dict[Tuple[str, float], Tuple[float, float, float]] = {
+    ("G2", 55.0): (30913.0, 35739.0, 15.6),
+    ("G2", 75.0): (13751.0, 13885.0, 0.9),
+    ("G2", 95.0): (7961.0, 8517.0, 7.0),
+    ("G3", 100.0): (57429.0, 68120.0, 18.6),
+    ("G3", 150.0): (41801.0, 48650.0, 16.4),
+    ("G3", 230.0): (13737.0, 22686.0, 65.0),
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One column of the paper's Table 4 (one graph/deadline combination)."""
+
+    graph: str
+    deadline: float
+    our_cost: float
+    baseline_cost: float
+    our_makespan: float
+    baseline_makespan: float
+
+    @property
+    def percent_diff(self) -> float:
+        """How much more the baseline costs, in percent of our cost."""
+        return percent_difference(self.baseline_cost, self.our_cost)
+
+    @property
+    def paper_values(self) -> Optional[Tuple[float, float, float]]:
+        """The published (ours, baseline, % diff) triple, when available."""
+        return PAPER_TABLE4.get((self.graph, self.deadline))
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All reproduced rows of Table 4."""
+
+    rows: Tuple[Table4Row, ...]
+
+    def to_table(self, include_paper: bool = True) -> TextTable:
+        """Render measured (and optionally published) values side by side."""
+        headers = [
+            "graph",
+            "deadline",
+            "ours sigma",
+            "baseline sigma",
+            "% diff",
+        ]
+        if include_paper:
+            headers.extend(["paper ours", "paper baseline", "paper % diff"])
+        table = TextTable(title="Table 4: comparison with the [1]-style baseline", headers=headers)
+        for row in self.rows:
+            cells = [
+                row.graph,
+                row.deadline,
+                row.our_cost,
+                row.baseline_cost,
+                row.percent_diff,
+            ]
+            if include_paper:
+                paper = row.paper_values
+                cells.extend(paper if paper is not None else (None, None, None))
+            table.add_row(*cells)
+        return table
+
+    def row_for(self, graph: str, deadline: float) -> Table4Row:
+        """Look up one reproduced row."""
+        for row in self.rows:
+            if row.graph == graph and abs(row.deadline - deadline) < 1e-9:
+                return row
+        raise KeyError(f"no Table 4 row for {graph!r} at deadline {deadline!r}")
+
+
+def table4_problems(beta: float = G3_BETA) -> Tuple[SchedulingProblem, ...]:
+    """The six problem instances of Table 4 (G2 and G3 at three deadlines each)."""
+    battery = BatterySpec(beta=beta)
+    problems = []
+    g2 = build_g2()
+    for deadline in G2_TABLE4_DEADLINES:
+        problems.append(
+            SchedulingProblem(graph=g2, deadline=deadline, battery=battery, name=f"G2@{deadline:g}")
+        )
+    g3 = build_g3()
+    for deadline in G3_TABLE4_DEADLINES:
+        problems.append(
+            SchedulingProblem(graph=g3, deadline=deadline, battery=battery, name=f"G3@{deadline:g}")
+        )
+    return tuple(problems)
+
+
+def run_table4(
+    config: Optional[SchedulerConfig] = None,
+    beta: float = G3_BETA,
+    deadlines: Optional[Dict[str, Sequence[float]]] = None,
+) -> Table4Result:
+    """Run both algorithms on the Table 4 instances and collect the rows.
+
+    Parameters
+    ----------
+    config:
+        Scheduler configuration for the iterative heuristic.
+    beta:
+        Battery diffusion parameter (the paper only states the G3 value, so
+        it is used for both graphs).
+    deadlines:
+        Optional override of the per-graph deadline lists, e.g.
+        ``{"G2": [60.0], "G3": [200.0]}`` for quicker smoke runs.
+    """
+    config = config or SchedulerConfig()
+    battery = BatterySpec(beta=beta)
+    graphs = {"G2": build_g2(), "G3": build_g3()}
+    deadline_map = {
+        "G2": tuple(G2_TABLE4_DEADLINES),
+        "G3": tuple(G3_TABLE4_DEADLINES),
+    }
+    if deadlines:
+        deadline_map.update({key: tuple(value) for key, value in deadlines.items()})
+
+    rows = []
+    for graph_name, graph in graphs.items():
+        for deadline in deadline_map[graph_name]:
+            problem = SchedulingProblem(
+                graph=graph,
+                deadline=deadline,
+                battery=battery,
+                name=f"{graph_name}@{deadline:g}",
+            )
+            ours = battery_aware_schedule(problem, config=config)
+            baseline = rakhmatov_baseline(problem)
+            rows.append(
+                Table4Row(
+                    graph=graph_name,
+                    deadline=float(deadline),
+                    our_cost=ours.cost,
+                    baseline_cost=baseline.cost,
+                    our_makespan=ours.makespan,
+                    baseline_makespan=baseline.makespan,
+                )
+            )
+    return Table4Result(rows=tuple(rows))

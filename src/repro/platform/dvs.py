@@ -1,0 +1,188 @@
+"""Voltage/frequency-scalable processor models.
+
+The paper assumes that "performance and total power consumption estimates
+for each design-point are available".  For processor-based platforms those
+estimates come from a DVS (dynamic voltage and frequency scaling) model;
+this module provides the standard first-order one so that users can derive
+design points from a physical description of their processor instead of
+typing current/duration tables by hand:
+
+* the maximum stable clock frequency at supply voltage ``V`` follows the
+  alpha-power law ``f(V) = k * (V - V_t)^alpha / V``;
+* dynamic power is ``P_dyn = C_eff * V^2 * f`` and grows cubically with the
+  voltage once frequency tracks it (this is exactly why the paper generates
+  its design-point currents as the cube of the scaling factor);
+* static/platform power (leakage, memory, display, radio) is a constant
+  added on top, and is what limits how much slowing down can ever save;
+* a task needing ``cycles`` clock cycles runs for ``cycles / f`` and draws
+  ``(P_dyn + P_static) / V_supply`` of current from the battery rail.
+
+The resulting :class:`~repro.taskgraph.DesignPoint` objects carry the
+operating voltage, so energy computations automatically include it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError, DesignPointError
+from ..taskgraph import DesignPoint, Task
+
+__all__ = ["OperatingPoint", "DvsProcessor"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, frequency) pair a DVS processor can run at."""
+
+    voltage: float
+    """Supply voltage in volts."""
+
+    frequency: float
+    """Clock frequency in MHz at this voltage."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0 or not math.isfinite(self.voltage):
+            raise DesignPointError(f"voltage must be finite and > 0, got {self.voltage!r}")
+        if self.frequency <= 0 or not math.isfinite(self.frequency):
+            raise DesignPointError(f"frequency must be finite and > 0, got {self.frequency!r}")
+
+
+@dataclass(frozen=True)
+class DvsProcessor:
+    """A voltage/frequency-scalable processor plus its platform overheads.
+
+    Attributes
+    ----------
+    effective_capacitance:
+        Switched capacitance ``C_eff`` in nF; dynamic power is
+        ``C_eff * V^2 * f`` (V in volts, f in MHz, power in mW).
+    threshold_voltage:
+        Transistor threshold ``V_t`` in volts, used by the alpha-power law.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (1.3-2.0 for
+        modern processes; 2.0 reproduces the classic quadratic model).
+    frequency_constant:
+        ``k`` in ``f = k (V - V_t)^alpha / V`` (MHz·V^(1-alpha)); calibrate it
+        so the fastest operating point hits the processor's rated frequency.
+    static_power:
+        Constant platform power in mW (leakage plus memory, display and other
+        peripherals) drawn whenever a task executes — the paper's "total
+        power consumption ... including the peripheral components".
+    battery_voltage:
+        Voltage of the battery rail the current is drawn from, in volts.
+        Platform current (mA) = total power (mW) / battery voltage (V).
+    """
+
+    effective_capacitance: float = 1.0
+    threshold_voltage: float = 0.4
+    alpha: float = 2.0
+    frequency_constant: float = 250.0
+    static_power: float = 50.0
+    battery_voltage: float = 3.7
+
+    def __post_init__(self) -> None:
+        if self.effective_capacitance <= 0:
+            raise ConfigurationError("effective_capacitance must be > 0")
+        if self.threshold_voltage < 0:
+            raise ConfigurationError("threshold_voltage must be >= 0")
+        if self.alpha < 1.0:
+            raise ConfigurationError("alpha must be >= 1")
+        if self.frequency_constant <= 0:
+            raise ConfigurationError("frequency_constant must be > 0")
+        if self.static_power < 0:
+            raise ConfigurationError("static_power must be >= 0")
+        if self.battery_voltage <= 0:
+            raise ConfigurationError("battery_voltage must be > 0")
+
+    # ------------------------------------------------------------------
+    # physics
+    # ------------------------------------------------------------------
+    def max_frequency(self, voltage: float) -> float:
+        """Alpha-power-law maximum frequency (MHz) at ``voltage`` volts."""
+        if voltage <= self.threshold_voltage:
+            raise DesignPointError(
+                f"voltage {voltage:g} V is at or below the threshold voltage "
+                f"{self.threshold_voltage:g} V"
+            )
+        return (
+            self.frequency_constant
+            * (voltage - self.threshold_voltage) ** self.alpha
+            / voltage
+        )
+
+    def dynamic_power(self, voltage: float, frequency: float) -> float:
+        """Dynamic power (mW) at the given operating point."""
+        return self.effective_capacitance * voltage**2 * frequency
+
+    def platform_current(self, voltage: float, frequency: float) -> float:
+        """Total platform current (mA) drawn from the battery rail."""
+        total_power = self.dynamic_power(voltage, frequency) + self.static_power
+        return total_power / self.battery_voltage
+
+    def operating_point(self, voltage: float, name: str = "") -> OperatingPoint:
+        """The operating point running at the maximum frequency for ``voltage``."""
+        return OperatingPoint(voltage=voltage, frequency=self.max_frequency(voltage), name=name)
+
+    # ------------------------------------------------------------------
+    # design-point synthesis
+    # ------------------------------------------------------------------
+    def design_points(
+        self,
+        cycles: float,
+        voltages: Sequence[float],
+        time_unit: float = 60.0,
+    ) -> Tuple[DesignPoint, ...]:
+        """Design points for a task of ``cycles`` mega-cycles across supply voltages.
+
+        Parameters
+        ----------
+        cycles:
+            Worst-case execution requirement in mega-cycles.
+        voltages:
+            Supply voltages to evaluate; they are sorted descending so that
+            the result follows the paper's canonical "fastest first" order.
+        time_unit:
+            Seconds per schedule time unit (default 60, i.e. design-point
+            execution times are expressed in minutes as in the paper).
+
+        Returns
+        -------
+        tuple of :class:`DesignPoint`
+            One per voltage, carrying the operating voltage in
+            ``DesignPoint.voltage`` and the operating point in its metadata.
+        """
+        if cycles <= 0:
+            raise DesignPointError("cycles must be > 0")
+        if not voltages:
+            raise ConfigurationError("at least one supply voltage is required")
+        points = []
+        for index, voltage in enumerate(sorted(voltages, reverse=True)):
+            frequency = self.max_frequency(voltage)
+            seconds = cycles / frequency  # mega-cycles / MHz = seconds
+            execution_time = seconds / time_unit
+            current = self.platform_current(voltage, frequency)
+            points.append(
+                DesignPoint(
+                    execution_time=execution_time,
+                    current=current,
+                    voltage=voltage,
+                    name=f"{voltage:g}V@{frequency:.0f}MHz",
+                    metadata={"frequency_mhz": frequency, "mega_cycles": cycles},
+                )
+            )
+        return tuple(points)
+
+    def make_task(
+        self,
+        name: str,
+        cycles: float,
+        voltages: Sequence[float],
+        time_unit: float = 60.0,
+    ) -> Task:
+        """Convenience wrapper building a :class:`Task` from a cycle count."""
+        return Task(name, self.design_points(cycles, voltages, time_unit=time_unit))

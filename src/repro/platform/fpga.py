@@ -1,0 +1,144 @@
+"""FPGA implementation-alternative models.
+
+On an FPGA-based platform (the paper's other target), the design points of a
+task are distinct hardware implementations downloaded as bitstreams: a wide,
+heavily parallel datapath finishes quickly but toggles a lot of logic, while
+a narrow, resource-shared one takes longer at much lower power.  This module
+captures that trade-off with a simple area/parallelism model so synthetic
+FPGA-style platforms can be generated:
+
+* an implementation with parallelism ``p`` (relative to the baseline
+  ``p = 1``) finishes in ``base_time / speedup(p)`` where the speedup
+  saturates according to Amdahl's law with a configurable serial fraction;
+* its dynamic power grows essentially linearly with the active area
+  (``p`` times the baseline) plus a static platform floor;
+* a reconfiguration overhead (time and charge to load the bitstream) can be
+  folded into each design point, which is how per-task bitstream switching
+  costs enter the schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError, DesignPointError
+from ..taskgraph import DesignPoint, Task
+
+__all__ = ["FpgaFabric"]
+
+
+@dataclass(frozen=True)
+class FpgaFabric:
+    """A reconfigurable fabric and its power/performance scaling behaviour.
+
+    Attributes
+    ----------
+    base_dynamic_power:
+        Dynamic power (mW) of the ``parallelism = 1`` implementation.
+    static_power:
+        Platform power floor (mW): configuration SRAM, clock tree, memory,
+        display — drawn regardless of the implementation choice.
+    serial_fraction:
+        Amdahl serial fraction of the task; limits how much extra
+        parallelism can shorten the execution time.
+    power_exponent:
+        How dynamic power grows with parallelism (1.0 = linear in active
+        area; values slightly above 1 model routing/clock overheads).
+    battery_voltage:
+        Battery rail voltage (V) used to convert power to current.
+    reconfiguration_time:
+        Time (in schedule time units) needed to load a bitstream before the
+        task runs; added to every design point's execution time.
+    reconfiguration_power:
+        Power (mW) drawn while reconfiguring; folded into the design point's
+        average current.
+    """
+
+    base_dynamic_power: float = 400.0
+    static_power: float = 80.0
+    serial_fraction: float = 0.1
+    power_exponent: float = 1.05
+    battery_voltage: float = 3.7
+    reconfiguration_time: float = 0.0
+    reconfiguration_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_dynamic_power <= 0:
+            raise ConfigurationError("base_dynamic_power must be > 0")
+        if self.static_power < 0:
+            raise ConfigurationError("static_power must be >= 0")
+        if not (0.0 <= self.serial_fraction < 1.0):
+            raise ConfigurationError("serial_fraction must be in [0, 1)")
+        if self.power_exponent < 1.0:
+            raise ConfigurationError("power_exponent must be >= 1")
+        if self.battery_voltage <= 0:
+            raise ConfigurationError("battery_voltage must be > 0")
+        if self.reconfiguration_time < 0 or self.reconfiguration_power < 0:
+            raise ConfigurationError("reconfiguration overheads must be >= 0")
+
+    # ------------------------------------------------------------------
+    # scaling laws
+    # ------------------------------------------------------------------
+    def speedup(self, parallelism: float) -> float:
+        """Amdahl's-law speedup of a ``parallelism``-wide implementation."""
+        if parallelism < 1.0:
+            raise DesignPointError("parallelism must be >= 1")
+        return 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / parallelism)
+
+    def implementation_power(self, parallelism: float) -> float:
+        """Total power (mW) of a ``parallelism``-wide implementation."""
+        return (
+            self.base_dynamic_power * parallelism**self.power_exponent
+            + self.static_power
+        )
+
+    # ------------------------------------------------------------------
+    # design-point synthesis
+    # ------------------------------------------------------------------
+    def design_points(
+        self,
+        base_time: float,
+        parallelism_options: Sequence[float] = (8.0, 4.0, 2.0, 1.0),
+    ) -> Tuple[DesignPoint, ...]:
+        """Design points of a task whose ``parallelism = 1`` time is ``base_time``.
+
+        Options are sorted by decreasing parallelism so the fastest (and most
+        power-hungry) implementation comes first, matching the paper's column
+        convention.  Each point's current averages the execution and
+        reconfiguration phases.
+        """
+        if base_time <= 0:
+            raise DesignPointError("base_time must be > 0")
+        if not parallelism_options:
+            raise ConfigurationError("at least one parallelism option is required")
+        points = []
+        for parallelism in sorted(parallelism_options, reverse=True):
+            execution = base_time / self.speedup(parallelism)
+            run_power = self.implementation_power(parallelism)
+            total_time = execution + self.reconfiguration_time
+            # Charge-weighted average power over (reconfigure + run).
+            average_power = (
+                run_power * execution
+                + self.reconfiguration_power * self.reconfiguration_time
+            ) / total_time
+            current = average_power / self.battery_voltage
+            points.append(
+                DesignPoint(
+                    execution_time=total_time,
+                    current=current,
+                    name=f"x{parallelism:g}",
+                    metadata={"parallelism": parallelism, "run_power_mw": run_power},
+                )
+            )
+        return tuple(points)
+
+    def make_task(
+        self,
+        name: str,
+        base_time: float,
+        parallelism_options: Sequence[float] = (8.0, 4.0, 2.0, 1.0),
+    ) -> Task:
+        """Convenience wrapper building a :class:`Task` from a baseline runtime."""
+        return Task(name, self.design_points(base_time, parallelism_options))

@@ -1,0 +1,33 @@
+"""Scheduling substrate: sequences, assignments, schedules and their battery cost.
+
+Provides the building blocks every algorithm in :mod:`repro.core` and
+:mod:`repro.baselines` shares — the list-scheduling engine used to generate
+precedence-respecting sequences, the design-point assignment mapping, the
+fully resolved :class:`Schedule`, and the battery cost of a candidate
+solution.
+"""
+
+from .assignment import DesignPointAssignment
+from .cost import EVALUATION_MODES, battery_cost, profile_for
+from .list_scheduler import (
+    average_energy_weights,
+    list_schedule,
+    sequence_by_decreasing_energy,
+    sequence_by_weights,
+)
+from .problem import SchedulingProblem
+from .schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "DesignPointAssignment",
+    "Schedule",
+    "ScheduledTask",
+    "SchedulingProblem",
+    "battery_cost",
+    "profile_for",
+    "EVALUATION_MODES",
+    "list_schedule",
+    "sequence_by_weights",
+    "sequence_by_decreasing_energy",
+    "average_energy_weights",
+]

@@ -1,0 +1,146 @@
+"""Design-point assignments: the mapping from tasks to chosen design points.
+
+The paper represents this mapping with the selection matrix ``S`` (one row
+per task, one column per design point, exactly one 1 per row).  At the
+library's public API level the same information is carried by a
+:class:`DesignPointAssignment`, a small immutable mapping from task name to
+the *canonical column index* of the chosen design point (0-based, column 0
+being the fastest / highest-power implementation — the paper's DP1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import ScheduleError, UnknownTaskError
+from ..taskgraph import DesignPoint, Task, TaskGraph
+
+__all__ = ["DesignPointAssignment"]
+
+
+class DesignPointAssignment(Mapping[str, int]):
+    """Immutable mapping ``task name -> chosen design-point column`` (0-based).
+
+    Columns index each task's canonical ordering
+    (:meth:`~repro.taskgraph.Task.ordered_design_points`): column 0 is the
+    fastest, highest-current design point (the paper's DP1) and column
+    ``m - 1`` the slowest, lowest-current one (the paper's DPm).
+    """
+
+    def __init__(self, choices: Mapping[str, int]) -> None:
+        cleaned: Dict[str, int] = {}
+        for name, column in choices.items():
+            column = int(column)
+            if column < 0:
+                raise ScheduleError(
+                    f"design-point column for task {name!r} must be >= 0, got {column}"
+                )
+            cleaned[str(name)] = column
+        self._choices: Dict[str, int] = cleaned
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        return self._choices[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._choices)
+
+    def __len__(self) -> int:
+        return len(self._choices)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}:{col + 1}" for name, col in sorted(self._choices.items()))
+        return f"DesignPointAssignment({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DesignPointAssignment):
+            return self._choices == other._choices
+        if isinstance(other, Mapping):
+            return dict(self._choices) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._choices.items())))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, graph: TaskGraph, column: int) -> "DesignPointAssignment":
+        """Assign every task the same column (e.g. all-fastest or all-slowest)."""
+        choices = {}
+        for task in graph:
+            if column >= task.num_design_points or column < -task.num_design_points:
+                raise ScheduleError(
+                    f"column {column} out of range for task {task.name!r} "
+                    f"({task.num_design_points} design points)"
+                )
+            choices[task.name] = column % task.num_design_points
+        return cls(choices)
+
+    @classmethod
+    def all_fastest(cls, graph: TaskGraph) -> "DesignPointAssignment":
+        """Every task at its fastest (highest-power) design point."""
+        return cls.uniform(graph, 0)
+
+    @classmethod
+    def all_slowest(cls, graph: TaskGraph) -> "DesignPointAssignment":
+        """Every task at its slowest (lowest-power) design point."""
+        return cls({task.name: task.num_design_points - 1 for task in graph})
+
+    def replacing(self, name: str, column: int) -> "DesignPointAssignment":
+        """Return a copy with the choice for one task changed."""
+        updated = dict(self._choices)
+        updated[name] = column
+        return DesignPointAssignment(updated)
+
+    # ------------------------------------------------------------------
+    # graph-aware queries
+    # ------------------------------------------------------------------
+    def validate(self, graph: TaskGraph) -> None:
+        """Check the assignment covers exactly the graph's tasks with valid columns."""
+        graph_names = set(graph.task_names())
+        missing = graph_names - set(self._choices)
+        if missing:
+            raise ScheduleError(f"assignment is missing tasks: {sorted(missing)}")
+        extra = set(self._choices) - graph_names
+        if extra:
+            raise UnknownTaskError(f"assignment references unknown tasks: {sorted(extra)}")
+        for name, column in self._choices.items():
+            task = graph.task(name)
+            if column >= task.num_design_points:
+                raise ScheduleError(
+                    f"task {name!r} has {task.num_design_points} design points "
+                    f"but column {column} was assigned"
+                )
+
+    def design_point(self, graph: TaskGraph, name: str) -> DesignPoint:
+        """The chosen :class:`DesignPoint` for a task."""
+        task = graph.task(name)
+        return task.ordered_design_points()[self[name]]
+
+    def execution_time(self, graph: TaskGraph, name: str) -> float:
+        """Execution time of a task under its chosen design point."""
+        return self.design_point(graph, name).execution_time
+
+    def current(self, graph: TaskGraph, name: str) -> float:
+        """Current of a task under its chosen design point (mA)."""
+        return self.design_point(graph, name).current
+
+    def total_execution_time(self, graph: TaskGraph) -> float:
+        """Sequential makespan: sum of all chosen execution times."""
+        return sum(self.execution_time(graph, name) for name in graph.task_names())
+
+    def total_energy(self, graph: TaskGraph) -> float:
+        """Total average energy of the chosen design points (the paper's ``En``)."""
+        return sum(self.design_point(graph, name).energy for name in graph.task_names())
+
+    def labels(self, graph: TaskGraph, prefix: str = "P") -> Dict[str, str]:
+        """Human-readable per-task labels in the paper's style (``P1`` .. ``Pm``)."""
+        return {name: f"{prefix}{self[name] + 1}" for name in graph.task_names()}
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain dictionary copy (JSON-friendly, 0-based columns)."""
+        return dict(self._choices)

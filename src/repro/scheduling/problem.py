@@ -1,0 +1,106 @@
+"""Problem instances: task graph + deadline + battery specification.
+
+The paper's problem statement (Section 1) fixes three inputs: the task graph
+with its per-task design points, the deadline ``d`` by which the whole graph
+must complete, and the battery (its Rakhmatov–Vrudhula ``beta`` and, when
+relevant, its capacity ``alpha``).  Bundling them keeps algorithm signatures
+small and lets experiments describe themselves as data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..battery import BatterySpec, RakhmatovVrudhulaModel
+from ..errors import ConfigurationError, InfeasibleDeadlineError
+from ..taskgraph import TaskGraph
+
+__all__ = ["SchedulingProblem"]
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """A complete battery-aware scheduling problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The application task graph.
+    deadline:
+        Completion deadline for the whole graph (same time unit as the
+        design-point execution times).
+    battery:
+        Battery specification; defaults to the paper's beta with unlimited
+        capacity.
+    name:
+        Optional label used by experiment reports.
+    """
+
+    graph: TaskGraph
+    deadline: float
+    battery: BatterySpec = field(default_factory=BatterySpec)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.deadline) or self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be finite and > 0, got {self.deadline!r}"
+            )
+        self.graph.validate()
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    def model(self) -> RakhmatovVrudhulaModel:
+        """The analytical battery model configured for this instance."""
+        return self.battery.model()
+
+    @property
+    def slack_at_fastest(self) -> float:
+        """Deadline minus the all-fastest makespan (negative when infeasible)."""
+        return self.deadline - self.graph.min_makespan()
+
+    @property
+    def slack_at_slowest(self) -> float:
+        """Deadline minus the all-slowest makespan (>= 0 means no scaling pressure)."""
+        return self.deadline - self.graph.max_makespan()
+
+    def is_feasible(self) -> bool:
+        """True when even the fastest design points can meet the deadline."""
+        return self.slack_at_fastest >= -1e-9
+
+    def require_feasible(self) -> None:
+        """Raise :class:`InfeasibleDeadlineError` when the deadline cannot be met."""
+        if not self.is_feasible():
+            raise InfeasibleDeadlineError(
+                f"deadline {self.deadline:g} is below the all-fastest makespan "
+                f"{self.graph.min_makespan():g}"
+            )
+
+    def tightness(self) -> float:
+        """Deadline position within [min_makespan, max_makespan], clipped to [0, 1].
+
+        0 means the deadline equals the all-fastest makespan (no slack at
+        all); 1 means even the all-slowest assignment fits.  Useful for
+        normalising sweep plots across different graphs.
+        """
+        lo = self.graph.min_makespan()
+        hi = self.graph.max_makespan()
+        if hi <= lo:
+            return 1.0
+        return min(1.0, max(0.0, (self.deadline - lo) / (hi - lo)))
+
+    def with_deadline(self, deadline: float) -> "SchedulingProblem":
+        """A copy of this problem with a different deadline."""
+        return SchedulingProblem(
+            graph=self.graph, deadline=deadline, battery=self.battery, name=self.name
+        )
+
+    def __repr__(self) -> str:
+        label = f"{self.name or self.graph.name or 'problem'}"
+        return (
+            f"SchedulingProblem({label}: {self.graph.num_tasks} tasks, "
+            f"deadline={self.deadline:g}, beta={self.battery.beta:g})"
+        )

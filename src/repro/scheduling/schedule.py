@@ -1,0 +1,194 @@
+"""Concrete schedules: sequence + design-point assignment + derived timing.
+
+On the paper's single-processing-element platform a schedule is fully
+determined by a task *sequence* (a precedence-respecting total order) and a
+*design-point assignment*: tasks run back-to-back starting at time zero, so
+start/finish times, the makespan and the battery discharge profile all
+follow mechanically.  :class:`Schedule` materialises that derived data and
+offers the validity checks the algorithms and tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..battery import LoadProfile
+from ..errors import DeadlineError, ScheduleError
+from ..taskgraph import DesignPoint, TaskGraph, validate_sequence
+from .assignment import DesignPointAssignment
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's slot in a schedule."""
+
+    name: str
+    start: float
+    finish: float
+    design_point_column: int
+    design_point: DesignPoint
+
+    @property
+    def duration(self) -> float:
+        """Execution time of the slot."""
+        return self.finish - self.start
+
+    @property
+    def current(self) -> float:
+        """Platform current drawn while the task runs (mA)."""
+        return self.design_point.current
+
+    @property
+    def energy(self) -> float:
+        """Energy drawn by the slot."""
+        return self.design_point.energy
+
+
+class Schedule:
+    """A fully resolved schedule for a task graph.
+
+    Parameters
+    ----------
+    graph:
+        The task graph being scheduled.
+    sequence:
+        Execution order of all tasks (validated against the graph's edges).
+    assignment:
+        Chosen design point per task.
+    start_time:
+        Time at which the first task starts (default 0.0).
+
+    Raises
+    ------
+    ScheduleError / PrecedenceViolationError
+        If the sequence or assignment is inconsistent with the graph.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        sequence: Sequence[str],
+        assignment: DesignPointAssignment,
+        start_time: float = 0.0,
+    ) -> None:
+        validate_sequence(graph, sequence)
+        assignment.validate(graph)
+        if start_time < 0:
+            raise ScheduleError(f"start_time must be >= 0, got {start_time!r}")
+        self.graph = graph
+        self.sequence: Tuple[str, ...] = tuple(sequence)
+        self.assignment = assignment
+        self.start_time = float(start_time)
+        self._slots: Tuple[ScheduledTask, ...] = self._build_slots()
+
+    def _build_slots(self) -> Tuple[ScheduledTask, ...]:
+        slots: List[ScheduledTask] = []
+        clock = self.start_time
+        for name in self.sequence:
+            column = self.assignment[name]
+            point = self.assignment.design_point(self.graph, name)
+            slots.append(
+                ScheduledTask(
+                    name=name,
+                    start=clock,
+                    finish=clock + point.execution_time,
+                    design_point_column=column,
+                    design_point=point,
+                )
+            )
+            clock += point.execution_time
+        return tuple(slots)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def slots(self) -> Tuple[ScheduledTask, ...]:
+        """All scheduled task slots in execution order."""
+        return self._slots
+
+    def slot(self, name: str) -> ScheduledTask:
+        """The slot of a particular task."""
+        for slot in self._slots:
+            if slot.name == name:
+                return slot
+        raise ScheduleError(f"task {name!r} is not part of this schedule")
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (the paper's Delta column in Table 3)."""
+        return self._slots[-1].finish if self._slots else self.start_time
+
+    @property
+    def total_energy(self) -> float:
+        """Sum of per-slot energies (nominal, battery-agnostic)."""
+        return sum(slot.energy for slot in self._slots)
+
+    @property
+    def peak_current(self) -> float:
+        """Largest per-slot current in the schedule (mA)."""
+        return max((slot.current for slot in self._slots), default=0.0)
+
+    def meets_deadline(self, deadline: float) -> bool:
+        """True when the schedule finishes no later than ``deadline``."""
+        return self.makespan <= deadline + 1e-9
+
+    def require_deadline(self, deadline: float) -> None:
+        """Raise :class:`DeadlineError` unless the deadline is met."""
+        if not self.meets_deadline(deadline):
+            raise DeadlineError(
+                f"schedule finishes at {self.makespan:g}, after the deadline {deadline:g}"
+            )
+
+    def current_increase_count(self) -> int:
+        """Number of adjacent slot pairs whose current increases.
+
+        This is the un-normalised form of the paper's CIF metric; the
+        analysis helpers expose the normalised version.
+        """
+        return sum(
+            1
+            for earlier, later in zip(self._slots, self._slots[1:])
+            if earlier.current < later.current
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_profile(self) -> LoadProfile:
+        """Convert to the battery discharge profile induced by the schedule."""
+        return LoadProfile.from_back_to_back(
+            durations=[slot.duration for slot in self._slots],
+            currents=[slot.current for slot in self._slots],
+            labels=[slot.name for slot in self._slots],
+            start_time=self.start_time,
+        )
+
+    def design_point_labels(self, prefix: str = "P") -> Tuple[str, ...]:
+        """Per-slot design-point labels in sequence order (paper style, 1-based)."""
+        return tuple(f"{prefix}{slot.design_point_column + 1}" for slot in self._slots)
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dictionary (JSON-friendly)."""
+        return {
+            "graph": self.graph.name,
+            "sequence": list(self.sequence),
+            "assignment": self.assignment.to_dict(),
+            "start_time": self.start_time,
+            "makespan": self.makespan,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({len(self._slots)} tasks, makespan={self.makespan:g}, "
+            f"energy={self.total_energy:g})"
+        )

@@ -1,0 +1,67 @@
+"""Serialisation of task graphs: JSON files and Graphviz DOT export.
+
+The JSON format is a direct dump of :meth:`TaskGraph.to_dict` and is stable
+across library versions; it is what the CLI reads and writes so that problem
+instances can be shared between machines or checked into a repository.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .graph import TaskGraph
+
+__all__ = ["save_json", "load_json", "dumps", "loads", "to_dot"]
+
+_PathLike = Union[str, Path]
+
+
+def dumps(graph: TaskGraph, indent: int = 2) -> str:
+    """Serialise a task graph to a JSON string."""
+    return json.dumps(graph.to_dict(), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> TaskGraph:
+    """Parse a task graph from a JSON string produced by :func:`dumps`."""
+    return TaskGraph.from_dict(json.loads(text))
+
+
+def save_json(graph: TaskGraph, path: _PathLike, indent: int = 2) -> Path:
+    """Write a task graph to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(dumps(graph, indent=indent), encoding="utf-8")
+    return path
+
+
+def load_json(path: _PathLike) -> TaskGraph:
+    """Read a task graph previously written with :func:`save_json`."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def to_dot(graph: TaskGraph, include_design_points: bool = False) -> str:
+    """Render the task graph as Graphviz DOT text.
+
+    Parameters
+    ----------
+    include_design_points:
+        When true, each node label also lists the per-design-point
+        ``current@duration`` pairs, which is handy for small graphs such as
+        G2 but unwieldy for large synthetic ones.
+    """
+    lines = [f'digraph "{graph.name or "taskgraph"}" {{', "  rankdir=TB;"]
+    for task in graph:
+        if include_design_points:
+            points = "\\n".join(
+                f"{dp.name or i + 1}: {dp.current:g}mA @ {dp.execution_time:g}"
+                for i, dp in enumerate(task.ordered_design_points())
+            )
+            label = f"{task.name}\\n{points}"
+        else:
+            label = task.name
+        lines.append(f'  "{task.name}" [label="{label}"];')
+    for parent, child in graph.edges():
+        lines.append(f'  "{parent}" -> "{child}";')
+    lines.append("}")
+    return "\n".join(lines)

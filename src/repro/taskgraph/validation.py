@@ -1,0 +1,80 @@
+"""Standalone validation helpers for task graphs and task sequences.
+
+These functions complement the checks built into
+:class:`~repro.taskgraph.TaskGraph`; they are used throughout the library
+before running algorithms (fail fast on malformed inputs) and inside the
+test-suite to assert that every algorithm output is a legal schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import (
+    PrecedenceViolationError,
+    ScheduleError,
+    TaskGraphError,
+)
+from .graph import TaskGraph
+
+__all__ = [
+    "validate_sequence",
+    "require_uniform_design_points",
+    "require_power_monotone",
+    "sequence_positions",
+]
+
+
+def sequence_positions(sequence: Sequence[str]) -> dict:
+    """Map task name -> zero-based position, rejecting duplicates."""
+    positions = {}
+    for index, name in enumerate(sequence):
+        if name in positions:
+            raise ScheduleError(f"task {name!r} appears more than once in the sequence")
+        positions[name] = index
+    return positions
+
+
+def validate_sequence(graph: TaskGraph, sequence: Sequence[str]) -> None:
+    """Check that ``sequence`` is a complete, precedence-respecting order.
+
+    Raises
+    ------
+    ScheduleError
+        If the sequence is not a permutation of the graph's tasks.
+    PrecedenceViolationError
+        If some task appears before one of its predecessors.
+    """
+    positions = sequence_positions(sequence)
+    graph_names = set(graph.task_names())
+    sequence_names = set(positions)
+    missing = graph_names - sequence_names
+    if missing:
+        raise ScheduleError(f"sequence is missing tasks: {sorted(missing)}")
+    extra = sequence_names - graph_names
+    if extra:
+        raise ScheduleError(f"sequence contains unknown tasks: {sorted(extra)}")
+    for parent, child in graph.edges():
+        if positions[parent] > positions[child]:
+            raise PrecedenceViolationError(
+                f"task {child!r} is sequenced before its predecessor {parent!r}"
+            )
+
+
+def require_uniform_design_points(graph: TaskGraph) -> int:
+    """Return the common design-point count *m*, or raise :class:`TaskGraphError`."""
+    return graph.uniform_design_point_count()
+
+
+def require_power_monotone(graph: TaskGraph) -> None:
+    """Raise :class:`TaskGraphError` unless every task is power monotone.
+
+    Monotonicity (faster design points draw at least as much current) is not
+    required by the algorithms but is assumed by several analytical bounds;
+    the synthetic generators always produce monotone tasks.
+    """
+    offenders = [task.name for task in graph if not task.is_power_monotone()]
+    if offenders:
+        raise TaskGraphError(
+            f"tasks are not power monotone: {offenders}"
+        )

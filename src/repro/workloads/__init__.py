@@ -1,0 +1,29 @@
+"""Synthetic workload generation: graph shapes, design-point synthesis, suites."""
+
+from .generators import (
+    chain_graph,
+    diamond_graph,
+    fft_graph,
+    fork_join_graph,
+    gaussian_elimination_graph,
+    layered_graph,
+    tree_graph,
+)
+from .suite import SuiteEntry, problem_with_tightness, standard_suite, suite_problems
+from .synthesis import DesignPointSynthesis, default_synthesis
+
+__all__ = [
+    "chain_graph",
+    "fork_join_graph",
+    "layered_graph",
+    "tree_graph",
+    "diamond_graph",
+    "fft_graph",
+    "gaussian_elimination_graph",
+    "DesignPointSynthesis",
+    "default_synthesis",
+    "SuiteEntry",
+    "standard_suite",
+    "suite_problems",
+    "problem_with_tightness",
+]

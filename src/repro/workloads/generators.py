@@ -1,0 +1,291 @@
+"""Synthetic task-graph generators.
+
+The paper tested its algorithm "using different task-graphs and
+design-points" and singles out the fork-join family as representative of
+common parallel algorithm structure.  The generators here cover that family
+and the other standard shapes used in task-scheduling literature:
+
+* :func:`chain_graph` — a single pipeline (the degenerate sequence case);
+* :func:`fork_join_graph` — a source fans out into parallel branches that
+  re-converge, repeated over stages (the shape of the paper's G3);
+* :func:`layered_graph` — random layered DAGs with configurable width and
+  inter-layer edge density;
+* :func:`tree_graph` — out-trees (divide) and in-trees (conquer);
+* :func:`diamond_graph` — a grid of diamond dependencies.
+
+All generators are deterministic for a given ``seed`` and produce power-
+monotone design points via :class:`~repro.workloads.DesignPointSynthesis`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..taskgraph import TaskGraph
+from .synthesis import DesignPointSynthesis, default_synthesis
+
+__all__ = [
+    "chain_graph",
+    "fork_join_graph",
+    "layered_graph",
+    "tree_graph",
+    "diamond_graph",
+    "fft_graph",
+    "gaussian_elimination_graph",
+]
+
+
+def _make_graph(name: str, synthesis: Optional[DesignPointSynthesis], seed: int):
+    synthesis = synthesis or default_synthesis()
+    rng = random.Random(seed)
+    graph = TaskGraph(name=name)
+    return graph, synthesis, rng
+
+
+def chain_graph(
+    num_tasks: int,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "chain",
+) -> TaskGraph:
+    """A linear pipeline ``T1 -> T2 -> ... -> Tn``."""
+    if num_tasks < 1:
+        raise ConfigurationError("num_tasks must be >= 1")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    previous = None
+    for index in range(1, num_tasks + 1):
+        task = graph.add_task(synthesis.make_task(f"T{index}", rng))
+        if previous is not None:
+            graph.add_edge(previous.name, task.name)
+        previous = task
+    return graph
+
+
+def fork_join_graph(
+    num_stages: int = 2,
+    branches_per_stage: int = 4,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "fork-join",
+) -> TaskGraph:
+    """Repeated fork-join stages: fork task -> parallel branches -> join task.
+
+    Stage ``s`` consists of a fork node, ``branches_per_stage`` independent
+    branch nodes and a join node that also serves as the next stage's fork.
+    With one stage and four branches the shape matches the first half of the
+    paper's G3.
+    """
+    if num_stages < 1 or branches_per_stage < 1:
+        raise ConfigurationError("num_stages and branches_per_stage must be >= 1")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    counter = 1
+
+    def new_task() -> str:
+        nonlocal counter
+        task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+        counter += 1
+        return task.name
+
+    fork = new_task()
+    for _ in range(num_stages):
+        branch_names = [new_task() for _ in range(branches_per_stage)]
+        join = new_task()
+        for branch in branch_names:
+            graph.add_edge(fork, branch)
+            graph.add_edge(branch, join)
+        fork = join
+    return graph
+
+
+def layered_graph(
+    num_layers: int = 4,
+    layer_width: int = 3,
+    edge_probability: float = 0.5,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "layered",
+) -> TaskGraph:
+    """Random layered DAG: edges only go from one layer to the next.
+
+    Every node in layer ``l+1`` is guaranteed at least one predecessor in
+    layer ``l`` so the graph stays connected front-to-back; additional
+    edges are added independently with ``edge_probability``.
+    """
+    if num_layers < 1 or layer_width < 1:
+        raise ConfigurationError("num_layers and layer_width must be >= 1")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ConfigurationError("edge_probability must be within [0, 1]")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+
+    layers: List[List[str]] = []
+    counter = 1
+    for layer_index in range(num_layers):
+        layer = []
+        for _ in range(layer_width):
+            task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+            counter += 1
+            layer.append(task.name)
+        layers.append(layer)
+
+    for upper, lower in zip(layers, layers[1:]):
+        for child in lower:
+            parents = [parent for parent in upper if rng.random() < edge_probability]
+            if not parents:
+                parents = [rng.choice(upper)]
+            for parent in parents:
+                graph.add_edge(parent, child)
+    return graph
+
+
+def tree_graph(
+    depth: int = 3,
+    branching: int = 2,
+    direction: str = "out",
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "tree",
+) -> TaskGraph:
+    """A complete tree of the given depth and branching factor.
+
+    ``direction="out"`` builds a divide-style out-tree (root first);
+    ``direction="in"`` reverses every edge, producing a reduction-style
+    in-tree that converges onto a single final task.
+    """
+    if depth < 1 or branching < 1:
+        raise ConfigurationError("depth and branching must be >= 1")
+    if direction not in ("out", "in"):
+        raise ConfigurationError('direction must be "out" or "in"')
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+
+    counter = 1
+
+    def new_task() -> str:
+        nonlocal counter
+        task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+        counter += 1
+        return task.name
+
+    current_level = [new_task()]
+    edges = []
+    for _ in range(depth - 1):
+        next_level = []
+        for parent in current_level:
+            for _ in range(branching):
+                child = new_task()
+                next_level.append(child)
+                edges.append((parent, child))
+        current_level = next_level
+
+    for parent, child in edges:
+        if direction == "out":
+            graph.add_edge(parent, child)
+        else:
+            graph.add_edge(child, parent)
+    return graph
+
+
+def fft_graph(
+    num_points: int = 4,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "fft",
+) -> TaskGraph:
+    """The butterfly dependence pattern of an in-place FFT.
+
+    ``num_points`` (a power of two) leaf inputs are combined over
+    ``log2(num_points)`` stages; the task at stage ``s``, position ``i``
+    depends on the two stage ``s-1`` tasks whose indices differ from ``i``
+    only in bit ``s-1``.  This is the classic irregular-but-structured graph
+    used throughout task-scheduling literature.
+    """
+    if num_points < 2 or (num_points & (num_points - 1)) != 0:
+        raise ConfigurationError("num_points must be a power of two and >= 2")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    stages = num_points.bit_length() - 1
+
+    names = {}
+    counter = 1
+    for stage in range(stages + 1):
+        for position in range(num_points):
+            task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+            names[(stage, position)] = task.name
+            counter += 1
+
+    for stage in range(1, stages + 1):
+        for position in range(num_points):
+            partner = position ^ (1 << (stage - 1))
+            graph.add_edge(names[(stage - 1, position)], names[(stage, position)])
+            graph.add_edge(names[(stage - 1, partner)], names[(stage, position)])
+    return graph
+
+
+def gaussian_elimination_graph(
+    matrix_size: int = 4,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "gaussian-elimination",
+) -> TaskGraph:
+    """The task graph of column-oriented Gaussian elimination.
+
+    For every pivot column ``k`` there is one pivot task ``P_k`` followed by
+    one update task per remaining column ``j > k``; ``P_{k+1}`` depends on the
+    update of column ``k+1`` in step ``k``, and every update of step ``k+1``
+    depends on the corresponding update of step ``k`` plus the new pivot.
+    The number of tasks is ``n(n+1)/2 - 1`` for an ``n``-column matrix.
+    """
+    if matrix_size < 2:
+        raise ConfigurationError("matrix_size must be >= 2")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+
+    pivots = {}
+    updates = {}
+    counter = 1
+
+    def new_task(prefix: str) -> str:
+        nonlocal counter
+        task = graph.add_task(synthesis.make_task(f"{prefix}{counter}", rng))
+        counter += 1
+        return task.name
+
+    for k in range(matrix_size - 1):
+        pivots[k] = new_task("P")
+        if k > 0:
+            graph.add_edge(updates[(k - 1, k)], pivots[k])
+        for j in range(k + 1, matrix_size):
+            updates[(k, j)] = new_task("U")
+            graph.add_edge(pivots[k], updates[(k, j)])
+            if k > 0:
+                graph.add_edge(updates[(k - 1, j)], updates[(k, j)])
+    return graph
+
+
+def diamond_graph(
+    width: int = 3,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "diamond",
+) -> TaskGraph:
+    """A ``width x width`` grid of diamond dependencies.
+
+    Node ``(r, c)`` depends on ``(r-1, c)`` and ``(r, c-1)``, giving the
+    wavefront dependence pattern of dynamic-programming kernels.
+    """
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    names = {}
+    counter = 1
+    for row in range(width):
+        for col in range(width):
+            task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+            names[(row, col)] = task.name
+            counter += 1
+    for row in range(width):
+        for col in range(width):
+            if row > 0:
+                graph.add_edge(names[(row - 1, col)], names[(row, col)])
+            if col > 0:
+                graph.add_edge(names[(row, col - 1)], names[(row, col)])
+    return graph

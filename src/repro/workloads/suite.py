@@ -1,0 +1,127 @@
+"""A named suite of benchmark problem instances.
+
+The sweep and ablation experiments need a stable, reproducible collection of
+problems spanning graph shapes and deadline tightness.  Each suite entry
+wraps a generated (or paper) task graph into a
+:class:`~repro.scheduling.SchedulingProblem` whose deadline is expressed as a
+*tightness* fraction between the all-fastest and all-slowest makespans, so
+"0.3" always means a fairly tight deadline regardless of the graph's size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..battery import BatterySpec
+from ..errors import ConfigurationError
+from ..scheduling import SchedulingProblem
+from ..taskgraph import TaskGraph, build_g2, build_g3
+from .generators import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+    tree_graph,
+)
+
+__all__ = ["SuiteEntry", "problem_with_tightness", "standard_suite", "suite_problems"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One named workload in the benchmark suite."""
+
+    name: str
+    build: Callable[[], TaskGraph]
+    description: str
+
+
+def problem_with_tightness(
+    graph: TaskGraph,
+    tightness: float,
+    battery: Optional[BatterySpec] = None,
+    name: str = "",
+) -> SchedulingProblem:
+    """Wrap a graph into a problem whose deadline sits at ``tightness`` in [0, 1].
+
+    ``tightness = 0`` places the deadline exactly at the all-fastest
+    makespan (no slack); ``tightness = 1`` at the all-slowest makespan
+    (every task can run at its lowest power).  Values slightly above 0 are
+    the interesting regime for the algorithm.
+    """
+    if not (0.0 <= tightness <= 1.0):
+        raise ConfigurationError(f"tightness must be within [0, 1], got {tightness!r}")
+    lo = graph.min_makespan()
+    hi = graph.max_makespan()
+    deadline = lo + tightness * (hi - lo)
+    if deadline <= 0:
+        raise ConfigurationError("graph produces a non-positive deadline")
+    return SchedulingProblem(
+        graph=graph,
+        deadline=deadline,
+        battery=battery or BatterySpec(),
+        name=name or f"{graph.name}@{tightness:.2f}",
+    )
+
+
+def standard_suite() -> Tuple[SuiteEntry, ...]:
+    """The named workloads used by the sweep/ablation experiments and tests."""
+    return (
+        SuiteEntry("g2", build_g2, "paper Figure 5: robotic-arm controller (9 tasks, 4 DPs)"),
+        SuiteEntry("g3", build_g3, "paper Table 1: fork-join example (15 tasks, 5 DPs)"),
+        SuiteEntry(
+            "chain-10",
+            lambda: chain_graph(10, seed=11, name="chain-10"),
+            "10-task pipeline",
+        ),
+        SuiteEntry(
+            "fork-join-2x4",
+            lambda: fork_join_graph(2, 4, seed=21, name="fork-join-2x4"),
+            "two fork-join stages with four branches",
+        ),
+        SuiteEntry(
+            "layered-4x3",
+            lambda: layered_graph(4, 3, 0.5, seed=31, name="layered-4x3"),
+            "random layered DAG, 4 layers of 3 tasks",
+        ),
+        SuiteEntry(
+            "tree-out-3x2",
+            lambda: tree_graph(3, 2, "out", seed=41, name="tree-out-3x2"),
+            "binary out-tree of depth 3",
+        ),
+        SuiteEntry(
+            "tree-in-3x2",
+            lambda: tree_graph(3, 2, "in", seed=43, name="tree-in-3x2"),
+            "binary in-tree of depth 3",
+        ),
+        SuiteEntry(
+            "diamond-3",
+            lambda: diamond_graph(3, seed=51, name="diamond-3"),
+            "3x3 wavefront grid",
+        ),
+    )
+
+
+def suite_problems(
+    tightness_levels: Iterable[float] = (0.3, 0.6, 0.9),
+    battery: Optional[BatterySpec] = None,
+    names: Optional[Iterable[str]] = None,
+) -> List[SchedulingProblem]:
+    """Instantiate the standard suite across deadline tightness levels."""
+    wanted = set(names) if names is not None else None
+    problems: List[SchedulingProblem] = []
+    for entry in standard_suite():
+        if wanted is not None and entry.name not in wanted:
+            continue
+        graph = entry.build()
+        for tightness in tightness_levels:
+            problems.append(
+                problem_with_tightness(
+                    graph,
+                    tightness,
+                    battery=battery,
+                    name=f"{entry.name}@{tightness:.2f}",
+                )
+            )
+    return problems

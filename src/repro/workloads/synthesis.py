@@ -1,0 +1,90 @@
+"""Random synthesis of per-task design points for the workload generators.
+
+The paper built its evaluation graphs by taking one base implementation per
+task and deriving the remaining design points through voltage scaling
+(duration grows, current shrinks cubically).  The synthetic generators do
+the same: a seeded random number generator draws each task's base duration
+and base current, and :func:`repro.taskgraph.scaling.scaled_design_points`
+expands them into a full design-point family, so every generated task is
+power monotone and structurally identical to the paper's data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..taskgraph import DesignPoint, G3_SCALING_FACTORS, Task, scaled_design_points
+
+__all__ = ["DesignPointSynthesis", "default_synthesis"]
+
+
+@dataclass(frozen=True)
+class DesignPointSynthesis:
+    """Recipe for drawing a task's design points.
+
+    Attributes
+    ----------
+    factors:
+        Voltage scaling factors (relative to the fastest design point).
+    duration_range:
+        Inclusive range the fastest design point's execution time is drawn
+        from (uniformly).
+    current_range:
+        Inclusive range the fastest design point's current is drawn from
+        (uniformly), in mA.
+    duration_rule:
+        Forwarded to :func:`~repro.taskgraph.scaling.scaled_design_points`
+        (``"inverse"`` or ``"mirrored"``).
+    """
+
+    factors: Tuple[float, ...] = G3_SCALING_FACTORS
+    duration_range: Tuple[float, float] = (2.0, 12.0)
+    current_range: Tuple[float, float] = (300.0, 1000.0)
+    duration_rule: str = "inverse"
+
+    def __post_init__(self) -> None:
+        if len(self.factors) < 1:
+            raise ConfigurationError("at least one scaling factor is required")
+        lo, hi = self.duration_range
+        if lo <= 0 or hi < lo:
+            raise ConfigurationError(f"invalid duration_range {self.duration_range!r}")
+        lo, hi = self.current_range
+        if lo < 0 or hi < lo:
+            raise ConfigurationError(f"invalid current_range {self.current_range!r}")
+
+    @property
+    def num_design_points(self) -> int:
+        """Number of design points each synthesised task will have."""
+        return len(self.factors)
+
+    def make_task(self, name: str, rng: random.Random) -> Task:
+        """Draw one task's base implementation and expand it into design points."""
+        duration = rng.uniform(*self.duration_range)
+        current = rng.uniform(*self.current_range)
+        points = scaled_design_points(
+            reference_duration=duration,
+            reference_current=current,
+            factors=self.factors,
+            duration_rule=self.duration_rule,
+        )
+        return Task(name, points, metadata={"base_duration": duration, "base_current": current})
+
+
+def default_synthesis(num_design_points: int = 5) -> DesignPointSynthesis:
+    """A synthesis recipe with ``num_design_points`` evenly spread scaling factors.
+
+    Factors run linearly from 1.0 down to 0.33 (the paper's G3 span); for
+    ``num_design_points == 5`` this closely matches the published factor set.
+    """
+    if num_design_points < 1:
+        raise ConfigurationError("num_design_points must be >= 1")
+    if num_design_points == 1:
+        factors: Tuple[float, ...] = (1.0,)
+    else:
+        lowest = 0.33
+        step = (1.0 - lowest) / (num_design_points - 1)
+        factors = tuple(1.0 - index * step for index in range(num_design_points))
+    return DesignPointSynthesis(factors=factors)

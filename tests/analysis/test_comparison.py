@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.comparison."""
+
+import pytest
+
+from repro.analysis import compare_algorithms, comparison_table
+from repro.baselines import all_fastest_baseline, rakhmatov_baseline
+from repro.battery import BatterySpec
+from repro.core import battery_aware_schedule
+from repro.scheduling import SchedulingProblem
+
+
+@pytest.fixture
+def problems(g2):
+    battery = BatterySpec(beta=0.273)
+    return [
+        SchedulingProblem(graph=g2, deadline=75.0, battery=battery, name="G2@75"),
+        SchedulingProblem(graph=g2, deadline=95.0, battery=battery, name="G2@95"),
+    ]
+
+
+ALGORITHMS = {
+    "ours": battery_aware_schedule,
+    "baseline": rakhmatov_baseline,
+    "fastest": all_fastest_baseline,
+}
+
+
+class TestCompareAlgorithms:
+    def test_rows_cover_problems_and_algorithms(self, problems):
+        rows = compare_algorithms(problems, ALGORITHMS)
+        assert len(rows) == 2
+        for row in rows:
+            assert {o.algorithm for o in row.outcomes} == set(ALGORITHMS)
+            assert all(o.cost > 0 for o in row.outcomes)
+
+    def test_outcome_lookup(self, problems):
+        rows = compare_algorithms(problems, ALGORITHMS)
+        assert rows[0].outcome("ours").feasible
+        with pytest.raises(KeyError):
+            rows[0].outcome("nope")
+
+    def test_percent_difference(self, problems):
+        rows = compare_algorithms(problems, ALGORITHMS)
+        diff = rows[0].percent_difference("baseline", "ours")
+        assert diff >= -1e-6  # ours never loses to the baseline on G2
+
+    def test_failing_algorithm_recorded_as_infeasible(self, problems):
+        def broken(problem):
+            raise RuntimeError("boom")
+
+        rows = compare_algorithms(problems, {"ok": all_fastest_baseline, "broken": broken})
+        outcome = rows[0].outcome("broken")
+        assert outcome.cost == float("inf")
+        assert not outcome.feasible
+
+
+class TestComparisonTable:
+    def test_table_structure(self, problems):
+        rows = compare_algorithms(problems, ALGORITHMS)
+        table = comparison_table(rows, baseline="baseline", ours="ours")
+        assert "% diff" in table.headers
+        assert len(table.rows) == 2
+
+    def test_table_without_diff(self, problems):
+        rows = compare_algorithms(problems, ALGORITHMS)
+        table = comparison_table(rows)
+        assert "% diff" not in table.headers
+
+    def test_empty_rows(self):
+        table = comparison_table([])
+        assert table.rows == []

@@ -1,0 +1,81 @@
+"""Unit tests for CSV/JSON export helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    TextTable,
+    compare_algorithms,
+    comparison_rows_to_records,
+    save_json_records,
+    save_table_csv,
+    table_to_csv,
+    table_to_records,
+)
+from repro.baselines import all_fastest_baseline, best_uniform_baseline
+from repro.battery import BatterySpec
+from repro.scheduling import SchedulingProblem
+
+
+@pytest.fixture
+def table():
+    table = TextTable(title="demo", headers=("name", "sigma", "note"))
+    table.add_row("a", 1.5, None)
+    table.add_row("b", 2.0, "x")
+    return table
+
+
+class TestTableExport:
+    def test_csv_round_trip(self, table):
+        text = table_to_csv(table)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["name", "sigma", "note"]
+        assert rows[1] == ["a", "1.5", ""]
+        assert rows[2] == ["b", "2.0", "x"]
+
+    def test_save_csv(self, table, tmp_path):
+        path = save_table_csv(table, tmp_path / "out.csv")
+        assert path.exists()
+        assert "sigma" in path.read_text()
+
+    def test_records(self, table):
+        records = table_to_records(table)
+        assert records[0] == {"name": "a", "sigma": 1.5, "note": None}
+        assert len(records) == 2
+
+
+class TestComparisonExport:
+    @pytest.fixture
+    def rows(self, g2):
+        problems = [
+            SchedulingProblem(graph=g2, deadline=75.0, battery=BatterySpec(beta=0.273), name="G2@75")
+        ]
+        return compare_algorithms(
+            problems, {"uniform": best_uniform_baseline, "fastest": all_fastest_baseline}
+        )
+
+    def test_records_contain_all_algorithms(self, rows):
+        records = comparison_rows_to_records(rows)
+        record = records[0]
+        assert record["problem"] == "G2@75"
+        assert "uniform.cost" in record and "fastest.cost" in record
+        assert record["uniform.feasible"] is True
+
+    def test_percent_difference_column(self, rows):
+        records = comparison_rows_to_records(rows, baseline="fastest", ours="uniform")
+        assert records[0]["percent_difference"] > 0
+
+    def test_save_json(self, rows, tmp_path):
+        records = comparison_rows_to_records(rows)
+        path = save_json_records(records, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["deadline"] == 75.0
+
+    def test_json_handles_numpy_scalars(self, tmp_path):
+        import numpy as np
+
+        path = save_json_records([{"value": np.float64(1.5)}], tmp_path / "np.json")
+        assert json.loads(path.read_text()) == [{"value": 1.5}]

@@ -1,0 +1,66 @@
+"""Unit tests for repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis import percent_difference, percent_saving, schedule_metrics
+from repro.battery import IdealBatteryModel, RakhmatovVrudhulaModel
+from repro.errors import ConfigurationError
+from repro.scheduling import DesignPointAssignment, Schedule
+
+
+@pytest.fixture
+def schedule(diamond4):
+    assignment = DesignPointAssignment({"A": 0, "B": 1, "C": 2, "D": 1})
+    return Schedule(diamond4, ("A", "B", "C", "D"), assignment)
+
+
+class TestScheduleMetrics:
+    def test_basic_fields(self, schedule):
+        model = RakhmatovVrudhulaModel(beta=0.273)
+        metrics = schedule_metrics(schedule, model, deadline=100.0)
+        assert metrics.makespan == pytest.approx(schedule.makespan)
+        assert metrics.slack == pytest.approx(100.0 - schedule.makespan)
+        assert metrics.total_energy == pytest.approx(schedule.total_energy)
+        assert metrics.peak_current == pytest.approx(schedule.peak_current)
+        assert metrics.meets_deadline
+
+    def test_default_deadline_gives_zero_slack(self, schedule):
+        metrics = schedule_metrics(schedule, IdealBatteryModel())
+        assert metrics.slack == pytest.approx(0.0)
+        assert metrics.meets_deadline
+
+    def test_rate_capacity_overhead_positive_for_analytical_model(self, schedule):
+        metrics = schedule_metrics(schedule, RakhmatovVrudhulaModel(beta=0.273))
+        assert metrics.rate_capacity_overhead > 0.0
+
+    def test_rate_capacity_overhead_zero_for_ideal_model(self, schedule):
+        metrics = schedule_metrics(schedule, IdealBatteryModel())
+        assert metrics.rate_capacity_overhead == pytest.approx(0.0)
+
+    def test_missed_deadline(self, schedule):
+        metrics = schedule_metrics(schedule, IdealBatteryModel(), deadline=1.0)
+        assert not metrics.meets_deadline
+        assert metrics.slack < 0
+
+    def test_cif_between_zero_and_one(self, schedule):
+        metrics = schedule_metrics(schedule, IdealBatteryModel())
+        assert 0.0 <= metrics.current_increase_fraction <= 1.0
+
+
+class TestPercentages:
+    def test_percent_difference_matches_paper_row(self):
+        assert percent_difference(22686.0, 13737.0) == pytest.approx(65.0, abs=0.2)
+
+    def test_percent_difference_zero_when_equal(self):
+        assert percent_difference(100.0, 100.0) == 0.0
+
+    def test_percent_difference_invalid(self):
+        with pytest.raises(ConfigurationError):
+            percent_difference(10.0, 0.0)
+
+    def test_percent_saving(self):
+        assert percent_saving(200.0, 150.0) == pytest.approx(25.0)
+
+    def test_percent_saving_invalid(self):
+        with pytest.raises(ConfigurationError):
+            percent_saving(0.0, 10.0)

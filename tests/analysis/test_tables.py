@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis import TextTable, format_value
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_int_unchanged(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string(self):
+        assert format_value("abc") == "abc"
+
+
+class TestTextTable:
+    def test_add_row_and_render(self):
+        table = TextTable(title="demo", headers=("name", "value"))
+        table.add_row("alpha", 1.0)
+        table.add_row("beta", None)
+        text = table.to_text()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "-" in text
+        assert len(text.splitlines()) == 5  # title, header, rule, 2 rows
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable(title="demo", headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = TextTable(title="", headers=("a", "b"))
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_markdown_mode(self):
+        table = TextTable(title="md", headers=("a",))
+        table.add_row(1)
+        text = table.to_text(markdown=True)
+        assert "| a" in text
+        assert "|-" in text
+
+    def test_alignment(self):
+        table = TextTable(title="", headers=("name", "x"))
+        table.add_row("longername", 1)
+        table.add_row("s", 2)
+        lines = table.to_text().splitlines()
+        # All data lines have the same width because cells are padded.
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_str_equals_to_text(self):
+        table = TextTable(title="t", headers=("a",))
+        table.add_row(5)
+        assert str(table) == table.to_text()
+
+    def test_empty_table_renders_headers(self):
+        table = TextTable(title="empty", headers=("col1", "col2"))
+        text = table.to_text()
+        assert "col1" in text and "col2" in text

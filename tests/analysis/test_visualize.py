@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.analysis import current_profile_chart, gantt_chart
+from repro.battery import LoadProfile
+from repro.errors import ConfigurationError
+from repro.scheduling import DesignPointAssignment, Schedule
+
+
+@pytest.fixture
+def schedule(diamond4):
+    assignment = DesignPointAssignment({"A": 0, "B": 2, "C": 1, "D": 2})
+    return Schedule(diamond4, ("A", "B", "C", "D"), assignment)
+
+
+class TestGanttChart:
+    def test_one_row_per_task(self, schedule):
+        chart = gantt_chart(schedule, width=60)
+        lines = chart.splitlines()
+        assert sum(1 for line in lines if line.startswith(("A ", "B ", "C ", "D "))) == 4
+
+    def test_design_point_labels_embedded(self, schedule):
+        chart = gantt_chart(schedule, width=80)
+        assert "P1" in chart
+        assert "P3" in chart
+
+    def test_deadline_marker(self, schedule):
+        chart = gantt_chart(schedule, width=60, deadline=schedule.makespan + 5)
+        assert "deadline" in chart
+
+    def test_bars_do_not_overlap_in_time(self, schedule):
+        chart = gantt_chart(schedule, width=60)
+        lines = [line for line in chart.splitlines() if "[" in line]
+        # Bars appear in execution order: each bar starts after the previous one.
+        starts = [line.index("[") for line in lines]
+        assert starts == sorted(starts)
+
+    def test_width_validation(self, schedule):
+        with pytest.raises(ConfigurationError):
+            gantt_chart(schedule, width=5)
+
+    def test_paper_graph_renders(self, g3):
+        assignment = DesignPointAssignment.all_slowest(g3)
+        schedule = Schedule(g3, g3.topological_order(), assignment)
+        chart = gantt_chart(schedule, width=70, deadline=260.0)
+        assert "T15" in chart
+
+
+class TestCurrentProfileChart:
+    def test_renders_with_axis(self):
+        profile = LoadProfile.from_back_to_back([5.0, 5.0], [800.0, 200.0])
+        chart = current_profile_chart(profile, width=40, height=8)
+        assert "#" in chart
+        assert "current (mA)" in chart
+
+    def test_higher_current_taller_column(self):
+        profile = LoadProfile.from_back_to_back([5.0, 5.0], [800.0, 200.0])
+        chart = current_profile_chart(profile, width=40, height=8)
+        lines = chart.splitlines()
+        top_row = lines[0]
+        # The top row only contains marks for the high-current first half.
+        marks = [index for index, char in enumerate(top_row) if char == "#"]
+        assert marks
+        assert max(marks) < len(top_row) * 0.7
+
+    def test_empty_profile(self):
+        assert "empty" in current_profile_chart(LoadProfile())
+
+    def test_size_validation(self):
+        profile = LoadProfile.from_back_to_back([1.0], [10.0])
+        with pytest.raises(ConfigurationError):
+            current_profile_chart(profile, width=5)
+        with pytest.raises(ConfigurationError):
+            current_profile_chart(profile, height=1)

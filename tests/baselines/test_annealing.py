@@ -1,0 +1,65 @@
+"""Unit tests for the simulated-annealing baseline."""
+
+import pytest
+
+from repro.baselines import (
+    AnnealingConfig,
+    all_fastest_baseline,
+    simulated_annealing_baseline,
+)
+from repro.battery import BatterySpec
+from repro.errors import ConfigurationError
+from repro.scheduling import SchedulingProblem
+from repro.taskgraph import validate_sequence
+
+
+@pytest.fixture
+def problem(diamond4):
+    deadline = 0.5 * (diamond4.min_makespan() + diamond4.max_makespan())
+    return SchedulingProblem(graph=diamond4, deadline=deadline, battery=BatterySpec(beta=0.273))
+
+
+FAST = AnnealingConfig(iterations=2000, seed=7)
+
+
+class TestAnnealingConfig:
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(iterations=0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(final_temperature_ratio=0.0)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(initial_temperature=0.0)
+
+
+class TestSimulatedAnnealing:
+    def test_result_is_valid_and_feasible(self, problem):
+        result = simulated_annealing_baseline(problem, config=FAST)
+        assert result.feasible
+        validate_sequence(problem.graph, result.sequence)
+        result.assignment.validate(problem.graph)
+
+    def test_no_worse_than_all_fastest(self, problem):
+        result = simulated_annealing_baseline(problem, config=FAST)
+        assert result.cost <= all_fastest_baseline(problem).cost + 1e-6
+
+    def test_deterministic_for_fixed_seed(self, problem):
+        first = simulated_annealing_baseline(problem, config=FAST)
+        second = simulated_annealing_baseline(problem, config=FAST)
+        assert first.cost == pytest.approx(second.cost)
+        assert first.sequence == second.sequence
+
+    def test_different_seeds_allowed(self, problem):
+        other = AnnealingConfig(iterations=2000, seed=99)
+        result = simulated_annealing_baseline(problem, config=other)
+        assert result.feasible
+
+    def test_works_on_g2(self, g2):
+        problem = SchedulingProblem(graph=g2, deadline=75.0, battery=BatterySpec(beta=0.273))
+        result = simulated_annealing_baseline(problem, config=AnnealingConfig(iterations=3000, seed=3))
+        assert result.feasible
+        assert result.makespan <= 75.0 + 1e-9

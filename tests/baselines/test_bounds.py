@@ -1,0 +1,54 @@
+"""Unit tests for the uniform-column bounding baselines."""
+
+import pytest
+
+from repro.baselines import (
+    all_fastest_baseline,
+    all_slowest_baseline,
+    best_uniform_baseline,
+    uniform_baseline,
+)
+from repro.battery import BatterySpec
+from repro.scheduling import SchedulingProblem
+
+
+@pytest.fixture
+def problem(g3):
+    return SchedulingProblem(graph=g3, deadline=230.0, battery=BatterySpec(beta=0.273))
+
+
+class TestUniformBaselines:
+    def test_all_fastest_is_feasible_and_expensive(self, problem):
+        fastest = all_fastest_baseline(problem)
+        assert fastest.feasible
+        assert fastest.makespan == pytest.approx(problem.graph.min_makespan())
+
+    def test_all_slowest_misses_the_paper_deadline(self, problem):
+        slowest = all_slowest_baseline(problem)
+        assert not slowest.feasible
+        assert slowest.makespan == pytest.approx(problem.graph.max_makespan())
+
+    def test_all_slowest_cheaper_than_all_fastest(self, problem):
+        assert all_slowest_baseline(problem).cost < all_fastest_baseline(problem).cost
+
+    def test_uniform_column_names(self, problem):
+        result = uniform_baseline(problem, column=2)
+        assert result.name == "uniform-column-3"
+        assert all(column == 2 for column in result.assignment.values())
+
+    def test_best_uniform_is_feasible_minimum(self, problem):
+        best = best_uniform_baseline(problem)
+        assert best.feasible
+        m = problem.graph.uniform_design_point_count()
+        feasible_costs = [
+            uniform_baseline(problem, column=c).cost
+            for c in range(m)
+            if uniform_baseline(problem, column=c).feasible
+        ]
+        assert best.cost == pytest.approx(min(feasible_costs))
+
+    def test_best_uniform_when_nothing_feasible_returns_cheapest(self, g3):
+        problem = SchedulingProblem(graph=g3, deadline=90.0, battery=BatterySpec(beta=0.273))
+        # Only the all-fastest column fits 90 minutes? (min makespan ~85.2)
+        best = best_uniform_baseline(problem)
+        assert best.makespan <= 90.0 + 1e-9

@@ -1,0 +1,67 @@
+"""Unit tests for the last-task-first downscaling baseline."""
+
+import pytest
+
+from repro.baselines import chowdhury_baseline, last_task_first_assignment
+from repro.battery import BatterySpec
+from repro.errors import InfeasibleDeadlineError
+from repro.scheduling import SchedulingProblem, sequence_by_decreasing_energy
+
+
+class TestLastTaskFirstAssignment:
+    def test_loose_deadline_gives_all_slowest(self, g3):
+        sequence = sequence_by_decreasing_energy(g3)
+        assignment = last_task_first_assignment(g3, sequence, deadline=1000.0)
+        assert all(
+            assignment[name] == g3.task(name).num_design_points - 1
+            for name in g3.task_names()
+        )
+
+    def test_tight_deadline_keeps_all_fastest(self, g3):
+        sequence = sequence_by_decreasing_energy(g3)
+        deadline = g3.min_makespan() + 0.01
+        assignment = last_task_first_assignment(g3, sequence, deadline=deadline)
+        # With essentially no slack nothing can be downscaled.
+        assert assignment.total_execution_time(g3) <= deadline + 1e-9
+        assert sum(assignment.values()) <= 1
+
+    def test_deadline_respected(self, g3):
+        sequence = sequence_by_decreasing_energy(g3)
+        for deadline in (100.0, 150.0, 230.0):
+            assignment = last_task_first_assignment(g3, sequence, deadline)
+            assert assignment.total_execution_time(g3) <= deadline + 1e-9
+
+    def test_slack_spent_on_later_tasks_first(self, g3):
+        sequence = sequence_by_decreasing_energy(g3)
+        assignment = last_task_first_assignment(g3, sequence, deadline=120.0)
+        columns_in_order = [assignment[name] for name in sequence]
+        # The last task should be at least as downscaled as the first.
+        assert columns_in_order[-1] >= columns_in_order[0]
+
+    def test_infeasible_deadline_raises(self, g3):
+        sequence = sequence_by_decreasing_energy(g3)
+        with pytest.raises(InfeasibleDeadlineError):
+            last_task_first_assignment(g3, sequence, deadline=50.0)
+
+
+class TestChowdhuryBaseline:
+    def test_result_valid(self, g3):
+        problem = SchedulingProblem(graph=g3, deadline=230.0, battery=BatterySpec(beta=0.273))
+        result = chowdhury_baseline(problem)
+        assert result.name == "last-task-first"
+        assert result.feasible
+        result.assignment.validate(g3)
+
+    def test_custom_sequence(self, g3):
+        problem = SchedulingProblem(graph=g3, deadline=230.0, battery=BatterySpec(beta=0.273))
+        topo = g3.topological_order()
+        result = chowdhury_baseline(problem, sequence=topo)
+        assert result.sequence == topo
+
+    def test_cost_decreases_with_deadline(self, g2):
+        battery = BatterySpec(beta=0.273)
+        costs = [
+            chowdhury_baseline(SchedulingProblem(graph=g2, deadline=d, battery=battery)).cost
+            for d in (55.0, 75.0, 95.0)
+        ]
+        assert costs[0] > costs[1] > costs[2]

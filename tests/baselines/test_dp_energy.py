@@ -1,0 +1,77 @@
+"""Unit tests for the minimum-energy dynamic program (repro.baselines.dp_energy)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import minimum_energy_assignment
+from repro.errors import ConfigurationError, InfeasibleDeadlineError
+
+
+def brute_force_min_energy(graph, deadline):
+    """Reference implementation: enumerate every design-point combination."""
+    names = graph.task_names()
+    options = {
+        name: list(enumerate(graph.task(name).ordered_design_points())) for name in names
+    }
+    best = None
+    for combo in itertools.product(*(options[name] for name in names)):
+        makespan = sum(point.execution_time for _, point in combo)
+        if makespan > deadline + 1e-9:
+            continue
+        energy = sum(point.energy for _, point in combo)
+        if best is None or energy < best[0] - 1e-12:
+            best = (energy, {name: column for name, (column, _) in zip(names, combo)})
+    return best
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("deadline_fraction", [0.05, 0.3, 0.6, 0.95])
+    def test_matches_exhaustive_on_diamond(self, diamond4, deadline_fraction):
+        lo, hi = diamond4.min_makespan(), diamond4.max_makespan()
+        deadline = lo + deadline_fraction * (hi - lo)
+        expected = brute_force_min_energy(diamond4, deadline)
+        assignment = minimum_energy_assignment(diamond4, deadline, time_steps=4000)
+        energy = assignment.total_energy(diamond4)
+        assert energy == pytest.approx(expected[0], rel=1e-6)
+        assert assignment.total_execution_time(diamond4) <= deadline + 1e-9
+
+    def test_matches_exhaustive_on_chain(self, chain3):
+        lo, hi = chain3.min_makespan(), chain3.max_makespan()
+        deadline = 0.5 * (lo + hi)
+        expected = brute_force_min_energy(chain3, deadline)
+        assignment = minimum_energy_assignment(chain3, deadline, time_steps=4000)
+        assert assignment.total_energy(chain3) == pytest.approx(expected[0], rel=1e-6)
+
+
+class TestBehaviour:
+    def test_loose_deadline_gives_min_energy_points(self, g3):
+        assignment = minimum_energy_assignment(g3, deadline=1000.0)
+        for task in g3:
+            chosen = assignment.design_point(g3, task.name)
+            assert chosen.energy == pytest.approx(task.min_energy)
+
+    def test_respects_deadline_on_g3(self, g3):
+        for deadline in (100.0, 150.0, 230.0):
+            assignment = minimum_energy_assignment(g3, deadline)
+            assert assignment.total_execution_time(g3) <= deadline + 1e-9
+
+    def test_tighter_deadline_never_cheaper(self, g3):
+        loose = minimum_energy_assignment(g3, 230.0).total_energy(g3)
+        tight = minimum_energy_assignment(g3, 100.0).total_energy(g3)
+        assert tight >= loose
+
+    def test_infeasible_deadline_raises(self, g3):
+        with pytest.raises(InfeasibleDeadlineError):
+            minimum_energy_assignment(g3, deadline=50.0)
+
+    def test_invalid_parameters(self, g3):
+        with pytest.raises(ConfigurationError):
+            minimum_energy_assignment(g3, deadline=-5.0)
+        with pytest.raises(ConfigurationError):
+            minimum_energy_assignment(g3, deadline=100.0, time_steps=3)
+
+    def test_rounding_never_violates_deadline(self, g2):
+        # Coarse grid: durations are rounded up, so feasibility is conservative.
+        assignment = minimum_energy_assignment(g2, deadline=75.0, time_steps=50)
+        assert assignment.total_execution_time(g2) <= 75.0 + 1e-9

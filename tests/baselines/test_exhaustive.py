@@ -1,0 +1,69 @@
+"""Unit tests for the exhaustive-search baseline."""
+
+import pytest
+
+from repro.baselines import (
+    enumerate_topological_orders,
+    exhaustive_optimum,
+    rakhmatov_baseline,
+)
+from repro.battery import BatterySpec
+from repro.core import battery_aware_schedule
+from repro.errors import ConfigurationError, InfeasibleDeadlineError
+from repro.scheduling import SchedulingProblem
+from repro.taskgraph import validate_sequence
+
+
+class TestEnumerateTopologicalOrders:
+    def test_chain_has_single_order(self, chain3):
+        orders = list(enumerate_topological_orders(chain3))
+        assert orders == [("T1", "T2", "T3")]
+
+    def test_diamond_has_two_orders(self, diamond4):
+        orders = list(enumerate_topological_orders(diamond4))
+        assert len(orders) == 2
+        assert set(orders) == {("A", "B", "C", "D"), ("A", "C", "B", "D")}
+
+    def test_every_order_is_valid(self, diamond4):
+        for order in enumerate_topological_orders(diamond4):
+            validate_sequence(diamond4, order)
+
+    def test_limit(self, diamond4):
+        assert len(list(enumerate_topological_orders(diamond4, limit=1))) == 1
+
+
+class TestExhaustiveOptimum:
+    @pytest.fixture
+    def problem(self, diamond4):
+        deadline = 0.6 * (diamond4.min_makespan() + diamond4.max_makespan())
+        return SchedulingProblem(graph=diamond4, deadline=deadline, battery=BatterySpec(beta=0.273))
+
+    def test_optimum_is_feasible(self, problem):
+        result = exhaustive_optimum(problem)
+        assert result.feasible
+        validate_sequence(problem.graph, result.sequence)
+
+    def test_optimum_lower_bounds_heuristics(self, problem):
+        optimum = exhaustive_optimum(problem)
+        heuristic = battery_aware_schedule(problem)
+        baseline = rakhmatov_baseline(problem)
+        assert optimum.cost <= heuristic.cost + 1e-6
+        assert optimum.cost <= baseline.cost + 1e-6
+
+    def test_heuristic_is_near_optimal_on_small_instance(self, problem):
+        optimum = exhaustive_optimum(problem)
+        heuristic = battery_aware_schedule(problem)
+        assert heuristic.cost <= optimum.cost * 1.25
+
+    def test_state_budget_guard(self, g3):
+        problem = SchedulingProblem(graph=g3, deadline=230.0, battery=BatterySpec(beta=0.273))
+        with pytest.raises(ConfigurationError):
+            exhaustive_optimum(problem, max_states=1000)
+
+    def test_infeasible_deadline(self, diamond4):
+        problem = SchedulingProblem(
+            graph=diamond4, deadline=diamond4.min_makespan() * 0.5,
+            battery=BatterySpec(beta=0.273),
+        )
+        with pytest.raises(InfeasibleDeadlineError):
+            exhaustive_optimum(problem)

@@ -1,0 +1,44 @@
+"""Unit tests for the ideal (coulomb-counting) battery model."""
+
+import pytest
+
+from repro.battery import IdealBatteryModel, LoadProfile, RakhmatovVrudhulaModel
+
+
+@pytest.fixture
+def model():
+    return IdealBatteryModel()
+
+
+class TestApparentCharge:
+    def test_equals_nominal_charge(self, model):
+        profile = LoadProfile.from_back_to_back([5.0, 3.0], [100.0, 400.0])
+        assert model.apparent_charge(profile) == pytest.approx(profile.total_charge)
+
+    def test_order_invariance(self, model):
+        forward = LoadProfile.from_back_to_back([5.0, 3.0], [100.0, 400.0])
+        backward = LoadProfile.from_back_to_back([3.0, 5.0], [400.0, 100.0])
+        assert model.cost(forward) == pytest.approx(model.cost(backward))
+
+    def test_partial_evaluation(self, model):
+        profile = LoadProfile.from_back_to_back([4.0], [100.0])
+        assert model.apparent_charge(profile, at_time=1.0) == pytest.approx(100.0)
+
+    def test_no_recovery(self, model):
+        profile = LoadProfile.from_back_to_back([4.0], [100.0])
+        assert model.apparent_charge(profile, at_time=4.0) == pytest.approx(
+            model.apparent_charge(profile, at_time=400.0)
+        )
+
+    def test_lower_bound_of_analytical_model(self, model):
+        analytical = RakhmatovVrudhulaModel(beta=0.273)
+        profile = LoadProfile.from_back_to_back([7.0, 2.0, 9.0], [250.0, 800.0, 90.0])
+        assert model.cost(profile) <= analytical.cost(profile)
+
+    def test_lifetime_simple(self, model):
+        profile = LoadProfile.from_back_to_back([10.0], [100.0])
+        assert model.lifetime(profile, capacity=500.0) == pytest.approx(5.0, abs=1e-6)
+        assert model.lifetime(profile, capacity=2000.0) is None
+
+    def test_repr(self, model):
+        assert repr(model) == "IdealBatteryModel()"

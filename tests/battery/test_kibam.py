@@ -1,0 +1,99 @@
+"""Unit tests for the Kinetic Battery Model."""
+
+import pytest
+
+from repro.battery import IdealBatteryModel, KineticBatteryModel, LoadProfile
+from repro.errors import BatteryModelError
+
+
+@pytest.fixture
+def model():
+    return KineticBatteryModel(c=0.625, k=0.05)
+
+
+class TestConstruction:
+    def test_invalid_c(self):
+        with pytest.raises(BatteryModelError):
+            KineticBatteryModel(c=0.0)
+        with pytest.raises(BatteryModelError):
+            KineticBatteryModel(c=1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(BatteryModelError):
+            KineticBatteryModel(k=0.0)
+
+    def test_repr(self, model):
+        assert "0.625" in repr(model)
+
+
+class TestApparentCharge:
+    def test_exceeds_nominal_while_discharging(self, model):
+        profile = LoadProfile.from_back_to_back([30.0], [500.0])
+        assert model.cost(profile) > profile.total_charge
+
+    def test_never_below_ideal(self, model):
+        profile = LoadProfile.from_back_to_back([10.0, 5.0, 20.0], [700.0, 100.0, 300.0])
+        assert model.cost(profile) >= IdealBatteryModel().cost(profile) - 1e-9
+
+    def test_recovery_during_rest(self, model):
+        profile = LoadProfile.from_back_to_back([20.0], [600.0])
+        at_end = model.apparent_charge(profile, at_time=20.0)
+        rested = model.apparent_charge(profile, at_time=200.0)
+        assert rested < at_end
+        assert rested >= profile.total_charge - 1e-6
+
+    def test_unavailable_charge_decays_to_zero(self, model):
+        profile = LoadProfile.from_back_to_back([20.0], [600.0])
+        assert model.unavailable_charge(profile, at_time=20.0) > 0.0
+        assert model.unavailable_charge(profile, at_time=2000.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_linear_in_current(self, model):
+        base = LoadProfile.from_back_to_back([15.0], [200.0])
+        double = LoadProfile.from_back_to_back([15.0], [400.0])
+        assert model.cost(double) == pytest.approx(2 * model.cost(base), rel=1e-9)
+
+    def test_high_rate_costs_more_for_same_charge(self, model):
+        slow = LoadProfile.from_back_to_back([40.0], [200.0])
+        fast = LoadProfile.from_back_to_back([10.0], [800.0])
+        assert slow.total_charge == pytest.approx(fast.total_charge)
+        assert model.cost(fast) > model.cost(slow)
+
+    def test_decreasing_current_order_cheaper(self, model):
+        decreasing = LoadProfile.from_back_to_back([10.0, 10.0], [800.0, 100.0])
+        increasing = LoadProfile.from_back_to_back([10.0, 10.0], [100.0, 800.0])
+        assert model.cost(decreasing) < model.cost(increasing)
+
+    def test_fast_kinetics_approach_ideal(self):
+        nearly_ideal = KineticBatteryModel(c=0.625, k=50.0)
+        profile = LoadProfile.from_back_to_back([10.0, 10.0], [800.0, 100.0])
+        assert nearly_ideal.cost(profile) == pytest.approx(
+            IdealBatteryModel().cost(profile), rel=1e-2
+        )
+
+    def test_empty_profile(self, model):
+        assert model.cost(LoadProfile()) == 0.0
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(BatteryModelError):
+            model.apparent_charge(LoadProfile.from_back_to_back([1.0], [1.0]), at_time=-1.0)
+
+    def test_gap_handling(self, model):
+        """Idle gaps between intervals are integrated as zero-current periods."""
+        gapped = LoadProfile.from_intervals([(0.0, 10.0, 600.0), (30.0, 10.0, 600.0)])
+        back_to_back = LoadProfile.from_back_to_back([10.0, 10.0], [600.0, 600.0])
+        assert model.cost(gapped) < model.cost(back_to_back)
+
+    def test_lifetime_with_capacity(self, model):
+        profile = LoadProfile.from_back_to_back([60.0], [500.0])
+        capacity = model.apparent_charge(profile, at_time=30.0)
+        lifetime = model.lifetime(profile, capacity)
+        assert lifetime == pytest.approx(30.0, abs=0.01)
+
+    def test_agrees_qualitatively_with_rakhmatov_ranking(self, model):
+        """Both non-ideal models rank a gentle profile below an aggressive one."""
+        from repro.battery import RakhmatovVrudhulaModel
+
+        rv = RakhmatovVrudhulaModel(beta=0.273)
+        gentle = LoadProfile.from_back_to_back([30.0, 30.0], [400.0, 100.0])
+        harsh = LoadProfile.from_back_to_back([30.0, 30.0], [100.0, 400.0])
+        assert (model.cost(gentle) < model.cost(harsh)) == (rv.cost(gentle) < rv.cost(harsh))

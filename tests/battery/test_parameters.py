@@ -1,0 +1,61 @@
+"""Unit tests for repro.battery.parameters."""
+
+import math
+
+import pytest
+
+from repro.battery import (
+    BETA_PRESETS,
+    PAPER_BETA,
+    BatterySpec,
+    RakhmatovVrudhulaModel,
+    battery_from_preset,
+)
+from repro.errors import BatteryModelError
+
+
+class TestBatterySpec:
+    def test_defaults_match_paper(self):
+        spec = BatterySpec()
+        assert spec.beta == pytest.approx(PAPER_BETA)
+        assert math.isinf(spec.capacity)
+        assert not spec.has_finite_capacity
+
+    def test_model_instantiation(self):
+        spec = BatterySpec(beta=0.5, series_terms=20)
+        model = spec.model()
+        assert isinstance(model, RakhmatovVrudhulaModel)
+        assert model.beta == 0.5
+        assert model.series_terms == 20
+
+    def test_finite_capacity_flag(self):
+        assert BatterySpec(capacity=1000.0).has_finite_capacity
+
+    def test_invalid_beta(self):
+        with pytest.raises(BatteryModelError):
+            BatterySpec(beta=0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(BatteryModelError):
+            BatterySpec(capacity=-5.0)
+
+    def test_invalid_series_terms(self):
+        with pytest.raises(BatteryModelError):
+            BatterySpec(series_terms=0)
+
+
+class TestPresets:
+    def test_paper_preset(self):
+        assert BETA_PRESETS["paper"] == pytest.approx(0.273)
+
+    def test_battery_from_preset(self):
+        spec = battery_from_preset("weak", capacity=5000.0)
+        assert spec.beta == BETA_PRESETS["weak"]
+        assert spec.capacity == 5000.0
+
+    def test_unknown_preset(self):
+        with pytest.raises(BatteryModelError):
+            battery_from_preset("does-not-exist")
+
+    def test_presets_ordered_by_strength(self):
+        assert BETA_PRESETS["weak"] < BETA_PRESETS["typical"] < BETA_PRESETS["strong"]

@@ -1,0 +1,150 @@
+"""Unit tests for repro.battery.profile."""
+
+import pytest
+
+from repro.battery import LoadInterval, LoadProfile
+from repro.errors import ProfileError
+
+
+class TestLoadInterval:
+    def test_basic(self):
+        interval = LoadInterval(start=1.0, duration=2.0, current=100.0, label="T1")
+        assert interval.end == 3.0
+        assert interval.charge == 200.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ProfileError):
+            LoadInterval(start=-1.0, duration=1.0, current=1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ProfileError):
+            LoadInterval(start=0.0, duration=0.0, current=1.0)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ProfileError):
+            LoadInterval(start=0.0, duration=1.0, current=-1.0)
+
+    def test_clipped_before_start(self):
+        interval = LoadInterval(start=5.0, duration=2.0, current=10.0)
+        assert interval.clipped(4.0) is None
+
+    def test_clipped_inside(self):
+        interval = LoadInterval(start=5.0, duration=2.0, current=10.0)
+        piece = interval.clipped(6.0)
+        assert piece.duration == pytest.approx(1.0)
+        assert piece.current == 10.0
+
+    def test_clipped_after_end_returns_whole(self):
+        interval = LoadInterval(start=5.0, duration=2.0, current=10.0)
+        assert interval.clipped(100.0) is interval
+
+
+class TestLoadProfileConstruction:
+    def test_empty(self):
+        profile = LoadProfile()
+        assert profile.is_empty
+        assert profile.end_time == 0.0
+        assert profile.total_charge == 0.0
+
+    def test_sorted_by_start(self):
+        profile = LoadProfile(
+            [
+                LoadInterval(start=3.0, duration=1.0, current=1.0),
+                LoadInterval(start=0.0, duration=1.0, current=2.0),
+            ]
+        )
+        assert profile[0].start == 0.0
+        assert profile[1].start == 3.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ProfileError):
+            LoadProfile(
+                [
+                    LoadInterval(start=0.0, duration=2.0, current=1.0),
+                    LoadInterval(start=1.0, duration=1.0, current=1.0),
+                ]
+            )
+
+    def test_from_intervals(self):
+        profile = LoadProfile.from_intervals([(0.0, 1.0, 5.0), (2.0, 1.0, 7.0)])
+        assert len(profile) == 2
+        assert profile.total_charge == pytest.approx(12.0)
+
+    def test_from_back_to_back(self):
+        profile = LoadProfile.from_back_to_back([2.0, 3.0], [10.0, 20.0], labels=["a", "b"])
+        assert profile[0].start == 0.0
+        assert profile[1].start == 2.0
+        assert profile.end_time == 5.0
+        assert profile[1].label == "b"
+
+    def test_from_back_to_back_length_mismatch(self):
+        with pytest.raises(ProfileError):
+            LoadProfile.from_back_to_back([1.0], [1.0, 2.0])
+
+    def test_from_back_to_back_label_mismatch(self):
+        with pytest.raises(ProfileError):
+            LoadProfile.from_back_to_back([1.0], [1.0], labels=["a", "b"])
+
+    def test_concatenate_with_gap(self):
+        first = LoadProfile.from_back_to_back([1.0], [5.0])
+        second = LoadProfile.from_back_to_back([2.0], [7.0])
+        combined = first.concatenate(second, gap=3.0)
+        assert combined[1].start == pytest.approx(4.0)
+        assert combined.end_time == pytest.approx(6.0)
+
+    def test_concatenate_negative_gap(self):
+        first = LoadProfile.from_back_to_back([1.0], [5.0])
+        with pytest.raises(ProfileError):
+            first.concatenate(first, gap=-1.0)
+
+
+class TestLoadProfileQueries:
+    @pytest.fixture
+    def profile(self):
+        return LoadProfile.from_intervals([(0.0, 2.0, 10.0), (5.0, 3.0, 4.0)])
+
+    def test_busy_time_excludes_gaps(self, profile):
+        assert profile.busy_time == pytest.approx(5.0)
+        assert profile.end_time == pytest.approx(8.0)
+
+    def test_total_charge(self, profile):
+        assert profile.total_charge == pytest.approx(2 * 10 + 3 * 4)
+
+    def test_peak_and_average_current(self, profile):
+        assert profile.peak_current == 10.0
+        assert profile.average_current() == pytest.approx(32.0 / 5.0)
+
+    def test_current_at(self, profile):
+        assert profile.current_at(1.0) == 10.0
+        assert profile.current_at(3.0) == 0.0  # gap
+        assert profile.current_at(6.0) == 4.0
+        assert profile.current_at(100.0) == 0.0
+
+    def test_clipped(self, profile):
+        clipped = profile.clipped(6.0)
+        assert len(clipped) == 2
+        assert clipped.end_time == pytest.approx(6.0)
+        assert clipped.total_charge == pytest.approx(2 * 10 + 1 * 4)
+
+    def test_clipped_before_everything(self, profile):
+        assert profile.clipped(0.0).is_empty
+
+    def test_merged_coalesces_equal_currents(self):
+        profile = LoadProfile.from_back_to_back([1.0, 2.0, 3.0], [5.0, 5.0, 7.0])
+        merged = profile.merged()
+        assert len(merged) == 2
+        assert merged[0].duration == pytest.approx(3.0)
+        assert merged.total_charge == pytest.approx(profile.total_charge)
+
+    def test_merged_keeps_gaps_apart(self):
+        profile = LoadProfile.from_intervals([(0.0, 1.0, 5.0), (2.0, 1.0, 5.0)])
+        assert len(profile.merged()) == 2
+
+    def test_dict_round_trip(self, profile):
+        restored = LoadProfile.from_dict(profile.to_dict())
+        assert len(restored) == len(profile)
+        assert restored.total_charge == pytest.approx(profile.total_charge)
+        assert restored.end_time == pytest.approx(profile.end_time)
+
+    def test_repr(self, profile):
+        assert "2 intervals" in repr(profile)

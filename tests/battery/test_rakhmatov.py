@@ -1,0 +1,193 @@
+"""Unit tests for the Rakhmatov–Vrudhula analytical battery model."""
+
+import math
+
+import pytest
+
+from repro.battery import LoadProfile, RakhmatovVrudhulaModel
+from repro.errors import BatteryModelError
+
+
+@pytest.fixture
+def model():
+    return RakhmatovVrudhulaModel(beta=0.273)
+
+
+def constant_profile(current=500.0, duration=60.0):
+    return LoadProfile.from_back_to_back([duration], [current])
+
+
+class TestConstruction:
+    def test_invalid_beta(self):
+        with pytest.raises(BatteryModelError):
+            RakhmatovVrudhulaModel(beta=0.0)
+        with pytest.raises(BatteryModelError):
+            RakhmatovVrudhulaModel(beta=-1.0)
+        with pytest.raises(BatteryModelError):
+            RakhmatovVrudhulaModel(beta=math.nan)
+
+    def test_invalid_series_terms(self):
+        with pytest.raises(BatteryModelError):
+            RakhmatovVrudhulaModel(beta=0.3, series_terms=0)
+
+    def test_repr(self, model):
+        assert "0.273" in repr(model)
+
+
+class TestApparentCharge:
+    def test_exceeds_nominal_during_discharge(self, model):
+        """Rate-capacity effect: sigma at the end of a load exceeds I*Delta."""
+        profile = constant_profile(500.0, 60.0)
+        sigma = model.apparent_charge(profile)
+        assert sigma > profile.total_charge
+
+    def test_zero_current_contributes_nothing(self, model):
+        profile = LoadProfile.from_back_to_back([10.0, 10.0], [0.0, 100.0])
+        only_second = LoadProfile.from_intervals([(10.0, 10.0, 100.0)])
+        assert model.apparent_charge(profile) == pytest.approx(
+            model.apparent_charge(only_second, at_time=20.0)
+        )
+
+    def test_empty_profile(self, model):
+        assert model.apparent_charge(LoadProfile()) == 0.0
+
+    def test_linear_in_current(self, model):
+        base = model.apparent_charge(constant_profile(100.0, 30.0))
+        doubled = model.apparent_charge(constant_profile(200.0, 30.0))
+        assert doubled == pytest.approx(2 * base, rel=1e-9)
+
+    def test_recovery_reduces_apparent_charge(self, model):
+        """Evaluating later than the end of the load shows the recovery effect."""
+        profile = constant_profile(500.0, 30.0)
+        at_end = model.apparent_charge(profile, at_time=30.0)
+        after_rest = model.apparent_charge(profile, at_time=60.0)
+        assert after_rest < at_end
+        # ... but never below the nominal charge actually drawn.
+        assert after_rest >= profile.total_charge - 1e-9
+
+    def test_future_load_ignored(self, model):
+        profile = LoadProfile.from_back_to_back([10.0, 10.0], [100.0, 900.0])
+        early = model.apparent_charge(profile, at_time=10.0)
+        only_first = model.apparent_charge(constant_profile(100.0, 10.0), at_time=10.0)
+        assert early == pytest.approx(only_first)
+
+    def test_partial_interval_truncated(self, model):
+        profile = constant_profile(100.0, 10.0)
+        half = model.apparent_charge(profile, at_time=5.0)
+        full = model.apparent_charge(profile, at_time=10.0)
+        assert 0.0 < half < full
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(BatteryModelError):
+            model.apparent_charge(constant_profile(), at_time=-1.0)
+
+    def test_large_beta_approaches_ideal(self):
+        nearly_ideal = RakhmatovVrudhulaModel(beta=50.0)
+        profile = constant_profile(400.0, 45.0)
+        assert nearly_ideal.apparent_charge(profile) == pytest.approx(
+            profile.total_charge, rel=1e-3
+        )
+
+    def test_smaller_beta_costs_more(self):
+        profile = constant_profile(400.0, 45.0)
+        weak = RakhmatovVrudhulaModel(beta=0.15).apparent_charge(profile)
+        strong = RakhmatovVrudhulaModel(beta=0.6).apparent_charge(profile)
+        assert weak > strong
+
+    def test_decreasing_current_order_is_cheaper(self, model):
+        """Section 3: non-increasing current profiles cost least, increasing most."""
+        durations = [10.0, 10.0, 10.0]
+        decreasing = LoadProfile.from_back_to_back(durations, [600.0, 300.0, 100.0])
+        increasing = LoadProfile.from_back_to_back(durations, [100.0, 300.0, 600.0])
+        assert model.cost(decreasing) < model.cost(increasing)
+
+    def test_cost_uses_profile_end(self, model):
+        profile = constant_profile(250.0, 20.0)
+        assert model.cost(profile) == pytest.approx(
+            model.apparent_charge(profile, at_time=20.0)
+        )
+
+    def test_more_series_terms_changes_little(self):
+        """The paper's 10-term truncation sits within a few percent of convergence."""
+        few = RakhmatovVrudhulaModel(beta=0.273, series_terms=10)
+        many = RakhmatovVrudhulaModel(beta=0.273, series_terms=500)
+        converged = RakhmatovVrudhulaModel(beta=0.273, series_terms=2000)
+        profile = constant_profile(500.0, 60.0)
+        assert few.apparent_charge(profile) == pytest.approx(
+            converged.apparent_charge(profile), rel=0.05
+        )
+        assert many.apparent_charge(profile) == pytest.approx(
+            converged.apparent_charge(profile), rel=1e-3
+        )
+
+
+class TestClosedForms:
+    def test_constant_load_charge_matches_profile(self, model):
+        direct = model.constant_load_charge(500.0, 60.0)
+        via_profile = model.apparent_charge(constant_profile(500.0, 60.0))
+        assert direct == pytest.approx(via_profile, rel=1e-12)
+
+    def test_constant_load_charge_zero(self, model):
+        assert model.constant_load_charge(0.0, 10.0) == 0.0
+        assert model.constant_load_charge(10.0, 0.0) == 0.0
+
+    def test_constant_load_charge_negative_rejected(self, model):
+        with pytest.raises(BatteryModelError):
+            model.constant_load_charge(-1.0, 5.0)
+
+    def test_constant_load_lifetime_monotone_in_current(self, model):
+        capacity = 40000.0
+        slow = model.constant_load_lifetime(100.0, capacity)
+        fast = model.constant_load_lifetime(400.0, capacity)
+        assert fast < slow
+
+    def test_constant_load_lifetime_consistent(self, model):
+        capacity = 30000.0
+        lifetime = model.constant_load_lifetime(250.0, capacity)
+        assert model.constant_load_charge(250.0, lifetime) == pytest.approx(capacity, rel=1e-6)
+
+    def test_constant_load_lifetime_invalid_inputs(self, model):
+        with pytest.raises(BatteryModelError):
+            model.constant_load_lifetime(0.0, 100.0)
+        with pytest.raises(BatteryModelError):
+            model.constant_load_lifetime(10.0, 0.0)
+
+    def test_recovery_gain_non_negative(self, model):
+        profile = constant_profile(500.0, 30.0)
+        assert model.recovery_gain(profile, 15.0) > 0.0
+        assert model.recovery_gain(profile, 0.0) == pytest.approx(0.0)
+
+    def test_recovery_gain_negative_rest_rejected(self, model):
+        with pytest.raises(BatteryModelError):
+            model.recovery_gain(constant_profile(), -1.0)
+
+
+class TestLifetime:
+    def test_survives_small_load(self, model):
+        profile = constant_profile(10.0, 5.0)
+        assert model.lifetime(profile, capacity=1e9) is None
+
+    def test_lifetime_within_first_interval(self, model):
+        profile = constant_profile(1000.0, 100.0)
+        capacity = model.apparent_charge(profile, at_time=50.0)
+        lifetime = model.lifetime(profile, capacity=capacity)
+        assert lifetime == pytest.approx(50.0, abs=0.01)
+
+    def test_lifetime_in_later_interval(self, model):
+        profile = LoadProfile.from_back_to_back([30.0, 30.0], [100.0, 900.0])
+        capacity = model.apparent_charge(profile, at_time=45.0)
+        lifetime = model.lifetime(profile, capacity=capacity)
+        assert 30.0 < lifetime < 60.0
+
+    def test_lifetime_invalid_capacity(self, model):
+        with pytest.raises(BatteryModelError):
+            model.lifetime(constant_profile(), capacity=0.0)
+
+    def test_empty_profile_survives(self, model):
+        assert model.lifetime(LoadProfile(), capacity=100.0) is None
+
+    def test_supports(self, model):
+        profile = constant_profile(500.0, 60.0)
+        needed = model.apparent_charge(profile)
+        assert model.supports(profile, capacity=needed * 1.01)
+        assert not model.supports(profile, capacity=needed * 0.5)

@@ -1,0 +1,92 @@
+"""Unit tests for the discharge-trace simulator."""
+
+import pytest
+
+from repro.battery import (
+    IdealBatteryModel,
+    LoadProfile,
+    RakhmatovVrudhulaModel,
+    simulate_discharge,
+)
+from repro.errors import BatteryModelError
+
+
+@pytest.fixture
+def profile():
+    return LoadProfile.from_back_to_back([10.0, 5.0, 15.0], [600.0, 100.0, 300.0])
+
+
+@pytest.fixture
+def model():
+    return RakhmatovVrudhulaModel(beta=0.273)
+
+
+class TestSimulateDischarge:
+    def test_sample_count_and_span(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=50)
+        assert len(trace.times) == 50
+        assert trace.times[0] == 0.0
+        assert trace.times[-1] == pytest.approx(profile.end_time)
+
+    def test_final_sample_matches_model_cost(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=80)
+        assert trace.apparent_charge[-1] == pytest.approx(model.cost(profile), rel=1e-9)
+        assert trace.delivered_charge[-1] == pytest.approx(profile.total_charge, rel=1e-9)
+
+    def test_delivered_charge_is_monotone(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=60)
+        deliveries = trace.delivered_charge
+        assert all(b >= a - 1e-9 for a, b in zip(deliveries, deliveries[1:]))
+
+    def test_unavailable_charge_non_negative(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=60)
+        assert all(value >= -1e-6 for value in trace.unavailable_charge)
+        assert trace.peak_unavailable_charge() > 0.0
+
+    def test_horizon_extension_shows_recovery(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=60, horizon=profile.end_time * 3)
+        assert trace.apparent_charge[-1] < model.cost(profile)
+
+    def test_ideal_model_has_no_unavailable_charge(self, profile):
+        trace = simulate_discharge(IdealBatteryModel(), profile, num_samples=40)
+        assert trace.peak_unavailable_charge() == pytest.approx(0.0, abs=1e-9)
+
+    def test_current_samples(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=40)
+        assert max(trace.current) == pytest.approx(600.0)
+
+    def test_invalid_parameters(self, model, profile):
+        with pytest.raises(BatteryModelError):
+            simulate_discharge(model, profile, num_samples=1)
+        with pytest.raises(BatteryModelError):
+            simulate_discharge(model, profile, capacity=0.0)
+
+
+class TestCapacityQueries:
+    def test_state_of_charge_and_depletion(self, model, profile):
+        capacity = model.cost(profile) * 0.6  # depleted partway through
+        trace = simulate_discharge(model, profile, capacity=capacity, num_samples=200)
+        soc = trace.state_of_charge()
+        assert soc[0] == pytest.approx(1.0)
+        assert soc[-1] == 0.0
+        depletion = trace.depletion_time()
+        assert depletion is not None
+        assert 0.0 < depletion < profile.end_time
+
+    def test_surviving_battery_has_no_depletion_time(self, model, profile):
+        trace = simulate_discharge(model, profile, capacity=1e9, num_samples=50)
+        assert trace.depletion_time() is None
+        assert min(trace.state_of_charge()) > 0.9
+
+    def test_capacity_required_for_soc(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=20)
+        with pytest.raises(BatteryModelError):
+            trace.state_of_charge()
+        with pytest.raises(BatteryModelError):
+            trace.depletion_time()
+
+    def test_ascii_plot_renders(self, model, profile):
+        trace = simulate_discharge(model, profile, capacity=20000.0, num_samples=80)
+        art = trace.ascii_plot(width=40, height=8)
+        assert "*" in art
+        assert "apparent charge" in art

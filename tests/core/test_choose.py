@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.choose (ChooseDesignPoints / CalculateDPF)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SequencedMatrices,
+    calculate_dpf,
+    choose_design_points,
+    promote_until_feasible,
+)
+from repro.errors import AlgorithmError
+from repro.scheduling import sequence_by_decreasing_energy
+
+
+@pytest.fixture
+def g3_matrices(g3):
+    return SequencedMatrices(g3, sequence_by_decreasing_energy(g3))
+
+
+class TestCalculateDpf:
+    def test_no_promotion_when_deadline_already_met(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        tagged = g3_matrices.n - 2
+        enr, cif, dpf, promoted = calculate_dpf(
+            g3_matrices, selection, window_start=0, tagged_position=tagged, deadline=10_000.0
+        )
+        assert np.array_equal(promoted, selection)
+        assert dpf == pytest.approx(0.0)
+        assert 0.0 <= cif <= 1.0
+        assert 0.0 <= enr <= 1.0
+
+    def test_promotions_meet_deadline(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        tagged = g3_matrices.n - 2
+        deadline = 235.0
+        enr, cif, dpf, promoted = calculate_dpf(
+            g3_matrices, selection, window_start=0, tagged_position=tagged, deadline=deadline
+        )
+        assert math.isfinite(dpf)
+        assert g3_matrices.total_time(promoted) <= deadline + 1e-9
+        assert dpf > 0.0  # some free task had to leave the lowest-power column
+
+    def test_only_free_tasks_promoted(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        tagged = 5
+        _, _, _, promoted = calculate_dpf(
+            g3_matrices, selection, window_start=0, tagged_position=tagged, deadline=240.0
+        )
+        # Positions at or after the tagged one are never modified.
+        assert np.array_equal(promoted[tagged:], selection[tagged:])
+
+    def test_infeasible_returns_infinite_dpf(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        tagged = g3_matrices.n - 2
+        enr, cif, dpf, _ = calculate_dpf(
+            g3_matrices, selection, window_start=0, tagged_position=tagged, deadline=50.0
+        )
+        assert math.isinf(dpf)
+
+    def test_first_position_uses_slack_ratio(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        deadline = 400.0
+        _, _, dpf, promoted = calculate_dpf(
+            g3_matrices, selection, window_start=0, tagged_position=0, deadline=deadline
+        )
+        expected = (deadline - g3_matrices.total_time(promoted)) / deadline
+        assert dpf == pytest.approx(expected)
+
+    def test_window_limits_promotion(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        tagged = g3_matrices.n - 2
+        window_start = 3
+        _, _, dpf, promoted = calculate_dpf(
+            g3_matrices, selection, window_start=window_start,
+            tagged_position=tagged, deadline=100.0,
+        )
+        # The deadline is unreachable within this narrow window.
+        assert math.isinf(dpf)
+        assert promoted[:tagged].min() >= window_start
+
+    def test_input_selection_unchanged(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        original = selection.copy()
+        calculate_dpf(g3_matrices, selection, 0, g3_matrices.n - 2, 235.0)
+        assert np.array_equal(selection, original)
+
+
+class TestChooseDesignPoints:
+    def test_last_task_fixed_to_lowest_power(self, g3_matrices):
+        result = choose_design_points(g3_matrices, window_start=0, deadline=230.0)
+        assert result.selection[-1] == g3_matrices.m - 1
+
+    def test_selection_within_window(self, g3_matrices):
+        for window_start in range(4):
+            result = choose_design_points(g3_matrices, window_start=window_start, deadline=230.0)
+            assert result.selection[:-1].min() >= window_start
+
+    def test_makespan_consistent(self, g3_matrices):
+        result = choose_design_points(g3_matrices, window_start=0, deadline=230.0)
+        assert result.makespan == pytest.approx(g3_matrices.total_time(result.selection))
+
+    def test_loose_deadline_keeps_everything_slow(self, g3_matrices):
+        result = choose_design_points(g3_matrices, window_start=0, deadline=10_000.0)
+        assert np.all(result.selection == g3_matrices.m - 1)
+
+    def test_evaluations_recorded(self, g3_matrices):
+        result = choose_design_points(
+            g3_matrices, window_start=3, deadline=230.0, record_evaluations=True
+        )
+        # 14 non-final tasks x 2 columns in window 4:5.
+        assert len(result.evaluations) == (g3_matrices.n - 1) * 2
+        position_evals = result.evaluations_for(0)
+        assert {e.column for e in position_evals} == {3, 4}
+        assert all(e.suitability == e.factors.suitability for e in position_evals)
+
+    def test_evaluations_can_be_disabled(self, g3_matrices):
+        result = choose_design_points(
+            g3_matrices, window_start=0, deadline=230.0, record_evaluations=False
+        )
+        assert result.evaluations == ()
+
+    def test_invalid_window_rejected(self, g3_matrices):
+        with pytest.raises(AlgorithmError):
+            choose_design_points(g3_matrices, window_start=9, deadline=230.0)
+
+    def test_single_task_graph(self, chain3):
+        # Degenerate case: sub-graph with one task still works end to end.
+        from repro.taskgraph import TaskGraph
+
+        single = TaskGraph(name="single")
+        single.add_task(chain3.task("T1"))
+        matrices = SequencedMatrices(single, ("T1",))
+        result = choose_design_points(matrices, window_start=0, deadline=100.0)
+        assert result.selection[0] == matrices.m - 1
+
+
+class TestPromoteUntilFeasible:
+    def test_already_feasible_unchanged(self, g3_matrices):
+        selection = np.zeros(g3_matrices.n, dtype=int)
+        promoted = promote_until_feasible(g3_matrices, selection, 0, deadline=1000.0)
+        assert np.array_equal(promoted, selection)
+
+    def test_promotes_to_meet_deadline(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        promoted = promote_until_feasible(g3_matrices, selection, 0, deadline=200.0)
+        assert g3_matrices.total_time(promoted) <= 200.0 + 1e-9
+
+    def test_raises_when_window_cannot_meet_deadline(self, g3_matrices):
+        selection = g3_matrices.lowest_power_selection()
+        with pytest.raises(AlgorithmError):
+            promote_until_feasible(g3_matrices, selection, 3, deadline=100.0)

@@ -1,0 +1,37 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core import FactorWeights, SchedulerConfig
+from repro.errors import ConfigurationError
+
+
+class TestSchedulerConfig:
+    def test_defaults(self):
+        config = SchedulerConfig()
+        assert config.max_iterations == 25
+        assert config.evaluate_at == "completion"
+        assert config.factor_weights is None
+        assert config.require_feasible_windows
+        assert config.repair_infeasible
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(max_iterations=0)
+
+    def test_invalid_evaluate_at(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(evaluate_at="whenever")
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(improvement_tolerance=-1.0)
+
+    def test_frozen(self):
+        config = SchedulerConfig()
+        with pytest.raises(Exception):
+            config.max_iterations = 3
+
+    def test_custom_weights_accepted(self):
+        config = SchedulerConfig(factor_weights=FactorWeights(slack_ratio=0.5))
+        assert config.factor_weights.slack_ratio == 0.5

@@ -1,0 +1,142 @@
+"""Unit tests for the suitability factors (repro.core.factors)."""
+
+import pytest
+
+from repro.core import (
+    FactorValues,
+    FactorWeights,
+    current_increase_fraction,
+    current_ratio,
+    design_point_fraction,
+    energy_ratio,
+    slack_ratio,
+    suitability,
+    windowed_design_point_fraction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSlackRatio:
+    def test_definition(self):
+        assert slack_ratio(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_zero_slack(self):
+        assert slack_ratio(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_negative_when_over_deadline(self):
+        assert slack_ratio(120.0, 100.0) == pytest.approx(-0.2)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ConfigurationError):
+            slack_ratio(10.0, 0.0)
+
+
+class TestCurrentRatio:
+    def test_bounds(self):
+        assert current_ratio(100.0, 100.0, 900.0) == pytest.approx(0.0)
+        assert current_ratio(900.0, 100.0, 900.0) == pytest.approx(1.0)
+
+    def test_midpoint(self):
+        assert current_ratio(500.0, 100.0, 900.0) == pytest.approx(0.5)
+
+    def test_degenerate_range(self):
+        assert current_ratio(5.0, 5.0, 5.0) == 0.0
+
+
+class TestEnergyRatio:
+    def test_bounds(self):
+        assert energy_ratio(10.0, 10.0, 30.0) == pytest.approx(0.0)
+        assert energy_ratio(30.0, 10.0, 30.0) == pytest.approx(1.0)
+
+    def test_degenerate_range(self):
+        assert energy_ratio(10.0, 10.0, 10.0) == 0.0
+
+
+class TestCurrentIncreaseFraction:
+    def test_monotone_decreasing_is_zero(self):
+        assert current_increase_fraction([900, 500, 100]) == 0.0
+
+    def test_monotone_increasing_is_one(self):
+        assert current_increase_fraction([100, 500, 900]) == 1.0
+
+    def test_mixed(self):
+        assert current_increase_fraction([100, 500, 200, 300]) == pytest.approx(2 / 3)
+
+    def test_short_sequences(self):
+        assert current_increase_fraction([]) == 0.0
+        assert current_increase_fraction([5.0]) == 0.0
+
+    def test_equal_currents_do_not_count(self):
+        assert current_increase_fraction([5.0, 5.0, 5.0]) == 0.0
+
+
+class TestDesignPointFraction:
+    def test_figure4_example(self):
+        """m = 4, free tasks on DP2 and DP4 -> DPF = 1/3 (Section 4 worked example)."""
+        selection = [1, 3, 1, 0, 3]  # T1 on DP2, T2 on DP4; others irrelevant
+        assert design_point_fraction(selection, 4, free_positions=[0, 1]) == pytest.approx(1 / 3)
+
+    def test_all_free_on_lowest_power_is_zero(self):
+        assert design_point_fraction([3, 3, 3], 4, free_positions=[0, 1, 2]) == 0.0
+
+    def test_all_free_on_highest_power_is_one(self):
+        assert design_point_fraction([0, 0], 4, free_positions=[0, 1]) == pytest.approx(1.0)
+
+    def test_no_free_tasks(self):
+        assert design_point_fraction([0, 0], 4, free_positions=[]) == 0.0
+
+    def test_single_design_point(self):
+        assert design_point_fraction([0, 0], 1, free_positions=[0, 1]) == 0.0
+
+    def test_bounded_by_one(self):
+        selection = [0, 1, 2, 3]
+        value = design_point_fraction(selection, 4, free_positions=[0, 1, 2, 3])
+        assert 0.0 <= value <= 1.0
+
+
+class TestWindowedDesignPointFraction:
+    def test_matches_equation_for_full_window(self):
+        selection = [1, 3, 1, 0, 3]
+        full = design_point_fraction(selection, 4, free_positions=[0, 1])
+        windowed = windowed_design_point_fraction(selection, 4, 0, free_positions=[0, 1])
+        assert windowed == pytest.approx(full)
+
+    def test_narrow_window_weights_relative_to_window(self):
+        # Window 3:4 (0-based start 2): only columns 2 and 3 usable; a free
+        # task on column 2 (the window's most powerful) gets weight 1.
+        assert windowed_design_point_fraction([2, 3], 4, 2, free_positions=[0, 1]) == pytest.approx(0.5)
+
+    def test_window_of_width_one_is_zero(self):
+        assert windowed_design_point_fraction([3, 3], 4, 3, free_positions=[0, 1]) == 0.0
+
+    def test_no_free_tasks(self):
+        assert windowed_design_point_fraction([0, 0], 4, 0, free_positions=[]) == 0.0
+
+
+class TestSuitability:
+    def test_plain_sum(self):
+        assert suitability(0.1, 0.2, 0.3, 0.4, 0.5) == pytest.approx(1.5)
+
+    def test_factor_values_property(self):
+        values = FactorValues(0.1, 0.2, 0.3, 0.4, 0.5)
+        assert values.suitability == pytest.approx(1.5)
+
+    def test_weighted_combination(self):
+        values = FactorValues(0.1, 0.2, 0.3, 0.4, 0.5)
+        weights = FactorWeights(current_ratio=0.0)
+        assert values.weighted(weights) == pytest.approx(1.3)
+        assert suitability(0.1, 0.2, 0.3, 0.4, 0.5, weights=weights) == pytest.approx(1.3)
+
+    def test_without_helper(self):
+        weights = FactorWeights.without("design_point_fraction")
+        assert weights.design_point_fraction == 0.0
+        assert weights.slack_ratio == 1.0
+
+    def test_without_unknown_factor(self):
+        with pytest.raises(ConfigurationError):
+            FactorWeights.without("nope")
+
+    def test_paper_weights_are_all_ones(self):
+        weights = FactorWeights.paper()
+        values = FactorValues(0.1, 0.2, 0.3, 0.4, 0.5)
+        assert values.weighted(weights) == pytest.approx(values.suitability)

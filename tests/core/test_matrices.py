@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequencedMatrices
+from repro.errors import ConfigurationError, PrecedenceViolationError
+from repro.scheduling import DesignPointAssignment, sequence_by_decreasing_energy
+
+
+@pytest.fixture
+def matrices(g3):
+    return SequencedMatrices(g3, sequence_by_decreasing_energy(g3))
+
+
+class TestConstruction:
+    def test_shapes(self, matrices):
+        assert matrices.n == 15
+        assert matrices.m == 5
+        assert matrices.durations.shape == (15, 5)
+        assert matrices.currents.shape == (15, 5)
+        assert matrices.energies.shape == (15, 5)
+
+    def test_rows_sorted(self, matrices):
+        assert np.all(np.diff(matrices.durations, axis=1) >= 0)
+        assert np.all(np.diff(matrices.currents, axis=1) <= 0)
+
+    def test_invalid_sequence_rejected(self, g3):
+        names = list(g3.task_names())
+        names[0], names[-1] = names[-1], names[0]
+        with pytest.raises(PrecedenceViolationError):
+            SequencedMatrices(g3, names)
+
+    def test_global_current_extremes(self, matrices, g3):
+        assert matrices.current_max == max(task.max_current for task in g3)
+        assert matrices.current_min == min(task.min_current for task in g3)
+
+    def test_energy_bounds(self, matrices, g3):
+        assert matrices.energy_min == pytest.approx(g3.min_total_energy())
+        assert matrices.energy_max == pytest.approx(g3.max_total_energy())
+
+    def test_energy_vector_sorted_by_average_energy(self, matrices):
+        averages = matrices.average_energies
+        ordered = [averages[i] for i in matrices.energy_vector]
+        assert ordered == sorted(ordered)
+        assert sorted(matrices.energy_vector) == list(range(matrices.n))
+
+    def test_column_times(self, matrices, g3):
+        assert matrices.column_time(0) == pytest.approx(g3.min_makespan())
+        assert matrices.column_time(matrices.m - 1) == pytest.approx(g3.max_makespan())
+
+
+class TestSelections:
+    def test_lowest_power_selection(self, matrices):
+        selection = matrices.lowest_power_selection()
+        assert np.all(selection == matrices.m - 1)
+
+    def test_selection_durations_and_currents(self, matrices):
+        selection = matrices.lowest_power_selection()
+        assert matrices.total_time(selection) == pytest.approx(
+            matrices.column_time(matrices.m - 1)
+        )
+        currents = matrices.selection_currents(selection)
+        assert currents.shape == (matrices.n,)
+
+    def test_total_energy(self, matrices):
+        selection = np.zeros(matrices.n, dtype=int)
+        assert matrices.total_energy(selection) == pytest.approx(matrices.energy_max)
+
+    def test_assignment_round_trip(self, matrices):
+        selection = matrices.lowest_power_selection()
+        selection[3] = 1
+        assignment = matrices.to_assignment(selection)
+        assert isinstance(assignment, DesignPointAssignment)
+        recovered = matrices.from_assignment(assignment)
+        assert np.array_equal(recovered, selection)
+
+    def test_to_assignment_length_mismatch(self, matrices):
+        with pytest.raises(ConfigurationError):
+            matrices.to_assignment(np.zeros(3, dtype=int))
+
+    def test_repr(self, matrices):
+        assert "n=15" in repr(matrices)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.windows (EvaluateWindows)."""
+
+import pytest
+
+from repro.battery import RakhmatovVrudhulaModel
+from repro.core import SequencedMatrices, evaluate_windows, initial_window_start
+from repro.errors import InfeasibleDeadlineError
+from repro.scheduling import sequence_by_decreasing_energy
+
+
+@pytest.fixture
+def g3_matrices(g3):
+    return SequencedMatrices(g3, sequence_by_decreasing_energy(g3))
+
+
+@pytest.fixture
+def model():
+    return RakhmatovVrudhulaModel(beta=0.273)
+
+
+class TestInitialWindowStart:
+    def test_paper_deadline_starts_at_second_narrowest_window(self, g3_matrices):
+        # CT(4) ~ 219 <= 230, so the search starts with window 4:5 (0-based 3).
+        assert initial_window_start(g3_matrices, deadline=230.0) == 3
+
+    def test_tighter_deadline_moves_window_left(self, g3_matrices):
+        # CT(4) ~ 219 > 150, CT(3) ~ 177 > 150, CT(2) ~ 137 <= 150.
+        assert initial_window_start(g3_matrices, deadline=150.0) == 1
+
+    def test_very_tight_deadline_full_window(self, g3_matrices):
+        assert initial_window_start(g3_matrices, deadline=100.0) == 0
+
+    def test_infeasible_deadline_raises(self, g3_matrices):
+        with pytest.raises(InfeasibleDeadlineError):
+            initial_window_start(g3_matrices, deadline=50.0)
+
+    def test_never_starts_beyond_m_minus_2(self, g3_matrices):
+        # Even an extremely loose deadline starts at window (m-1):m.
+        assert initial_window_start(g3_matrices, deadline=1e6) == g3_matrices.m - 2
+
+
+class TestEvaluateWindows:
+    def test_paper_deadline_evaluates_four_windows(self, g3_matrices, model):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        labels = [record.label for record in evaluation.records]
+        assert labels == ["4:5", "3:5", "2:5", "1:5"]
+
+    def test_best_is_minimum_cost_feasible(self, g3_matrices, model):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        feasible = [record for record in evaluation.records if record.feasible]
+        assert evaluation.best.feasible
+        assert evaluation.best.cost == pytest.approx(min(r.cost for r in feasible))
+        assert evaluation.best_cost == evaluation.best.cost
+
+    def test_every_best_assignment_meets_deadline(self, g3_matrices, model):
+        for deadline in (100.0, 150.0, 230.0):
+            evaluation = evaluate_windows(g3_matrices, deadline=deadline, model=model)
+            assert evaluation.best.makespan <= deadline + 1e-9
+
+    def test_record_lookup(self, g3_matrices, model):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        assert evaluation.record_for("2:5") is not None
+        assert evaluation.record_for("9:9") is None
+
+    def test_assignments_cover_all_tasks(self, g3_matrices, model, g3):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        for record in evaluation.records:
+            record.assignment.validate(g3)
+
+    def test_infeasible_deadline_raises(self, g3_matrices, model):
+        with pytest.raises(InfeasibleDeadlineError):
+            evaluate_windows(g3_matrices, deadline=10.0, model=model)
+
+    def test_costs_positive_and_finite(self, g3_matrices, model):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        for record in evaluation.records:
+            assert record.cost > 0
+            assert record.makespan > 0
+
+    def test_wider_windows_allow_higher_power_columns(self, g3_matrices, model):
+        evaluation = evaluate_windows(g3_matrices, deadline=230.0, model=model)
+        narrow = evaluation.record_for("4:5").assignment
+        assert min(narrow.values()) >= 3
+
+    def test_g2_windows(self, g2, model):
+        matrices = SequencedMatrices(g2, sequence_by_decreasing_energy(g2))
+        evaluation = evaluate_windows(matrices, deadline=75.0, model=model)
+        assert evaluation.best.feasible
+        assert all(record.label.endswith(":4") for record in evaluation.records)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.taskgraph import build_g2, save_json
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table2", "table3", "table4", "figures", "ablation"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_schedule_arguments(self):
+        args = build_parser().parse_args(["schedule", "g.json", "--deadline", "120"])
+        assert args.graph == "g.json"
+        assert args.deadline == 120.0
+        assert args.beta == pytest.approx(0.273)
+
+
+class TestMain:
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_table4_without_paper_columns(self, capsys):
+        assert main(["table4", "--no-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline sigma" in out
+        assert "paper ours" not in out
+
+    def test_figures_output(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "DPF" in out
+        assert "Table 1" in out
+
+    def test_sweep_output(self, capsys):
+        assert main(["sweep", "--graph", "g2", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline sweep" in out
+
+    def test_schedule_command(self, tmp_path, capsys):
+        path = tmp_path / "g2.json"
+        save_json(build_g2(), path)
+        assert main(["schedule", str(path), "--deadline", "75"]) == 0
+        out = capsys.readouterr().out
+        assert "sequence:" in out
+        assert "design points:" in out
+
+    def test_schedule_command_json(self, tmp_path, capsys):
+        path = tmp_path / "g2.json"
+        save_json(build_g2(), path)
+        assert main(["schedule", str(path), "--deadline", "75", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["deadline"] == 75.0
+        assert len(data["sequence"]) == 9
+
+    def test_schedule_command_refine_and_gantt(self, tmp_path, capsys):
+        path = tmp_path / "g2.json"
+        save_json(build_g2(), path)
+        assert main(["schedule", str(path), "--deadline", "75", "--refine", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline" in out
+        assert "[" in out and "]" in out  # Gantt bars present

@@ -1,0 +1,156 @@
+"""Tests for the Table 2 / Table 3 / Table 4 reproduction drivers."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE4,
+    g3_problem,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.taskgraph import validate_sequence
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4()
+
+
+class TestIllustrativeProblem:
+    def test_g3_problem_parameters(self):
+        problem = g3_problem()
+        assert problem.deadline == 230.0
+        assert problem.battery.beta == pytest.approx(0.273)
+        assert problem.graph.num_tasks == 15
+
+
+class TestTable2:
+    def test_two_rows_per_iteration(self, table2):
+        assert len(table2.rows) == 2 * table2.solution.num_iterations
+
+    def test_sequences_are_valid(self, table2):
+        graph = table2.solution.graph
+        for row in table2.rows:
+            validate_sequence(graph, row.sequence)
+
+    def test_allocation_rows_carry_design_points(self, table2):
+        for row in table2.rows:
+            if row.label.endswith("w"):
+                assert row.design_points is None
+            else:
+                assert row.design_points is not None
+                assert len(row.design_points) == 15
+                assert all(label.startswith("P") for label in row.design_points)
+
+    def test_first_sequence_starts_with_t1(self, table2):
+        assert table2.rows[0].sequence[0] == "T1"
+
+    def test_renders_as_text(self, table2):
+        text = table2.to_table().to_text()
+        assert "Table 2" in text
+        assert "S1" in text and "S1w" in text
+
+
+class TestTable3:
+    def test_window_labels_match_paper(self, table3):
+        assert table3.window_labels == ("1:5", "2:5", "3:5", "4:5")
+
+    def test_rows_pair_up_with_table2(self, table3):
+        labels = [row.label for row in table3.rows]
+        assert labels[0] == "S1" and labels[1] == "S1w"
+        assert len(labels) == 2 * table3.solution.num_iterations
+
+    def test_per_window_entries_have_sigma_and_delta(self, table3):
+        first = table3.rows[0]
+        assert set(first.per_window) == set(table3.window_labels)
+        for sigma, delta in first.per_window.values():
+            assert sigma > 0
+            assert 0 < delta <= 231.0
+
+    def test_minimum_is_min_over_windows(self, table3):
+        first = table3.rows[0]
+        best_sigma = min(sigma for sigma, _ in first.per_window.values())
+        assert first.minimum[0] == pytest.approx(best_sigma)
+
+    def test_iteration_minimums_never_increase_before_convergence(self, table3):
+        minima = table3.iteration_minimums()
+        # All but the final iteration must improve (the final one triggers the stop).
+        for earlier, later in zip(minima[:-2], minima[1:-1]):
+            assert later <= earlier + 1e-6
+
+    def test_first_iteration_sigma_in_paper_ballpark(self, table3):
+        """Paper: sigma = 16353 mA·min after iteration 1, 13737 at convergence."""
+        minima = table3.iteration_minimums()
+        assert minima[0] == pytest.approx(16353.0, rel=0.12)
+        assert table3.solution.cost == pytest.approx(13737.0, rel=0.10)
+
+    def test_every_reported_schedule_meets_deadline(self, table3):
+        for row in table3.rows:
+            if not row.label.endswith("w"):
+                assert row.minimum[1] <= 230.0 + 1e-6
+
+    def test_renders_as_text(self, table3):
+        text = table3.to_table().to_text()
+        assert "Win 1:5 sigma" in text
+
+
+class TestTable4:
+    def test_all_six_rows_present(self, table4):
+        assert len(table4.rows) == 6
+        assert {(row.graph, row.deadline) for row in table4.rows} == set(PAPER_TABLE4)
+
+    def test_our_algorithm_never_loses(self, table4):
+        for row in table4.rows:
+            assert row.our_cost <= row.baseline_cost * 1.001
+            assert row.percent_diff >= -0.1
+
+    def test_both_algorithms_meet_deadlines(self, table4):
+        for row in table4.rows:
+            assert row.our_makespan <= row.deadline + 1e-6
+            assert row.baseline_makespan <= row.deadline + 1e-6
+
+    def test_costs_decrease_with_looser_deadlines(self, table4):
+        for graph in ("G2", "G3"):
+            rows = sorted(
+                (row for row in table4.rows if row.graph == graph),
+                key=lambda row: row.deadline,
+            )
+            ours = [row.our_cost for row in rows]
+            baseline = [row.baseline_cost for row in rows]
+            assert ours[0] > ours[1] > ours[2]
+            assert baseline[0] > baseline[1] > baseline[2]
+
+    def test_largest_gap_at_loosest_g3_deadline(self, table4):
+        g3_rows = {row.deadline: row for row in table4.rows if row.graph == "G3"}
+        assert g3_rows[230.0].percent_diff == max(r.percent_diff for r in g3_rows.values())
+
+    def test_measured_close_to_paper_g3(self, table4):
+        row = table4.row_for("G3", 100.0)
+        paper_ours, paper_baseline, _ = row.paper_values
+        assert row.our_cost == pytest.approx(paper_ours, rel=0.05)
+        assert row.baseline_cost == pytest.approx(paper_baseline, rel=0.05)
+
+    def test_row_lookup_error(self, table4):
+        with pytest.raises(KeyError):
+            table4.row_for("G9", 100.0)
+
+    def test_renders_with_and_without_paper_columns(self, table4):
+        with_paper = table4.to_table(include_paper=True)
+        without_paper = table4.to_table(include_paper=False)
+        assert "paper ours" in with_paper.headers
+        assert "paper ours" not in without_paper.headers
+
+    def test_deadline_override(self):
+        result = run_table4(deadlines={"G2": [60.0], "G3": [200.0]})
+        assert len(result.rows) == 2

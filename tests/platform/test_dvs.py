@@ -1,0 +1,119 @@
+"""Unit tests for the DVS processor platform model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DesignPointError
+from repro.platform import DvsProcessor, OperatingPoint
+
+
+@pytest.fixture
+def processor():
+    return DvsProcessor(
+        effective_capacitance=1.2,
+        threshold_voltage=0.4,
+        alpha=2.0,
+        frequency_constant=300.0,
+        static_power=60.0,
+        battery_voltage=3.7,
+    )
+
+
+class TestOperatingPoint:
+    def test_valid(self):
+        op = OperatingPoint(voltage=1.2, frequency=400.0, name="nominal")
+        assert op.voltage == 1.2
+
+    def test_invalid_voltage(self):
+        with pytest.raises(DesignPointError):
+            OperatingPoint(voltage=0.0, frequency=100.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(DesignPointError):
+            OperatingPoint(voltage=1.0, frequency=0.0)
+
+
+class TestDvsProcessorPhysics:
+    def test_frequency_increases_with_voltage(self, processor):
+        assert processor.max_frequency(1.8) > processor.max_frequency(1.0)
+
+    def test_frequency_below_threshold_rejected(self, processor):
+        with pytest.raises(DesignPointError):
+            processor.max_frequency(0.4)
+
+    def test_dynamic_power_scales_roughly_cubically(self, processor):
+        """Doubling the voltage (well above threshold) raises dynamic power
+        by much more than 4x because frequency scales up too."""
+        low = processor.dynamic_power(0.9, processor.max_frequency(0.9))
+        high = processor.dynamic_power(1.8, processor.max_frequency(1.8))
+        assert high / low > 4.0
+
+    def test_platform_current_includes_static_power(self, processor):
+        frequency = processor.max_frequency(1.0)
+        current = processor.platform_current(1.0, frequency)
+        dynamic_only = processor.dynamic_power(1.0, frequency) / processor.battery_voltage
+        assert current > dynamic_only
+
+    def test_operating_point_helper(self, processor):
+        op = processor.operating_point(1.2, name="mid")
+        assert op.frequency == pytest.approx(processor.max_frequency(1.2))
+        assert op.name == "mid"
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            DvsProcessor(effective_capacitance=0.0)
+        with pytest.raises(ConfigurationError):
+            DvsProcessor(alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            DvsProcessor(battery_voltage=0.0)
+
+
+class TestDesignPointSynthesis:
+    VOLTAGES = (1.8, 1.4, 1.0, 0.8)
+
+    def test_fastest_first_and_monotone(self, processor):
+        points = processor.design_points(cycles=4000, voltages=self.VOLTAGES)
+        times = [dp.execution_time for dp in points]
+        currents = [dp.current for dp in points]
+        assert times == sorted(times)
+        assert currents == sorted(currents, reverse=True)
+        assert len(points) == 4
+
+    def test_voltage_attached_to_design_points(self, processor):
+        points = processor.design_points(cycles=4000, voltages=self.VOLTAGES)
+        assert [dp.voltage for dp in points] == sorted(self.VOLTAGES, reverse=True)
+
+    def test_execution_time_scales_with_cycles(self, processor):
+        short = processor.design_points(cycles=1000, voltages=(1.2,))[0]
+        long = processor.design_points(cycles=2000, voltages=(1.2,))[0]
+        assert long.execution_time == pytest.approx(2 * short.execution_time)
+
+    def test_time_unit_conversion(self, processor):
+        minutes = processor.design_points(cycles=6000, voltages=(1.2,), time_unit=60.0)[0]
+        seconds = processor.design_points(cycles=6000, voltages=(1.2,), time_unit=1.0)[0]
+        assert seconds.execution_time == pytest.approx(60 * minutes.execution_time)
+
+    def test_make_task(self, processor):
+        task = processor.make_task("fft", cycles=5000, voltages=self.VOLTAGES)
+        assert task.name == "fft"
+        assert task.num_design_points == 4
+        assert task.is_power_monotone()
+
+    def test_invalid_inputs(self, processor):
+        with pytest.raises(DesignPointError):
+            processor.design_points(cycles=0.0, voltages=(1.2,))
+        with pytest.raises(ConfigurationError):
+            processor.design_points(cycles=100.0, voltages=())
+
+    def test_scheduling_a_dvs_generated_graph(self, processor):
+        """End to end: tasks generated from cycle counts can be scheduled."""
+        from repro import BatterySpec, SchedulingProblem, TaskGraph, battery_aware_schedule
+
+        graph = TaskGraph(name="dvs-app")
+        for name, cycles in (("sense", 2000), ("filter", 6000), ("transmit", 3000)):
+            graph.add_task(processor.make_task(name, cycles, self.VOLTAGES))
+        graph.add_edge("sense", "filter")
+        graph.add_edge("filter", "transmit")
+        deadline = 0.6 * (graph.min_makespan() + graph.max_makespan())
+        problem = SchedulingProblem(graph=graph, deadline=deadline, battery=BatterySpec(beta=0.273))
+        solution = battery_aware_schedule(problem)
+        assert solution.feasible

@@ -1,0 +1,91 @@
+"""Unit tests for the FPGA fabric platform model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DesignPointError
+from repro.platform import FpgaFabric
+
+
+@pytest.fixture
+def fabric():
+    return FpgaFabric(
+        base_dynamic_power=300.0,
+        static_power=70.0,
+        serial_fraction=0.1,
+        battery_voltage=3.7,
+    )
+
+
+class TestScalingLaws:
+    def test_speedup_of_one_is_one(self, fabric):
+        assert fabric.speedup(1.0) == pytest.approx(1.0)
+
+    def test_speedup_saturates(self, fabric):
+        assert fabric.speedup(4.0) < 4.0
+        assert fabric.speedup(1e6) <= 1.0 / fabric.serial_fraction + 1e-6
+
+    def test_speedup_monotone(self, fabric):
+        assert fabric.speedup(8.0) > fabric.speedup(2.0)
+
+    def test_speedup_requires_parallelism_at_least_one(self, fabric):
+        with pytest.raises(DesignPointError):
+            fabric.speedup(0.5)
+
+    def test_power_grows_with_parallelism(self, fabric):
+        assert fabric.implementation_power(4.0) > fabric.implementation_power(1.0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            FpgaFabric(base_dynamic_power=0.0)
+        with pytest.raises(ConfigurationError):
+            FpgaFabric(serial_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            FpgaFabric(power_exponent=0.9)
+        with pytest.raises(ConfigurationError):
+            FpgaFabric(reconfiguration_time=-1.0)
+
+
+class TestDesignPointSynthesis:
+    def test_fastest_first_monotone(self, fabric):
+        points = fabric.design_points(base_time=4.0)
+        times = [dp.execution_time for dp in points]
+        currents = [dp.current for dp in points]
+        assert times == sorted(times)
+        assert currents == sorted(currents, reverse=True)
+
+    def test_base_time_is_slowest_point(self, fabric):
+        points = fabric.design_points(base_time=4.0, parallelism_options=(4.0, 1.0))
+        assert points[-1].execution_time == pytest.approx(4.0)
+
+    def test_reconfiguration_overhead_added(self):
+        plain = FpgaFabric().design_points(4.0, (2.0,))[0]
+        with_reconfig = FpgaFabric(
+            reconfiguration_time=0.5, reconfiguration_power=50.0
+        ).design_points(4.0, (2.0,))[0]
+        assert with_reconfig.execution_time == pytest.approx(plain.execution_time + 0.5)
+        assert with_reconfig.current < plain.current  # averaged with a low-power phase
+
+    def test_make_task(self, fabric):
+        task = fabric.make_task("conv", base_time=6.0)
+        assert task.num_design_points == 4
+        assert task.is_power_monotone()
+
+    def test_invalid_inputs(self, fabric):
+        with pytest.raises(DesignPointError):
+            fabric.design_points(base_time=0.0)
+        with pytest.raises(ConfigurationError):
+            fabric.design_points(base_time=1.0, parallelism_options=())
+
+    def test_scheduling_an_fpga_generated_graph(self, fabric):
+        from repro import BatterySpec, SchedulingProblem, TaskGraph, battery_aware_schedule
+
+        graph = TaskGraph(name="fpga-app")
+        for name, base in (("dma", 1.0), ("conv", 6.0), ("pool", 2.0), ("fc", 3.0)):
+            graph.add_task(fabric.make_task(name, base))
+        graph.add_edge("dma", "conv")
+        graph.add_edge("conv", "pool")
+        graph.add_edge("pool", "fc")
+        deadline = 0.5 * (graph.min_makespan() + graph.max_makespan())
+        problem = SchedulingProblem(graph=graph, deadline=deadline, battery=BatterySpec(beta=0.273))
+        solution = battery_aware_schedule(problem)
+        assert solution.feasible

@@ -1,0 +1,142 @@
+"""Property-based tests for the battery models (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.battery import (
+    IdealBatteryModel,
+    LoadProfile,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+)
+
+# Bounded, well-conditioned inputs: currents in mA, durations in minutes.
+currents = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=0.05, max_value=60.0, allow_nan=False, allow_infinity=False)
+betas = st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+profiles = st.builds(
+    lambda ds, cs: LoadProfile.from_back_to_back(ds[: len(cs)], cs[: len(ds)]),
+    st.lists(durations, min_size=1, max_size=8),
+    st.lists(currents, min_size=1, max_size=8),
+)
+
+
+class TestRakhmatovProperties:
+    @given(profile=profiles, beta=betas)
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_at_least_nominal_charge_at_completion(self, profile, beta):
+        """Rate-capacity effect: the apparent charge is never below the coulomb count."""
+        model = RakhmatovVrudhulaModel(beta=beta)
+        assert model.cost(profile) >= profile.total_charge - 1e-6
+
+    @given(profile=profiles, beta=betas, rest=st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_recovery_never_negative_and_never_below_nominal(self, profile, beta, rest):
+        """Resting can only reduce sigma, and never below the charge actually drawn."""
+        model = RakhmatovVrudhulaModel(beta=beta)
+        at_end = model.apparent_charge(profile, at_time=profile.end_time)
+        later = model.apparent_charge(profile, at_time=profile.end_time + rest)
+        assert later <= at_end + 1e-9
+        assert later >= profile.total_charge - 1e-6
+
+    @given(profile=profiles, beta=betas, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_scales_linearly_with_current(self, profile, beta, scale):
+        model = RakhmatovVrudhulaModel(beta=beta)
+        scaled = LoadProfile.from_back_to_back(
+            [iv.duration for iv in profile],
+            [iv.current * scale for iv in profile],
+        )
+        assert model.cost(scaled) == pytest.approx(scale * model.cost(profile), rel=1e-9, abs=1e-6)
+
+    @given(
+        current=st.floats(min_value=0.1, max_value=2000.0),
+        duration=durations,
+        beta=betas,
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_monotone_during_a_single_constant_discharge(
+        self, current, duration, beta, fraction
+    ):
+        """Under one constant load sigma(t) can only grow while current flows.
+
+        (The same is *not* true for multi-interval profiles: during a
+        low-current interval the recovery of an earlier heavy interval can
+        outweigh the new drain — which is precisely the effect the paper's
+        sequencing heuristics exploit.)
+        """
+        model = RakhmatovVrudhulaModel(beta=beta)
+        profile = LoadProfile.from_back_to_back([duration], [current])
+        early = model.apparent_charge(profile, at_time=fraction * duration)
+        late = model.apparent_charge(profile, at_time=duration)
+        assert late >= early - 1e-9
+
+    @given(profile=profiles, beta=betas)
+    @settings(max_examples=40, deadline=None)
+    def test_merging_equal_current_intervals_preserves_sigma(self, profile, beta):
+        model = RakhmatovVrudhulaModel(beta=beta)
+        assert model.cost(profile.merged()) == pytest.approx(model.cost(profile), rel=1e-9, abs=1e-9)
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_large_beta_converges_to_ideal(self, profile):
+        nearly_ideal = RakhmatovVrudhulaModel(beta=1000.0)
+        ideal = IdealBatteryModel()
+        assert nearly_ideal.cost(profile) == pytest.approx(ideal.cost(profile), rel=1e-3, abs=1e-5)
+
+    @given(profile=profiles, beta=betas)
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_model_is_a_lower_bound(self, profile, beta):
+        model = RakhmatovVrudhulaModel(beta=beta)
+        assert IdealBatteryModel().cost(profile) <= model.cost(profile) + 1e-9
+
+
+class TestOrderingProperty:
+    @given(
+        data=st.lists(st.tuples(durations, currents), min_size=2, max_size=6),
+        beta=betas,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_non_increasing_current_order_is_optimal(self, data, beta):
+        """Section 3's property: among all permutations of independent tasks the
+        non-increasing current order minimises sigma and the non-decreasing
+        order maximises it (checked against sorted orders rather than all
+        permutations to keep the test fast)."""
+        model = RakhmatovVrudhulaModel(beta=beta)
+        by_decreasing = sorted(data, key=lambda pair: -pair[1])
+        by_increasing = sorted(data, key=lambda pair: pair[1])
+
+        def cost(ordering):
+            return model.cost(
+                LoadProfile.from_back_to_back(
+                    [duration for duration, _ in ordering],
+                    [current for _, current in ordering],
+                )
+            )
+
+        assert cost(by_decreasing) <= cost(data) + 1e-6
+        assert cost(by_increasing) >= cost(data) - 1e-6
+
+
+class TestPeukertProperties:
+    @given(profile=profiles, exponent=st.floats(min_value=1.0, max_value=1.6))
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariance(self, profile, exponent):
+        model = PeukertModel(exponent=exponent, reference_current=100.0)
+        reversed_profile = LoadProfile.from_back_to_back(
+            [iv.duration for iv in reversed(profile.intervals)],
+            [iv.current for iv in reversed(profile.intervals)],
+        )
+        assert model.cost(profile) == pytest.approx(model.cost(reversed_profile), rel=1e-9, abs=1e-9)
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_exponent_one_is_ideal(self, profile):
+        assert PeukertModel(exponent=1.0, reference_current=50.0).cost(profile) == pytest.approx(
+            IdealBatteryModel().cost(profile), rel=1e-9, abs=1e-9
+        )

@@ -1,0 +1,99 @@
+"""Property-based tests for task-graph generation and list scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import sequence_by_decreasing_energy, sequence_by_weights
+from repro.taskgraph import validate_sequence
+from repro.workloads import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+    tree_graph,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def graph_strategy():
+    """Random synthetic graphs across all generator families."""
+    return st.one_of(
+        st.builds(chain_graph, st.integers(2, 10), seed=seeds),
+        st.builds(
+            fork_join_graph,
+            st.integers(1, 3),
+            st.integers(1, 4),
+            seed=seeds,
+        ),
+        st.builds(
+            layered_graph,
+            st.integers(2, 4),
+            st.integers(1, 4),
+            st.floats(0.0, 1.0),
+            seed=seeds,
+        ),
+        st.builds(tree_graph, st.integers(1, 3), st.integers(1, 3), st.sampled_from(["in", "out"]), seed=seeds),
+        st.builds(diamond_graph, st.integers(1, 3), seed=seeds),
+    )
+
+
+class TestGeneratedGraphProperties:
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_structurally_valid(self, graph):
+        graph.validate()
+        assert graph.num_tasks >= 1
+        assert graph.uniform_design_point_count() >= 1
+
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_power_monotone_design_points(self, graph):
+        assert all(task.is_power_monotone() for task in graph)
+
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_topological_order_is_valid_sequence(self, graph):
+        order = graph.topological_order()
+        validate_sequence(graph, order)
+
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds_ordered(self, graph):
+        assert graph.min_makespan() <= graph.max_makespan() + 1e-12
+        assert graph.min_total_energy() <= graph.max_total_energy() + 1e-12
+
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_descendants_consistent_with_ancestors(self, graph):
+        names = graph.task_names()
+        for name in names[: min(len(names), 5)]:
+            for descendant in graph.descendants(name):
+                assert name in graph.ancestors(descendant)
+
+
+class TestListSchedulingProperties:
+    @given(graph=graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_energy_sequence_always_valid(self, graph):
+        validate_sequence(graph, sequence_by_decreasing_energy(graph))
+
+    @given(graph=graph_strategy(), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_weights_always_valid(self, graph, data):
+        weights = {
+            name: data.draw(st.floats(0.0, 1e6, allow_nan=False), label=name)
+            for name in graph.task_names()
+        }
+        validate_sequence(graph, sequence_by_weights(graph, weights))
+
+    @given(graph=graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_serialisation_round_trip(self, graph):
+        from repro.taskgraph import TaskGraph
+
+        restored = TaskGraph.from_dict(graph.to_dict())
+        assert restored.task_names() == graph.task_names()
+        assert restored.edges() == graph.edges()
+        assert restored.min_makespan() == pytest.approx(graph.min_makespan())

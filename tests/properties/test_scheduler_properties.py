@@ -1,0 +1,97 @@
+"""Property-based tests of the end-to-end schedulers on random instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import chowdhury_baseline, rakhmatov_baseline
+from repro.battery import BatterySpec
+from repro.core import battery_aware_schedule
+from repro.core.factors import current_increase_fraction, design_point_fraction
+from repro.scheduling import SchedulingProblem, battery_cost
+from repro.taskgraph import validate_sequence
+from repro.workloads import (
+    chain_graph,
+    fork_join_graph,
+    layered_graph,
+    problem_with_tightness,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+tightness = st.floats(min_value=0.05, max_value=0.95)
+betas = st.floats(min_value=0.1, max_value=2.0)
+
+
+def problem_strategy():
+    graphs = st.one_of(
+        st.builds(chain_graph, st.integers(2, 7), seed=seeds),
+        st.builds(fork_join_graph, st.integers(1, 2), st.integers(2, 3), seed=seeds),
+        st.builds(layered_graph, st.integers(2, 3), st.integers(2, 3), st.floats(0.2, 0.9), seed=seeds),
+    )
+    return st.builds(
+        lambda graph, t, beta: problem_with_tightness(graph, t, battery=BatterySpec(beta=beta)),
+        graphs,
+        tightness,
+        betas,
+    )
+
+
+class TestIterativeSchedulerProperties:
+    @given(problem=problem_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_solution_is_always_a_valid_schedule(self, problem):
+        solution = battery_aware_schedule(problem)
+        validate_sequence(problem.graph, solution.sequence)
+        solution.assignment.validate(problem.graph)
+        assert solution.makespan <= problem.deadline + 1e-6
+        assert solution.cost > 0
+
+    @given(problem=problem_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_reported_cost_matches_schedule(self, problem):
+        solution = battery_aware_schedule(problem)
+        recomputed = battery_cost(
+            problem.graph, solution.sequence, solution.assignment, problem.model()
+        )
+        assert recomputed == pytest.approx(solution.cost, rel=1e-9)
+
+    @given(problem=problem_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_iteration_costs_returned_and_positive(self, problem):
+        solution = battery_aware_schedule(problem)
+        costs = solution.iteration_costs()
+        assert len(costs) == solution.num_iterations
+        assert all(cost > 0 for cost in costs)
+
+
+class TestBaselineProperties:
+    @given(problem=problem_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_dp_baseline_valid_and_feasible(self, problem):
+        result = rakhmatov_baseline(problem)
+        validate_sequence(problem.graph, result.sequence)
+        assert result.makespan <= problem.deadline + 1e-6
+
+    @given(problem=problem_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_chowdhury_baseline_valid_and_feasible(self, problem):
+        result = chowdhury_baseline(problem)
+        validate_sequence(problem.graph, result.sequence)
+        assert result.makespan <= problem.deadline + 1e-6
+
+
+class TestFactorProperties:
+    @given(values=st.lists(st.floats(0.0, 1000.0), min_size=0, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_cif_within_unit_interval(self, values):
+        assert 0.0 <= current_increase_fraction(values) <= 1.0
+
+    @given(
+        m=st.integers(min_value=2, max_value=6),
+        columns=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dpf_within_unit_interval(self, m, columns):
+        selection = [min(column, m - 1) for column in columns]
+        value = design_point_fraction(selection, m, free_positions=range(len(selection)))
+        assert 0.0 <= value <= 1.0

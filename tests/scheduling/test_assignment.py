@@ -1,0 +1,94 @@
+"""Unit tests for repro.scheduling.assignment."""
+
+import pytest
+
+from repro.errors import ScheduleError, UnknownTaskError
+from repro.scheduling import DesignPointAssignment
+
+
+class TestMappingBehaviour:
+    def test_basic_mapping(self):
+        assignment = DesignPointAssignment({"A": 0, "B": 2})
+        assert assignment["A"] == 0
+        assert len(assignment) == 2
+        assert set(assignment) == {"A", "B"}
+
+    def test_negative_column_rejected(self):
+        with pytest.raises(ScheduleError):
+            DesignPointAssignment({"A": -1})
+
+    def test_equality_with_dict(self):
+        assignment = DesignPointAssignment({"A": 1})
+        assert assignment == {"A": 1}
+        assert assignment == DesignPointAssignment({"A": 1})
+        assert assignment != DesignPointAssignment({"A": 2})
+
+    def test_hashable(self):
+        a = DesignPointAssignment({"A": 1, "B": 0})
+        b = DesignPointAssignment({"B": 0, "A": 1})
+        assert hash(a) == hash(b)
+
+    def test_replacing(self):
+        assignment = DesignPointAssignment({"A": 1, "B": 0})
+        updated = assignment.replacing("A", 2)
+        assert updated["A"] == 2
+        assert assignment["A"] == 1  # original untouched
+
+    def test_to_dict(self):
+        assert DesignPointAssignment({"A": 1}).to_dict() == {"A": 1}
+
+    def test_repr_uses_one_based_columns(self):
+        assert "A:2" in repr(DesignPointAssignment({"A": 1}))
+
+
+class TestGraphAwareBehaviour:
+    def test_uniform(self, diamond4):
+        assignment = DesignPointAssignment.uniform(diamond4, 1)
+        assert all(assignment[name] == 1 for name in diamond4.task_names())
+
+    def test_uniform_out_of_range(self, diamond4):
+        with pytest.raises(ScheduleError):
+            DesignPointAssignment.uniform(diamond4, 7)
+
+    def test_all_fastest_and_slowest(self, diamond4):
+        fastest = DesignPointAssignment.all_fastest(diamond4)
+        slowest = DesignPointAssignment.all_slowest(diamond4)
+        assert fastest.total_execution_time(diamond4) < slowest.total_execution_time(diamond4)
+        assert fastest.total_energy(diamond4) > slowest.total_energy(diamond4)
+
+    def test_validate_missing_task(self, diamond4):
+        with pytest.raises(ScheduleError, match="missing"):
+            DesignPointAssignment({"A": 0}).validate(diamond4)
+
+    def test_validate_unknown_task(self, diamond4):
+        full = {name: 0 for name in diamond4.task_names()}
+        full["Z"] = 0
+        with pytest.raises(UnknownTaskError):
+            DesignPointAssignment(full).validate(diamond4)
+
+    def test_validate_column_out_of_range(self, diamond4):
+        full = {name: 0 for name in diamond4.task_names()}
+        full["A"] = 99
+        with pytest.raises(ScheduleError, match="design points"):
+            DesignPointAssignment(full).validate(diamond4)
+
+    def test_design_point_lookup(self, diamond4):
+        assignment = DesignPointAssignment.all_fastest(diamond4)
+        point = assignment.design_point(diamond4, "A")
+        assert point.execution_time == diamond4.task("A").min_execution_time
+
+    def test_execution_time_and_current(self, diamond4):
+        assignment = DesignPointAssignment.all_slowest(diamond4)
+        assert assignment.execution_time(diamond4, "A") == diamond4.task("A").max_execution_time
+        assert assignment.current(diamond4, "A") == diamond4.task("A").min_current
+
+    def test_totals(self, diamond4):
+        assignment = DesignPointAssignment.all_fastest(diamond4)
+        expected_time = sum(task.min_execution_time for task in diamond4)
+        assert assignment.total_execution_time(diamond4) == pytest.approx(expected_time)
+
+    def test_labels(self, diamond4):
+        labels = DesignPointAssignment.all_fastest(diamond4).labels(diamond4)
+        assert labels["A"] == "P1"
+        labels_slow = DesignPointAssignment.all_slowest(diamond4).labels(diamond4)
+        assert labels_slow["A"] == "P3"

@@ -1,0 +1,75 @@
+"""Unit tests for repro.scheduling.cost."""
+
+import pytest
+
+from repro.battery import IdealBatteryModel, RakhmatovVrudhulaModel
+from repro.errors import ConfigurationError
+from repro.scheduling import DesignPointAssignment, battery_cost, profile_for
+
+
+@pytest.fixture
+def model():
+    return RakhmatovVrudhulaModel(beta=0.273)
+
+
+@pytest.fixture
+def assignment(diamond4):
+    return DesignPointAssignment.all_fastest(diamond4)
+
+
+SEQ = ("A", "B", "C", "D")
+
+
+class TestProfileFor:
+    def test_profile_matches_assignment(self, diamond4, assignment):
+        profile = profile_for(diamond4, SEQ, assignment)
+        assert len(profile) == 4
+        assert profile.end_time == pytest.approx(assignment.total_execution_time(diamond4))
+
+    def test_labels_follow_sequence(self, diamond4, assignment):
+        profile = profile_for(diamond4, SEQ, assignment)
+        assert [iv.label for iv in profile] == list(SEQ)
+
+
+class TestBatteryCost:
+    def test_completion_mode(self, diamond4, assignment, model):
+        cost = battery_cost(diamond4, SEQ, assignment, model)
+        profile = profile_for(diamond4, SEQ, assignment)
+        assert cost == pytest.approx(model.apparent_charge(profile, profile.end_time))
+
+    def test_deadline_mode_credits_recovery(self, diamond4, assignment, model):
+        completion = battery_cost(diamond4, SEQ, assignment, model)
+        relaxed = battery_cost(
+            diamond4, SEQ, assignment, model, deadline=1000.0, evaluate_at="deadline"
+        )
+        assert relaxed < completion
+
+    def test_deadline_mode_requires_deadline(self, diamond4, assignment, model):
+        with pytest.raises(ConfigurationError):
+            battery_cost(diamond4, SEQ, assignment, model, evaluate_at="deadline")
+
+    def test_invalid_mode(self, diamond4, assignment, model):
+        with pytest.raises(ConfigurationError):
+            battery_cost(diamond4, SEQ, assignment, model, evaluate_at="bogus")
+
+    def test_deadline_before_completion_falls_back_to_completion(
+        self, diamond4, assignment, model
+    ):
+        completion = battery_cost(diamond4, SEQ, assignment, model)
+        clipped = battery_cost(
+            diamond4, SEQ, assignment, model, deadline=0.001, evaluate_at="deadline"
+        )
+        assert clipped == pytest.approx(completion)
+
+    def test_ideal_model_is_order_invariant(self, diamond4, assignment):
+        ideal = IdealBatteryModel()
+        forward = battery_cost(diamond4, SEQ, assignment, ideal)
+        backward = battery_cost(diamond4, ("A", "C", "B", "D"), assignment, ideal)
+        assert forward == pytest.approx(backward)
+
+    def test_analytical_model_depends_on_order(self, diamond4, model):
+        # Mixed assignment so adjacent currents differ between orders.
+        assignment = DesignPointAssignment({"A": 0, "B": 2, "C": 0, "D": 2})
+        forward = battery_cost(diamond4, ("A", "B", "C", "D"), assignment, model)
+        swapped = battery_cost(diamond4, ("A", "C", "B", "D"), assignment, model)
+        assert forward != pytest.approx(swapped, rel=1e-9)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.scheduling.list_scheduler."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.scheduling import (
+    average_energy_weights,
+    list_schedule,
+    sequence_by_decreasing_energy,
+    sequence_by_weights,
+)
+from repro.taskgraph import validate_sequence
+
+
+class TestSequenceByWeights:
+    def test_respects_precedence(self, diamond4):
+        weights = {"A": 0.0, "B": 10.0, "C": 5.0, "D": 100.0}
+        sequence = sequence_by_weights(diamond4, weights)
+        validate_sequence(diamond4, sequence)
+        assert sequence[0] == "A"
+        assert sequence[-1] == "D"
+
+    def test_higher_weight_scheduled_first_among_ready(self, diamond4):
+        sequence = sequence_by_weights(diamond4, {"A": 0, "B": 1.0, "C": 2.0, "D": 0})
+        assert sequence.index("C") < sequence.index("B")
+
+    def test_lower_first_mode(self, diamond4):
+        sequence = sequence_by_weights(
+            diamond4, {"A": 0, "B": 1.0, "C": 2.0, "D": 0}, higher_first=False
+        )
+        assert sequence.index("B") < sequence.index("C")
+
+    def test_tie_break_by_insertion_order(self, diamond4):
+        sequence = sequence_by_weights(diamond4, {name: 1.0 for name in diamond4.task_names()})
+        assert sequence == ("A", "B", "C", "D")
+
+    def test_missing_weights_rejected(self, diamond4):
+        with pytest.raises(ScheduleError, match="missing"):
+            sequence_by_weights(diamond4, {"A": 1.0})
+
+    def test_deterministic(self, g3):
+        weights = {name: float(len(name)) for name in g3.task_names()}
+        assert sequence_by_weights(g3, weights) == sequence_by_weights(g3, weights)
+
+
+class TestListSchedule:
+    def test_priority_function(self, diamond4):
+        sequence = list_schedule(diamond4, priority=lambda task: task.average_energy)
+        validate_sequence(diamond4, sequence)
+
+    def test_matches_sequence_by_weights(self, diamond4):
+        by_function = list_schedule(diamond4, priority=lambda task: task.average_energy)
+        by_weights = sequence_by_weights(diamond4, average_energy_weights(diamond4))
+        assert by_function == by_weights
+
+
+class TestSequenceByDecreasingEnergy:
+    def test_valid_for_paper_graphs(self, g3, g2):
+        for graph in (g3, g2):
+            sequence = sequence_by_decreasing_energy(graph)
+            validate_sequence(graph, sequence)
+
+    def test_g3_starts_with_t1(self, g3):
+        assert sequence_by_decreasing_energy(g3)[0] == "T1"
+
+    def test_ready_priority_by_energy(self, g3):
+        # Among T1's children, T2 has the largest average energy, so it is
+        # scheduled before T3 whenever both are ready.
+        sequence = sequence_by_decreasing_energy(g3)
+        t2_energy = g3.task("T2").average_energy
+        t3_energy = g3.task("T3").average_energy
+        assert t2_energy > t3_energy
+        assert sequence.index("T2") < sequence.index("T3")
+
+    def test_chain_sequence_is_forced(self, chain3):
+        assert sequence_by_decreasing_energy(chain3) == ("T1", "T2", "T3")

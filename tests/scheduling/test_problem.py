@@ -1,0 +1,67 @@
+"""Unit tests for repro.scheduling.problem."""
+
+import pytest
+
+from repro.battery import BatterySpec, RakhmatovVrudhulaModel
+from repro.errors import ConfigurationError, InfeasibleDeadlineError
+from repro.scheduling import SchedulingProblem
+
+
+class TestConstruction:
+    def test_basic(self, diamond4):
+        problem = SchedulingProblem(graph=diamond4, deadline=100.0, name="p")
+        assert problem.deadline == 100.0
+        assert problem.battery.beta == pytest.approx(0.273)
+
+    def test_invalid_deadline(self, diamond4):
+        with pytest.raises(ConfigurationError):
+            SchedulingProblem(graph=diamond4, deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            SchedulingProblem(graph=diamond4, deadline=float("inf"))
+
+    def test_model(self, diamond4):
+        problem = SchedulingProblem(
+            graph=diamond4, deadline=50.0, battery=BatterySpec(beta=0.5)
+        )
+        model = problem.model()
+        assert isinstance(model, RakhmatovVrudhulaModel)
+        assert model.beta == 0.5
+
+
+class TestFeasibility:
+    def test_slacks(self, diamond4):
+        problem = SchedulingProblem(graph=diamond4, deadline=100.0)
+        assert problem.slack_at_fastest == pytest.approx(100.0 - diamond4.min_makespan())
+        assert problem.slack_at_slowest == pytest.approx(100.0 - diamond4.max_makespan())
+
+    def test_feasible(self, diamond4):
+        assert SchedulingProblem(graph=diamond4, deadline=1000.0).is_feasible()
+        assert not SchedulingProblem(graph=diamond4, deadline=0.1).is_feasible()
+
+    def test_require_feasible(self, diamond4):
+        SchedulingProblem(graph=diamond4, deadline=1000.0).require_feasible()
+        with pytest.raises(InfeasibleDeadlineError):
+            SchedulingProblem(graph=diamond4, deadline=0.1).require_feasible()
+
+    def test_tightness_bounds(self, diamond4):
+        tight = SchedulingProblem(graph=diamond4, deadline=diamond4.min_makespan())
+        loose = SchedulingProblem(graph=diamond4, deadline=diamond4.max_makespan() * 2)
+        assert tight.tightness() == pytest.approx(0.0)
+        assert loose.tightness() == pytest.approx(1.0)
+
+    def test_tightness_midpoint(self, diamond4):
+        mid_deadline = 0.5 * (diamond4.min_makespan() + diamond4.max_makespan())
+        problem = SchedulingProblem(graph=diamond4, deadline=mid_deadline)
+        assert problem.tightness() == pytest.approx(0.5)
+
+    def test_with_deadline(self, diamond4):
+        problem = SchedulingProblem(graph=diamond4, deadline=30.0, name="x")
+        other = problem.with_deadline(60.0)
+        assert other.deadline == 60.0
+        assert other.graph is problem.graph
+        assert other.name == "x"
+
+    def test_repr(self, g3_problem):
+        text = repr(g3_problem)
+        assert "15 tasks" in text
+        assert "230" in text

@@ -1,0 +1,115 @@
+"""Unit tests for repro.scheduling.schedule."""
+
+import pytest
+
+from repro.errors import DeadlineError, PrecedenceViolationError, ScheduleError
+from repro.scheduling import DesignPointAssignment, Schedule
+
+
+@pytest.fixture
+def assignment(diamond4):
+    return DesignPointAssignment.all_fastest(diamond4)
+
+
+@pytest.fixture
+def schedule(diamond4, assignment):
+    return Schedule(diamond4, ("A", "B", "C", "D"), assignment)
+
+
+class TestConstruction:
+    def test_invalid_sequence_rejected(self, diamond4, assignment):
+        with pytest.raises(PrecedenceViolationError):
+            Schedule(diamond4, ("B", "A", "C", "D"), assignment)
+
+    def test_incomplete_assignment_rejected(self, diamond4):
+        with pytest.raises(ScheduleError):
+            Schedule(diamond4, ("A", "B", "C", "D"), DesignPointAssignment({"A": 0}))
+
+    def test_negative_start_time_rejected(self, diamond4, assignment):
+        with pytest.raises(ScheduleError):
+            Schedule(diamond4, ("A", "B", "C", "D"), assignment, start_time=-1.0)
+
+
+class TestTiming:
+    def test_back_to_back_slots(self, schedule):
+        slots = schedule.slots
+        assert slots[0].start == 0.0
+        for earlier, later in zip(slots, slots[1:]):
+            assert later.start == pytest.approx(earlier.finish)
+
+    def test_makespan_is_sum_of_durations(self, schedule, diamond4):
+        expected = sum(task.min_execution_time for task in diamond4)
+        assert schedule.makespan == pytest.approx(expected)
+
+    def test_start_time_offset(self, diamond4, assignment):
+        shifted = Schedule(diamond4, ("A", "B", "C", "D"), assignment, start_time=5.0)
+        assert shifted.slots[0].start == 5.0
+        assert shifted.makespan == pytest.approx(
+            5.0 + sum(task.min_execution_time for task in diamond4)
+        )
+
+    def test_slot_lookup(self, schedule):
+        slot = schedule.slot("C")
+        assert slot.name == "C"
+        with pytest.raises(ScheduleError):
+            schedule.slot("Z")
+
+    def test_slot_properties(self, schedule, diamond4):
+        slot = schedule.slot("A")
+        point = diamond4.task("A").ordered_design_points()[0]
+        assert slot.duration == pytest.approx(point.execution_time)
+        assert slot.current == point.current
+        assert slot.energy == pytest.approx(point.energy)
+
+    def test_len_and_iter(self, schedule):
+        assert len(schedule) == 4
+        assert [slot.name for slot in schedule] == ["A", "B", "C", "D"]
+
+
+class TestDeadlines:
+    def test_meets_deadline(self, schedule):
+        assert schedule.meets_deadline(schedule.makespan)
+        assert schedule.meets_deadline(schedule.makespan + 10)
+        assert not schedule.meets_deadline(schedule.makespan - 1)
+
+    def test_require_deadline(self, schedule):
+        schedule.require_deadline(schedule.makespan + 1)
+        with pytest.raises(DeadlineError):
+            schedule.require_deadline(schedule.makespan - 1)
+
+
+class TestDerived:
+    def test_total_energy(self, schedule, diamond4):
+        expected = sum(
+            diamond4.task(name).ordered_design_points()[0].energy
+            for name in diamond4.task_names()
+        )
+        assert schedule.total_energy == pytest.approx(expected)
+
+    def test_peak_current(self, schedule, diamond4):
+        expected = max(task.max_current for task in diamond4)
+        assert schedule.peak_current == pytest.approx(expected)
+
+    def test_current_increase_count(self, diamond4):
+        slow = DesignPointAssignment.all_slowest(diamond4)
+        schedule = Schedule(diamond4, ("A", "B", "C", "D"), slow)
+        currents = [slot.current for slot in schedule]
+        expected = sum(1 for a, b in zip(currents, currents[1:]) if a < b)
+        assert schedule.current_increase_count() == expected
+
+    def test_to_profile_matches_slots(self, schedule):
+        profile = schedule.to_profile()
+        assert len(profile) == len(schedule)
+        assert profile.end_time == pytest.approx(schedule.makespan)
+        assert profile[0].label == "A"
+
+    def test_design_point_labels(self, schedule):
+        assert schedule.design_point_labels() == ("P1", "P1", "P1", "P1")
+
+    def test_to_dict(self, schedule):
+        data = schedule.to_dict()
+        assert data["sequence"] == ["A", "B", "C", "D"]
+        assert data["makespan"] == pytest.approx(schedule.makespan)
+
+    def test_repr(self, schedule):
+        assert "4 tasks" in repr(schedule)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.taskgraph.designpoint."""
+
+import math
+
+import pytest
+
+from repro.errors import DesignPointError
+from repro.taskgraph import DesignPoint
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        dp = DesignPoint(execution_time=7.3, current=917.0, name="DP1")
+        assert dp.execution_time == 7.3
+        assert dp.current == 917.0
+        assert dp.voltage == 1.0
+        assert dp.name == "DP1"
+
+    def test_zero_execution_time_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=0.0, current=10.0)
+
+    def test_negative_execution_time_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=-1.0, current=10.0)
+
+    def test_nan_execution_time_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=math.nan, current=10.0)
+
+    def test_infinite_execution_time_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=math.inf, current=10.0)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=1.0, current=-5.0)
+
+    def test_zero_current_allowed(self):
+        dp = DesignPoint(execution_time=1.0, current=0.0)
+        assert dp.charge == 0.0
+
+    def test_non_positive_voltage_rejected(self):
+        with pytest.raises(DesignPointError):
+            DesignPoint(execution_time=1.0, current=1.0, voltage=0.0)
+
+
+class TestDerivedQuantities:
+    def test_energy_is_current_voltage_time(self):
+        dp = DesignPoint(execution_time=4.0, current=100.0, voltage=2.0)
+        assert dp.energy == pytest.approx(800.0)
+
+    def test_charge_ignores_voltage(self):
+        dp = DesignPoint(execution_time=4.0, current=100.0, voltage=2.0)
+        assert dp.charge == pytest.approx(400.0)
+
+    def test_power_is_current_times_voltage(self):
+        dp = DesignPoint(execution_time=4.0, current=100.0, voltage=1.8)
+        assert dp.power == pytest.approx(180.0)
+
+    def test_default_voltage_makes_energy_equal_charge(self):
+        dp = DesignPoint(execution_time=5.0, current=33.0)
+        assert dp.energy == pytest.approx(dp.charge)
+
+    def test_scaled_applies_factors(self):
+        dp = DesignPoint(execution_time=2.0, current=100.0, name="x")
+        scaled = dp.scaled(time_factor=3.0, current_factor=0.5)
+        assert scaled.execution_time == pytest.approx(6.0)
+        assert scaled.current == pytest.approx(50.0)
+        assert scaled.name == "x"
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        dp = DesignPoint(execution_time=1.5, current=250.0, voltage=1.2, name="DP2",
+                         metadata={"freq": 600})
+        restored = DesignPoint.from_dict(dp.to_dict())
+        assert restored.execution_time == dp.execution_time
+        assert restored.current == dp.current
+        assert restored.voltage == dp.voltage
+        assert restored.name == dp.name
+        assert restored.metadata["freq"] == 600
+
+    def test_minimal_dict(self):
+        restored = DesignPoint.from_dict({"execution_time": 2, "current": 3})
+        assert restored.voltage == 1.0
+        assert restored.name == ""
+
+    def test_repr_mentions_values(self):
+        dp = DesignPoint(execution_time=1.5, current=250.0, name="DP2")
+        text = repr(dp)
+        assert "DP2" in text
+        assert "250" in text

@@ -1,0 +1,65 @@
+"""Unit tests for repro.taskgraph.io."""
+
+import json
+
+from repro.taskgraph import load_json, save_json, to_dot
+from repro.taskgraph.io import dumps, loads
+
+from ..conftest import make_simple_task
+from repro.taskgraph import TaskGraph
+
+
+def small_graph():
+    graph = TaskGraph(name="io-test")
+    graph.add_task(make_simple_task("A"))
+    graph.add_task(make_simple_task("B"))
+    graph.add_edge("A", "B")
+    return graph
+
+
+class TestJson:
+    def test_dumps_loads_round_trip(self):
+        graph = small_graph()
+        restored = loads(dumps(graph))
+        assert restored.name == "io-test"
+        assert restored.task_names() == ("A", "B")
+        assert restored.edges() == (("A", "B"),)
+
+    def test_dumps_is_valid_json(self):
+        parsed = json.loads(dumps(small_graph()))
+        assert parsed["name"] == "io-test"
+        assert len(parsed["tasks"]) == 2
+
+    def test_save_and_load_file(self, tmp_path):
+        path = tmp_path / "graph.json"
+        written = save_json(small_graph(), path)
+        assert written == path
+        restored = load_json(path)
+        assert restored.task_names() == ("A", "B")
+
+    def test_design_points_survive_round_trip(self):
+        graph = small_graph()
+        restored = loads(dumps(graph))
+        original = graph.task("A").ordered_design_points()
+        recovered = restored.task("A").ordered_design_points()
+        assert [dp.execution_time for dp in original] == [dp.execution_time for dp in recovered]
+        assert [dp.current for dp in original] == [dp.current for dp in recovered]
+
+
+class TestDot:
+    def test_nodes_and_edges_present(self):
+        dot = to_dot(small_graph())
+        assert '"A"' in dot and '"B"' in dot
+        assert '"A" -> "B";' in dot
+        assert dot.startswith("digraph")
+
+    def test_design_point_labels_optional(self):
+        plain = to_dot(small_graph(), include_design_points=False)
+        detailed = to_dot(small_graph(), include_design_points=True)
+        assert "mA" not in plain
+        assert "mA" in detailed
+
+    def test_g3_dot_contains_all_tasks(self, g3):
+        dot = to_dot(g3)
+        for name in g3.task_names():
+            assert f'"{name}"' in dot

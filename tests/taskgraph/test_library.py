@@ -1,0 +1,114 @@
+"""Unit tests for the paper graphs G2 and G3 (repro.taskgraph.library)."""
+
+import pytest
+
+from repro.taskgraph import (
+    G2_FIGURE5_DATA,
+    G2_TABLE4_DEADLINES,
+    G3_BETA,
+    G3_DEADLINE,
+    G3_TABLE1_DATA,
+    G3_TABLE4_DEADLINES,
+    build_g2,
+    build_g3,
+    paper_graphs,
+    regenerate_g2_design_points,
+    regenerate_g3_design_points,
+)
+
+
+class TestG3Structure:
+    def test_task_and_edge_counts(self, g3):
+        assert g3.num_tasks == 15
+        assert g3.num_edges == 19
+
+    def test_uniform_design_points(self, g3):
+        assert g3.uniform_design_point_count() == 5
+
+    def test_entry_and_exit(self, g3):
+        assert g3.entry_tasks() == ("T1",)
+        assert g3.exit_tasks() == ("T15",)
+
+    def test_parents_from_table1(self, g3):
+        assert g3.predecessors("T6") == {"T2", "T3"}
+        assert g3.predecessors("T7") == {"T4", "T5"}
+        assert g3.predecessors("T14") == {"T11", "T12", "T13"}
+        assert g3.predecessors("T15") == {"T14"}
+
+    def test_fork_join_shape(self, g3):
+        assert g3.successors("T1") == {"T2", "T3", "T4", "T5"}
+
+    def test_power_monotone(self, g3):
+        assert all(task.is_power_monotone() for task in g3)
+
+    def test_table1_values_spot_checks(self, g3):
+        t1 = g3.task("T1").ordered_design_points()
+        assert t1[0].current == 917 and t1[0].execution_time == 7.3
+        assert t1[4].current == 33 and t1[4].execution_time == 22.0
+        t15 = g3.task("T15").ordered_design_points()
+        assert t15[2].current == 119 and t15[2].execution_time == 6.8
+
+    def test_makespan_bounds_straddle_deadlines(self, g3):
+        assert g3.min_makespan() < min(G3_TABLE4_DEADLINES)
+        assert g3.max_makespan() > max(G3_TABLE4_DEADLINES)
+
+    def test_constants(self):
+        assert G3_DEADLINE == 230.0
+        assert G3_BETA == pytest.approx(0.273)
+        assert G3_TABLE4_DEADLINES == (100.0, 150.0, 230.0)
+
+    def test_builder_returns_fresh_graphs(self):
+        a, b = build_g3(), build_g3()
+        assert a is not b
+        assert a.task_names() == b.task_names()
+
+
+class TestG2Structure:
+    def test_task_and_design_point_counts(self, g2):
+        assert g2.num_tasks == 9
+        assert g2.uniform_design_point_count() == 4
+
+    def test_single_entry_single_exit(self, g2):
+        assert g2.entry_tasks() == ("N1",)
+        assert g2.exit_tasks() == ("N9",)
+
+    def test_figure5_values_spot_checks(self, g2):
+        n1 = g2.task("N1").ordered_design_points()
+        assert n1[0].current == 938 and n1[0].execution_time == 8.8
+        assert n1[3].current == 60 and n1[3].execution_time == 22.0
+        n9 = g2.task("N9").ordered_design_points()
+        assert n9[1].current == 157 and n9[1].execution_time == 5.3
+
+    def test_power_monotone(self, g2):
+        assert all(task.is_power_monotone() for task in g2)
+
+    def test_makespan_bounds_straddle_deadlines(self, g2):
+        assert g2.min_makespan() < min(G2_TABLE4_DEADLINES)
+        assert g2.max_makespan() > max(G2_TABLE4_DEADLINES)
+
+    def test_deadline_constants(self):
+        assert G2_TABLE4_DEADLINES == (55.0, 75.0, 95.0)
+
+
+class TestRegeneration:
+    @pytest.mark.parametrize("task_name", sorted(G3_TABLE1_DATA))
+    def test_g3_regeneration_matches_table(self, task_name):
+        regenerated = regenerate_g3_design_points(task_name)
+        for (current, duration), point in zip(G3_TABLE1_DATA[task_name], regenerated):
+            assert point.current == pytest.approx(current, rel=0.03, abs=1.0)
+            assert point.execution_time == pytest.approx(duration, rel=0.03, abs=0.2)
+
+    @pytest.mark.parametrize("task_name", sorted(G2_FIGURE5_DATA))
+    def test_g2_regeneration_matches_figure(self, task_name):
+        regenerated = regenerate_g2_design_points(task_name)
+        for (current, duration), point in zip(G2_FIGURE5_DATA[task_name], regenerated):
+            assert point.current == pytest.approx(current, rel=0.03, abs=4.0)
+            assert point.execution_time == pytest.approx(duration, rel=0.03, abs=0.2)
+
+
+class TestPaperGraphs:
+    def test_mapping(self):
+        graphs = paper_graphs()
+        assert set(graphs) == {"G2", "G3"}
+        assert graphs["G2"].num_tasks == 9
+        assert graphs["G3"].num_tasks == 15

@@ -1,0 +1,104 @@
+"""Unit tests for repro.taskgraph.scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DesignPointError
+from repro.taskgraph import (
+    G2_SCALING_FACTORS,
+    G3_SCALING_FACTORS,
+    cubic_current,
+    scaled_design_points,
+    scaled_task_rows,
+)
+
+
+class TestCubicCurrent:
+    def test_unit_factor(self):
+        assert cubic_current(500.0, 1.0) == pytest.approx(500.0)
+
+    def test_cube_law(self):
+        assert cubic_current(1000.0, 0.5) == pytest.approx(125.0)
+
+    def test_negative_reference_rejected(self):
+        with pytest.raises(DesignPointError):
+            cubic_current(-1.0, 0.5)
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(DesignPointError):
+            cubic_current(100.0, 0.0)
+
+
+class TestScaledDesignPoints:
+    def test_inverse_rule_matches_g2_row(self):
+        # Node 1 of G2: reference is DP4 (60 mA, 22 min), factors 2.5/1.66/1.25/1.
+        points = scaled_design_points(22.0, 60.0, G2_SCALING_FACTORS, duration_rule="inverse")
+        durations = [dp.execution_time for dp in points]
+        currents = [dp.current for dp in points]
+        assert durations == pytest.approx([8.8, 13.25, 17.6, 22.0], rel=0.01)
+        assert currents == pytest.approx([937.5, 274.4, 117.2, 60.0], rel=0.02)
+
+    def test_mirrored_rule_matches_g3_row(self):
+        # T1 of G3: reference is DP1 (917 mA, 7.3 min), factors 1/0.85/0.68/0.51/0.33.
+        points = scaled_design_points(7.3, 917.0, G3_SCALING_FACTORS, duration_rule="mirrored")
+        durations = [dp.execution_time for dp in points]
+        currents = [dp.current for dp in points]
+        assert durations == pytest.approx([7.3, 11.2, 15.0, 18.7, 22.0], rel=0.02)
+        assert currents == pytest.approx([917.0, 563.0, 288.0, 122.0, 33.0], rel=0.02)
+
+    def test_names_and_metadata(self):
+        points = scaled_design_points(4.0, 100.0, (1.0, 0.5), name_prefix="Q")
+        assert points[0].name == "Q1"
+        assert points[1].metadata["scaling_factor"] == 0.5
+
+    def test_monotone_output(self):
+        points = scaled_design_points(3.0, 600.0, G3_SCALING_FACTORS)
+        times = [dp.execution_time for dp in points]
+        currents = [dp.current for dp in points]
+        assert times == sorted(times)
+        assert currents == sorted(currents, reverse=True)
+
+    def test_voltages_attached(self):
+        points = scaled_design_points(
+            3.0, 600.0, (1.0, 0.5), voltages=(1.8, 1.0)
+        )
+        assert points[0].voltage == 1.8
+        assert points[1].voltage == 1.0
+
+    def test_voltage_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            scaled_design_points(3.0, 600.0, (1.0, 0.5), voltages=(1.8,))
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_design_points(3.0, 600.0, ())
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(DesignPointError):
+            scaled_design_points(3.0, 600.0, (1.0, 0.0))
+
+    def test_bad_duration_rule(self):
+        with pytest.raises(ConfigurationError):
+            scaled_design_points(3.0, 600.0, (1.0, 0.5), duration_rule="nope")
+
+    def test_non_positive_reference_duration(self):
+        with pytest.raises(DesignPointError):
+            scaled_design_points(0.0, 600.0, (1.0, 0.5))
+
+    def test_reference_factor_inferred_when_one_absent(self):
+        # Factors relative to an implicit reference not in the list: the
+        # closest-to-one factor is used for normalisation.
+        points = scaled_design_points(10.0, 100.0, (2.0, 1.25), duration_rule="inverse")
+        assert points[1].execution_time == pytest.approx(10.0)
+        assert points[0].execution_time == pytest.approx(10.0 * 1.25 / 2.0)
+
+
+class TestScaledTaskRows:
+    def test_shapes(self):
+        rows = scaled_task_rows([(4.0, 500.0), (6.0, 700.0)], G3_SCALING_FACTORS)
+        assert len(rows) == 2
+        assert all(len(points) == 5 for points in rows)
+
+    def test_rows_follow_rule(self):
+        rows = scaled_task_rows([(4.0, 500.0)], (1.0, 0.5), duration_rule="inverse")
+        assert rows[0][1].execution_time == pytest.approx(8.0)
+        assert rows[0][1].current == pytest.approx(62.5)

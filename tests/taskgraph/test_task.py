@@ -1,0 +1,124 @@
+"""Unit tests for repro.taskgraph.task."""
+
+import pytest
+
+from repro.errors import DesignPointError, TaskGraphError
+from repro.taskgraph import DesignPoint, Task
+
+
+def make_task(name="T1"):
+    return Task(
+        name,
+        [
+            DesignPoint(execution_time=8.0, current=50.0, name="slow"),
+            DesignPoint(execution_time=2.0, current=800.0, name="fast"),
+            DesignPoint(execution_time=4.0, current=200.0, name="mid"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(TaskGraphError):
+            Task("", [DesignPoint(1.0, 1.0)])
+
+    def test_requires_design_points(self):
+        with pytest.raises(DesignPointError):
+            Task("T1", [])
+
+    def test_rejects_non_design_points(self):
+        with pytest.raises(DesignPointError):
+            Task("T1", [object()])
+
+    def test_num_design_points(self):
+        assert make_task().num_design_points == 3
+
+    def test_design_point_by_insertion_index(self):
+        task = make_task()
+        assert task.design_point(0).name == "slow"
+
+
+class TestCanonicalOrdering:
+    def test_ordered_fastest_first(self):
+        ordered = make_task().ordered_design_points()
+        assert [dp.name for dp in ordered] == ["fast", "mid", "slow"]
+
+    def test_execution_times_ascending(self):
+        times = make_task().execution_times()
+        assert list(times) == sorted(times)
+
+    def test_currents_descending_for_monotone_task(self):
+        currents = make_task().currents()
+        assert list(currents) == sorted(currents, reverse=True)
+
+    def test_tie_break_by_current(self):
+        task = Task(
+            "T",
+            [
+                DesignPoint(execution_time=2.0, current=100.0),
+                DesignPoint(execution_time=2.0, current=300.0),
+            ],
+        )
+        ordered = task.ordered_design_points()
+        assert ordered[0].current == 300.0
+
+    def test_energies_follow_canonical_order(self):
+        task = make_task()
+        expected = tuple(dp.energy for dp in task.ordered_design_points())
+        assert task.energies() == expected
+
+
+class TestAggregates:
+    def test_average_energy(self):
+        task = make_task()
+        energies = [dp.energy for dp in task.design_points]
+        assert task.average_energy == pytest.approx(sum(energies) / 3)
+
+    def test_min_max_energy(self):
+        task = make_task()
+        assert task.min_energy == pytest.approx(min(dp.energy for dp in task.design_points))
+        assert task.max_energy == pytest.approx(max(dp.energy for dp in task.design_points))
+
+    def test_min_max_execution_time(self):
+        task = make_task()
+        assert task.min_execution_time == 2.0
+        assert task.max_execution_time == 8.0
+
+    def test_min_max_current(self):
+        task = make_task()
+        assert task.min_current == 50.0
+        assert task.max_current == 800.0
+
+    def test_average_current(self):
+        task = make_task()
+        assert task.average_current == pytest.approx((50 + 800 + 200) / 3)
+
+    def test_power_monotone_true(self):
+        assert make_task().is_power_monotone()
+
+    def test_power_monotone_false(self):
+        task = Task(
+            "T",
+            [
+                DesignPoint(execution_time=1.0, current=100.0),
+                DesignPoint(execution_time=2.0, current=500.0),  # slower but hungrier
+            ],
+        )
+        assert not task.is_power_monotone()
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        task = make_task()
+        restored = Task.from_dict(task.to_dict())
+        assert restored.name == task.name
+        assert restored.num_design_points == task.num_design_points
+        assert restored.execution_times() == task.execution_times()
+
+    def test_metadata_preserved(self):
+        task = Task("T", [DesignPoint(1.0, 1.0)], metadata={"kind": "fft"})
+        restored = Task.from_dict(task.to_dict())
+        assert restored.metadata["kind"] == "fft"
+
+    def test_repr(self):
+        assert "T1" in repr(make_task())

@@ -1,0 +1,78 @@
+"""Unit tests for repro.taskgraph.validation."""
+
+import pytest
+
+from repro.errors import PrecedenceViolationError, ScheduleError, TaskGraphError
+from repro.taskgraph import (
+    DesignPoint,
+    Task,
+    TaskGraph,
+    require_power_monotone,
+    require_uniform_design_points,
+    sequence_positions,
+    validate_sequence,
+)
+
+from ..conftest import make_simple_task
+
+
+@pytest.fixture
+def graph():
+    g = TaskGraph(name="g")
+    for name in ("A", "B", "C"):
+        g.add_task(make_simple_task(name))
+    g.add_edge("A", "B")
+    g.add_edge("B", "C")
+    return g
+
+
+class TestSequencePositions:
+    def test_positions(self):
+        assert sequence_positions(["A", "B"]) == {"A": 0, "B": 1}
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ScheduleError):
+            sequence_positions(["A", "A"])
+
+
+class TestValidateSequence:
+    def test_valid(self, graph):
+        validate_sequence(graph, ("A", "B", "C"))
+
+    def test_missing_task(self, graph):
+        with pytest.raises(ScheduleError, match="missing"):
+            validate_sequence(graph, ("A", "B"))
+
+    def test_unknown_task(self, graph):
+        with pytest.raises(ScheduleError, match="unknown"):
+            validate_sequence(graph, ("A", "B", "C", "Z"))
+
+    def test_precedence_violation(self, graph):
+        with pytest.raises(PrecedenceViolationError):
+            validate_sequence(graph, ("B", "A", "C"))
+
+    def test_duplicate_task(self, graph):
+        with pytest.raises(ScheduleError):
+            validate_sequence(graph, ("A", "A", "B"))
+
+
+class TestRequireHelpers:
+    def test_uniform_design_points(self, graph):
+        assert require_uniform_design_points(graph) == 3
+
+    def test_power_monotone_passes(self, graph):
+        require_power_monotone(graph)
+
+    def test_power_monotone_fails(self):
+        graph = TaskGraph()
+        graph.add_task(
+            Task(
+                "bad",
+                [
+                    DesignPoint(execution_time=1.0, current=10.0),
+                    DesignPoint(execution_time=2.0, current=100.0),
+                ],
+            )
+        )
+        with pytest.raises(TaskGraphError, match="monotone"):
+            require_power_monotone(graph)

@@ -1,0 +1,186 @@
+"""Unit tests for the synthetic task-graph generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    DesignPointSynthesis,
+    chain_graph,
+    default_synthesis,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+    tree_graph,
+)
+
+
+class TestChainGraph:
+    def test_structure(self):
+        graph = chain_graph(6, seed=1)
+        assert graph.num_tasks == 6
+        assert graph.num_edges == 5
+        assert graph.entry_tasks() == ("T1",)
+        assert graph.exit_tasks() == ("T6",)
+
+    def test_single_task(self):
+        graph = chain_graph(1, seed=1)
+        assert graph.num_tasks == 1
+        assert graph.num_edges == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            chain_graph(0)
+
+    def test_deterministic(self):
+        a, b = chain_graph(5, seed=7), chain_graph(5, seed=7)
+        assert a.task("T3").execution_times() == b.task("T3").execution_times()
+
+    def test_seed_changes_data(self):
+        a, b = chain_graph(5, seed=7), chain_graph(5, seed=8)
+        assert a.task("T3").execution_times() != b.task("T3").execution_times()
+
+
+class TestForkJoinGraph:
+    def test_single_stage_counts(self):
+        graph = fork_join_graph(num_stages=1, branches_per_stage=4, seed=2)
+        assert graph.num_tasks == 1 + 4 + 1
+        assert graph.num_edges == 8
+
+    def test_multi_stage_counts(self):
+        graph = fork_join_graph(num_stages=3, branches_per_stage=2, seed=2)
+        assert graph.num_tasks == 1 + 3 * (2 + 1)
+        assert graph.entry_tasks() == ("T1",)
+        assert len(graph.exit_tasks()) == 1
+
+    def test_branches_independent(self):
+        graph = fork_join_graph(num_stages=1, branches_per_stage=3, seed=2)
+        branch_names = [name for name in graph.task_names() if name not in ("T1", "T5")]
+        for name in branch_names:
+            assert graph.predecessors(name) == {"T1"}
+            assert graph.successors(name) == {"T5"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            fork_join_graph(num_stages=0)
+        with pytest.raises(ConfigurationError):
+            fork_join_graph(branches_per_stage=0)
+
+
+class TestLayeredGraph:
+    def test_counts(self):
+        graph = layered_graph(num_layers=4, layer_width=3, seed=3)
+        assert graph.num_tasks == 12
+
+    def test_every_non_entry_task_has_a_parent(self):
+        graph = layered_graph(num_layers=5, layer_width=3, edge_probability=0.1, seed=3)
+        entries = set(graph.entry_tasks())
+        for name in graph.task_names():
+            if name not in entries:
+                assert graph.predecessors(name)
+
+    def test_acyclic(self):
+        graph = layered_graph(num_layers=6, layer_width=4, seed=9)
+        graph.validate()
+
+    def test_edge_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            layered_graph(edge_probability=1.5)
+
+    def test_dense_graph_has_more_edges(self):
+        sparse = layered_graph(4, 3, edge_probability=0.1, seed=5)
+        dense = layered_graph(4, 3, edge_probability=1.0, seed=5)
+        assert dense.num_edges >= sparse.num_edges
+
+
+class TestTreeGraph:
+    def test_out_tree(self):
+        graph = tree_graph(depth=3, branching=2, direction="out", seed=4)
+        assert graph.num_tasks == 7
+        assert graph.entry_tasks() == ("T1",)
+        assert len(graph.exit_tasks()) == 4
+
+    def test_in_tree(self):
+        graph = tree_graph(depth=3, branching=2, direction="in", seed=4)
+        assert graph.num_tasks == 7
+        assert graph.exit_tasks() == ("T1",)
+        assert len(graph.entry_tasks()) == 4
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            tree_graph(direction="sideways")
+
+    def test_depth_one_is_single_task(self):
+        graph = tree_graph(depth=1, branching=3, seed=4)
+        assert graph.num_tasks == 1
+
+
+class TestDiamondGraph:
+    def test_counts(self):
+        graph = diamond_graph(width=3, seed=6)
+        assert graph.num_tasks == 9
+        assert graph.num_edges == 12
+
+    def test_wavefront_dependencies(self):
+        graph = diamond_graph(width=2, seed=6)
+        # T1 T2 / T3 T4 laid out row-major; T4 depends on T2 and T3.
+        assert graph.predecessors("T4") == {"T2", "T3"}
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            diamond_graph(width=0)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: chain_graph(8, seed=10),
+            lambda: fork_join_graph(2, 3, seed=10),
+            lambda: layered_graph(4, 3, seed=10),
+            lambda: tree_graph(3, 2, "out", seed=10),
+            lambda: diamond_graph(3, seed=10),
+        ],
+    )
+    def test_generated_graphs_are_valid_and_monotone(self, factory):
+        graph = factory()
+        graph.validate()
+        assert graph.uniform_design_point_count() == 5
+        assert all(task.is_power_monotone() for task in graph)
+        assert graph.min_makespan() < graph.max_makespan()
+
+    def test_custom_synthesis_controls_design_points(self):
+        synthesis = DesignPointSynthesis(factors=(1.0, 0.5), duration_range=(1.0, 2.0))
+        graph = chain_graph(3, synthesis=synthesis, seed=11)
+        assert graph.uniform_design_point_count() == 2
+
+
+class TestSynthesis:
+    def test_default_synthesis_counts(self):
+        assert default_synthesis(5).num_design_points == 5
+        assert default_synthesis(1).num_design_points == 1
+
+    def test_default_synthesis_factor_span(self):
+        factors = default_synthesis(5).factors
+        assert factors[0] == pytest.approx(1.0)
+        assert factors[-1] == pytest.approx(0.33)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            default_synthesis(0)
+        with pytest.raises(ConfigurationError):
+            DesignPointSynthesis(duration_range=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            DesignPointSynthesis(current_range=(10.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            DesignPointSynthesis(factors=())
+
+    def test_make_task_draws_within_ranges(self):
+        import random
+
+        synthesis = DesignPointSynthesis(
+            factors=(1.0, 0.5), duration_range=(2.0, 3.0), current_range=(100.0, 200.0)
+        )
+        task = synthesis.make_task("X", random.Random(0))
+        fastest = task.ordered_design_points()[0]
+        assert 2.0 <= fastest.execution_time <= 3.0
+        assert 100.0 <= fastest.current <= 200.0

@@ -1,0 +1,80 @@
+"""Unit tests for the FFT-butterfly and Gaussian-elimination generators."""
+
+import pytest
+
+from repro.battery import BatterySpec
+from repro.core import battery_aware_schedule
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    fft_graph,
+    gaussian_elimination_graph,
+    problem_with_tightness,
+)
+
+
+class TestFftGraph:
+    def test_task_count(self):
+        # (stages + 1) layers of num_points tasks each.
+        graph = fft_graph(num_points=4, seed=1)
+        assert graph.num_tasks == 3 * 4
+        graph.validate()
+
+    def test_edge_count(self):
+        # Every non-input task has exactly two predecessors.
+        graph = fft_graph(num_points=8, seed=1)
+        stages = 3
+        assert graph.num_edges == 2 * stages * 8
+
+    def test_butterfly_dependencies(self):
+        graph = fft_graph(num_points=4, seed=1)
+        # Stage-1 task at position 0 (T5) depends on stage-0 positions 0 and 1 (T1, T2).
+        assert graph.predecessors("T5") == {"T1", "T2"}
+        # Stage-2 task at position 0 (T9) depends on stage-1 positions 0 and 2 (T5, T7).
+        assert graph.predecessors("T9") == {"T5", "T7"}
+
+    def test_inputs_and_outputs(self):
+        graph = fft_graph(num_points=4, seed=1)
+        assert len(graph.entry_tasks()) == 4
+        assert len(graph.exit_tasks()) == 4
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            fft_graph(num_points=6)
+        with pytest.raises(ConfigurationError):
+            fft_graph(num_points=1)
+
+    def test_schedulable(self):
+        graph = fft_graph(num_points=4, seed=5)
+        problem = problem_with_tightness(graph, 0.5, battery=BatterySpec(beta=0.273))
+        assert battery_aware_schedule(problem).feasible
+
+
+class TestGaussianEliminationGraph:
+    def test_task_count(self):
+        # n(n+1)/2 - 1 tasks for an n-column matrix.
+        for n in (2, 3, 4, 5):
+            graph = gaussian_elimination_graph(matrix_size=n, seed=2)
+            assert graph.num_tasks == n * (n + 1) // 2 - 1
+            graph.validate()
+
+    def test_single_entry_and_exit(self):
+        graph = gaussian_elimination_graph(matrix_size=4, seed=2)
+        assert len(graph.entry_tasks()) == 1
+        assert len(graph.exit_tasks()) == 1
+
+    def test_pivot_depends_on_previous_update(self):
+        graph = gaussian_elimination_graph(matrix_size=3, seed=2)
+        # Tasks: P1, U2, U3, P4, U5 — the second pivot depends on the first
+        # step's update of its own column.
+        assert graph.predecessors("P4") == {"U2"}
+        assert graph.predecessors("U5") == {"P4", "U3"}
+
+    def test_matrix_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_elimination_graph(matrix_size=1)
+
+    def test_monotone_and_schedulable(self):
+        graph = gaussian_elimination_graph(matrix_size=5, seed=9)
+        assert all(task.is_power_monotone() for task in graph)
+        problem = problem_with_tightness(graph, 0.4, battery=BatterySpec(beta=0.273))
+        assert battery_aware_schedule(problem).feasible

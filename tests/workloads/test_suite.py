@@ -1,0 +1,48 @@
+"""Unit tests for the benchmark suite helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import problem_with_tightness, standard_suite, suite_problems
+
+
+class TestProblemWithTightness:
+    def test_zero_tightness_is_min_makespan(self, g3):
+        problem = problem_with_tightness(g3, 0.0)
+        assert problem.deadline == pytest.approx(g3.min_makespan())
+
+    def test_one_tightness_is_max_makespan(self, g3):
+        problem = problem_with_tightness(g3, 1.0)
+        assert problem.deadline == pytest.approx(g3.max_makespan())
+
+    def test_interpolation(self, g3):
+        problem = problem_with_tightness(g3, 0.5)
+        expected = 0.5 * (g3.min_makespan() + g3.max_makespan())
+        assert problem.deadline == pytest.approx(expected)
+
+    def test_invalid_tightness(self, g3):
+        with pytest.raises(ConfigurationError):
+            problem_with_tightness(g3, 1.5)
+
+    def test_default_name(self, g3):
+        assert "G3" in problem_with_tightness(g3, 0.25).name
+
+
+class TestStandardSuite:
+    def test_entries_unique_and_buildable(self):
+        entries = standard_suite()
+        names = [entry.name for entry in entries]
+        assert len(names) == len(set(names))
+        assert "g2" in names and "g3" in names
+        for entry in entries:
+            graph = entry.build()
+            graph.validate()
+
+    def test_suite_problems_counts(self):
+        problems = suite_problems(tightness_levels=(0.3, 0.7), names=("g2", "chain-10"))
+        assert len(problems) == 4
+        assert all(problem.is_feasible() for problem in problems)
+
+    def test_suite_problems_all_entries(self):
+        problems = suite_problems(tightness_levels=(0.5,))
+        assert len(problems) == len(standard_suite())
