@@ -32,6 +32,9 @@ Subpackages
     The [1]-style DP+greedy baseline and further comparison schedulers.
 ``repro.workloads``
     Synthetic task-graph generators and the benchmark suite.
+``repro.engine``
+    Parallel experiment execution: jobs, executors, battery-cost caching
+    and resumable result stores.
 ``repro.analysis``
     Metrics, text tables and algorithm comparisons.
 ``repro.experiments``

@@ -65,13 +65,22 @@ def simulated_annealing_baseline(
     problem: SchedulingProblem,
     config: Optional[AnnealingConfig] = None,
     model: Optional[BatteryModel] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> BaselineResult:
-    """Anneal over sequences and assignments; returns the best feasible state found."""
+    """Anneal over sequences and assignments; returns the best feasible state found.
+
+    Randomness is fully explicit so results are reproducible end-to-end:
+    ``rng`` (an externally owned :class:`random.Random`) takes precedence,
+    then ``seed``, then ``config.seed``.  Two calls with the same problem
+    and the same seed walk the identical trajectory.
+    """
     config = config or AnnealingConfig()
     battery_model = model if model is not None else problem.model()
     graph = problem.graph
     deadline = problem.deadline
-    rng = random.Random(config.seed)
+    if rng is None:
+        rng = random.Random(config.seed if seed is None else seed)
 
     sequence = list(sequence_by_decreasing_energy(graph))
     m = graph.uniform_design_point_count()

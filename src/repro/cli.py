@@ -16,10 +16,13 @@ Schedule an arbitrary task graph stored as JSON::
 
     python -m repro.cli schedule my_graph.json --deadline 120 --beta 0.273
 
-Run the extension experiments::
+Run the extension experiments (optionally fanned out over worker processes
+through the experiment engine, with a resumable result store)::
 
     python -m repro.cli ablation
     python -m repro.cli sweep --graph g3 --points 6
+    python -m repro.cli sweep --jobs 4 --results-dir results
+    python -m repro.cli sweep --jobs 4 --results-dir results --resume
 """
 
 from __future__ import annotations
@@ -27,11 +30,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import gantt_chart
 from .battery import BatterySpec
 from .core import SchedulerConfig, battery_aware_schedule, refine_solution
+from .engine import ResultStore, default_executor
 from .experiments import (
     deadline_sweep,
     figure3_windows,
@@ -58,16 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+        """Experiment-engine controls shared by the batch commands."""
+        subparser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the experiment engine (1 = in-process)")
+        subparser.add_argument(
+            "--resume", action="store_true",
+            help="skip jobs whose results are already in the result store")
+        subparser.add_argument(
+            "--results-dir", default=None, metavar="DIR",
+            help="directory for the append-only JSONL result store "
+                 "(default: %(default)s; --resume alone implies .repro-results)")
+
     subparsers.add_parser("table2", help="reproduce Table 2 (sequences per iteration)")
     subparsers.add_parser("table3", help="reproduce Table 3 (sigma/Delta per window)")
     table4 = subparsers.add_parser("table4", help="reproduce Table 4 (comparison with the [1]-style baseline)")
     table4.add_argument("--no-paper", action="store_true", help="omit the published reference columns")
+    add_engine_arguments(table4)
     subparsers.add_parser("figures", help="reproduce Figures 3-5 and the Table 1 scaling check")
-    subparsers.add_parser("ablation", help="factor ablation over the Table 4 instances")
+    ablation = subparsers.add_parser("ablation", help="factor ablation over the Table 4 instances")
+    add_engine_arguments(ablation)
 
     sweep = subparsers.add_parser("sweep", help="deadline sweep of ours vs. baselines")
     sweep.add_argument("--graph", choices=("g2", "g3"), default="g3")
     sweep.add_argument("--points", type=int, default=6)
+    add_engine_arguments(sweep)
 
     schedule = subparsers.add_parser("schedule", help="schedule a task graph stored as JSON")
     schedule.add_argument("graph", help="path to a task-graph JSON file (see repro.taskgraph.io)")
@@ -82,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_options(args: argparse.Namespace) -> dict:
+    """Executor/store/resume keyword arguments from the engine CLI flags."""
+    results_dir = args.results_dir
+    if results_dir is None and args.resume:
+        results_dir = ".repro-results"
+    store = None
+    if results_dir is not None:
+        store = ResultStore(Path(results_dir) / f"{args.command}.jsonl")
+    return {
+        "executor": default_executor(args.jobs),
+        "store": store,
+        "resume": args.resume,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -92,7 +128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table3":
         out.append(run_table3().to_table().to_text())
     elif args.command == "table4":
-        out.append(run_table4().to_table(include_paper=not args.no_paper).to_text())
+        result = run_table4(**_engine_options(args))
+        out.append(result.to_table(include_paper=not args.no_paper).to_text())
     elif args.command == "figures":
         out.append(figure3_windows().to_text())
         out.append("")
@@ -106,7 +143,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out.append("")
         out.append(scaling_regeneration_report().to_text())
     elif args.command == "ablation":
-        result = run_ablation()
+        result = run_ablation(**_engine_options(args))
         out.append(result.to_table().to_text())
         out.append("")
         out.append("mean cost change when dropping each factor (%):")
@@ -114,7 +151,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out.append(f"  {factor}: {change:+.2f}")
     elif args.command == "sweep":
         graph = build_g3() if args.graph == "g3" else build_g2()
-        out.append(deadline_sweep(graph, num_points=args.points).to_table().to_text())
+        sweep_result = deadline_sweep(
+            graph, num_points=args.points, **_engine_options(args)
+        )
+        out.append(sweep_result.to_table().to_text())
     elif args.command == "schedule":
         graph = load_json(args.graph)
         problem = SchedulingProblem(

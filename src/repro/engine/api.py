@@ -1,0 +1,237 @@
+"""Single entry point of the experiment engine: :func:`run_experiments`.
+
+The experiment layer (Table 4, the sweeps, the ablation, the benchmarks and
+the CLI) describes its work as *problems x algorithms*, hands the resulting
+job list to an executor, and optionally threads a result store through so
+interrupted runs resume where they stopped::
+
+    from repro.engine import ParallelExecutor, ResultStore, run_experiments
+    from repro.workloads import suite_problems
+
+    run = run_experiments(
+        suite_problems(),
+        ["iterative", "dp-energy+greedy"],
+        executor=ParallelExecutor(max_workers=4),
+        store=ResultStore("results/suite.jsonl"),
+        resume=True,
+    )
+    print(run.to_table().to_text())
+
+Results always come back in job order (problems outer, algorithms inner),
+independent of executor and of how many jobs were answered from the store,
+so downstream tables are reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..analysis import TextTable
+from ..errors import ConfigurationError
+from ..scheduling import SchedulingProblem
+from .executors import ProgressCallback, SerialExecutor
+from .jobs import Job, JobResult
+from .store import ResultStore
+
+__all__ = ["ExperimentRun", "build_jobs", "run_jobs", "run_experiments"]
+
+#: ``algorithms`` accepts plain names or name -> params mappings.
+AlgorithmSpec = Union[Sequence[str], Mapping[str, Mapping[str, Any]]]
+
+
+def build_jobs(
+    problems: Iterable[SchedulingProblem],
+    algorithms: AlgorithmSpec,
+    params: Optional[Mapping[str, Any]] = None,
+) -> List[Job]:
+    """The cross product of problems and algorithms as a job list.
+
+    ``algorithms`` is either a sequence of registered names or a mapping
+    ``name -> per-algorithm params``; ``params`` (if given) is merged into
+    every job's parameters (per-algorithm entries win on conflict).
+    """
+    if isinstance(algorithms, Mapping):
+        pairs = [(name, dict(algorithms[name] or {})) for name in algorithms]
+    else:
+        pairs = [(name, {}) for name in algorithms]
+    if not pairs:
+        raise ConfigurationError("at least one algorithm is required")
+    shared = dict(params or {})
+    jobs: List[Job] = []
+    for problem in problems:
+        for name, algo_params in pairs:
+            merged = {**shared, **algo_params}
+            jobs.append(Job(problem=problem, algorithm=name, params=merged))
+    if not jobs:
+        raise ConfigurationError("at least one problem is required")
+    return jobs
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """Everything produced by one :func:`run_experiments` call."""
+
+    jobs: Tuple[Job, ...]
+    results: Tuple[JobResult, ...]
+    executed: int
+    """Jobs actually run in this call."""
+    skipped: int
+    """Jobs answered from the result store (resume hits)."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a schedule."""
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> Tuple[JobResult, ...]:
+        """The results that captured an error."""
+        return tuple(result for result in self.results if not result.ok)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cache_hits for result in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(result.cache_misses for result in self.results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Battery-cost cache hit rate aggregated over every executed job."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Summed per-job execution time (CPU-side, excludes pool overhead)."""
+        return sum(result.elapsed_s for result in self.results)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def result_for(self, problem_name: str, algorithm: str) -> JobResult:
+        """The result of one (problem, algorithm) cell."""
+        for job, result in zip(self.jobs, self.results):
+            if result.problem_name == problem_name and result.algorithm == algorithm:
+                return result
+        raise KeyError(f"no result for {problem_name!r} / {algorithm!r}")
+
+    def by_problem(self) -> Dict[str, Dict[str, JobResult]]:
+        """Results regrouped as ``problem name -> algorithm -> result``."""
+        grouped: Dict[str, Dict[str, JobResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.problem_name, {})[result.algorithm] = result
+        return grouped
+
+    def to_table(self) -> TextTable:
+        """One row per job: problem, algorithm, sigma, makespan, status."""
+        table = TextTable(
+            title="Experiment run",
+            headers=("problem", "algorithm", "sigma", "makespan", "status"),
+        )
+        for result in self.results:
+            table.add_row(
+                result.problem_name,
+                result.algorithm,
+                result.cost,
+                result.makespan,
+                "ok" if result.ok else result.error,
+            )
+        return table
+
+    def summary(self) -> str:
+        """One-line accounting summary."""
+        return (
+            f"{len(self.results)} jobs ({self.executed} executed, "
+            f"{self.skipped} resumed), {len(self.failures())} failed, "
+            f"cache hit rate {self.cache_hit_rate:.1%}"
+        )
+
+
+def run_experiments(
+    problems: Iterable[SchedulingProblem],
+    algorithms: AlgorithmSpec,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> ExperimentRun:
+    """Run every algorithm on every problem through an executor.
+
+    Parameters
+    ----------
+    problems:
+        Problem instances (e.g. :func:`repro.workloads.suite_problems`).
+    algorithms:
+        Registered algorithm names, or a mapping of name -> params.
+    executor:
+        Any object with the executor contract (``run(jobs, progress=...)``);
+        defaults to a fresh :class:`~repro.engine.executors.SerialExecutor`.
+    store:
+        Optional :class:`~repro.engine.store.ResultStore`; every newly
+        executed result is appended to it.
+    resume:
+        When true (requires ``store``), jobs whose key already has a
+        successful stored result are not executed again.
+    progress:
+        Optional ``(done, total, result)`` callback for newly executed jobs.
+    params:
+        Extra parameters merged into every job (see :func:`build_jobs`).
+    """
+    jobs = build_jobs(problems, algorithms, params=params)
+    return run_jobs(jobs, executor=executor, store=store, resume=resume, progress=progress)
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentRun:
+    """Run an explicit job list (the layer below :func:`run_experiments`).
+
+    Drivers whose jobs are not a plain problems-x-algorithms cross product
+    (e.g. the ablation, which varies per-job parameters) build their job
+    lists by hand and come in here.  Ordering, store and resume semantics
+    are identical to :func:`run_experiments`.
+    """
+    if resume and store is None:
+        raise ConfigurationError("resume=True requires a result store")
+    jobs = list(jobs)
+    executor = executor if executor is not None else SerialExecutor()
+
+    if resume and store is not None:
+        pending, done = store.split_pending(jobs)
+    else:
+        pending, done = list(jobs), {}
+
+    fresh = executor.run(pending, progress=progress) if pending else []
+    if store is not None:
+        store.append_many(fresh)
+
+    by_key: Dict[str, JobResult] = dict(done)
+    for result in fresh:
+        by_key[result.key] = result
+    ordered = tuple(by_key[job.key()] for job in jobs)
+    return ExperimentRun(
+        jobs=tuple(jobs),
+        results=ordered,
+        executed=len(fresh),
+        skipped=len(done),
+    )

@@ -1,0 +1,182 @@
+"""Memoisation of battery-cost evaluations.
+
+Profiling the experiment drivers shows that virtually all of their time is
+spent inside :meth:`~repro.battery.BatteryModel.apparent_charge`: the window
+search, the weighted re-sequencing, the baselines and every sweep coordinate
+evaluate the Rakhmatov–Vrudhula series over and over for *identical*
+discharge profiles (the same sequence prefix with the same design points
+keeps reappearing across windows and iterations).  The evaluation is a pure
+function of ``(model parameters, profile intervals, evaluation time)``, so it
+memoises perfectly.
+
+:class:`BatteryCostCache` is a bounded LRU mapping from that fingerprint to
+sigma, and :class:`CachedBatteryModel` is a drop-in :class:`BatteryModel`
+wrapper that routes ``apparent_charge`` through a cache.  Because every
+algorithm in the library accepts a ``model`` override, injecting the cache
+needs no changes to the algorithms themselves — the engine's executors wrap
+each job's model before running it.
+
+Keys use the *exact* float values of the profile (no rounding), so a cache
+hit returns bit-for-bit the number the wrapped model would have produced;
+parallel and serial engine runs therefore stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from ..battery import BatteryModel, LoadProfile
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CacheStats",
+    "BatteryCostCache",
+    "CachedBatteryModel",
+    "model_signature",
+]
+
+#: Default LRU bound.  One entry is a short tuple key plus a float, so even
+#: this many entries stay in the low tens of megabytes.
+DEFAULT_CACHE_SIZE = 200_000
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`BatteryCostCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (used for per-job accounting deltas)."""
+        return CacheStats(hits=self.hits, misses=self.misses, evictions=self.evictions)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+
+def model_signature(model: BatteryModel) -> Tuple:
+    """A hashable fingerprint of a battery model's cost function.
+
+    Two models with equal signatures must produce identical
+    ``apparent_charge`` values for every profile, so that one cache can be
+    shared safely across models (e.g. across beta-sweep coordinates).
+    """
+    beta = getattr(model, "beta", None)
+    series_terms = getattr(model, "series_terms", None)
+    if beta is not None:
+        return (type(model).__name__, float(beta), series_terms)
+    # Fallback: parameter-free models (e.g. the ideal battery) key by type;
+    # anything else keys by repr, which every model implements.
+    return (type(model).__name__, repr(model))
+
+
+class BatteryCostCache:
+    """Bounded LRU cache of apparent-charge evaluations.
+
+    The cache itself is model-agnostic: the model signature is part of every
+    key, so a single instance may back many :class:`CachedBatteryModel`
+    wrappers (the engine gives each worker process one shared cache).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Optional[float]:
+        """The cached value for ``key`` (refreshing its recency), or None."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def insert(self, key: Hashable, value: float) -> None:
+        """Store ``value``, evicting the least recently used entry when full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+def _profile_key(profile: LoadProfile, at_time: Optional[float]) -> Tuple:
+    """Exact-value fingerprint of one evaluation request."""
+    intervals = tuple(
+        (iv.start, iv.duration, iv.current) for iv in profile if iv.current != 0.0
+    )
+    return (intervals, at_time if at_time is not None else profile.end_time)
+
+
+class CachedBatteryModel(BatteryModel):
+    """A :class:`BatteryModel` that memoises ``apparent_charge`` calls.
+
+    Wraps any inner model and is substitutable anywhere the library accepts
+    a model (the core scheduler, every baseline, the sweep evaluators).  The
+    derived helpers inherited from :class:`BatteryModel` (``cost``,
+    ``lifetime``, ...) route through the cached ``apparent_charge`` too.
+    """
+
+    def __init__(
+        self, inner: BatteryModel, cache: Optional[BatteryCostCache] = None
+    ) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else BatteryCostCache()
+        self._signature = model_signature(inner)
+
+    # Expose the wrapped model's parameters so code that introspects the
+    # model (e.g. reports printing beta) keeps working on the wrapper.
+    @property
+    def beta(self) -> Optional[float]:
+        return getattr(self.inner, "beta", None)
+
+    @property
+    def series_terms(self) -> Optional[int]:
+        return getattr(self.inner, "series_terms", None)
+
+    def apparent_charge(
+        self, profile: LoadProfile, at_time: Optional[float] = None
+    ) -> float:
+        key = (self._signature, _profile_key(profile, at_time))
+        value = self.cache.lookup(key)
+        if value is None:
+            value = self.inner.apparent_charge(profile, at_time=at_time)
+            self.cache.insert(key, value)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedBatteryModel({self.inner!r}, entries={len(self.cache)}, "
+            f"hit_rate={self.cache.stats.hit_rate:.1%})"
+        )

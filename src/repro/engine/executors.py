@@ -1,0 +1,219 @@
+"""Pluggable job executors: serial and process-parallel.
+
+Both executors implement the same tiny contract — ``run(jobs, progress=...)``
+returns one :class:`~repro.engine.jobs.JobResult` per job, *in submission
+order* — so callers never care which one they hold.  Deterministic ordering
+is part of the contract: a parallel run must produce the same result rows as
+a serial run, byte for byte, regardless of completion order.
+
+Error isolation is also part of the contract: a job that raises is captured
+into ``JobResult.error`` and the rest of the batch keeps running.  A sweep
+with one pathological instance therefore degrades to one ``inf`` cell
+instead of a crashed process.
+
+Each executor owns a :class:`~repro.engine.cache.BatteryCostCache` that is
+shared across all jobs it runs (one cache per worker process in the parallel
+case), so repeated battery-cost evaluations across jobs — extremely common
+in sweeps, where neighbouring coordinates revisit the same profiles — are
+answered from memory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent import futures
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .cache import DEFAULT_CACHE_SIZE, BatteryCostCache, CachedBatteryModel
+from .jobs import Job, JobResult, get_algorithm
+
+__all__ = [
+    "ProgressCallback",
+    "execute_job",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_executor",
+]
+
+#: ``progress(done, total, result)`` is invoked after every job completes.
+ProgressCallback = Callable[[int, int, JobResult], None]
+
+
+def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult:
+    """Run one job to completion, capturing any failure into the result.
+
+    This is the single execution path used by both executors (and by worker
+    processes, which is why it is a module-level function: it must be
+    importable by name on the far side of a process boundary).
+    """
+    if cache is None:
+        cache = _worker_cache()
+    before = cache.stats.snapshot()
+    model = CachedBatteryModel(job.problem.model(), cache)
+    runner = get_algorithm(job.algorithm)
+    started = time.perf_counter()
+    try:
+        outcome = runner(job.problem, model, dict(job.params))
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        elapsed = time.perf_counter() - started
+        used = cache.stats.delta(before)
+        return JobResult(
+            key=job.key(),
+            algorithm=job.algorithm,
+            problem_name=job.problem.name or job.problem.graph.name or "",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=elapsed,
+            cache_hits=used.hits,
+            cache_misses=used.misses,
+        )
+    elapsed = time.perf_counter() - started
+    used = cache.stats.delta(before)
+    makespan = float(outcome.makespan)
+    return JobResult(
+        key=job.key(),
+        algorithm=job.algorithm,
+        problem_name=job.problem.name or job.problem.graph.name or "",
+        cost=float(outcome.cost),
+        makespan=makespan,
+        feasible=makespan <= job.problem.deadline + 1e-9,
+        sequence=tuple(outcome.sequence),
+        assignment={name: int(col) for name, col in outcome.assignment.items()},
+        elapsed_s=elapsed,
+        cache_hits=used.hits,
+        cache_misses=used.misses,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker-process cache (one per process, lazily created)
+# ----------------------------------------------------------------------
+_PROCESS_CACHE: Optional[BatteryCostCache] = None
+_PROCESS_CACHE_SIZE = DEFAULT_CACHE_SIZE
+
+
+def _init_worker(cache_size: int) -> None:
+    """Process-pool initializer: give this worker a fresh bounded cache."""
+    global _PROCESS_CACHE, _PROCESS_CACHE_SIZE
+    _PROCESS_CACHE_SIZE = cache_size
+    _PROCESS_CACHE = BatteryCostCache(cache_size)
+
+
+def _worker_cache() -> BatteryCostCache:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = BatteryCostCache(_PROCESS_CACHE_SIZE)
+    return _PROCESS_CACHE
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process.
+
+    The executor keeps its cache across :meth:`run` calls, so driving several
+    batches through one executor (as the CLI and the sweep drivers do)
+    compounds the hit rate.
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.cache = BatteryCostCache(cache_size)
+
+    @property
+    def max_workers(self) -> int:
+        return 1
+
+    def run(
+        self, jobs: Iterable[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[JobResult]:
+        """Execute every job; always returns results in submission order."""
+        job_list = list(jobs)
+        results: List[JobResult] = []
+        for index, job in enumerate(job_list):
+            result = execute_job(job, cache=self.cache)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, len(job_list), result)
+        return results
+
+    def __repr__(self) -> str:
+        return f"SerialExecutor(cache_entries={len(self.cache)})"
+
+
+class ParallelExecutor:
+    """Fan jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Jobs are pure data and the runner is resolved by name inside the worker,
+    so the only pickled payload is the job spec itself.  Each worker process
+    holds one battery-cost cache for its lifetime.  Results are re-ordered
+    to submission order before returning, keeping parallel output identical
+    to serial output.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers!r}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.cache_size = cache_size
+        self._serial_fallback: Optional[SerialExecutor] = None
+
+    def run(
+        self, jobs: Iterable[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[JobResult]:
+        """Execute every job across the pool; results in submission order."""
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        if self.max_workers == 1 or len(job_list) == 1:
+            # A one-worker pool would pay process start-up for nothing; the
+            # fallback executor persists so its cache spans run() calls.
+            if self._serial_fallback is None:
+                self._serial_fallback = SerialExecutor(self.cache_size)
+            return self._serial_fallback.run(job_list, progress=progress)
+
+        results: List[Optional[JobResult]] = [None] * len(job_list)
+        workers = min(self.max_workers, len(job_list))
+        with futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.cache_size,),
+        ) as pool:
+            pending = {
+                pool.submit(execute_job, job): index
+                for index, job in enumerate(job_list)
+            }
+            done = 0
+            for future in futures.as_completed(pending):
+                index = pending[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # pool/pickling failure, not the job
+                    job = job_list[index]
+                    result = JobResult(
+                        key=job.key(),
+                        algorithm=job.algorithm,
+                        problem_name=job.problem.name or job.problem.graph.name or "",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                results[index] = result
+                done += 1
+                if progress is not None:
+                    progress(done, len(job_list), result)
+        return [result for result in results if result is not None]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(max_workers={self.max_workers})"
+
+
+def default_executor(jobs: Optional[int] = None):
+    """The executor implied by a ``--jobs N`` style setting.
+
+    ``None`` or ``1`` selects the serial executor; anything larger a process
+    pool of that many workers.
+    """
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(max_workers=jobs)

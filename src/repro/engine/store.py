@@ -1,0 +1,118 @@
+"""Append-only JSONL result store with resume support.
+
+Every completed :class:`~repro.engine.jobs.JobResult` is appended to a
+``*.jsonl`` file as one JSON object per line, flushed immediately, so a run
+killed half-way leaves a valid store behind.  On the next run the engine
+loads the store, skips every job whose key already has a *successful* result
+(failed jobs are retried — their error may have been transient), and only
+executes the remainder.
+
+Append-only means a key can legitimately appear more than once (a retried
+failure, a forced re-run); the last line wins on load.  Lines that fail to
+parse — e.g. the torn final line of an interrupted run — are counted and
+skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple, Union
+
+from .jobs import Job, JobResult
+
+__all__ = ["ResultStore"]
+
+_PathLike = Union[str, Path]
+
+
+class ResultStore:
+    """A durable key -> :class:`JobResult` mapping backed by one JSONL file."""
+
+    def __init__(self, path: _PathLike) -> None:
+        self.path = Path(path)
+        self.corrupt_lines = 0
+
+    def exists(self) -> bool:
+        """True when the backing file is present on disk."""
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, JobResult]:
+        """All stored results, last write per key winning."""
+        results: Dict[str, JobResult] = {}
+        self.corrupt_lines = 0
+        if not self.path.exists():
+            return results
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    result = JobResult.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    self.corrupt_lines += 1
+                    continue
+                results[result.key] = result
+        return results
+
+    def completed_keys(self, include_failed: bool = False) -> Set[str]:
+        """Keys that already hold a result (successful ones only by default)."""
+        return {
+            key
+            for key, result in self.load().items()
+            if include_failed or result.ok
+        }
+
+    def split_pending(
+        self, jobs: Iterable[Job]
+    ) -> Tuple[List[Job], Dict[str, JobResult]]:
+        """Partition ``jobs`` into (still to run, already-done key -> result).
+
+        A job counts as done only when the store holds a *successful* result
+        under its key; failed results are returned for inspection but their
+        jobs are scheduled again.
+        """
+        known = self.load()
+        pending: List[Job] = []
+        done: Dict[str, JobResult] = {}
+        for job in jobs:
+            key = job.key()
+            result = known.get(key)
+            if result is not None and result.ok:
+                done[key] = result
+            else:
+                pending.append(job)
+        return pending, done
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, result: JobResult) -> None:
+        """Durably append one result (parent directory is created on demand)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(result.to_dict(), sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+
+    def append_many(self, results: Iterable[JobResult]) -> None:
+        """Append several results with a single open/flush cycle."""
+        results = list(results)
+        if not results:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for result in results:
+                handle.write(json.dumps(result.to_dict(), sort_keys=True))
+                handle.write("\n")
+            handle.flush()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"

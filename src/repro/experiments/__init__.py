@@ -22,7 +22,14 @@ from .models import (
     battery_model_crosscheck,
     default_models,
 )
-from .sweep import SweepPoint, SweepResult, beta_sweep, deadline_sweep, default_algorithms
+from .sweep import (
+    SWEEP_ALGORITHMS,
+    SweepPoint,
+    SweepResult,
+    beta_sweep,
+    deadline_sweep,
+    default_algorithms,
+)
 from .table2 import Table2Result, Table2Row, run_table2
 from .table3 import Table3Result, Table3Row, run_table3
 from .table4 import PAPER_TABLE4, Table4Result, Table4Row, run_table4, table4_problems
@@ -55,6 +62,7 @@ __all__ = [
     "deadline_sweep",
     "beta_sweep",
     "default_algorithms",
+    "SWEEP_ALGORITHMS",
     "SweepResult",
     "SweepPoint",
     "battery_model_crosscheck",

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import TextTable
-from ..core import FactorWeights, SchedulerConfig, battery_aware_schedule
+from ..core import SchedulerConfig
+from ..engine import Job, ResultStore, run_jobs, scheduler_config_params
+from ..errors import AlgorithmError
 from ..scheduling import SchedulingProblem
 from .table4 import table4_problems
 
@@ -72,37 +74,50 @@ class AblationResult:
 def run_ablation(
     problems: Optional[Sequence[SchedulingProblem]] = None,
     config: Optional[SchedulerConfig] = None,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> AblationResult:
     """Run the full heuristic and each single-factor ablation over ``problems``.
 
     Defaults to the six Table 4 instances, which keeps the experiment
-    anchored to the paper's workloads.
+    anchored to the paper's workloads.  Each (problem, dropped-factor) cell
+    is one engine job — six problems times six configurations fan out over
+    ``executor`` and can resume from a result store.
     """
-    base_config = config or SchedulerConfig()
     problem_list = list(problems) if problems is not None else list(table4_problems())
+    base_params = scheduler_config_params(config)
 
-    rows: List[AblationRow] = []
+    jobs: List[Job] = []
     for problem in problem_list:
-        full = battery_aware_schedule(problem, config=base_config)
-        ablated_costs: Dict[str, float] = {}
+        jobs.append(Job(problem=problem, algorithm="iterative", params=base_params))
         for factor in FACTOR_NAMES:
-            ablated_config = SchedulerConfig(
-                max_iterations=base_config.max_iterations,
-                evaluate_at=base_config.evaluate_at,
-                factor_weights=FactorWeights.without(factor),
-                require_feasible_windows=base_config.require_feasible_windows,
-                repair_infeasible=base_config.repair_infeasible,
-                record_evaluations=False,
-                improvement_tolerance=base_config.improvement_tolerance,
+            jobs.append(
+                Job(
+                    problem=problem,
+                    algorithm="iterative",
+                    params=scheduler_config_params(config, drop_factor=factor),
+                )
             )
-            ablated = battery_aware_schedule(problem, config=ablated_config)
-            ablated_costs[factor] = ablated.cost
+
+    run = run_jobs(jobs, executor=executor, store=store, resume=resume)
+    if not run.ok:
+        failed = "; ".join(result.summary() for result in run.failures())
+        raise AlgorithmError(f"ablation failed: {failed}")
+
+    per_problem = 1 + len(FACTOR_NAMES)
+    rows: List[AblationRow] = []
+    for index, problem in enumerate(problem_list):
+        cells = run.results[index * per_problem : (index + 1) * per_problem]
+        full, ablated = cells[0], cells[1:]
         rows.append(
             AblationRow(
                 problem_name=problem.name or problem.graph.name,
                 deadline=problem.deadline,
                 full_cost=full.cost,
-                ablated_costs=ablated_costs,
+                ablated_costs={
+                    factor: result.cost for factor, result in zip(FACTOR_NAMES, ablated)
+                },
             )
         )
     return AblationResult(rows=tuple(rows))

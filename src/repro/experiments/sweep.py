@@ -10,6 +10,14 @@ Two sweeps extend the paper's point comparisons into curves:
   parameter ``beta``: as the battery approaches ideal behaviour the gap
   between battery-aware and energy-only scheduling should close, which is
   the motivating claim of Section 3.
+
+Both sweeps submit their (coordinate, algorithm) grid to the experiment
+engine (:mod:`repro.engine`), so they fan out across worker processes via
+``executor=``, share the battery-cost cache within each worker, and resume
+from a :class:`~repro.engine.ResultStore` when asked.  A failed cell
+surfaces as ``inf`` instead of aborting the sweep.  Passing an explicit
+``algorithms`` mapping of callables bypasses the engine and evaluates them
+in-process (the legacy path, kept for ad-hoc algorithm experiments).
 """
 
 from __future__ import annotations
@@ -26,11 +34,28 @@ from ..baselines import (
 )
 from ..battery import BatterySpec
 from ..core import SchedulerConfig, battery_aware_schedule
+from ..engine import ResultStore, run_experiments
 from ..errors import ConfigurationError
 from ..scheduling import SchedulingProblem
 from ..taskgraph import TaskGraph
 
-__all__ = ["SweepPoint", "SweepResult", "default_algorithms", "deadline_sweep", "beta_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "SWEEP_ALGORITHMS",
+    "default_algorithms",
+    "deadline_sweep",
+    "beta_sweep",
+]
+
+#: The sweep's algorithm set as (display label, engine registry name) pairs.
+SWEEP_ALGORITHMS: Tuple[Tuple[str, str], ...] = (
+    ("iterative (ours)", "iterative"),
+    ("dp-energy+greedy", "dp-energy+greedy"),
+    ("last-task-first", "last-task-first"),
+    ("best-uniform", "best-uniform"),
+    ("all-fastest", "all-fastest"),
+)
 
 
 @dataclass(frozen=True)
@@ -71,7 +96,7 @@ class SweepResult:
 def default_algorithms(
     config: Optional[SchedulerConfig] = None,
 ) -> Dict[str, Callable[[SchedulingProblem], object]]:
-    """The algorithm set used by the sweeps: ours plus three baselines."""
+    """The sweep's algorithm set as in-process callables (legacy path)."""
     scheduler_config = config or SchedulerConfig()
     return {
         "iterative (ours)": lambda problem: battery_aware_schedule(problem, config=scheduler_config),
@@ -93,12 +118,39 @@ def _evaluate(problem: SchedulingProblem, algorithms: Mapping[str, Callable]) ->
     return costs
 
 
+def _engine_points(
+    problems: Sequence[SchedulingProblem],
+    coordinates: Sequence[float],
+    executor,
+    store: Optional[ResultStore],
+    resume: bool,
+) -> List[SweepPoint]:
+    """Run the sweep grid through the engine and fold results into points."""
+    engine_names = [engine for _, engine in SWEEP_ALGORITHMS]
+    run = run_experiments(
+        problems, engine_names, executor=executor, store=store, resume=resume
+    )
+    per_problem = len(engine_names)
+    points: List[SweepPoint] = []
+    for index, coordinate in enumerate(coordinates):
+        row = run.results[index * per_problem : (index + 1) * per_problem]
+        costs = {
+            display: float(result.cost) if result.ok else float("inf")
+            for (display, _), result in zip(SWEEP_ALGORITHMS, row)
+        }
+        points.append(SweepPoint(coordinate=coordinate, costs=costs))
+    return points
+
+
 def deadline_sweep(
     graph: TaskGraph,
     num_points: int = 8,
     battery: Optional[BatterySpec] = None,
     algorithms: Optional[Mapping[str, Callable]] = None,
     margin: float = 0.02,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Scan the deadline between the all-fastest and all-slowest makespans.
 
@@ -108,23 +160,36 @@ def deadline_sweep(
     if num_points < 2:
         raise ConfigurationError("num_points must be >= 2")
     battery = battery or BatterySpec()
-    algorithms = dict(algorithms) if algorithms is not None else default_algorithms()
     lo = graph.min_makespan()
     hi = graph.max_makespan()
     span = hi - lo
-    points: List[SweepPoint] = []
+    deadlines: List[float] = []
+    problems: List[SchedulingProblem] = []
     for index in range(num_points):
         fraction = margin + (1.0 - margin) * index / (num_points - 1)
         deadline = lo + fraction * span
-        problem = SchedulingProblem(
-            graph=graph, deadline=deadline, battery=battery, name=f"{graph.name}@{deadline:.1f}"
+        deadlines.append(deadline)
+        problems.append(
+            SchedulingProblem(
+                graph=graph, deadline=deadline, battery=battery, name=f"{graph.name}@{deadline:.1f}"
+            )
         )
-        points.append(SweepPoint(coordinate=deadline, costs=_evaluate(problem, algorithms)))
+
+    if algorithms is not None:
+        algorithms = dict(algorithms)
+        points = [
+            SweepPoint(coordinate=deadline, costs=_evaluate(problem, algorithms))
+            for deadline, problem in zip(deadlines, problems)
+        ]
+        labels = tuple(algorithms)
+    else:
+        points = _engine_points(problems, deadlines, executor, store, resume)
+        labels = tuple(display for display, _ in SWEEP_ALGORITHMS)
     return SweepResult(
         parameter="deadline",
         graph_name=graph.name or "graph",
         points=tuple(points),
-        algorithms=tuple(algorithms),
+        algorithms=labels,
     )
 
 
@@ -133,23 +198,38 @@ def beta_sweep(
     deadline: float,
     betas: Sequence[float] = (0.1, 0.2, 0.273, 0.4, 0.8, 1.6, 5.0),
     algorithms: Optional[Mapping[str, Callable]] = None,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Scan the battery diffusion parameter at a fixed deadline."""
     if not betas:
         raise ConfigurationError("at least one beta value is required")
-    algorithms = dict(algorithms) if algorithms is not None else default_algorithms()
-    points: List[SweepPoint] = []
-    for beta in betas:
-        problem = SchedulingProblem(
+    problems = [
+        SchedulingProblem(
             graph=graph,
             deadline=deadline,
             battery=BatterySpec(beta=beta),
             name=f"{graph.name}@beta={beta:g}",
         )
-        points.append(SweepPoint(coordinate=float(beta), costs=_evaluate(problem, algorithms)))
+        for beta in betas
+    ]
+
+    if algorithms is not None:
+        algorithms = dict(algorithms)
+        points = [
+            SweepPoint(coordinate=float(beta), costs=_evaluate(problem, algorithms))
+            for beta, problem in zip(betas, problems)
+        ]
+        labels = tuple(algorithms)
+    else:
+        points = _engine_points(
+            problems, [float(beta) for beta in betas], executor, store, resume
+        )
+        labels = tuple(display for display, _ in SWEEP_ALGORITHMS)
     return SweepResult(
         parameter="beta",
         graph_name=graph.name or "graph",
         points=tuple(points),
-        algorithms=tuple(algorithms),
+        algorithms=labels,
     )

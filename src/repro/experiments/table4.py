@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis import TextTable, percent_difference
-from ..baselines import rakhmatov_baseline
 from ..battery import BatterySpec
-from ..core import SchedulerConfig, battery_aware_schedule
+from ..core import SchedulerConfig
+from ..engine import ResultStore, run_experiments, scheduler_config_params
+from ..errors import AlgorithmError
 from ..scheduling import SchedulingProblem
 from ..taskgraph import (
     G2_TABLE4_DEADLINES,
@@ -122,8 +123,15 @@ def run_table4(
     config: Optional[SchedulerConfig] = None,
     beta: float = G3_BETA,
     deadlines: Optional[Dict[str, Sequence[float]]] = None,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> Table4Result:
     """Run both algorithms on the Table 4 instances and collect the rows.
+
+    The twelve (instance, algorithm) evaluations go through the experiment
+    engine, so they can fan out over processes (``executor=``) and resume
+    from a result store.
 
     Parameters
     ----------
@@ -135,8 +143,9 @@ def run_table4(
     deadlines:
         Optional override of the per-graph deadline lists, e.g.
         ``{"G2": [60.0], "G3": [200.0]}`` for quicker smoke runs.
+    executor, store, resume:
+        Engine controls; see :func:`repro.engine.run_experiments`.
     """
-    config = config or SchedulerConfig()
     battery = BatterySpec(beta=beta)
     graphs = {"G2": build_g2(), "G3": build_g3()}
     deadline_map = {
@@ -146,25 +155,47 @@ def run_table4(
     if deadlines:
         deadline_map.update({key: tuple(value) for key, value in deadlines.items()})
 
-    rows = []
+    instances = []
     for graph_name, graph in graphs.items():
         for deadline in deadline_map[graph_name]:
-            problem = SchedulingProblem(
-                graph=graph,
-                deadline=deadline,
-                battery=battery,
-                name=f"{graph_name}@{deadline:g}",
-            )
-            ours = battery_aware_schedule(problem, config=config)
-            baseline = rakhmatov_baseline(problem)
-            rows.append(
-                Table4Row(
-                    graph=graph_name,
-                    deadline=float(deadline),
-                    our_cost=ours.cost,
-                    baseline_cost=baseline.cost,
-                    our_makespan=ours.makespan,
-                    baseline_makespan=baseline.makespan,
+            instances.append(
+                (
+                    graph_name,
+                    float(deadline),
+                    SchedulingProblem(
+                        graph=graph,
+                        deadline=deadline,
+                        battery=battery,
+                        name=f"{graph_name}@{deadline:g}",
+                    ),
                 )
             )
+
+    run = run_experiments(
+        [problem for _, _, problem in instances],
+        {
+            "iterative": scheduler_config_params(config),
+            "dp-energy+greedy": {},
+        },
+        executor=executor,
+        store=store,
+        resume=resume,
+    )
+    if not run.ok:
+        failed = "; ".join(result.summary() for result in run.failures())
+        raise AlgorithmError(f"Table 4 reproduction failed: {failed}")
+
+    rows = []
+    for index, (graph_name, deadline, _) in enumerate(instances):
+        ours, baseline = run.results[2 * index], run.results[2 * index + 1]
+        rows.append(
+            Table4Row(
+                graph=graph_name,
+                deadline=deadline,
+                our_cost=ours.cost,
+                baseline_cost=baseline.cost,
+                our_makespan=ours.makespan,
+                baseline_makespan=baseline.makespan,
+            )
+        )
     return Table4Result(rows=tuple(rows))

@@ -1,0 +1,160 @@
+"""Tests for the engine's public API and its integration with the drivers."""
+
+import pytest
+
+from repro import SchedulingProblem
+from repro.engine import (
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    build_jobs,
+    run_experiments,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import deadline_sweep, default_algorithms, run_ablation, run_table4
+from repro.taskgraph import build_g2
+from repro.workloads import suite_problems
+
+ALGORITHMS = ["iterative", "dp-energy+greedy", "all-fastest"]
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return suite_problems(tightness_levels=(0.4, 0.8), names=["g2", "chain-10"])
+
+
+def _comparable(results):
+    return [
+        result.to_dict() | {"elapsed_s": 0.0, "cache_hits": 0, "cache_misses": 0}
+        for result in results
+    ]
+
+
+class TestBuildJobs:
+    def test_cross_product_order(self, problems):
+        jobs = build_jobs(problems, ALGORITHMS)
+        assert len(jobs) == len(problems) * len(ALGORITHMS)
+        # problems outer, algorithms inner
+        assert jobs[0].algorithm == "iterative"
+        assert jobs[1].algorithm == "dp-energy+greedy"
+        assert jobs[0].problem is jobs[1].problem
+
+    def test_mapping_carries_params(self, problems):
+        jobs = build_jobs(problems[:1], {"annealing": {"seed": 3}})
+        assert jobs[0].params == {"seed": 3}
+
+    def test_empty_inputs_rejected(self, problems):
+        with pytest.raises(ConfigurationError):
+            build_jobs(problems, [])
+        with pytest.raises(ConfigurationError):
+            build_jobs([], ALGORITHMS)
+
+
+class TestRunExperiments:
+    def test_results_in_job_order(self, problems):
+        run = run_experiments(problems, ALGORITHMS)
+        assert [r.key for r in run.results] == [j.key() for j in run.jobs]
+        assert run.executed == len(run.jobs)
+        assert run.skipped == 0
+        assert run.ok
+
+    def test_parallel_equals_serial_on_suite(self, problems):
+        serial = run_experiments(problems, ALGORITHMS, executor=SerialExecutor())
+        parallel = run_experiments(
+            problems, ALGORITHMS, executor=ParallelExecutor(max_workers=2)
+        )
+        assert _comparable(parallel.results) == _comparable(serial.results)
+
+    def test_cache_accounting_is_nonzero(self, problems):
+        run = run_experiments(problems, ["iterative"])
+        assert run.cache_misses > 0
+        assert run.cache_hits > 0
+        assert 0.0 < run.cache_hit_rate < 1.0
+
+    def test_resume_skips_completed_jobs(self, problems, tmp_path):
+        store = ResultStore(tmp_path / "suite.jsonl")
+        first = run_experiments(problems, ALGORITHMS, store=store, resume=True)
+        assert first.executed == len(first.jobs)
+
+        second = run_experiments(problems, ALGORITHMS, store=store, resume=True)
+        assert second.executed == 0
+        assert second.skipped == len(second.jobs)
+        assert [r.to_dict() for r in second.results] == [
+            r.to_dict() for r in first.results
+        ]
+
+    def test_partial_resume_runs_only_new_jobs(self, problems, tmp_path):
+        store = ResultStore(tmp_path / "suite.jsonl")
+        run_experiments(problems[:2], ALGORITHMS, store=store, resume=True)
+        extended = run_experiments(problems, ALGORITHMS, store=store, resume=True)
+        assert extended.skipped == 2 * len(ALGORITHMS)
+        assert extended.executed == (len(problems) - 2) * len(ALGORITHMS)
+
+    def test_resume_requires_store(self, problems):
+        with pytest.raises(ConfigurationError):
+            run_experiments(problems, ALGORITHMS, resume=True)
+
+    def test_failed_job_surfaces_without_aborting(self, problems):
+        bad = SchedulingProblem(graph=build_g2(), deadline=40.0, name="G2@40")
+        run = run_experiments([bad] + problems[:1], ["iterative"])
+        assert not run.ok
+        assert len(run.failures()) == 1
+        assert not run.results[0].ok
+        assert run.results[1].ok
+
+    def test_by_problem_grouping(self, problems):
+        run = run_experiments(problems[:2], ALGORITHMS)
+        grouped = run.by_problem()
+        assert set(grouped) == {p.name for p in problems[:2]}
+        for algorithms in grouped.values():
+            assert set(algorithms) == set(ALGORITHMS)
+
+    def test_table_rendering(self, problems):
+        text = run_experiments(problems[:1], ["all-fastest"]).to_table().to_text()
+        assert "all-fastest" in text
+        assert problems[0].name in text
+
+
+class TestDriverIntegration:
+    """The rewired experiment drivers stay consistent with their legacy paths."""
+
+    def test_engine_sweep_matches_legacy_callables(self, g2):
+        engine = deadline_sweep(g2, num_points=3)
+        legacy = deadline_sweep(g2, num_points=3, algorithms=default_algorithms())
+        assert engine.algorithms == legacy.algorithms
+        for engine_point, legacy_point in zip(engine.points, legacy.points):
+            assert engine_point.coordinate == legacy_point.coordinate
+            for name in engine.algorithms:
+                assert engine_point.costs[name] == pytest.approx(
+                    legacy_point.costs[name]
+                )
+
+    def test_sweep_parallel_identical_to_serial(self, g2):
+        serial = deadline_sweep(g2, num_points=3, executor=SerialExecutor())
+        parallel = deadline_sweep(
+            g2, num_points=3, executor=ParallelExecutor(max_workers=2)
+        )
+        assert serial == parallel
+
+    def test_sweep_resume_executes_zero_jobs(self, g2, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        first = deadline_sweep(g2, num_points=3, store=store, resume=True)
+        size_after_first = store.path.stat().st_size
+        second = deadline_sweep(g2, num_points=3, store=store, resume=True)
+        assert first == second
+        assert store.path.stat().st_size == size_after_first
+
+    def test_table4_through_engine(self):
+        result = run_table4(deadlines={"G2": [75.0], "G3": [230.0]})
+        assert {row.graph for row in result.rows} == {"G2", "G3"}
+        for row in result.rows:
+            assert row.our_cost <= row.baseline_cost * 1.05
+
+    def test_ablation_through_engine_parallel(self, g2):
+        from repro.workloads import problem_with_tightness
+
+        problems = [problem_with_tightness(g2, 0.5, name="g2@0.5")]
+        serial = run_ablation(problems=problems)
+        parallel = run_ablation(problems=problems, executor=ParallelExecutor(max_workers=2))
+        assert serial == parallel
+        assert serial.rows[0].full_cost > 0

@@ -1,0 +1,116 @@
+"""Tests for the battery-cost cache and the cached model wrapper."""
+
+import pytest
+
+from repro import LoadProfile, RakhmatovVrudhulaModel
+from repro.battery import IdealBatteryModel
+from repro.engine import BatteryCostCache, CachedBatteryModel, model_signature
+
+
+@pytest.fixture
+def profile() -> LoadProfile:
+    return LoadProfile.from_back_to_back(
+        durations=[10.0, 5.0, 20.0], currents=[300.0, 150.0, 80.0]
+    )
+
+
+class TestBatteryCostCache:
+    def test_miss_then_hit_accounting(self):
+        cache = BatteryCostCache(max_entries=10)
+        assert cache.lookup("k") is None
+        cache.insert("k", 1.5)
+        assert cache.lookup("k") == 1.5
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = BatteryCostCache(max_entries=2)
+        cache.insert("a", 1.0)
+        cache.insert("b", 2.0)
+        cache.insert("c", 3.0)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup("a") is None  # evicted
+        assert cache.lookup("c") == 3.0
+
+    def test_lookup_refreshes_recency(self):
+        cache = BatteryCostCache(max_entries=2)
+        cache.insert("a", 1.0)
+        cache.insert("b", 2.0)
+        cache.lookup("a")  # a becomes most recent
+        cache.insert("c", 3.0)  # evicts b, not a
+        assert cache.lookup("a") == 1.0
+        assert cache.lookup("b") is None
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            BatteryCostCache(max_entries=0)
+
+    def test_stats_delta(self):
+        cache = BatteryCostCache()
+        cache.insert("k", 1.0)
+        cache.lookup("k")
+        before = cache.stats.snapshot()
+        cache.lookup("k")
+        cache.lookup("missing")
+        used = cache.stats.delta(before)
+        assert used.hits == 1
+        assert used.misses == 1
+
+
+class TestCachedBatteryModel:
+    def test_values_identical_to_inner_model(self, profile):
+        inner = RakhmatovVrudhulaModel(beta=0.273)
+        cached = CachedBatteryModel(inner)
+        for at_time in (None, 10.0, 35.0, 50.0):
+            assert cached.apparent_charge(profile, at_time=at_time) == inner.apparent_charge(
+                profile, at_time=at_time
+            )
+
+    def test_repeated_evaluation_hits_cache(self, profile):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.273))
+        first = cached.apparent_charge(profile)
+        second = cached.apparent_charge(profile)
+        assert first == second
+        assert cached.cache.stats.hits == 1
+        assert cached.cache.stats.misses == 1
+
+    def test_shared_cache_keeps_models_apart(self, profile):
+        cache = BatteryCostCache()
+        weak = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.15), cache)
+        strong = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.6), cache)
+        assert weak.apparent_charge(profile) != strong.apparent_charge(profile)
+        # Different betas must never answer from each other's entries.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_inherited_helpers_route_through_cache(self, profile):
+        inner = RakhmatovVrudhulaModel(beta=0.273)
+        cached = CachedBatteryModel(inner)
+        assert cached.cost(profile) == inner.cost(profile)
+        assert cached.lifetime(profile, capacity=2000.0) == pytest.approx(
+            inner.lifetime(profile, capacity=2000.0)
+        )
+        assert cached.cache.stats.lookups > 0
+
+    def test_exposes_inner_parameters(self):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.42, series_terms=7))
+        assert cached.beta == pytest.approx(0.42)
+        assert cached.series_terms == 7
+
+
+class TestModelSignature:
+    def test_same_parameters_same_signature(self):
+        a = RakhmatovVrudhulaModel(beta=0.273, series_terms=10)
+        b = RakhmatovVrudhulaModel(beta=0.273, series_terms=10)
+        assert model_signature(a) == model_signature(b)
+
+    def test_different_beta_different_signature(self):
+        a = RakhmatovVrudhulaModel(beta=0.273)
+        b = RakhmatovVrudhulaModel(beta=0.3)
+        assert model_signature(a) != model_signature(b)
+
+    def test_parameter_free_model_keys_by_type(self):
+        assert model_signature(IdealBatteryModel()) == model_signature(IdealBatteryModel())
