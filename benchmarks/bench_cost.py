@@ -1,0 +1,413 @@
+"""Benchmark of the cost-evaluation stack (full vs. incremental vs. legacy).
+
+Measures, on synthetic layered workloads of n in {10, 50, 200} tasks:
+
+* **evaluations/second** of the three ways to cost a candidate schedule —
+  the seed's object path (``Schedule`` -> ``LoadProfile`` -> scalar sigma
+  loop, kept as ``apparent_charge_reference``), the canonical vectorized
+  full evaluation (``evaluate_schedule``), and the incremental evaluator's
+  single-move proposals; and
+* **end-to-end searcher wall-clock** — the simulated-annealing yardstick
+  (20k iterations) and the core refinement pass, each against a faithful
+  re-implementation of the seed's evaluation strategy, asserting that the
+  incumbents are *identical* (the refactor changes speed, not trajectories).
+
+The annealing comparison isolates the cost engine: both walks use the
+library's current acceptance-draw discipline (one RNG draw per evaluated
+move, consumed unconditionally).  The seed short-circuited the draw behind
+the improving-move test, which made the RNG stream — and hence same-seed
+trajectories — depend on ULP-level cost-engine rounding; that discipline
+changed in this refactor precisely so that the walk is well-defined
+independent of how sigma is computed.  Same-seed results therefore differ
+from pre-refactor releases once, by design; what this benchmark pins is
+that full, incremental and legacy *evaluation* produce the same search.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_cost.py            # full, writes BENCH_cost.json
+    PYTHONPATH=src python benchmarks/bench_cost.py --smoke    # quick CI regression gate
+
+The smoke mode shrinks the workloads/iteration counts, still asserts
+incumbent identity, and fails (non-zero exit) if the incremental evaluator
+does not beat the legacy object path — a hot-path regression gate for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.battery import BatterySpec, LoadProfile
+from repro.core import battery_aware_schedule
+from repro.core.refine import refine_solution
+from repro.baselines.annealing import (
+    AnnealingConfig,
+    _relocation_target,
+    simulated_annealing_baseline,
+)
+from repro.scheduling import (
+    DesignPointAssignment,
+    IncrementalCostEvaluator,
+    Schedule,
+    SchedulingProblem,
+    evaluate_schedule,
+    sequence_by_decreasing_energy,
+)
+from repro.workloads.generators import layered_graph
+
+
+# ----------------------------------------------------------------------
+# workload construction
+# ----------------------------------------------------------------------
+def make_problem(num_layers: int, layer_width: int, seed: int) -> SchedulingProblem:
+    """A layered synthetic problem with a mid-tightness deadline."""
+    graph = layered_graph(
+        num_layers=num_layers, layer_width=layer_width, seed=seed,
+        name=f"bench-{num_layers}x{layer_width}",
+    )
+    fastest = sum(t.ordered_design_points()[0].execution_time for t in graph)
+    slowest = sum(t.ordered_design_points()[-1].execution_time for t in graph)
+    deadline = 0.6 * fastest + 0.4 * slowest
+    return SchedulingProblem(
+        graph=graph, deadline=deadline, battery=BatterySpec(beta=0.273),
+        name=graph.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# seed-faithful reference implementations (the "main" being compared to)
+# ----------------------------------------------------------------------
+def legacy_battery_cost(graph, sequence, assignment, model) -> float:
+    """The seed's evaluation path: Schedule -> LoadProfile -> scalar sigma."""
+    schedule = Schedule(graph, sequence, assignment)
+    profile = schedule.to_profile()
+    return model.apparent_charge_reference(profile, at_time=schedule.makespan)
+
+
+def reference_annealer(problem: SchedulingProblem, config: AnnealingConfig):
+    """The annealing walk driven by the seed's cost engine.
+
+    Identical driver (same RNG stream, same moves, same acceptance rule) to
+    :func:`repro.baselines.simulated_annealing_baseline`; only the cost of a
+    candidate is computed the way the seed did — full profile rebuild plus
+    the scalar Rakhmatov–Vrudhula loop.  Incumbents must match the
+    incremental annealer exactly.
+    """
+    model = problem.model()
+    graph = problem.graph
+    deadline = problem.deadline
+    rng = random.Random(config.seed)
+    sequence = list(sequence_by_decreasing_energy(graph))
+    m = graph.uniform_design_point_count()
+    durations = {t.name: [dp.execution_time for dp in t.ordered_design_points()] for t in graph}
+    currents = {t.name: [dp.current for dp in t.ordered_design_points()] for t in graph}
+    columns = {name: 0 for name in graph.task_names()}
+
+    def energy(seq, cols):
+        profile = LoadProfile.from_back_to_back(
+            durations=[durations[n][cols[n]] for n in seq],
+            currents=[currents[n][cols[n]] for n in seq],
+        )
+        makespan = profile.end_time
+        cost = model.apparent_charge_reference(profile, at_time=makespan)
+        feasible = makespan <= deadline + 1e-9
+        if not feasible:
+            cost *= 1.0 + config.deadline_penalty * (makespan - deadline) / deadline
+        return cost, makespan, feasible
+
+    current_cost, current_makespan, current_feasible = energy(sequence, columns)
+    best = (list(sequence), dict(columns), current_cost, current_makespan, current_feasible)
+    initial_t = config.initial_temperature * max(current_cost, 1e-9)
+    final_t = initial_t * config.final_temperature_ratio
+    cooling = (final_t / initial_t) ** (1.0 / max(config.iterations - 1, 1))
+    temperature = initial_t
+    positions = {n: i for i, n in enumerate(sequence)}
+    for _ in range(config.iterations):
+        new_sequence = sequence
+        new_columns = columns
+        if rng.random() < 0.5:
+            name = rng.choice(list(columns))
+            column = columns[name]
+            delta = rng.choice((-1, 1))
+            new_column = min(max(column + delta, 0), m - 1)
+            if new_column == column:
+                continue
+            new_columns = dict(columns)
+            new_columns[name] = new_column
+        else:
+            name = rng.choice(sequence)
+            target = _relocation_target(graph, sequence, positions, name, rng)
+            if target is None:
+                continue
+            new_sequence = list(sequence)
+            new_sequence.pop(positions[name])
+            new_sequence.insert(target, name)
+        cc, cm, cf = energy(new_sequence, new_columns)
+        draw = rng.random()
+        accept = cc <= current_cost or draw < math.exp(
+            (current_cost - cc) / max(temperature, 1e-12)
+        )
+        if accept:
+            sequence = list(new_sequence)
+            columns = dict(new_columns)
+            positions = {t: i for i, t in enumerate(sequence)}
+            current_cost, current_makespan, current_feasible = cc, cm, cf
+            if (cf and not best[4]) or (cc < best[2] and cf >= best[4]):
+                best = (list(sequence), dict(columns), cc, cm, cf)
+        temperature *= cooling
+    return best
+
+
+def reference_refine(problem: SchedulingProblem, solution, max_sweeps: int = 20):
+    """The seed's hill-climbing pass: full legacy cost per candidate."""
+    graph = problem.graph
+    deadline = problem.deadline
+    model = problem.model()
+    sequence = list(solution.sequence)
+    columns = dict(solution.assignment)
+    best_cost = solution.cost
+    edges = set(graph.edges())
+    counts = {t.name: t.num_design_points for t in graph}
+    durations = {t.name: [dp.execution_time for dp in t.ordered_design_points()] for t in graph}
+    makespan = sum(durations[n][columns[n]] for n in sequence)
+    for _ in range(max_sweeps):
+        improved = False
+        for index in range(len(sequence) - 1):
+            first, second = sequence[index], sequence[index + 1]
+            if (first, second) in edges:
+                continue
+            candidate = list(sequence)
+            candidate[index], candidate[index + 1] = second, first
+            cost = legacy_battery_cost(graph, candidate, DesignPointAssignment(columns), model)
+            if cost < best_cost - 1e-9:
+                sequence = candidate
+                best_cost = cost
+                improved = True
+        for name in sequence:
+            for delta in (-1, 1):
+                column = columns[name] + delta
+                if not (0 <= column < counts[name]):
+                    continue
+                new_makespan = makespan - durations[name][columns[name]] + durations[name][column]
+                if new_makespan > deadline + 1e-9:
+                    continue
+                candidate_columns = dict(columns)
+                candidate_columns[name] = column
+                cost = legacy_battery_cost(
+                    graph, sequence, DesignPointAssignment(candidate_columns), model
+                )
+                if cost < best_cost - 1e-9:
+                    columns = candidate_columns
+                    makespan = new_makespan
+                    best_cost = cost
+                    improved = True
+        if not improved:
+            break
+    return tuple(sequence), columns, best_cost
+
+
+# ----------------------------------------------------------------------
+# micro-benchmark: evaluations per second
+# ----------------------------------------------------------------------
+def bench_evaluation_rates(problem: SchedulingProblem, repeats: int) -> Dict:
+    """Ops/sec of legacy-object, vectorized-full and incremental evaluation."""
+    graph = problem.graph
+    model = problem.model()
+    sequence = sequence_by_decreasing_energy(graph)
+    assignment = DesignPointAssignment.all_fastest(graph)
+    names = list(graph.task_names())
+    m = graph.uniform_design_point_count()
+    rng = random.Random(42)
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        legacy_battery_cost(graph, sequence, assignment, model)
+    legacy_rate = repeats / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        evaluate_schedule(graph, sequence, assignment, model, validate=False)
+    full_rate = repeats / (time.perf_counter() - started)
+
+    evaluator = IncrementalCostEvaluator(graph, sequence, assignment, model)
+    moves = []
+    while len(moves) < repeats:
+        name = rng.choice(names)
+        column = rng.randrange(m)
+        if column != evaluator.columns[name]:
+            moves.append((name, column))
+    started = time.perf_counter()
+    for name, column in moves:
+        evaluator.propose_design_point(name, column)
+    incremental_rate = len(moves) / (time.perf_counter() - started)
+
+    return {
+        "tasks": graph.num_tasks,
+        "ops_per_sec": {
+            "legacy_object_path": round(legacy_rate, 1),
+            "full_vectorized": round(full_rate, 1),
+            "incremental_proposal": round(incremental_rate, 1),
+        },
+        "speedup_full_vs_legacy": round(full_rate / legacy_rate, 2),
+        "speedup_incremental_vs_legacy": round(incremental_rate / legacy_rate, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end searcher comparisons
+# ----------------------------------------------------------------------
+def bench_annealing(problem: SchedulingProblem, iterations: int) -> Dict:
+    config = AnnealingConfig(iterations=iterations)
+    started = time.perf_counter()
+    ref = reference_annealer(problem, config)
+    reference_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = simulated_annealing_baseline(problem, config)
+    incremental_wall = time.perf_counter() - started
+
+    identical = tuple(ref[0]) == result.sequence and ref[1] == dict(result.assignment)
+    return {
+        "tasks": problem.graph.num_tasks,
+        "iterations": iterations,
+        "reference_wall_s": round(reference_wall, 3),
+        "incremental_wall_s": round(incremental_wall, 3),
+        "speedup": round(reference_wall / incremental_wall, 2),
+        "identical_incumbent": identical,
+        "cost_rel_diff": abs(ref[2] - result.cost) / max(abs(ref[2]), 1e-12),
+    }
+
+
+def bench_refine(problem: SchedulingProblem) -> Dict:
+    solution = battery_aware_schedule(problem)
+    started = time.perf_counter()
+    ref_sequence, ref_columns, ref_cost = reference_refine(problem, solution)
+    reference_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    refined = refine_solution(problem, solution)
+    incremental_wall = time.perf_counter() - started
+
+    identical = ref_sequence == refined.sequence and ref_columns == dict(refined.assignment)
+    return {
+        "tasks": problem.graph.num_tasks,
+        "reference_wall_s": round(reference_wall, 3),
+        "incremental_wall_s": round(incremental_wall, 3),
+        "speedup": round(reference_wall / max(incremental_wall, 1e-9), 2),
+        "identical_incumbent": identical,
+        "cost_rel_diff": abs(ref_cost - refined.cost) / max(abs(ref_cost), 1e-12),
+    }
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+#: (num_layers, layer_width) per benchmark size n.
+SIZES = {10: (5, 2), 50: (10, 5), 200: (40, 5)}
+
+
+def run(smoke: bool, output: Optional[str]) -> int:
+    sizes = [10, 50] if smoke else [10, 50, 200]
+    eval_repeats = 200 if smoke else 2000
+    anneal_iterations = 2000 if smoke else 20000
+
+    report = {
+        "benchmark": "bench_cost",
+        "mode": "smoke" if smoke else "full",
+        "evaluation_rates": [],
+        "annealing": None,
+        "refine": None,
+    }
+
+    print(f"== cost-evaluation rates ({eval_repeats} evaluations each) ==")
+    for n in sizes:
+        layers, width = SIZES[n]
+        problem = make_problem(layers, width, seed=3)
+        row = bench_evaluation_rates(problem, repeats=eval_repeats)
+        report["evaluation_rates"].append(row)
+        rates = row["ops_per_sec"]
+        print(
+            f"  n={row['tasks']:4d}: legacy {rates['legacy_object_path']:9.1f}/s   "
+            f"full {rates['full_vectorized']:9.1f}/s ({row['speedup_full_vs_legacy']:5.1f}x)   "
+            f"incremental {rates['incremental_proposal']:9.1f}/s "
+            f"({row['speedup_incremental_vs_legacy']:5.1f}x)"
+        )
+
+    layers, width = SIZES[50]
+    problem50 = make_problem(layers, width, seed=3)
+    print(f"== simulated annealing, {anneal_iterations} iterations, "
+          f"n={problem50.graph.num_tasks} ==")
+    annealing = bench_annealing(problem50, anneal_iterations)
+    report["annealing"] = annealing
+    print(
+        f"  reference {annealing['reference_wall_s']:7.2f}s   "
+        f"incremental {annealing['incremental_wall_s']:6.2f}s   "
+        f"speedup {annealing['speedup']:5.2f}x   "
+        f"identical incumbent: {annealing['identical_incumbent']}   "
+        f"cost rel diff: {annealing['cost_rel_diff']:.2e}"
+    )
+
+    print(f"== core refinement, n={problem50.graph.num_tasks} ==")
+    refine = bench_refine(problem50)
+    report["refine"] = refine
+    print(
+        f"  reference {refine['reference_wall_s']:7.2f}s   "
+        f"incremental {refine['incremental_wall_s']:6.2f}s   "
+        f"speedup {refine['speedup']:5.2f}x   "
+        f"identical incumbent: {refine['identical_incumbent']}   "
+        f"cost rel diff: {refine['cost_rel_diff']:.2e}"
+    )
+
+    failures: List[str] = []
+    if not annealing["identical_incumbent"]:
+        failures.append("annealing incumbent diverged from the reference walk")
+    if not refine["identical_incumbent"]:
+        failures.append("refinement incumbent diverged from the reference sweep")
+    if annealing["cost_rel_diff"] > 1e-9:
+        failures.append("annealing incumbent cost drifted beyond 1e-9")
+    for row in report["evaluation_rates"]:
+        if row["speedup_incremental_vs_legacy"] < 1.0:
+            failures.append(
+                f"incremental evaluation slower than the legacy path at n={row['tasks']}"
+            )
+    if not smoke and annealing["speedup"] < 3.0:
+        failures.append("annealing speedup below the 3x acceptance bar")
+
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick regression gate: smaller sizes/iterations, no JSON by default",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_cost.json in full mode)",
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = "BENCH_cost.json"
+    return run(smoke=args.smoke, output=output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,15 @@ pair.  Neighbourhood moves either
 Deadline violations are admitted during the walk but penalised
 proportionally to the overshoot, so the search can traverse infeasible
 regions yet always reports a feasible incumbent when one exists.
+
+Both neighbourhood moves are the
+:class:`~repro.scheduling.IncrementalCostEvaluator`'s moves, so the walk is
+driven incrementally: each candidate re-costs only the schedule prefix its
+move touches instead of rebuilding a load profile and re-summing the whole
+Rakhmatov–Vrudhula series, and rejected candidates leave the state (and its
+cached per-interval contributions) untouched.  Incremental costs are
+bit-identical to full re-evaluation, so the walk's trajectory is exactly
+the one a full-recompute annealer with the same RNG stream would take.
 """
 
 from __future__ import annotations
@@ -26,10 +35,11 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..battery import BatteryModel, LoadProfile
+from ..battery import BatteryModel
 from ..errors import ConfigurationError
 from ..scheduling import (
     DesignPointAssignment,
+    IncrementalCostEvaluator,
     SchedulingProblem,
     sequence_by_decreasing_energy,
 )
@@ -73,7 +83,11 @@ def simulated_annealing_baseline(
     Randomness is fully explicit so results are reproducible end-to-end:
     ``rng`` (an externally owned :class:`random.Random`) takes precedence,
     then ``seed``, then ``config.seed``.  Two calls with the same problem
-    and the same seed walk the identical trajectory.
+    and the same seed walk the identical trajectory — independent of the
+    cost engine, because the acceptance draw is consumed once per evaluated
+    move rather than short-circuited behind the improving-move test (the
+    pre-evaluator behaviour, under which same-seed trajectories depended on
+    ULP-level rounding of the cost path).
     """
     config = config or AnnealingConfig()
     battery_model = model if model is not None else problem.model()
@@ -84,25 +98,23 @@ def simulated_annealing_baseline(
 
     sequence = list(sequence_by_decreasing_energy(graph))
     m = graph.uniform_design_point_count()
-    durations, currents = _design_point_tables(graph)
     # Start from the fastest assignment so the walk begins feasible whenever
     # the instance is feasible at all.
     columns = {name: 0 for name in graph.task_names()}
 
-    def energy(seq: List[str], cols: dict) -> Tuple[float, float, bool]:
-        profile = LoadProfile.from_back_to_back(
-            durations=[durations[name][cols[name]] for name in seq],
-            currents=[currents[name][cols[name]] for name in seq],
-        )
-        makespan = profile.end_time
-        cost = battery_model.apparent_charge(profile, at_time=makespan)
+    evaluator = IncrementalCostEvaluator(
+        graph, sequence, DesignPointAssignment(columns), battery_model
+    )
+
+    def penalised(sigma: float, makespan: float) -> Tuple[float, bool]:
         feasible = makespan <= deadline + 1e-9
         if not feasible:
             overshoot = (makespan - deadline) / deadline
-            cost *= 1.0 + config.deadline_penalty * overshoot
-        return cost, makespan, feasible
+            sigma *= 1.0 + config.deadline_penalty * overshoot
+        return sigma, feasible
 
-    current_cost, current_makespan, current_feasible = energy(sequence, columns)
+    current_cost, current_feasible = penalised(evaluator.cost, evaluator.makespan)
+    current_makespan = evaluator.makespan
     best = (
         list(sequence),
         dict(columns),
@@ -119,8 +131,7 @@ def simulated_annealing_baseline(
     positions = {name: index for index, name in enumerate(sequence)}
 
     for _ in range(config.iterations):
-        new_sequence = sequence
-        new_columns = columns
+        moved_column = None
         if rng.random() < 0.5:
             # Design-point move: shift one task by one column.
             name = rng.choice(list(columns))
@@ -129,27 +140,40 @@ def simulated_annealing_baseline(
             new_column = min(max(column + delta, 0), m - 1)
             if new_column == column:
                 continue
-            new_columns = dict(columns)
-            new_columns[name] = new_column
+            proposal = evaluator.propose_design_point(name, new_column)
+            moved_column = (name, new_column)
         else:
             # Sequence move: relocate one task within its legal position range.
             name = rng.choice(sequence)
-            new_sequence = _relocate(graph, sequence, positions, name, rng)
-            if new_sequence is None:
+            target = _relocation_target(graph, sequence, positions, name, rng)
+            if target is None:
                 continue
+            proposal = evaluator.propose_relocate(name, target)
 
-        candidate_cost, candidate_makespan, candidate_feasible = energy(
-            new_sequence, new_columns
+        candidate_cost, candidate_feasible = penalised(
+            proposal.cost, proposal.makespan
         )
-        accept = candidate_cost <= current_cost or rng.random() < math.exp(
+        # The acceptance draw is consumed unconditionally (not short-circuited
+        # behind the improving-move test) so the RNG stream — and with it the
+        # whole trajectory — is invariant to ULP-level cost-engine noise: a
+        # tie that one evaluation order ranks "equal" and another "one ULP
+        # worse" accepts either way, with the same stream afterwards.
+        draw = rng.random()
+        accept = candidate_cost <= current_cost or draw < math.exp(
             (current_cost - candidate_cost) / max(temperature, 1e-12)
         )
         if accept:
-            sequence = list(new_sequence)
-            columns = dict(new_columns)
+            evaluator.apply(proposal)
+            sequence = list(evaluator.sequence)
+            # Update the local mirror in place rather than rebuilding it from
+            # the proposal: ``rng.choice(list(columns))`` must keep drawing
+            # from the original task order for the walk to be reproducible.
+            columns = dict(columns)
+            if moved_column is not None:
+                columns[moved_column[0]] = moved_column[1]
             positions = {task: index for index, task in enumerate(sequence)}
             current_cost = candidate_cost
-            current_makespan = candidate_makespan
+            current_makespan = proposal.makespan
             current_feasible = candidate_feasible
             better_feasibility = current_feasible and not best[4]
             better_cost = current_cost < best[2] and current_feasible >= best[4]
@@ -176,24 +200,18 @@ def simulated_annealing_baseline(
     )
 
 
-def _design_point_tables(graph: TaskGraph):
-    durations = {}
-    currents = {}
-    for task in graph:
-        points = task.ordered_design_points()
-        durations[task.name] = [dp.execution_time for dp in points]
-        currents[task.name] = [dp.current for dp in points]
-    return durations, currents
-
-
-def _relocate(
+def _relocation_target(
     graph: TaskGraph,
     sequence: List[str],
     positions: dict,
     name: str,
     rng: random.Random,
-) -> Optional[List[str]]:
-    """Move ``name`` to a random legal position; None when it cannot move."""
+) -> Optional[int]:
+    """A random legal new position for ``name``; None when it cannot move.
+
+    Draws from the same distribution (and consumes the same RNG values) as
+    the pre-evaluator implementation that rebuilt the sequence list.
+    """
     index = positions[name]
     predecessors = graph.predecessors(name)
     successors = graph.successors(name)
@@ -206,7 +224,4 @@ def _relocate(
     target = rng.randint(lower, upper)
     if target == index:
         return None
-    new_sequence = list(sequence)
-    new_sequence.pop(index)
-    new_sequence.insert(target, name)
-    return new_sequence
+    return target

@@ -6,17 +6,34 @@ space is ``(#topological orders) * m^n``, so a guard refuses instances whose
 enumeration would exceed a configurable budget; within that budget the
 result is the true optimum, which the test-suite uses to check that the
 iterative heuristic and the annealer land close to (and never below) it.
+
+For models with a vectorized schedule path (the Rakhmatov–Vrudhula model),
+orders are enumerated by a depth-first search that costs tasks as they are
+placed: an interval's sigma contribution depends only on its design point
+and its *time-to-end* (makespan minus completion time), both known the
+moment it is placed, so a prefix's sigma is exact long before the order is
+complete.  Since every remaining task will contribute at least its nominal
+charge ``I * Delta`` (the rate-capacity effect only adds), the quantity
+
+    prefix sigma + sum of remaining nominal charges
+
+is a lower bound on every completion of the prefix and prunes the subtree
+whenever it cannot beat the incumbent.  Shared prefixes across orders are
+also costed once instead of once per order.  Models without the vectorized
+path fall back to the plain enumerate-and-evaluate loop.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..battery import BatteryModel, LoadProfile
+import numpy as np
+
+from ..battery import BatteryModel
 from ..errors import ConfigurationError, InfeasibleDeadlineError
-from ..scheduling import DesignPointAssignment, SchedulingProblem
+from ..scheduling import DesignPointAssignment, SchedulingProblem, evaluate_schedule
 from ..taskgraph import TaskGraph
 from .common import BaselineResult
 
@@ -74,11 +91,14 @@ def exhaustive_optimum(
     m = graph.uniform_design_point_count()
     n = graph.num_tasks
 
-    orders = list(enumerate_topological_orders(graph))
-    state_count = len(orders) * (m**n)
+    # Count orders only up to the first count that blows the budget, so the
+    # guard itself stays cheap on graphs with astronomically many orders.
+    order_budget = max_states // (m**n) + 1
+    order_count = sum(1 for _ in enumerate_topological_orders(graph, limit=order_budget))
+    state_count = order_count * (m**n)
     if state_count > max_states:
         raise ConfigurationError(
-            f"exhaustive search would evaluate {state_count} states "
+            f"exhaustive search would evaluate {state_count} states or more "
             f"(> max_states={max_states}); use a smaller instance"
         )
 
@@ -90,25 +110,17 @@ def exhaustive_optimum(
         task.name: [dp.current for dp in task.ordered_design_points()]
         for task in graph
     }
-
-    best_cost = math.inf
-    best: Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]] = None
     names = graph.task_names()
 
-    for columns in itertools.product(range(m), repeat=n):
-        column_by_name = dict(zip(names, columns))
-        makespan = sum(durations[name][column_by_name[name]] for name in names)
-        if makespan > deadline + 1e-9:
-            continue
-        for order in orders:
-            profile = LoadProfile.from_back_to_back(
-                durations=[durations[name][column_by_name[name]] for name in order],
-                currents=[currents[name][column_by_name[name]] for name in order],
-            )
-            cost = battery_model.apparent_charge(profile, at_time=profile.end_time)
-            if cost < best_cost:
-                best_cost = cost
-                best = (order, columns, makespan)
+    if hasattr(battery_model, "interval_contributions"):
+        best = _pruned_search(
+            graph, names, durations, currents, battery_model, deadline, m, n
+        )
+    else:
+        orders = list(enumerate_topological_orders(graph))
+        best = _legacy_search(
+            orders, names, durations, currents, battery_model, deadline, m, n
+        )
 
     if best is None:
         raise InfeasibleDeadlineError(
@@ -117,12 +129,120 @@ def exhaustive_optimum(
 
     order, columns, makespan = best
     assignment = DesignPointAssignment(dict(zip(names, columns)))
+    # Report the canonical cost of the winner (the DFS accumulates the same
+    # sigma up to rounding; re-evaluating keeps the returned number
+    # bit-identical to battery_cost of the same solution).
+    cost = evaluate_schedule(graph, order, assignment, battery_model).cost
     return BaselineResult(
         name="exhaustive",
         graph=graph,
         deadline=deadline,
         sequence=order,
         assignment=assignment,
-        cost=best_cost,
+        cost=cost,
         makespan=makespan,
     )
+
+
+def _pruned_search(
+    graph: TaskGraph,
+    names: Sequence[str],
+    durations: Dict[str, List[float]],
+    currents: Dict[str, List[float]],
+    model: BatteryModel,
+    deadline: float,
+    m: int,
+    n: int,
+) -> Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]]:
+    """DFS over (column combo, topological order) with prefix-sigma pruning."""
+    successors = {name: graph.successors(name) for name in names}
+    base_indegree = {name: len(graph.predecessors(name)) for name in names}
+
+    best_cost = math.inf
+    best: Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]] = None
+
+    for columns in itertools.product(range(m), repeat=n):
+        column_by_name = dict(zip(names, columns))
+        duration_of = {name: durations[name][column_by_name[name]] for name in names}
+        current_of = {name: currents[name][column_by_name[name]] for name in names}
+        makespan = sum(duration_of[name] for name in names)
+        if makespan > deadline + 1e-9:
+            continue
+        total_nominal = math.fsum(
+            current_of[name] * duration_of[name] for name in names
+        )
+
+        prefix: List[str] = []
+        indegree = dict(base_indegree)
+
+        def place(elapsed: float, sigma: float, remaining_nominal: float) -> None:
+            nonlocal best_cost, best
+            # Placed tasks carry indegree -1, so the test also excludes them.
+            ready = [name for name in names if indegree[name] == 0]
+            if not ready:
+                return
+            # One vectorized call costs every ready candidate of this node.
+            ready_durations = np.array([duration_of[name] for name in ready])
+            ready_currents = np.array([current_of[name] for name in ready])
+            time_to_end = np.maximum(makespan - elapsed - ready_durations, 0.0)
+            contributions = model.interval_contributions(
+                ready_durations, ready_currents, time_to_end
+            )
+            margin = 1e-9 * (1.0 + abs(best_cost)) if best_cost < math.inf else 0.0
+            for pick, name in enumerate(ready):
+                new_sigma = sigma + float(contributions[pick])
+                if len(prefix) == n - 1:
+                    if new_sigma < best_cost:
+                        best_cost = new_sigma
+                        best = (tuple(prefix) + (name,), columns, makespan)
+                        margin = 1e-9 * (1.0 + abs(best_cost))
+                    continue
+                new_remaining = remaining_nominal - current_of[name] * duration_of[name]
+                # Every unplaced task contributes at least its nominal charge
+                # (the bracket of Equation 1 never drops below Delta_k once
+                # the interval has completed), so this bound is exact up to
+                # float noise; the margin keeps pruning conservative.
+                if new_sigma + new_remaining - margin >= best_cost:
+                    continue
+                prefix.append(name)
+                indegree[name] = -1
+                for child in successors[name]:
+                    indegree[child] -= 1
+                place(elapsed + duration_of[name], new_sigma, new_remaining)
+                prefix.pop()
+                indegree[name] = 0
+                for child in successors[name]:
+                    indegree[child] += 1
+
+        place(0.0, 0.0, total_nominal)
+
+    return best
+
+
+def _legacy_search(
+    orders: Sequence[Tuple[str, ...]],
+    names: Sequence[str],
+    durations: Dict[str, List[float]],
+    currents: Dict[str, List[float]],
+    model: BatteryModel,
+    deadline: float,
+    m: int,
+    n: int,
+) -> Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]]:
+    """Plain enumerate-and-evaluate loop for models without an array path."""
+    best_cost = math.inf
+    best: Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]] = None
+    for columns in itertools.product(range(m), repeat=n):
+        column_by_name = dict(zip(names, columns))
+        makespan = sum(durations[name][column_by_name[name]] for name in names)
+        if makespan > deadline + 1e-9:
+            continue
+        for order in orders:
+            cost = model.schedule_charge(
+                [durations[name][column_by_name[name]] for name in order],
+                [currents[name][column_by_name[name]] for name in order],
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best = (order, columns, makespan)
+    return best

@@ -24,7 +24,7 @@ from ..battery import BatteryModel
 from ..scheduling import (
     DesignPointAssignment,
     SchedulingProblem,
-    battery_cost,
+    evaluate_schedule,
     sequence_by_weights,
 )
 from ..taskgraph import TaskGraph
@@ -80,7 +80,8 @@ def rakhmatov_baseline(
         problem.graph, problem.deadline, time_steps=time_steps
     )
     sequence = greedy_current_sequence(problem.graph, assignment)
-    cost = battery_cost(problem.graph, sequence, assignment, battery_model)
+    # One canonical full evaluation through the evaluator stack.
+    cost = evaluate_schedule(problem.graph, sequence, assignment, battery_model).cost
     return BaselineResult(
         name="dp-energy+greedy",
         graph=problem.graph,

@@ -17,7 +17,7 @@ from .parameters import (
 )
 from .peukert import PeukertModel
 from .profile import LoadInterval, LoadProfile
-from .rakhmatov import DEFAULT_SERIES_TERMS, RakhmatovVrudhulaModel
+from .rakhmatov import DEFAULT_SERIES_TERMS, RakhmatovVrudhulaModel, suffix_durations
 from .simulate import DischargeTrace, simulate_discharge
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "BETA_PRESETS",
     "PAPER_BETA",
     "DEFAULT_SERIES_TERMS",
+    "suffix_durations",
     "DischargeTrace",
     "simulate_discharge",
 ]

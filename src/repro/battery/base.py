@@ -48,6 +48,32 @@ class BatteryModel(abc.ABC):
         """Scheduling cost of a profile: apparent charge at its completion time."""
         return self.apparent_charge(profile, at_time=profile.end_time)
 
+    def schedule_charge(self, durations, currents, rest: float = 0.0) -> float:
+        """Apparent charge of a gap-free back-to-back schedule.
+
+        The schedule runs ``durations[k]`` at ``currents[k]`` consecutively
+        from time zero; sigma is evaluated ``rest`` time units after the
+        makespan (``rest > 0`` credits post-completion recovery, for models
+        that have any).  This generic fallback materialises the
+        :class:`LoadProfile`; models with an analytical per-interval
+        structure (the Rakhmatov–Vrudhula model) override it with a
+        vectorized array path that the scheduling evaluator uses directly.
+        """
+        if rest < 0:
+            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
+        pairs = [
+            (float(duration), float(current))
+            for duration, current in zip(durations, currents)
+            if duration > 0.0
+        ]
+        if not pairs:
+            return 0.0
+        profile = LoadProfile.from_back_to_back(
+            durations=[duration for duration, _ in pairs],
+            currents=[current for _, current in pairs],
+        )
+        return self.apparent_charge(profile, at_time=profile.end_time + rest)
+
     def supports(self, profile: LoadProfile, capacity: float) -> bool:
         """True when the battery of capacity ``capacity`` survives the whole profile."""
         return self.lifetime(profile, capacity) is None

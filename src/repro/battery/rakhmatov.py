@@ -30,12 +30,33 @@ The battery lifetime is the first ``T`` with ``sigma(T) = alpha`` where
 
 The value ``sigma`` evaluated at the completion time of a schedule is the
 cost the paper's algorithm minimises (``CalculateBatteryCost``).
+
+Evaluation strategies
+---------------------
+All entry points share one vectorized kernel that evaluates the Equation-1
+bracket for many intervals at once (intervals x series terms, a single pair
+of ``np.exp`` calls):
+
+* :meth:`RakhmatovVrudhulaModel.apparent_charge` — sigma of an arbitrary
+  :class:`~repro.battery.LoadProfile` at an arbitrary time, bit-identical to
+  the original per-interval scalar loop (kept as a reference implementation
+  for the golden tests);
+* :meth:`RakhmatovVrudhulaModel.schedule_charge` /
+  :meth:`~RakhmatovVrudhulaModel.schedule_contributions` — the *canonical
+  schedule path* used by the scheduling evaluator stack.  It parametrises
+  each interval by its **time-to-end** (makespan minus interval end), which
+  depends only on the durations *after* the interval — the property the
+  incremental evaluator exploits to re-cost single-move neighbours without
+  touching unaffected intervals; and
+* :meth:`RakhmatovVrudhulaModel.schedule_charge_batch` — many back-to-back
+  schedules in one 3-D computation (profiles x intervals x series terms),
+  bit-identical to evaluating each schedule individually.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -43,10 +64,28 @@ from ..errors import BatteryModelError
 from .base import BatteryModel
 from .profile import LoadProfile
 
-__all__ = ["RakhmatovVrudhulaModel"]
+__all__ = ["RakhmatovVrudhulaModel", "suffix_durations"]
 
 #: Truncation order of the infinite series used by the paper.
 DEFAULT_SERIES_TERMS = 10
+
+
+def suffix_durations(durations: "np.ndarray") -> "np.ndarray":
+    """Suffix sums ``tail[k] = sum(durations[k+1:])``, accumulated back-to-front.
+
+    ``tail[k]`` is interval ``k``'s time-to-end when sigma is evaluated at
+    the makespan of a back-to-back schedule.  The accumulation order (last
+    interval first, one addition per step) is part of the scheduling stack's
+    bit-level contract: the incremental evaluator re-extends exactly this
+    chain when it recomputes the prefix affected by a move, which keeps
+    partial updates bit-identical to a full re-evaluation.
+    """
+    durations = np.asarray(durations, dtype=float)
+    n = durations.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    reverse = np.cumsum(durations[::-1])
+    return np.concatenate((reverse[::-1][1:], [0.0]))
 
 
 class RakhmatovVrudhulaModel(BatteryModel):
@@ -83,6 +122,43 @@ class RakhmatovVrudhulaModel(BatteryModel):
         an interval still in progress at ``at_time`` is truncated to the
         portion already executed (equivalently, the running task is assumed
         to keep drawing its current up to ``at_time``).
+
+        The computation is vectorized over (intervals x series terms) but
+        returns bit-identical values to the per-interval scalar loop kept in
+        :meth:`apparent_charge_reference`.
+        """
+        if at_time is None:
+            at_time = profile.end_time
+        if at_time < 0:
+            raise BatteryModelError(f"evaluation time must be >= 0, got {at_time!r}")
+        if profile.is_empty:
+            return 0.0
+        starts = np.array([iv.start for iv in profile], dtype=float)
+        durations = np.array([iv.duration for iv in profile], dtype=float)
+        currents = np.array([iv.current for iv in profile], dtype=float)
+        # Clamping elapsed time to zero makes not-yet-started intervals fall
+        # out of the bracket exactly (eff = since_end = since_start = 0), so
+        # no masking is needed and active intervals see the same arithmetic
+        # as the scalar reference.
+        time_in = np.maximum(at_time - starts, 0.0)
+        effective = np.minimum(durations, time_in)
+        factors = self._bracket(since_end=time_in - effective, since_start=time_in)
+        contributions = currents * (effective + 2.0 * factors)
+        # Sequential accumulation over non-zero-current intervals preserves
+        # the reference implementation's rounding exactly.
+        total = 0.0
+        for index in range(len(contributions)):
+            if currents[index] != 0.0:
+                total += contributions[index]
+        return float(total)
+
+    def apparent_charge_reference(
+        self, profile: LoadProfile, at_time: Optional[float] = None
+    ) -> float:
+        """Scalar per-interval reference implementation of :meth:`apparent_charge`.
+
+        Kept as the oracle for the golden tests pinning the vectorized path;
+        it is the original (pre-vectorization) loop, unchanged.
         """
         if at_time is None:
             at_time = profile.end_time
@@ -99,6 +175,18 @@ class RakhmatovVrudhulaModel(BatteryModel):
             )
         return total
 
+    def _bracket(self, since_end: np.ndarray, since_start: np.ndarray) -> np.ndarray:
+        """Vectorized series sum of Equation 1's bracket for many intervals.
+
+        ``since_end`` / ``since_start`` are per-interval times elapsed between
+        the (truncated) interval end / interval start and the evaluation
+        time; both must be >= 0.  Returns the per-interval series sums (the
+        bracket is ``effective_duration + 2 * bracket``).
+        """
+        decay_end = np.exp(-self._beta2m2[None, :] * since_end[:, None])
+        decay_start = np.exp(-self._beta2m2[None, :] * since_start[:, None])
+        return np.sum((decay_end - decay_start) / self._beta2m2[None, :], axis=1)
+
     def _interval_factor(self, start: float, duration: float, at_time: float) -> float:
         """The bracketed factor of Equation 1 for one interval, truncated at ``at_time``."""
         if at_time <= start:
@@ -111,6 +199,100 @@ class RakhmatovVrudhulaModel(BatteryModel):
         decay_start = np.exp(-self._beta2m2 * since_start)
         series = float(np.sum((decay_end - decay_start) / self._beta2m2))
         return effective_duration + 2.0 * series
+
+    # ------------------------------------------------------------------
+    # canonical schedule path (gap-free back-to-back intervals)
+    # ------------------------------------------------------------------
+    def interval_contributions(
+        self,
+        durations: np.ndarray,
+        currents: np.ndarray,
+        time_to_end: np.ndarray,
+    ) -> np.ndarray:
+        """Per-interval sigma contributions, parametrised by time-to-end.
+
+        ``time_to_end[k]`` is the time between interval ``k``'s end and the
+        evaluation time (>= 0: every interval has completed).  Because it
+        depends only on what runs *after* the interval, a contribution is
+        unchanged by any edit to the schedule at or before its position —
+        the invariant behind the incremental evaluator's partial updates.
+        """
+        durations = np.asarray(durations, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        time_to_end = np.asarray(time_to_end, dtype=float)
+        series = self._bracket(since_end=time_to_end, since_start=time_to_end + durations)
+        return currents * (durations + 2.0 * series)
+
+    def schedule_contributions(
+        self,
+        durations: Sequence[float],
+        currents: Sequence[float],
+        rest: float = 0.0,
+    ) -> np.ndarray:
+        """Per-interval contributions of a back-to-back schedule.
+
+        The schedule runs ``durations[k]`` at ``currents[k]`` consecutively
+        from time zero and sigma is evaluated ``rest`` time units after the
+        makespan (``rest > 0`` credits post-completion recovery).
+        """
+        if rest < 0:
+            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
+        durations = np.asarray(durations, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        if durations.shape != currents.shape:
+            raise BatteryModelError("durations and currents must have the same shape")
+        tail = suffix_durations(durations)
+        return self.interval_contributions(durations, currents, tail + rest)
+
+    def schedule_charge(
+        self,
+        durations: Sequence[float],
+        currents: Sequence[float],
+        rest: float = 0.0,
+    ) -> float:
+        """sigma of a back-to-back schedule, evaluated ``rest`` after the makespan.
+
+        This is the canonical cost of the scheduling stack: exact (fsum)
+        reduction of :meth:`schedule_contributions`, so full, incremental and
+        batch evaluation of the same schedule return bit-identical values.
+        """
+        return float(math.fsum(self.schedule_contributions(durations, currents, rest)))
+
+    def schedule_charge_batch(
+        self,
+        durations: Sequence[Sequence[float]],
+        currents: Sequence[Sequence[float]],
+        rest: float = 0.0,
+    ) -> np.ndarray:
+        """sigma of many equal-length back-to-back schedules at once.
+
+        ``durations`` / ``currents`` are (profiles x intervals) arrays; the
+        result is one sigma per profile, bit-identical to calling
+        :meth:`schedule_charge` per row (the 3-D elementwise kernel and the
+        per-row reductions reproduce the 2-D arithmetic exactly).
+        """
+        if rest < 0:
+            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
+        durations = np.asarray(durations, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        if durations.ndim != 2 or durations.shape != currents.shape:
+            raise BatteryModelError(
+                "durations and currents must be 2-D arrays of identical shape"
+            )
+        if durations.shape[1] == 0:
+            return np.zeros(durations.shape[0])
+        # Suffix sums per row, accumulated back-to-front exactly like the 1-D case.
+        reverse = np.cumsum(durations[:, ::-1], axis=1)
+        tail = np.concatenate(
+            (reverse[:, ::-1][:, 1:], np.zeros((durations.shape[0], 1))), axis=1
+        )
+        since_end = tail + rest
+        since_start = since_end + durations
+        decay_end = np.exp(-self._beta2m2[None, None, :] * since_end[:, :, None])
+        decay_start = np.exp(-self._beta2m2[None, None, :] * since_start[:, :, None])
+        series = np.sum((decay_end - decay_start) / self._beta2m2[None, None, :], axis=2)
+        contributions = currents * (durations + 2.0 * series)
+        return np.array([math.fsum(row) for row in contributions])
 
     # ------------------------------------------------------------------
     # convenience closed forms

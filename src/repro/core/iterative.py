@@ -27,7 +27,7 @@ from ..battery import BatteryModel
 from ..errors import ConfigurationError
 from ..scheduling import (
     SchedulingProblem,
-    battery_cost,
+    evaluate_schedule,
     sequence_by_decreasing_energy,
 )
 from ..taskgraph import TaskGraph, validate_sequence
@@ -171,15 +171,17 @@ class BatteryAwareScheduler:
         )
         assignment = window_evaluation.best.assignment
 
+        # One full canonical evaluation through the evaluator stack (the
+        # window search before it re-costs candidates the same way).
         weighted_sequence = find_weighted_sequence(graph, assignment)
-        weighted_cost = battery_cost(
+        weighted_cost = evaluate_schedule(
             graph,
             weighted_sequence,
             assignment,
             model,
             deadline=deadline,
             evaluate_at=config.evaluate_at,
-        )
+        ).cost
         weighted_makespan = assignment.total_execution_time(graph)
 
         min_cost = window_evaluation.best.cost

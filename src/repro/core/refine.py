@@ -15,15 +15,21 @@ finds nothing better or the sweep budget is exhausted.  The result is
 returned as a new :class:`~repro.core.result.SchedulingSolution` carrying
 the original iteration history, so it can be dropped into any code that
 consumes scheduler output.
+
+Both move kinds are exactly the neighbourhood moves of the
+:class:`~repro.scheduling.IncrementalCostEvaluator` (an adjacent swap is a
+relocation by one position), so the sweep is driven through one evaluator:
+each candidate re-costs only the schedule prefix the move touches, and an
+accepted move becomes the next state via ``apply`` instead of a rebuild.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..battery import BatteryModel
 from ..errors import ConfigurationError
-from ..scheduling import DesignPointAssignment, SchedulingProblem, battery_cost
+from ..scheduling import IncrementalCostEvaluator, SchedulingProblem
 from .result import SchedulingSolution
 
 __all__ = ["refine_solution"]
@@ -63,66 +69,54 @@ def refine_solution(
     deadline = problem.deadline
     battery_model = model if model is not None else problem.model()
 
-    sequence: List[str] = list(solution.sequence)
-    columns = dict(solution.assignment)
+    evaluator = IncrementalCostEvaluator(
+        graph, solution.sequence, solution.assignment, battery_model
+    )
     best_cost = solution.cost
-
-    def evaluate(seq: List[str], cols: dict) -> float:
-        return battery_cost(graph, seq, DesignPointAssignment(cols), battery_model)
 
     edges = set(graph.edges())
     design_point_counts = {task.name: task.num_design_points for task in graph}
-    durations = {
-        task.name: [dp.execution_time for dp in task.ordered_design_points()]
-        for task in graph
-    }
-    makespan = sum(durations[name][columns[name]] for name in sequence)
 
     for _ in range(max_sweeps):
         improved = False
 
         # Adjacent sequence swaps (precedence-safe by construction: only the
-        # direct edge between the two swapped tasks can be violated).
-        for index in range(len(sequence) - 1):
+        # direct edge between the two swapped tasks can be violated).  A swap
+        # of positions (i, i+1) is the relocate move "put sequence[i] at
+        # position i+1".
+        for index in range(len(evaluator.sequence) - 1):
+            sequence = evaluator.sequence
             first, second = sequence[index], sequence[index + 1]
             if (first, second) in edges:
                 continue
-            candidate = list(sequence)
-            candidate[index], candidate[index + 1] = second, first
-            cost = evaluate(candidate, columns)
-            if cost < best_cost - 1e-9:
-                sequence = candidate
-                best_cost = cost
+            proposal = evaluator.propose_relocate(first, index + 1)
+            if proposal.cost < best_cost - 1e-9:
+                evaluator.apply(proposal)
+                best_cost = proposal.cost
                 improved = True
 
         # Single-task design-point shifts.
-        for name in sequence:
+        for name in evaluator.sequence:
             for delta in (-1, 1):
-                column = columns[name] + delta
+                column = evaluator.columns[name] + delta
                 if not (0 <= column < design_point_counts[name]):
                     continue
-                new_makespan = (
-                    makespan - durations[name][columns[name]] + durations[name][column]
-                )
-                if new_makespan > deadline + 1e-9:
+                if evaluator.candidate_makespan(name, column) > deadline + 1e-9:
                     continue
-                candidate_columns = dict(columns)
-                candidate_columns[name] = column
-                cost = evaluate(sequence, candidate_columns)
-                if cost < best_cost - 1e-9:
-                    columns = candidate_columns
-                    makespan = new_makespan
-                    best_cost = cost
+                proposal = evaluator.propose_design_point(name, column)
+                if proposal.cost < best_cost - 1e-9:
+                    evaluator.apply(proposal)
+                    best_cost = proposal.cost
                     improved = True
 
         if not improved:
             break
 
-    assignment = DesignPointAssignment(columns)
+    assignment = evaluator.assignment()
     return SchedulingSolution(
         graph=graph,
         deadline=deadline,
-        sequence=tuple(sequence),
+        sequence=evaluator.sequence,
         assignment=assignment,
         cost=best_cost,
         makespan=assignment.total_execution_time(graph),

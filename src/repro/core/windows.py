@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..battery import BatteryModel, LoadProfile
+from ..battery import BatteryModel
 from ..errors import AlgorithmError, InfeasibleDeadlineError
 from ..scheduling import DesignPointAssignment
 from .choose import choose_design_points, promote_until_feasible
@@ -163,13 +163,16 @@ def evaluate_windows(
 def _selection_cost(
     matrices: SequencedMatrices, selection: np.ndarray, model: BatteryModel
 ) -> float:
-    """Battery cost of executing the sequence back-to-back with ``selection``."""
-    profile = LoadProfile.from_back_to_back(
-        durations=matrices.selection_durations(selection),
-        currents=matrices.selection_currents(selection),
-        labels=list(matrices.sequence),
+    """Battery cost of executing the sequence back-to-back with ``selection``.
+
+    Routed through the model's vectorized schedule path (the same canonical
+    computation as :func:`~repro.scheduling.battery_cost`), so the window
+    search never materialises load profiles on its hot path.
+    """
+    return model.schedule_charge(
+        matrices.selection_durations(selection),
+        matrices.selection_currents(selection),
     )
-    return model.apparent_charge(profile, at_time=profile.end_time)
 
 
 def _pick_best(records, require_feasible: bool) -> WindowRecord:

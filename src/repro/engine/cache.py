@@ -19,6 +19,22 @@ each job's model before running it.
 Keys use the *exact* float values of the profile (no rounding), so a cache
 hit returns bit-for-bit the number the wrapped model would have produced;
 parallel and serial engine runs therefore stay byte-identical.
+
+Two key namespaces share one LRU store:
+
+* **profile keys** — ``apparent_charge`` calls, fingerprinted by the
+  profile's interval triples and evaluation time (the original scheme); and
+* **schedule keys** — the evaluator stack's array path
+  (:meth:`CachedBatteryModel.schedule_charge` and the
+  :class:`~repro.scheduling.IncrementalCostEvaluator`'s proposal probes),
+  fingerprinted by the back-to-back duration/current value tuples plus the
+  post-completion rest.  The evaluator maintains these tuples by splicing
+  the changed segment per move — a key over state deltas, with no profile
+  object or full re-boxing on the probe path.
+
+The namespaces are tagged so a schedule state can never alias a profile
+fingerprint, and both return bit-identical values to the uncached model by
+construction.
 """
 
 from __future__ import annotations
@@ -139,6 +155,10 @@ def _profile_key(profile: LoadProfile, at_time: Optional[float]) -> Tuple:
     return (intervals, at_time if at_time is not None else profile.end_time)
 
 
+#: Namespace tag separating schedule-state keys from profile keys.
+_SCHEDULE_TAG = "sched"
+
+
 class CachedBatteryModel(BatteryModel):
     """A :class:`BatteryModel` that memoises ``apparent_charge`` calls.
 
@@ -174,6 +194,51 @@ class CachedBatteryModel(BatteryModel):
             value = self.inner.apparent_charge(profile, at_time=at_time)
             self.cache.insert(key, value)
         return value
+
+    # ------------------------------------------------------------------
+    # schedule path (array-keyed, used by the evaluator stack)
+    # ------------------------------------------------------------------
+    def schedule_charge(self, durations, currents, rest: float = 0.0) -> float:
+        """Memoised sigma of a back-to-back schedule (array path).
+
+        Keyed by the exact duration/current values plus ``rest`` — no
+        profile object is built for either the probe or the inner
+        evaluation when the wrapped model has a vectorized schedule path.
+        """
+        key = self._schedule_full_key(
+            (tuple(map(float, durations)), tuple(map(float, currents)), float(rest))
+        )
+        value = self.cache.lookup(key)
+        if value is None:
+            value = self.inner.schedule_charge(durations, currents, rest)
+            self.cache.insert(key, value)
+        return value
+
+    def lookup_schedule(self, state_key: Tuple) -> Optional[float]:
+        """Probe the schedule namespace with an evaluator-maintained state key.
+
+        ``state_key`` is ``(duration values, current values, rest)`` — the
+        incremental evaluator splices the value tuples per move so repeat
+        visits to a schedule state cost one hash, not one series evaluation.
+        """
+        return self.cache.lookup(self._schedule_full_key(state_key))
+
+    def store_schedule(self, state_key: Tuple, value: float) -> None:
+        """Record a sigma under an evaluator-maintained state key."""
+        self.cache.insert(self._schedule_full_key(state_key), value)
+
+    def _schedule_full_key(self, state_key: Tuple) -> Tuple:
+        return (self._signature, _SCHEDULE_TAG, state_key)
+
+    # The evaluator's incremental path needs the wrapped model's
+    # per-interval decomposition; forward it when present.  (Contribution
+    # arrays are not memoised — only whole-schedule sigmas are.)
+    def __getattr__(self, name: str):
+        if name in ("interval_contributions", "schedule_contributions", "schedule_charge_batch"):
+            return getattr(self.inner, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def __repr__(self) -> str:
         return (

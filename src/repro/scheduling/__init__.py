@@ -3,12 +3,20 @@
 Provides the building blocks every algorithm in :mod:`repro.core` and
 :mod:`repro.baselines` shares — the list-scheduling engine used to generate
 precedence-respecting sequences, the design-point assignment mapping, the
-fully resolved :class:`Schedule`, and the battery cost of a candidate
-solution.
+fully resolved :class:`Schedule`, and the cost-evaluation stack
+(:func:`battery_cost` / :func:`evaluate_schedule` for full evaluation,
+:class:`IncrementalCostEvaluator` for delta-updating neighbourhood search).
 """
 
 from .assignment import DesignPointAssignment
 from .cost import EVALUATION_MODES, battery_cost, profile_for
+from .evaluator import (
+    IncrementalCostEvaluator,
+    MoveProposal,
+    ScheduleEvaluation,
+    ScheduleState,
+    evaluate_schedule,
+)
 from .list_scheduler import (
     average_energy_weights,
     list_schedule,
@@ -26,6 +34,11 @@ __all__ = [
     "battery_cost",
     "profile_for",
     "EVALUATION_MODES",
+    "IncrementalCostEvaluator",
+    "MoveProposal",
+    "ScheduleEvaluation",
+    "ScheduleState",
+    "evaluate_schedule",
     "list_schedule",
     "sequence_by_weights",
     "sequence_by_decreasing_energy",

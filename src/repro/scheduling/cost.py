@@ -6,22 +6,25 @@ Rakhmatov–Vrudhula model over the back-to-back discharge profile induced by
 the task sequence and its design-point assignment.  An option allows
 evaluating sigma at the deadline instead, which credits the recovery that
 happens while the platform idles between completion and the deadline.
+
+:func:`battery_cost` is a thin wrapper over the evaluator stack
+(:func:`repro.scheduling.evaluator.evaluate_schedule`): validation plus the
+vectorized array path of the battery model, with no ``Schedule`` or
+``LoadProfile`` objects on the hot path.  It returns values bit-identical to
+the evaluator's full and incremental evaluations of the same candidate.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..battery import BatteryModel, LoadProfile, RakhmatovVrudhulaModel
-from ..errors import ConfigurationError
+from ..battery import BatteryModel, LoadProfile
 from ..taskgraph import TaskGraph
 from .assignment import DesignPointAssignment
+from .evaluator import EVALUATION_MODES, evaluate_schedule
 from .schedule import Schedule
 
 __all__ = ["battery_cost", "profile_for", "EVALUATION_MODES"]
-
-#: Supported sigma evaluation points.
-EVALUATION_MODES = ("completion", "deadline")
 
 
 def profile_for(
@@ -58,17 +61,27 @@ def battery_cost(
         reported alongside the sequence duration Delta) evaluates sigma at the
         makespan; ``"deadline"`` evaluates it at the deadline, crediting
         post-completion recovery.
+
+    Deadline clamping
+    -----------------
+    In ``evaluate_at="deadline"`` mode the evaluation time is
+    ``max(deadline, makespan)``: a deadline *earlier* than the schedule's
+    completion time is silently clamped to the completion time rather than
+    rejected.  Two properties follow, both covered by the test-suite:
+
+    * a deadline-missing schedule is *not* an error here — its cost equals
+      its ``evaluate_at="completion"`` cost exactly (no recovery credit, and
+      never a sigma evaluated mid-schedule); feasibility checking is the
+      caller's job (:meth:`repro.scheduling.Schedule.require_deadline`);
+    * the deadline-mode cost is always less than or equal to the
+      completion-mode cost, since resting past completion can only recover
+      charge.
     """
-    if evaluate_at not in EVALUATION_MODES:
-        raise ConfigurationError(
-            f"evaluate_at must be one of {EVALUATION_MODES}, got {evaluate_at!r}"
-        )
-    schedule = Schedule(graph, sequence, assignment)
-    profile = schedule.to_profile()
-    if evaluate_at == "deadline":
-        if deadline is None:
-            raise ConfigurationError('evaluate_at="deadline" requires a deadline value')
-        at_time = max(float(deadline), schedule.makespan)
-    else:
-        at_time = schedule.makespan
-    return model.apparent_charge(profile, at_time=at_time)
+    return evaluate_schedule(
+        graph,
+        sequence,
+        assignment,
+        model,
+        deadline=deadline,
+        evaluate_at=evaluate_at,
+    ).cost

@@ -1,0 +1,632 @@
+"""Incremental, vectorized battery-cost evaluation of candidate schedules.
+
+Every search layer in the library — the paper's iterative heuristic, the
+hill-climbing refinement pass, the annealing yardstick and the enumeration
+baselines — spends its time asking one question: *what is sigma for this
+(sequence, assignment) candidate?*  This module answers it once, at three
+speeds:
+
+* :func:`evaluate_schedule` — the canonical **full** evaluation.  It skips
+  the :class:`~repro.scheduling.Schedule` / :class:`~repro.battery.LoadProfile`
+  object layer entirely, handing duration/current arrays straight to the
+  battery model's vectorized schedule path
+  (:meth:`~repro.battery.RakhmatovVrudhulaModel.schedule_charge`).
+  :func:`~repro.scheduling.battery_cost` is a thin wrapper over it.
+* :class:`IncrementalCostEvaluator` — **delta** evaluation for neighbourhood
+  search.  It keeps a :class:`ScheduleState` (timeline arrays plus
+  per-interval sigma contributions) and exposes ``propose``/``apply``/
+  ``undo`` for the two neighbourhood moves every searcher uses: change one
+  task's design point, or relocate one task to another position.  A proposal
+  re-costs only the intervals whose contribution can have changed.
+* :meth:`~repro.battery.RakhmatovVrudhulaModel.schedule_charge_batch` —
+  **batch** evaluation of many same-length schedules at once (used by the
+  uniform-assignment bounds).
+
+Bit-level contract
+------------------
+The three paths return *bit-identical* sigma values for the same candidate.
+This works because the canonical path parametrises interval ``k`` by its
+**time-to-end** (the sum of the durations scheduled after it): a move at
+position ``p`` leaves every interval after ``max(p, target)`` untouched —
+same duration, same current, same time-to-end, bit for bit — so the
+incremental evaluator recomputes only the affected prefix, re-extending the
+same back-to-front suffix-sum chain a full evaluation would build
+(:func:`~repro.battery.suffix_durations`), and reduces the contributions
+with an exactly rounded (order-independent) ``math.fsum``.  Searches driven
+incrementally therefore walk the *identical* trajectory a full-recompute
+search would.
+
+Models without a vectorized schedule path (anything that does not implement
+``interval_contributions``) degrade gracefully: proposals fall back to a
+full ``schedule_charge`` evaluation, which for them materialises the load
+profile — exactly what the pre-evaluator call sites did.
+
+When the model is an :class:`~repro.engine.CachedBatteryModel`, proposals
+probe its schedule cache first.  The evaluator maintains the cache key as a
+pair of value tuples spliced per move (state deltas), so probing costs no
+profile construction and repeat visits to a state — common in annealing
+walks and across engine jobs — skip the series evaluation entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..battery import BatteryModel, suffix_durations
+from ..errors import ConfigurationError, ScheduleError
+from ..taskgraph import TaskGraph, validate_sequence
+from .assignment import DesignPointAssignment
+
+__all__ = [
+    "EVALUATION_MODES",
+    "ScheduleEvaluation",
+    "ScheduleState",
+    "MoveProposal",
+    "IncrementalCostEvaluator",
+    "evaluate_schedule",
+]
+
+#: Supported sigma evaluation points (re-exported by :mod:`repro.scheduling.cost`).
+EVALUATION_MODES = ("completion", "deadline")
+
+#: Feasibility slack shared by the schedule/deadline comparisons.
+_EPS = 1e-9
+
+
+def _resolve_rest(
+    makespan: float, deadline: Optional[float], evaluate_at: str
+) -> float:
+    """Idle time between completion and the sigma evaluation point.
+
+    ``evaluate_at="completion"`` evaluates sigma at the makespan (rest 0).
+    ``evaluate_at="deadline"`` evaluates at the deadline, crediting
+    post-completion recovery — but a deadline *earlier* than the makespan is
+    clamped to the makespan (rest 0 again): the cost of a deadline-missing
+    schedule is its completion-time sigma, never a sigma from before the
+    work has finished.  See :func:`repro.scheduling.battery_cost` for the
+    user-facing statement of this clamping rule.
+    """
+    if evaluate_at not in EVALUATION_MODES:
+        raise ConfigurationError(
+            f"evaluate_at must be one of {EVALUATION_MODES}, got {evaluate_at!r}"
+        )
+    if evaluate_at == "deadline":
+        if deadline is None:
+            raise ConfigurationError('evaluate_at="deadline" requires a deadline value')
+        return max(float(deadline) - makespan, 0.0)
+    return 0.0
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Result of one full canonical evaluation."""
+
+    cost: float
+    """Apparent charge sigma at the evaluation point (mA·min)."""
+
+    makespan: float
+    """Completion time of the schedule."""
+
+    rest: float
+    """Idle time between completion and the sigma evaluation point."""
+
+
+def evaluate_schedule(
+    graph: TaskGraph,
+    sequence: Sequence[str],
+    assignment: DesignPointAssignment,
+    model: BatteryModel,
+    deadline: Optional[float] = None,
+    evaluate_at: str = "completion",
+    validate: bool = True,
+) -> ScheduleEvaluation:
+    """Canonical full evaluation of one candidate solution.
+
+    Builds the back-to-back duration/current arrays directly from the graph
+    tables and hands them to the model's vectorized schedule path; no
+    :class:`Schedule` or :class:`~repro.battery.LoadProfile` objects are
+    created.  Returns bit-identical costs to the incremental evaluator.
+    """
+    if validate:
+        validate_sequence(graph, sequence)
+        assignment.validate(graph)
+    durations = np.empty(len(sequence))
+    currents = np.empty(len(sequence))
+    for index, name in enumerate(sequence):
+        point = graph.task(name).ordered_design_points()[assignment[name]]
+        durations[index] = point.execution_time
+        currents[index] = point.current
+    makespan = math.fsum(durations)
+    rest = _resolve_rest(makespan, deadline, evaluate_at)
+    cost = model.schedule_charge(durations, currents, rest)
+    return ScheduleEvaluation(cost=cost, makespan=makespan, rest=rest)
+
+
+@dataclass
+class ScheduleState:
+    """Timeline arrays and per-interval sigma contributions of one candidate.
+
+    ``durations``/``currents`` are per-position arrays in sequence order;
+    ``tail[k]`` is the time-to-end of interval ``k`` (suffix sum of the
+    durations after it); ``contributions[k]`` is interval ``k``'s share of
+    sigma (``None`` for models without a vectorized schedule path, which
+    evaluate whole schedules only).
+    """
+
+    sequence: List[str]
+    columns: Dict[str, int]
+    durations: np.ndarray
+    currents: np.ndarray
+    tail: np.ndarray
+    contributions: Optional[np.ndarray]
+    makespan: float
+    rest: float
+    cost: float
+
+    def copy(self) -> "ScheduleState":
+        """Independent deep-enough copy used for the undo snapshot."""
+        return ScheduleState(
+            sequence=list(self.sequence),
+            columns=dict(self.columns),
+            durations=self.durations.copy(),
+            currents=self.currents.copy(),
+            tail=self.tail.copy(),
+            contributions=(
+                self.contributions.copy() if self.contributions is not None else None
+            ),
+            makespan=self.makespan,
+            rest=self.rest,
+            cost=self.cost,
+        )
+
+
+@dataclass(frozen=True)
+class MoveProposal:
+    """A costed-but-uncommitted neighbourhood move.
+
+    Produced by :meth:`IncrementalCostEvaluator.propose_design_point` and
+    :meth:`~IncrementalCostEvaluator.propose_relocate`; hand it back to
+    :meth:`~IncrementalCostEvaluator.apply` to commit it.  ``cost`` and
+    ``makespan`` describe the *candidate* (post-move) schedule.
+    """
+
+    kind: str
+    cost: float
+    makespan: float
+    rest: float
+    sequence: Tuple[str, ...]
+    columns: Tuple[Tuple[str, int], ...]
+    _durations: np.ndarray = field(repr=False)
+    _currents: np.ndarray = field(repr=False)
+    _recompute_hi: int = field(repr=False)
+    _tail_head: Optional[np.ndarray] = field(repr=False, default=None)
+    _contrib_head: Optional[np.ndarray] = field(repr=False, default=None)
+    _dur_key: Optional[Tuple[float, ...]] = field(repr=False, default=None)
+    _cur_key: Optional[Tuple[float, ...]] = field(repr=False, default=None)
+    _version: int = field(repr=False, default=0)
+
+
+class IncrementalCostEvaluator:
+    """Delta-updating battery-cost evaluator over (sequence, assignment) states.
+
+    Parameters
+    ----------
+    graph:
+        The task graph being scheduled.
+    sequence, assignment:
+        The starting candidate (validated against the graph).
+    model:
+        Battery model supplying the cost function.  Models implementing the
+        vectorized schedule path (``interval_contributions``) get true
+        incremental updates; any other model is evaluated whole-schedule per
+        proposal, which matches the pre-evaluator behaviour of the searchers.
+    deadline, evaluate_at:
+        Sigma evaluation point, with the same semantics (including deadline
+        clamping) as :func:`repro.scheduling.battery_cost`.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        sequence: Sequence[str],
+        assignment: DesignPointAssignment,
+        model: BatteryModel,
+        deadline: Optional[float] = None,
+        evaluate_at: str = "completion",
+    ) -> None:
+        validate_sequence(graph, sequence)
+        assignment.validate(graph)
+        _resolve_rest(0.0, deadline, evaluate_at)  # validate mode/deadline pairing
+        self.graph = graph
+        self.model = model
+        self.deadline = None if deadline is None else float(deadline)
+        self.evaluate_at = evaluate_at
+        self._vectorized = hasattr(model, "interval_contributions")
+        cache_capable = hasattr(model, "lookup_schedule") and hasattr(
+            model, "store_schedule"
+        )
+        self._schedule_cache = model if cache_capable else None
+        # The evaluator probes/stores the schedule cache itself (with
+        # delta-spliced keys), so misses are computed on the wrapped model
+        # directly to avoid a second, re-boxed probe inside the wrapper.
+        self._compute_model: BatteryModel = (
+            model.inner if cache_capable and hasattr(model, "inner") else model
+        )
+        # Per-task design-point tables, indexed by canonical column.
+        self._durations_by_task: Dict[str, Tuple[float, ...]] = {}
+        self._currents_by_task: Dict[str, Tuple[float, ...]] = {}
+        for task in graph:
+            points = task.ordered_design_points()
+            self._durations_by_task[task.name] = tuple(dp.execution_time for dp in points)
+            self._currents_by_task[task.name] = tuple(dp.current for dp in points)
+        self.state = self._build_state(list(sequence), {name: assignment[name] for name in assignment})
+        self._positions = {name: index for index, name in enumerate(self.state.sequence)}
+        self._undo_state: Optional[ScheduleState] = None
+        self._version = 0
+        # Cache key halves, spliced per move (state deltas) — only maintained
+        # when the model actually exposes a schedule cache.
+        self._dur_key: Optional[Tuple[float, ...]] = None
+        self._cur_key: Optional[Tuple[float, ...]] = None
+        if self._schedule_cache is not None:
+            self._dur_key = tuple(map(float, self.state.durations))
+            self._cur_key = tuple(map(float, self.state.currents))
+            self._schedule_cache.store_schedule(
+                (self._dur_key, self._cur_key, self.state.rest), self.state.cost
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """sigma of the current state at the configured evaluation point."""
+        return self.state.cost
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the current state."""
+        return self.state.makespan
+
+    @property
+    def sequence(self) -> Tuple[str, ...]:
+        """Current task order."""
+        return tuple(self.state.sequence)
+
+    @property
+    def columns(self) -> Dict[str, int]:
+        """Current per-task design-point columns (a copy)."""
+        return dict(self.state.columns)
+
+    def assignment(self) -> DesignPointAssignment:
+        """Current state as a :class:`DesignPointAssignment`."""
+        return DesignPointAssignment(self.state.columns)
+
+    def position(self, name: str) -> int:
+        """Current position of a task in the sequence."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise ScheduleError(f"task {name!r} is not part of this schedule") from None
+
+    def candidate_makespan(self, name: str, column: int) -> float:
+        """Makespan if ``name`` moved to design-point ``column`` (no costing).
+
+        Cheap feasibility pre-check for searchers that discard
+        deadline-violating design-point moves before paying for a proposal.
+        """
+        position = self.position(name)
+        durations = self._durations_by_task[name]
+        if not (0 <= column < len(durations)):
+            raise ScheduleError(
+                f"column {column} out of range for task {name!r} "
+                f"({len(durations)} design points)"
+            )
+        candidate = self.state.durations.copy()
+        candidate[position] = durations[column]
+        return math.fsum(candidate)
+
+    def evaluate_full(self) -> float:
+        """Full from-scratch evaluation of the current state (testing hook)."""
+        return evaluate_schedule(
+            self.graph,
+            self.state.sequence,
+            DesignPointAssignment(self.state.columns),
+            self.model,
+            deadline=self.deadline,
+            evaluate_at=self.evaluate_at,
+            validate=False,
+        ).cost
+
+    # ------------------------------------------------------------------
+    # proposals
+    # ------------------------------------------------------------------
+    def propose_design_point(self, name: str, column: int) -> MoveProposal:
+        """Cost the move "run ``name`` at design-point ``column``" without committing.
+
+        Only intervals at or before ``name``'s position are re-evaluated:
+        later intervals keep their time-to-end (the changed duration is not
+        part of their suffix), so their contributions are reused bit-for-bit.
+        """
+        position = self.position(name)
+        durations = self._durations_by_task[name]
+        if not (0 <= column < len(durations)):
+            raise ScheduleError(
+                f"column {column} out of range for task {name!r} "
+                f"({len(durations)} design points)"
+            )
+        if column == self.state.columns[name]:
+            raise ScheduleError(
+                f"task {name!r} already runs at design-point column {column}"
+            )
+        new_durations = self.state.durations.copy()
+        new_currents = self.state.currents.copy()
+        new_durations[position] = durations[column]
+        new_currents[position] = self._currents_by_task[name][column]
+        makespan = math.fsum(new_durations)
+        rest = _resolve_rest(makespan, self.deadline, self.evaluate_at)
+        columns = dict(self.state.columns)
+        columns[name] = column
+        return self._cost_candidate(
+            kind="design_point",
+            sequence=tuple(self.state.sequence),
+            columns=columns,
+            new_durations=new_durations,
+            new_currents=new_currents,
+            lo=position,
+            hi=position,
+            makespan=makespan,
+            rest=rest,
+        )
+
+    def propose_relocate(self, name: str, position: int) -> MoveProposal:
+        """Cost the move "place ``name`` at sequence ``position``" without committing.
+
+        The target position must lie within the window allowed by ``name``'s
+        predecessors and successors (validity by construction).  Intervals
+        after ``max(old, new)`` position are reused bit-for-bit; the makespan
+        is exactly unchanged (same duration multiset, exact fsum).
+        """
+        index = self.position(name)
+        n = len(self.state.sequence)
+        if not (0 <= position < n):
+            raise ScheduleError(f"target position {position} out of range [0, {n})")
+        if position == index:
+            raise ScheduleError(f"task {name!r} is already at position {position}")
+        lower = max(
+            (self._positions[p] for p in self.graph.predecessors(name)), default=-1
+        ) + 1
+        upper = min(
+            (self._positions[s] for s in self.graph.successors(name)), default=n
+        ) - 1
+        if not (lower <= position <= upper):
+            raise ScheduleError(
+                f"moving task {name!r} to position {position} violates precedence "
+                f"(legal window [{lower}, {upper}])"
+            )
+        new_sequence = list(self.state.sequence)
+        new_sequence.pop(index)
+        new_sequence.insert(position, name)
+        lo, hi = (index, position) if index < position else (position, index)
+        new_durations = self.state.durations.copy()
+        new_currents = self.state.currents.copy()
+        segment = [
+            (
+                self._durations_by_task[task][self.state.columns[task]],
+                self._currents_by_task[task][self.state.columns[task]],
+            )
+            for task in new_sequence[lo : hi + 1]
+        ]
+        new_durations[lo : hi + 1] = [duration for duration, _ in segment]
+        new_currents[lo : hi + 1] = [current for _, current in segment]
+        # Same duration multiset => exactly the same fsum makespan and rest.
+        return self._cost_candidate(
+            kind="relocate",
+            sequence=tuple(new_sequence),
+            columns=self.state.columns,
+            new_durations=new_durations,
+            new_currents=new_currents,
+            lo=lo,
+            hi=hi,
+            makespan=self.state.makespan,
+            rest=self.state.rest,
+        )
+
+    def _cost_candidate(
+        self,
+        kind: str,
+        sequence: Tuple[str, ...],
+        columns: Dict[str, int],
+        new_durations: np.ndarray,
+        new_currents: np.ndarray,
+        lo: int,
+        hi: int,
+        makespan: float,
+        rest: float,
+    ) -> MoveProposal:
+        """Evaluate a candidate's cost, reusing suffix contributions and cache."""
+        columns_key = tuple(sorted(columns.items()))
+        recompute_hi = hi
+        if rest != self.state.rest:
+            # The evaluation point moved (deadline mode): every interval's
+            # time-to-evaluation changes, so nothing can be reused.
+            recompute_hi = len(sequence) - 1
+        dur_key: Optional[Tuple[float, ...]] = None
+        cur_key: Optional[Tuple[float, ...]] = None
+        cached: Optional[float] = None
+        if self._schedule_cache is not None:
+            # Splice the changed segment into the current key tuples instead
+            # of re-boxing the whole arrays: a state-delta cache key.
+            dur_key = (
+                self._dur_key[:lo]
+                + tuple(map(float, new_durations[lo : hi + 1]))
+                + self._dur_key[hi + 1 :]
+            )
+            cur_key = (
+                self._cur_key[:lo]
+                + tuple(map(float, new_currents[lo : hi + 1]))
+                + self._cur_key[hi + 1 :]
+            )
+            cached = self._schedule_cache.lookup_schedule((dur_key, cur_key, rest))
+        tail_head: Optional[np.ndarray] = None
+        contrib_head: Optional[np.ndarray] = None
+        if cached is not None:
+            cost = cached
+        elif self._vectorized and self.state.contributions is not None:
+            tail_head, contrib_head = self._recompute_head(
+                new_durations, new_currents, recompute_hi, rest
+            )
+            cost = float(
+                math.fsum(
+                    itertools.chain(
+                        contrib_head, self.state.contributions[recompute_hi + 1 :]
+                    )
+                )
+            )
+        else:
+            cost = self._compute_model.schedule_charge(new_durations, new_currents, rest)
+        if cached is None and self._schedule_cache is not None:
+            self._schedule_cache.store_schedule((dur_key, cur_key, rest), cost)
+        return MoveProposal(
+            kind=kind,
+            cost=cost,
+            makespan=makespan,
+            rest=rest,
+            sequence=sequence,
+            columns=columns_key,
+            _durations=new_durations,
+            _currents=new_currents,
+            _recompute_hi=recompute_hi,
+            _tail_head=tail_head,
+            _contrib_head=contrib_head,
+            _dur_key=dur_key,
+            _cur_key=cur_key,
+            _version=self._version,
+        )
+
+    def _recompute_head(
+        self,
+        durations: np.ndarray,
+        currents: np.ndarray,
+        hi: int,
+        rest: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Recompute tail[0:hi] and contributions[0:hi+1] for a candidate.
+
+        ``tail[hi]`` is unchanged by construction (only durations at or
+        before ``hi`` differ), so the suffix-sum chain is re-extended from it
+        downwards with exactly the additions a full back-to-front cumsum
+        would perform — the root of the full/incremental bit-identity.
+        """
+        n = durations.shape[0]
+        if hi >= n - 1:
+            tail_all = suffix_durations(durations)
+            tail_head = tail_all[:-1]
+        else:
+            chain = np.cumsum(
+                np.concatenate(([self.state.tail[hi]], durations[hi:0:-1]))
+            )
+            tail_head = chain[1:][::-1]
+            tail_all = np.concatenate((tail_head, [self.state.tail[hi]]))
+        contrib_head = self._compute_model.interval_contributions(
+            durations[: hi + 1], currents[: hi + 1], tail_all[: hi + 1] + rest
+        )
+        return tail_head, contrib_head
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def apply(self, proposal: MoveProposal) -> None:
+        """Commit a proposal produced from the *current* state."""
+        if proposal._version != self._version:
+            raise ScheduleError(
+                "stale proposal: it was produced from a different evaluator state"
+            )
+        state = self.state
+        self._undo_state = state.copy()
+        hi = proposal._recompute_hi
+        if self._vectorized and state.contributions is not None:
+            if proposal._contrib_head is None:
+                # Cache hit skipped the array work at proposal time; redo it
+                # now so the state stays internally consistent.
+                tail_head, contrib_head = self._recompute_head(
+                    proposal._durations, proposal._currents, hi, proposal.rest
+                )
+            else:
+                tail_head, contrib_head = proposal._tail_head, proposal._contrib_head
+            if hi > 0:
+                state.tail[:hi] = tail_head
+            state.contributions[: hi + 1] = contrib_head
+        state.durations = proposal._durations
+        state.currents = proposal._currents
+        state.sequence = list(proposal.sequence)
+        state.columns = dict(proposal.columns)
+        state.makespan = proposal.makespan
+        state.rest = proposal.rest
+        state.cost = proposal.cost
+        self._version += 1
+        self._positions = {name: index for index, name in enumerate(state.sequence)}
+        if self._schedule_cache is not None:
+            if proposal._dur_key is not None:
+                self._dur_key = proposal._dur_key
+                self._cur_key = proposal._cur_key
+            else:
+                self._dur_key = tuple(map(float, state.durations))
+                self._cur_key = tuple(map(float, state.currents))
+
+    def undo(self) -> None:
+        """Revert the most recently applied proposal (one level deep)."""
+        if self._undo_state is None:
+            raise ScheduleError("nothing to undo: no proposal has been applied")
+        self.state = self._undo_state
+        self._undo_state = None
+        self._version += 1
+        self._positions = {
+            name: index for index, name in enumerate(self.state.sequence)
+        }
+        if self._schedule_cache is not None:
+            self._dur_key = tuple(map(float, self.state.durations))
+            self._cur_key = tuple(map(float, self.state.currents))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_state(self, sequence: List[str], columns: Dict[str, int]) -> ScheduleState:
+        durations = np.array(
+            [self._durations_by_task[name][columns[name]] for name in sequence]
+        )
+        currents = np.array(
+            [self._currents_by_task[name][columns[name]] for name in sequence]
+        )
+        makespan = math.fsum(durations)
+        rest = _resolve_rest(makespan, self.deadline, self.evaluate_at)
+        tail = suffix_durations(durations)
+        if self._vectorized:
+            contributions = self._compute_model.interval_contributions(
+                durations, currents, tail + rest
+            )
+            cost = float(math.fsum(contributions))
+        else:
+            contributions = None
+            cost = self._compute_model.schedule_charge(durations, currents, rest)
+        return ScheduleState(
+            sequence=sequence,
+            columns=columns,
+            durations=durations,
+            currents=currents,
+            tail=tail,
+            contributions=contributions,
+            makespan=makespan,
+            rest=rest,
+            cost=cost,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalCostEvaluator({len(self.state.sequence)} tasks, "
+            f"cost={self.state.cost:g}, makespan={self.state.makespan:g})"
+        )

@@ -191,3 +191,83 @@ class TestLifetime:
         needed = model.apparent_charge(profile)
         assert model.supports(profile, capacity=needed * 1.01)
         assert not model.supports(profile, capacity=needed * 0.5)
+
+
+class TestVectorizedKernel:
+    """The vectorized apparent_charge against the scalar reference."""
+
+    def test_matches_reference_on_back_to_back_profile(self, model):
+        profile = LoadProfile.from_back_to_back(
+            [10.0, 5.0, 20.0, 2.5], [300.0, 0.0, 150.0, 600.0]
+        )
+        for at_time in (None, 0.0, 7.5, 37.5, 100.0):
+            assert model.apparent_charge(profile, at_time) == (
+                model.apparent_charge_reference(profile, at_time)
+            )
+
+    def test_negative_time_rejected_by_both(self, model):
+        profile = constant_profile()
+        with pytest.raises(BatteryModelError):
+            model.apparent_charge(profile, -1.0)
+        with pytest.raises(BatteryModelError):
+            model.apparent_charge_reference(profile, -1.0)
+
+
+class TestSchedulePath:
+    def test_schedule_charge_equals_profile_evaluation_mathematically(self, model):
+        durations = [10.0, 5.0, 20.0]
+        currents = [300.0, 150.0, 600.0]
+        profile = LoadProfile.from_back_to_back(durations, currents)
+        assert model.schedule_charge(durations, currents) == pytest.approx(
+            model.apparent_charge(profile), abs=1e-9
+        )
+
+    def test_schedule_charge_with_rest_credits_recovery(self, model):
+        durations = [10.0, 5.0]
+        currents = [300.0, 150.0]
+        at_end = model.schedule_charge(durations, currents)
+        rested = model.schedule_charge(durations, currents, rest=30.0)
+        assert rested < at_end
+
+    def test_schedule_charge_rejects_negative_rest(self, model):
+        with pytest.raises(BatteryModelError):
+            model.schedule_charge([1.0], [10.0], rest=-1.0)
+
+    def test_schedule_contributions_sum_to_charge(self, model):
+        durations = [10.0, 5.0, 20.0]
+        currents = [300.0, 150.0, 600.0]
+        contributions = model.schedule_contributions(durations, currents)
+        assert math.fsum(contributions) == pytest.approx(
+            model.schedule_charge(durations, currents)
+        )
+
+    def test_contribution_never_below_nominal_charge(self, model):
+        durations = [10.0, 5.0, 20.0]
+        currents = [300.0, 150.0, 600.0]
+        contributions = model.schedule_contributions(durations, currents)
+        for contribution, duration, current in zip(contributions, durations, currents):
+            assert contribution >= current * duration
+
+    def test_batch_rejects_shape_mismatch(self, model):
+        with pytest.raises(BatteryModelError):
+            model.schedule_charge_batch([[1.0, 2.0]], [[10.0]])
+
+    def test_batch_empty_rows(self, model):
+        costs = model.schedule_charge_batch([[], []], [[], []])
+        assert list(costs) == [0.0, 0.0]
+
+    def test_generic_fallback_matches_for_ideal_model(self):
+        from repro.battery import IdealBatteryModel
+
+        ideal = IdealBatteryModel()
+        assert ideal.schedule_charge([10.0, 5.0], [300.0, 150.0]) == pytest.approx(
+            10.0 * 300.0 + 5.0 * 150.0
+        )
+
+    def test_generic_fallback_skips_zero_durations(self):
+        from repro.battery import IdealBatteryModel
+
+        ideal = IdealBatteryModel()
+        assert ideal.schedule_charge([10.0, 0.0, 5.0], [300.0, 42.0, 150.0]) == (
+            pytest.approx(10.0 * 300.0 + 5.0 * 150.0)
+        )

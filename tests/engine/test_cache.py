@@ -114,3 +114,65 @@ class TestModelSignature:
 
     def test_parameter_free_model_keys_by_type(self):
         assert model_signature(IdealBatteryModel()) == model_signature(IdealBatteryModel())
+
+
+class TestScheduleCharge:
+    """The array-keyed schedule namespace used by the evaluator stack."""
+
+    def test_schedule_charge_matches_inner_model(self):
+        inner = RakhmatovVrudhulaModel(beta=0.273)
+        cached = CachedBatteryModel(inner)
+        durations = [10.0, 5.0, 20.0]
+        currents = [300.0, 150.0, 600.0]
+        assert cached.schedule_charge(durations, currents) == inner.schedule_charge(
+            durations, currents
+        )
+
+    def test_schedule_charge_hits_on_repeat(self):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.273))
+        args = ([10.0, 5.0], [300.0, 150.0])
+        first = cached.schedule_charge(*args)
+        hits_before = cached.cache.stats.hits
+        second = cached.schedule_charge(*args)
+        assert second == first
+        assert cached.cache.stats.hits == hits_before + 1
+
+    def test_schedule_and_profile_namespaces_do_not_collide(self):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.273))
+        durations = [10.0, 5.0]
+        currents = [300.0, 150.0]
+        profile = LoadProfile.from_back_to_back(durations, currents)
+        profile_value = cached.apparent_charge(profile)
+        schedule_value = cached.schedule_charge(durations, currents)
+        # Both are sigma of the same physical schedule (equal to 1e-9) but
+        # are cached under distinct, non-aliasing keys.
+        assert schedule_value == pytest.approx(profile_value, abs=1e-9)
+        assert len(cached.cache) == 2
+
+    def test_lookup_and_store_schedule_roundtrip(self):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.273))
+        key = ((1.0, 2.0), (10.0, 20.0), 0.0)
+        assert cached.lookup_schedule(key) is None
+        cached.store_schedule(key, 42.0)
+        assert cached.lookup_schedule(key) == 42.0
+
+    def test_rest_is_part_of_the_key(self):
+        cached = CachedBatteryModel(RakhmatovVrudhulaModel(beta=0.273))
+        durations = [10.0, 5.0]
+        currents = [300.0, 150.0]
+        at_end = cached.schedule_charge(durations, currents)
+        rested = cached.schedule_charge(durations, currents, rest=30.0)
+        assert rested < at_end
+
+    def test_array_methods_forward_to_inner(self):
+        inner = RakhmatovVrudhulaModel(beta=0.273)
+        cached = CachedBatteryModel(inner)
+        assert cached.interval_contributions == inner.interval_contributions
+        assert cached.schedule_charge_batch == inner.schedule_charge_batch
+
+    def test_forwarding_absent_for_generic_inner(self):
+        cached = CachedBatteryModel(IdealBatteryModel())
+        assert not hasattr(cached, "interval_contributions")
+        # The generic schedule_charge fallback still works (and is cached).
+        value = cached.schedule_charge([10.0, 5.0], [300.0, 150.0])
+        assert value == pytest.approx(10.0 * 300.0 + 5.0 * 150.0)

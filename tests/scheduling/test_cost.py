@@ -61,6 +61,16 @@ class TestBatteryCost:
         )
         assert clipped == pytest.approx(completion)
 
+    def test_deadline_mode_never_exceeds_completion_mode(
+        self, diamond4, assignment, model
+    ):
+        completion = battery_cost(diamond4, SEQ, assignment, model)
+        for deadline in (0.5, 10.0, 50.0, 1000.0):
+            relaxed = battery_cost(
+                diamond4, SEQ, assignment, model, deadline=deadline, evaluate_at="deadline"
+            )
+            assert relaxed <= completion + 1e-12
+
     def test_ideal_model_is_order_invariant(self, diamond4, assignment):
         ideal = IdealBatteryModel()
         forward = battery_cost(diamond4, SEQ, assignment, ideal)
@@ -73,3 +83,50 @@ class TestBatteryCost:
         forward = battery_cost(diamond4, ("A", "B", "C", "D"), assignment, model)
         swapped = battery_cost(diamond4, ("A", "C", "B", "D"), assignment, model)
         assert forward != pytest.approx(swapped, rel=1e-9)
+
+
+class TestDeadlineClamping:
+    """The documented clamp rule: evaluation time is max(deadline, makespan).
+
+    ``evaluate_at="deadline"`` with a deadline *earlier* than the schedule's
+    completion is not an error and never evaluates sigma mid-schedule — the
+    deadline is silently clamped to the makespan, so the result equals the
+    completion-mode cost exactly.  Feasibility checking is the caller's job.
+    """
+
+    def test_early_deadline_clamps_to_makespan_exactly(
+        self, diamond4, assignment, model
+    ):
+        completion = battery_cost(diamond4, SEQ, assignment, model)
+        makespan = assignment.total_execution_time(diamond4)
+        for early_deadline in (1e-9, 0.5 * makespan, makespan - 1e-6):
+            clamped = battery_cost(
+                diamond4,
+                SEQ,
+                assignment,
+                model,
+                deadline=early_deadline,
+                evaluate_at="deadline",
+            )
+            assert clamped == completion
+
+    def test_deadline_at_makespan_equals_completion(self, diamond4, assignment, model):
+        makespan = assignment.total_execution_time(diamond4)
+        at_makespan = battery_cost(
+            diamond4, SEQ, assignment, model, deadline=makespan, evaluate_at="deadline"
+        )
+        assert at_makespan == pytest.approx(
+            battery_cost(diamond4, SEQ, assignment, model)
+        )
+
+    def test_later_deadline_credits_recovery_monotonically(
+        self, diamond4, assignment, model
+    ):
+        makespan = assignment.total_execution_time(diamond4)
+        costs = [
+            battery_cost(
+                diamond4, SEQ, assignment, model, deadline=deadline, evaluate_at="deadline"
+            )
+            for deadline in (makespan, makespan + 5, makespan + 50, makespan + 500)
+        ]
+        assert costs == sorted(costs, reverse=True)
