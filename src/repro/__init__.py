@@ -31,14 +31,18 @@ Subpackages
 ``repro.baselines``
     The [1]-style DP+greedy baseline and further comparison schedulers.
 ``repro.workloads``
-    Synthetic task-graph generators and the benchmark suite.
+    Synthetic task-graph generators and the legacy benchmark-suite view.
+``repro.scenarios``
+    The scenario catalogue: named, seeded specs crossing DAG families,
+    platform models, battery chemistries and deadline tiers.
 ``repro.engine``
     Parallel experiment execution: jobs, executors, battery-cost caching
     and resumable result stores.
 ``repro.analysis``
-    Metrics, text tables and algorithm comparisons.
+    Metrics, text tables, algorithm comparisons and suite leaderboards.
 ``repro.experiments``
-    Drivers reproducing every table and figure of the paper.
+    Drivers reproducing every table and figure of the paper, plus the
+    scenario-suite driver (:func:`repro.experiments.run_suite`).
 """
 
 from .baselines import (
@@ -95,6 +99,7 @@ from .taskgraph import (
     build_g3,
     scaled_design_points,
 )
+from .scenarios import ScenarioRegistry, ScenarioSpec, default_registry
 from .workloads import (
     chain_graph,
     diamond_graph,
@@ -159,6 +164,10 @@ __all__ = [
     "tree_graph",
     "diamond_graph",
     "problem_with_tightness",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "default_registry",
     # errors
     "ReproError",
     "TaskGraphError",

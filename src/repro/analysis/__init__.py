@@ -13,6 +13,7 @@ from .export import (
     table_to_csv,
     table_to_records,
 )
+from .leaderboard import LeaderboardEntry, compute_leaderboard, leaderboard_table
 from .metrics import (
     ScheduleMetrics,
     percent_difference,
@@ -33,6 +34,9 @@ __all__ = [
     "ComparisonRow",
     "compare_algorithms",
     "comparison_table",
+    "LeaderboardEntry",
+    "compute_leaderboard",
+    "leaderboard_table",
     "gantt_chart",
     "current_profile_chart",
     "table_to_csv",

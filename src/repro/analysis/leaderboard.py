@@ -1,0 +1,169 @@
+"""Suite leaderboard: per-algorithm aggregates over many problem instances.
+
+The scenario suite produces one (problem, algorithm) result grid; this
+module reduces it to a ranking.  The metrics deliberately avoid averaging
+raw sigma across problems (scales differ by orders of magnitude between a
+9-task G2 and a 45-task G3x3); instead each algorithm is scored *relative
+to the best algorithm on the same problem*:
+
+* **wins** — problems where the algorithm achieved the (possibly tied)
+  lowest *feasible* sigma;
+* **mean excess %** — mean over problems of ``(sigma / best_sigma - 1) *
+  100`` (0 means it always matched the winner);
+* **worst excess %** — the largest such gap;
+* **feasible** / **errors** — deadline-respecting runs and captured
+  failures;
+* **time** — summed per-job execution time.
+
+Only feasible results compete: a deadline-missing schedule can post an
+arbitrarily low sigma simply by running everything slow, so infeasible
+results neither set the per-problem best nor accrue wins or excess
+statistics — they surface through the ``feasible`` count (and errors
+through ``errors``).
+
+>>> entries = compute_leaderboard([
+...     ("p1", "a", 10.0, True, 0.1), ("p1", "b", 12.0, True, 0.1),
+...     ("p2", "a", 5.0, True, 0.1), ("p2", "b", 5.0, True, 0.1),
+... ])
+>>> [(entry.algorithm, entry.wins) for entry in entries]
+[('a', 2), ('b', 1)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .tables import TextTable
+
+__all__ = ["LeaderboardEntry", "compute_leaderboard", "leaderboard_table"]
+
+#: One result cell: (problem name, algorithm, cost or None, feasible or
+#: None, elapsed seconds).  ``cost is None`` marks a failed job.
+ResultCell = Tuple[str, str, Optional[float], Optional[bool], float]
+
+#: Relative tolerance under which two sigmas count as a tied win.
+_WIN_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One algorithm's aggregate standing across the suite."""
+
+    algorithm: str
+    problems: int
+    wins: int
+    mean_excess_pct: float
+    worst_excess_pct: float
+    feasible: int
+    errors: int
+    total_time_s: float
+
+
+def compute_leaderboard(cells: Iterable[ResultCell]) -> List[LeaderboardEntry]:
+    """Rank algorithms by mean excess over the per-problem best feasible sigma.
+
+    Ties in sigma (within relative tolerance) count as wins for every tied
+    algorithm.  Failed cells (``cost is None``) are excluded from the
+    excess statistics but counted in ``errors``; infeasible cells
+    (``feasible`` falsy) are likewise excluded from best/wins/excess — a
+    deadline-missing schedule must not out-rank schedules that met the
+    deadline.  The returned list is sorted best first (mean excess
+    ascending, wins descending as the tiebreak).
+    """
+    by_problem: Dict[str, List[ResultCell]] = {}
+    algorithms: List[str] = []
+    for cell in cells:
+        by_problem.setdefault(cell[0], []).append(cell)
+        if cell[1] not in algorithms:
+            algorithms.append(cell[1])
+
+    stats = {
+        name: {"wins": 0, "excesses": [], "feasible": 0, "errors": 0,
+               "time": 0.0, "problems": 0}
+        for name in algorithms
+    }
+    for problem, problem_cells in by_problem.items():
+        costs = [
+            cell[2] for cell in problem_cells if cell[2] is not None and cell[3]
+        ]
+        best = min(costs) if costs else None
+        for _, algorithm, cost, feasible, elapsed in problem_cells:
+            entry = stats[algorithm]
+            entry["problems"] += 1
+            entry["time"] += elapsed
+            if cost is None:
+                entry["errors"] += 1
+                continue
+            if feasible:
+                entry["feasible"] += 1
+            if best is not None and best > 0 and feasible:
+                excess = (cost / best - 1.0) * 100.0
+                entry["excesses"].append(excess)
+                if cost <= best * (1.0 + _WIN_RTOL):
+                    entry["wins"] += 1
+
+    entries = []
+    unscored = set()
+    for algorithm in algorithms:
+        entry = stats[algorithm]
+        excesses = entry["excesses"]
+        if not excesses:
+            # No feasible, costed result ever competed: rank after every
+            # algorithm with real standings instead of riding an empty 0.0%.
+            unscored.add(algorithm)
+        entries.append(
+            LeaderboardEntry(
+                algorithm=algorithm,
+                problems=entry["problems"],
+                wins=entry["wins"],
+                mean_excess_pct=sum(excesses) / len(excesses) if excesses else 0.0,
+                worst_excess_pct=max(excesses) if excesses else 0.0,
+                feasible=entry["feasible"],
+                errors=entry["errors"],
+                total_time_s=entry["time"],
+            )
+        )
+    entries.sort(
+        key=lambda e: (
+            e.algorithm in unscored,
+            e.mean_excess_pct,
+            -e.wins,
+            e.algorithm,
+        )
+    )
+    return entries
+
+
+def leaderboard_table(entries: Iterable[LeaderboardEntry]) -> TextTable:
+    """Render leaderboard entries as the suite report table.
+
+    Timing stays off the table on purpose: the rendered output is part of
+    the engine's "parallel runs are byte-identical to serial" contract, and
+    wall-clock never is.  ``LeaderboardEntry.total_time_s`` keeps the
+    number for programmatic use.
+    """
+    table = TextTable(
+        title="Suite leaderboard (ranked by mean excess over per-problem best sigma)",
+        headers=(
+            "algorithm",
+            "problems",
+            "wins",
+            "mean excess %",
+            "worst excess %",
+            "feasible",
+            "errors",
+        ),
+        precision=2,
+    )
+    for entry in entries:
+        table.add_row(
+            entry.algorithm,
+            entry.problems,
+            entry.wins,
+            entry.mean_excess_pct,
+            entry.worst_excess_pct,
+            entry.feasible,
+            entry.errors,
+        )
+    return table

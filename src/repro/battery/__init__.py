@@ -11,6 +11,7 @@ from .ideal import IdealBatteryModel
 from .kibam import KineticBatteryModel
 from .parameters import (
     BETA_PRESETS,
+    CHEMISTRIES,
     PAPER_BETA,
     BatterySpec,
     battery_from_preset,
@@ -31,6 +32,7 @@ __all__ = [
     "BatterySpec",
     "battery_from_preset",
     "BETA_PRESETS",
+    "CHEMISTRIES",
     "PAPER_BETA",
     "DEFAULT_SERIES_TERMS",
     "suffix_durations",

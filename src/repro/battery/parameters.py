@@ -6,18 +6,37 @@ The paper reports only the diffusion parameter used in its G3 example
 additional presets spanning weak to nearly ideal cells (useful for
 sensitivity sweeps), and a small dataclass bundling ``alpha``/``beta`` so
 problem instances can carry their battery description around explicitly.
+
+Beyond the paper's Rakhmatov–Vrudhula cost function, a :class:`BatterySpec`
+can name any of the library's battery *chemistries* — the abstraction under
+which sigma is computed — so that problem instances (and the scenario
+catalogue built on them) can ask how the ranking of schedules changes with
+the battery model:
+
+>>> BatterySpec(chemistry="peukert", chemistry_params=(("exponent", 1.3),)).model()
+PeukertModel(exponent=1.3, reference_current=1)
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Mapping, Tuple, Union
 
 from ..errors import BatteryModelError
+from .base import BatteryModel
+from .ideal import IdealBatteryModel
+from .kibam import KineticBatteryModel
+from .peukert import PeukertModel
 from .rakhmatov import RakhmatovVrudhulaModel
 
-__all__ = ["BatterySpec", "PAPER_BETA", "BETA_PRESETS", "battery_from_preset"]
+__all__ = [
+    "BatterySpec",
+    "PAPER_BETA",
+    "BETA_PRESETS",
+    "CHEMISTRIES",
+    "battery_from_preset",
+]
 
 #: The beta value used for the paper's illustrative example (Section 4.2).
 PAPER_BETA: float = 0.273
@@ -33,6 +52,65 @@ BETA_PRESETS: Dict[str, float] = {
 }
 
 
+def _build_rakhmatov(spec: "BatterySpec", params: Dict[str, Any]) -> BatteryModel:
+    return RakhmatovVrudhulaModel(beta=spec.beta, series_terms=spec.series_terms)
+
+
+def _build_peukert(spec: "BatterySpec", params: Dict[str, Any]) -> BatteryModel:
+    return PeukertModel(
+        exponent=float(params.get("exponent", 1.2)),
+        reference_current=float(params.get("reference_current", 1.0)),
+    )
+
+
+def _build_kibam(spec: "BatterySpec", params: Dict[str, Any]) -> BatteryModel:
+    return KineticBatteryModel(
+        c=float(params.get("c", 0.625)), k=float(params.get("k", 0.05))
+    )
+
+
+def _build_ideal(spec: "BatterySpec", params: Dict[str, Any]) -> BatteryModel:
+    return IdealBatteryModel()
+
+
+#: Battery chemistries a :class:`BatterySpec` can name, and the per-chemistry
+#: parameters its ``chemistry_params`` field accepts.  ``"rakhmatov"`` (the
+#: paper's analytical diffusion model) is the default and reads its
+#: parameters from the spec's own ``beta``/``series_terms`` fields.
+CHEMISTRIES: Dict[str, Any] = {
+    "rakhmatov": _build_rakhmatov,
+    "peukert": _build_peukert,
+    "kibam": _build_kibam,
+    "ideal": _build_ideal,
+}
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert mappings/sequences to hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def freeze_params(
+    params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]],
+) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a parameter mapping to a sorted, hashable tuple of pairs.
+
+    Values are frozen recursively (nested mappings become pair tuples,
+    sequences become tuples), so frozen specs stay hashable whatever shape
+    their parameters take.  Shared by :class:`BatterySpec` and the scenario
+    specs in :mod:`repro.scenarios`.
+    """
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = tuple(params)
+    return tuple(sorted((str(key), _freeze_value(value)) for key, value in items))
+
+
 @dataclass(frozen=True)
 class BatterySpec:
     """Battery description attached to a scheduling problem.
@@ -46,11 +124,21 @@ class BatterySpec:
         paper's "sufficiently large" assumption (lifetime checks are skipped).
     series_terms:
         Series truncation order handed to the analytical model.
+    chemistry:
+        Which battery abstraction computes sigma — one of
+        :data:`CHEMISTRIES` (default ``"rakhmatov"``, the paper's model).
+    chemistry_params:
+        Extra parameters of non-default chemistries (e.g. the Peukert
+        ``exponent`` or the KiBaM ``c``/``k``), stored as a sorted tuple of
+        ``(name, value)`` pairs so the spec stays hashable; a plain dict is
+        accepted and normalised.
     """
 
     beta: float = PAPER_BETA
     capacity: float = math.inf
     series_terms: int = 10
+    chemistry: str = "rakhmatov"
+    chemistry_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.beta <= 0 or not math.isfinite(self.beta):
@@ -59,10 +147,28 @@ class BatterySpec:
             raise BatteryModelError(f"capacity must be > 0, got {self.capacity!r}")
         if self.series_terms < 1:
             raise BatteryModelError(f"series_terms must be >= 1, got {self.series_terms!r}")
+        if self.chemistry not in CHEMISTRIES:
+            raise BatteryModelError(
+                f"unknown battery chemistry {self.chemistry!r}; "
+                f"choose from {sorted(CHEMISTRIES)}"
+            )
+        object.__setattr__(
+            self, "chemistry_params", freeze_params(self.chemistry_params)
+        )
 
-    def model(self) -> RakhmatovVrudhulaModel:
-        """Instantiate the analytical model for this specification."""
-        return RakhmatovVrudhulaModel(beta=self.beta, series_terms=self.series_terms)
+    def model(self) -> BatteryModel:
+        """Instantiate the battery model for this specification.
+
+        The default chemistry returns the paper's analytical
+        :class:`~repro.battery.RakhmatovVrudhulaModel`; other chemistries
+        build their model from ``chemistry_params``:
+
+        >>> BatterySpec(beta=0.273).model()
+        RakhmatovVrudhulaModel(beta=0.273, series_terms=10)
+        >>> BatterySpec(chemistry="ideal").model()
+        IdealBatteryModel()
+        """
+        return CHEMISTRIES[self.chemistry](self, dict(self.chemistry_params))
 
     @property
     def has_finite_capacity(self) -> bool:

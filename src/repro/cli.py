@@ -23,6 +23,15 @@ through the experiment engine, with a resumable result store)::
     python -m repro.cli sweep --graph g3 --points 6
     python -m repro.cli sweep --jobs 4 --results-dir results
     python -m repro.cli sweep --jobs 4 --results-dir results --resume
+
+Browse and run the scenario catalogue (DAG families x chemistries x
+platforms x deadline tiers), and regenerate the docs pages from it::
+
+    python -m repro.cli suite --list
+    python -m repro.cli suite --run --jobs 4 --resume
+    python -m repro.cli suite --run --scenarios g3 g3-kibam --algorithms iterative
+    python -m repro.cli docs              # rewrite docs/scenarios.md
+    python -m repro.cli docs --check      # fail if the committed page drifted
 """
 
 from __future__ import annotations
@@ -90,6 +99,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=6)
     add_engine_arguments(sweep)
 
+    suite = subparsers.add_parser(
+        "suite", help="list or run the scenario catalogue (repro.scenarios)"
+    )
+    suite_mode = suite.add_mutually_exclusive_group()
+    suite_mode.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="enumerate the catalogue without running anything (default)")
+    suite_mode.add_argument(
+        "--run", action="store_true", dest="run_suite",
+        help="run the selected scenarios and print the grid + leaderboard")
+    suite.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="restrict to these catalogue scenarios (default: all)")
+    suite.add_argument(
+        "--algorithms", nargs="+", default=None, metavar="ALGO",
+        help="algorithms to run (default: iterative + deterministic baselines)")
+    add_engine_arguments(suite)
+
+    docs = subparsers.add_parser(
+        "docs", help="regenerate docs/scenarios.md from the scenario registry"
+    )
+    docs.add_argument(
+        "--check", action="store_true",
+        help="verify the committed page matches the registry instead of writing")
+    docs.add_argument(
+        "--out", default="docs", metavar="DIR",
+        help="docs directory to write to / check against (default: %(default)s)")
+
     schedule = subparsers.add_parser("schedule", help="schedule a task graph stored as JSON")
     schedule.add_argument("graph", help="path to a task-graph JSON file (see repro.taskgraph.io)")
     schedule.add_argument("--deadline", type=float, required=True)
@@ -155,6 +192,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph, num_points=args.points, **_engine_options(args)
         )
         out.append(sweep_result.to_table().to_text())
+    elif args.command == "suite":
+        from .experiments import run_suite
+        from .scenarios import catalogue_table, default_registry
+
+        if args.run_suite:
+            suite_result = run_suite(
+                scenarios=args.scenarios,
+                algorithms=args.algorithms,
+                **_engine_options(args),
+            )
+            out.append(suite_result.to_table().to_text())
+            out.append("")
+            out.append(suite_result.leaderboard_table().to_text())
+            out.append("")
+            out.append(suite_result.summary())
+        else:
+            registry = default_registry()
+            if args.scenarios is not None:
+                registry_view = registry.select(names=args.scenarios)
+                from .scenarios import ScenarioRegistry
+
+                registry = ScenarioRegistry(registry_view)
+            out.append(catalogue_table(registry).to_text())
+            out.append("")
+            out.append(
+                f"{len(registry)} scenarios, "
+                f"{len(registry.families())} DAG families, "
+                f"{len(registry.chemistries())} chemistries, "
+                f"{len(registry.platforms())} platform models"
+            )
+    elif args.command == "docs":
+        from .scenarios import catalogue_markdown, leaderboard_markdown
+
+        pages = {
+            Path(args.out) / "scenarios.md": catalogue_markdown(),
+            Path(args.out) / "leaderboard.md": leaderboard_markdown(),
+        }
+        if args.check:
+            for target, page in pages.items():
+                if not target.exists():
+                    print(f"docs check FAILED: {target} does not exist "
+                          "(run `python -m repro.cli docs`)", file=sys.stderr)
+                    return 1
+                if target.read_text(encoding="utf-8") != page:
+                    print(f"docs check FAILED: {target} has drifted from the "
+                          "scenario registry (run `python -m repro.cli docs`)",
+                          file=sys.stderr)
+                    return 1
+                out.append(f"docs check OK: {target} matches the registry")
+        else:
+            for target, page in pages.items():
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(page, encoding="utf-8")
+                out.append(f"wrote {target}")
     elif args.command == "schedule":
         graph = load_json(args.graph)
         problem = SchedulingProblem(

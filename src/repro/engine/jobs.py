@@ -98,6 +98,8 @@ class Job:
                 "beta": battery.beta,
                 "capacity": _canonical(battery.capacity),
                 "series_terms": battery.series_terms,
+                "chemistry": battery.chemistry,
+                "chemistry_params": _canonical(dict(battery.chemistry_params)),
             },
             "algorithm": self.algorithm,
             "params": _canonical(self.params),

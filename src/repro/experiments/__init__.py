@@ -22,6 +22,7 @@ from .models import (
     battery_model_crosscheck,
     default_models,
 )
+from .suite import DEFAULT_SUITE_ALGORITHMS, SuiteRunResult, run_suite
 from .sweep import (
     SWEEP_ALGORITHMS,
     SweepPoint,
@@ -59,6 +60,9 @@ __all__ = [
     "AblationResult",
     "AblationRow",
     "FACTOR_NAMES",
+    "run_suite",
+    "SuiteRunResult",
+    "DEFAULT_SUITE_ALGORITHMS",
     "deadline_sweep",
     "beta_sweep",
     "default_algorithms",

@@ -1,0 +1,230 @@
+"""The default scenario catalogue.
+
+Named, seeded benchmark scenarios crossing the DAG families of
+:mod:`repro.scenarios.families` with battery chemistries
+(Rakhmatov–Vrudhula, Peukert, KiBaM, ideal), platform models
+(voltage-scaling, DVS processor, FPGA fabric) and deadline-tightness tiers
+(tight 0.2 / mid 0.5 / loose 0.8).
+
+The catalogue is organised in blocks:
+
+* **core** — the eight graphs of the original hand-rolled workload suite,
+  re-expressed as specs (``repro.workloads.standard_suite`` is now a thin
+  view over this block);
+* **scaled-paper** — the paper's G2/G3 replicated in series;
+* **families** — the estee-style generator families at larger sizes;
+* **tightness** — tight/loose deadline tiers of representative graphs;
+* **chemistry** — representative graphs under non-default battery models;
+* **platform** — representative graphs with DVS- and FPGA-derived design
+  points.
+
+Regenerate the committed ``docs/scenarios.md`` from this module with
+``python -m repro.cli docs`` (CI fails when the two drift apart).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from .registry import ScenarioRegistry
+from .spec import ScenarioSpec
+
+__all__ = ["build_catalog", "CORE_SCENARIOS"]
+
+#: Names of the core block — the legacy ``standard_suite`` workloads, in
+#: the legacy order (the suite view depends on these names existing).
+CORE_SCENARIOS = (
+    "g2",
+    "g3",
+    "chain-10",
+    "fork-join-2x4",
+    "layered-4x3",
+    "tree-out-3x2",
+    "tree-in-3x2",
+    "diamond-3",
+)
+
+
+def _spec(
+    name: str,
+    family: str,
+    seed: int = 0,
+    tightness: float = 0.5,
+    family_params: Optional[Mapping[str, Any]] = None,
+    chemistry: str = "rakhmatov",
+    chemistry_params: Optional[Mapping[str, Any]] = None,
+    platform: str = "voltage-scaling",
+    platform_params: Optional[Mapping[str, Any]] = None,
+    description: str = "",
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        family=family,
+        family_params=family_params or {},
+        seed=seed,
+        tightness=tightness,
+        platform=platform,
+        platform_params=platform_params or {},
+        chemistry=chemistry,
+        chemistry_params=chemistry_params or {},
+        description=description,
+    )
+
+
+def build_catalog() -> ScenarioRegistry:
+    """Build a fresh instance of the default catalogue.
+
+    >>> registry = build_catalog()
+    >>> all(name in registry for name in CORE_SCENARIOS)
+    True
+    """
+    registry = ScenarioRegistry()
+    add = registry.register
+
+    # ------------------------------------------------------------------
+    # core: the legacy standard-suite workloads as specs
+    # ------------------------------------------------------------------
+    add(_spec("g2", "g2",
+              description="paper Figure 5: robotic-arm controller (9 tasks, 4 DPs)"))
+    add(_spec("g3", "g3",
+              description="paper Table 1: fork-join example (15 tasks, 5 DPs)"))
+    add(_spec("chain-10", "chain", seed=11,
+              family_params={"num_tasks": 10},
+              description="10-task pipeline"))
+    add(_spec("fork-join-2x4", "fork-join", seed=21,
+              family_params={"num_stages": 2, "branches_per_stage": 4},
+              description="two fork-join stages with four branches"))
+    add(_spec("layered-4x3", "layered", seed=31,
+              family_params={"num_layers": 4, "layer_width": 3,
+                             "edge_probability": 0.5},
+              description="random layered DAG, 4 layers of 3 tasks"))
+    add(_spec("tree-out-3x2", "tree", seed=41,
+              family_params={"depth": 3, "branching": 2, "direction": "out"},
+              description="binary out-tree of depth 3"))
+    add(_spec("tree-in-3x2", "tree", seed=43,
+              family_params={"depth": 3, "branching": 2, "direction": "in"},
+              description="binary in-tree of depth 3"))
+    add(_spec("diamond-3", "diamond", seed=51,
+              family_params={"width": 3},
+              description="3x3 wavefront grid"))
+
+    # ------------------------------------------------------------------
+    # scaled-paper: G2/G3 replicated in series
+    # ------------------------------------------------------------------
+    add(_spec("g3x2", "g3", family_params={"copies": 2},
+              description="two G3 executions back to back (30 tasks)"))
+    add(_spec("g3x3", "g3", family_params={"copies": 3},
+              description="three G3 executions back to back (45 tasks)"))
+    add(_spec("g2x3", "g2", family_params={"copies": 3},
+              description="three G2 executions back to back (27 tasks)"))
+
+    # ------------------------------------------------------------------
+    # families: estee-style generators at larger sizes
+    # ------------------------------------------------------------------
+    add(_spec("chain-25", "chain", seed=12,
+              family_params={"num_tasks": 25},
+              description="25-task pipeline"))
+    add(_spec("fork-join-3x5", "fork-join", seed=22,
+              family_params={"num_stages": 3, "branches_per_stage": 5},
+              description="three fork-join stages with five branches"))
+    add(_spec("layered-6x4", "layered", seed=32,
+              family_params={"num_layers": 6, "layer_width": 4,
+                             "edge_probability": 0.4},
+              description="random layered DAG, 6 layers of 4 tasks"))
+    add(_spec("crossbar-4x3", "crossbar", seed=61,
+              family_params={"num_layers": 4, "layer_width": 3},
+              description="4 layers of 3 tasks, complete inter-layer wiring"))
+    add(_spec("crossbar-3x5", "crossbar", seed=62,
+              family_params={"num_layers": 3, "layer_width": 5},
+              description="3 layers of 5 tasks, complete inter-layer wiring"))
+    add(_spec("map-reduce-6x3", "map-reduce", seed=71,
+              family_params={"num_maps": 6, "num_reduces": 3},
+              description="6 maps, all-to-all shuffle into 3 reduces"))
+    add(_spec("map-reduce-8x2", "map-reduce", seed=72,
+              family_params={"num_maps": 8, "num_reduces": 2},
+              description="8 maps, all-to-all shuffle into 2 reduces"))
+    add(_spec("series-parallel-d3", "series-parallel", seed=81,
+              family_params={"depth": 3},
+              description="random series-parallel composition, depth 3"))
+    add(_spec("series-parallel-d4", "series-parallel", seed=82,
+              family_params={"depth": 4},
+              description="random series-parallel composition, depth 4"))
+    add(_spec("erdos-18", "erdos", seed=91,
+              family_params={"num_tasks": 18, "edge_probability": 0.25},
+              description="18-task random DAG, sparse"))
+    add(_spec("erdos-24-dense", "erdos", seed=92,
+              family_params={"num_tasks": 24, "edge_probability": 0.5},
+              description="24-task random DAG, dense"))
+    add(_spec("fft-8", "fft", seed=65,
+              family_params={"num_points": 8},
+              description="8-point FFT butterfly (32 tasks)"))
+    add(_spec("gaussian-5", "gaussian-elimination", seed=66,
+              family_params={"matrix_size": 5},
+              description="Gaussian elimination on 5 columns (14 tasks)"))
+
+    # ------------------------------------------------------------------
+    # tightness: tight/loose deadline tiers of representative graphs
+    # ------------------------------------------------------------------
+    add(_spec("g3-tight", "g3", tightness=0.2,
+              description="G3 with a tight deadline (tightness 0.2)"))
+    add(_spec("g3-loose", "g3", tightness=0.8,
+              description="G3 with a loose deadline (tightness 0.8)"))
+    add(_spec("layered-4x3-tight", "layered", seed=31, tightness=0.2,
+              family_params={"num_layers": 4, "layer_width": 3,
+                             "edge_probability": 0.5},
+              description="layered-4x3 with a tight deadline"))
+    add(_spec("erdos-18-loose", "erdos", seed=91, tightness=0.8,
+              family_params={"num_tasks": 18, "edge_probability": 0.25},
+              description="erdos-18 with a loose deadline"))
+
+    # ------------------------------------------------------------------
+    # chemistry: the same graphs under other battery abstractions
+    # ------------------------------------------------------------------
+    add(_spec("g3-peukert", "g3", chemistry="peukert",
+              chemistry_params={"exponent": 1.3},
+              description="G3 costed by Peukert's law (k = 1.3)"))
+    add(_spec("g3-kibam", "g3", chemistry="kibam",
+              description="G3 costed by the kinetic battery model"))
+    add(_spec("g3-ideal", "g3", chemistry="ideal",
+              description="G3 costed by an ideal coulomb counter"))
+    add(_spec("layered-4x3-kibam", "layered", seed=31, chemistry="kibam",
+              family_params={"num_layers": 4, "layer_width": 3,
+                             "edge_probability": 0.5},
+              description="layered-4x3 costed by the kinetic battery model"))
+    add(_spec("map-reduce-6x3-peukert", "map-reduce", seed=71,
+              chemistry="peukert", chemistry_params={"exponent": 1.3},
+              family_params={"num_maps": 6, "num_reduces": 3},
+              description="map-reduce-6x3 costed by Peukert's law"))
+    add(_spec("erdos-18-kibam", "erdos", seed=91, chemistry="kibam",
+              family_params={"num_tasks": 18, "edge_probability": 0.25},
+              description="erdos-18 costed by the kinetic battery model"))
+
+    # ------------------------------------------------------------------
+    # platform: DVS- and FPGA-derived design points
+    # ------------------------------------------------------------------
+    add(_spec("dvs-chain-12", "chain", seed=13, platform="dvs",
+              family_params={"num_tasks": 12},
+              description="12-task pipeline on a DVS processor (4 voltages)"))
+    add(_spec("dvs-layered-5x3", "layered", seed=33, platform="dvs",
+              family_params={"num_layers": 5, "layer_width": 3,
+                             "edge_probability": 0.4},
+              description="layered DAG on a DVS processor"))
+    add(_spec("dvs-fork-join-2x4", "fork-join", seed=23, platform="dvs",
+              family_params={"num_stages": 2, "branches_per_stage": 4},
+              description="fork-join stages on a DVS processor"))
+    add(_spec("fpga-layered-5x3", "layered", seed=34, platform="fpga",
+              family_params={"num_layers": 5, "layer_width": 3,
+                             "edge_probability": 0.4},
+              description="layered DAG as FPGA bitstream alternatives"))
+    add(_spec("fpga-map-reduce-4x2", "map-reduce", seed=73, platform="fpga",
+              family_params={"num_maps": 4, "num_reduces": 2},
+              description="map-reduce as FPGA bitstream alternatives"))
+    add(_spec("fpga-series-parallel-d3", "series-parallel", seed=83,
+              platform="fpga", family_params={"depth": 3},
+              description="series-parallel composition on an FPGA fabric"))
+    add(_spec("dvs-erdos-16-peukert", "erdos", seed=93, platform="dvs",
+              chemistry="peukert", chemistry_params={"exponent": 1.2},
+              family_params={"num_tasks": 16, "edge_probability": 0.3},
+              description="random DAG on a DVS processor under Peukert's law"))
+
+    return registry

@@ -1,0 +1,237 @@
+"""DAG family registry: named, parameterized task-graph generators.
+
+A *family* is a named recipe for growing a task graph from a seed and a
+parameter mapping — the estee benchmark-suite idea applied to this
+library's generators.  Scenario specs
+(:class:`~repro.scenarios.ScenarioSpec`) name a family plus its parameters
+instead of carrying graph-building code, which keeps them pure data:
+hashable, serialisable, and buildable in any process.
+
+Every builder has the same shape::
+
+    builder(synthesis, seed, name, **family_params) -> TaskGraph
+
+where ``synthesis`` is any object with the ``make_task(name, rng)``
+interface (a :class:`~repro.workloads.DesignPointSynthesis` or one of the
+platform syntheses in :mod:`repro.scenarios.platforms`).  The paper-graph
+families (``g2``/``g3``) carry their own published design points and ignore
+``synthesis`` and ``seed``; their ``copies`` parameter chains replicas in
+series for scaled variants.
+
+>>> from repro.scenarios.families import build_family, family_names
+>>> "fork-join" in family_names()
+True
+>>> graph = build_family("fork-join", None, seed=3, name="fj",
+...                      num_stages=2, branches_per_stage=3)
+>>> graph.num_tasks
+9
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..taskgraph import TaskGraph, build_g2, build_g3
+from ..workloads.generators import (
+    chain_graph,
+    crossbar_graph,
+    diamond_graph,
+    erdos_graph,
+    fft_graph,
+    fork_join_graph,
+    gaussian_elimination_graph,
+    layered_graph,
+    map_reduce_graph,
+    replicated_graph,
+    series_parallel_graph,
+    tree_graph,
+)
+
+__all__ = ["FamilyInfo", "FAMILIES", "register_family", "family_names", "build_family"]
+
+#: A family builder: ``(synthesis, seed, name, **params) -> TaskGraph``.
+FamilyBuilder = Callable[..., TaskGraph]
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """One registered DAG family.
+
+    ``uses_synthesis`` marks families whose tasks are drawn through the
+    platform synthesis and seed; the paper-graph families (``g2``/``g3``)
+    carry published design points instead, and scenario specs naming them
+    must not pretend a platform or seed applies (see
+    :class:`~repro.scenarios.ScenarioSpec` validation).
+    """
+
+    key: str
+    builder: FamilyBuilder
+    description: str
+    uses_synthesis: bool = True
+
+
+FAMILIES: Dict[str, FamilyInfo] = {}
+
+
+def register_family(
+    key: str,
+    builder: FamilyBuilder,
+    description: str,
+    uses_synthesis: bool = True,
+) -> None:
+    """Add a family under ``key`` (later registrations replace earlier ones)."""
+    FAMILIES[key] = FamilyInfo(
+        key=key,
+        builder=builder,
+        description=description,
+        uses_synthesis=uses_synthesis,
+    )
+
+
+def family_names() -> Tuple[str, ...]:
+    """All registered family keys, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def build_family(
+    family: str,
+    synthesis: Optional[Any],
+    seed: int,
+    name: str,
+    **params: Any,
+) -> TaskGraph:
+    """Build one graph of the named family.
+
+    Raises :class:`~repro.errors.ConfigurationError` for an unknown family;
+    unknown ``params`` surface as ``TypeError`` from the builder, naming the
+    offending keyword.
+    """
+    try:
+        info = FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown DAG family {family!r}; choose from {list(family_names())}"
+        ) from None
+    return info.builder(synthesis, seed, name, **params)
+
+
+# ----------------------------------------------------------------------
+# builders: synthetic families (seeded, synthesis-driven)
+# ----------------------------------------------------------------------
+def _chain(synthesis, seed, name, num_tasks=10):
+    return chain_graph(num_tasks, synthesis=synthesis, seed=seed, name=name)
+
+
+def _fork_join(synthesis, seed, name, num_stages=2, branches_per_stage=4):
+    return fork_join_graph(
+        num_stages, branches_per_stage, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _layered(synthesis, seed, name, num_layers=4, layer_width=3, edge_probability=0.5):
+    return layered_graph(
+        num_layers,
+        layer_width,
+        edge_probability,
+        synthesis=synthesis,
+        seed=seed,
+        name=name,
+    )
+
+
+def _crossbar(synthesis, seed, name, num_layers=4, layer_width=3):
+    return crossbar_graph(
+        num_layers, layer_width, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _map_reduce(synthesis, seed, name, num_maps=4, num_reduces=2):
+    return map_reduce_graph(
+        num_maps, num_reduces, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _series_parallel(synthesis, seed, name, depth=3, max_branches=3):
+    return series_parallel_graph(
+        depth, max_branches, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _erdos(synthesis, seed, name, num_tasks=12, edge_probability=0.3):
+    return erdos_graph(
+        num_tasks, edge_probability, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _tree(synthesis, seed, name, depth=3, branching=2, direction="out"):
+    return tree_graph(
+        depth, branching, direction, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+def _diamond(synthesis, seed, name, width=3):
+    return diamond_graph(width, synthesis=synthesis, seed=seed, name=name)
+
+
+def _fft(synthesis, seed, name, num_points=4):
+    return fft_graph(num_points, synthesis=synthesis, seed=seed, name=name)
+
+
+def _gaussian(synthesis, seed, name, matrix_size=4):
+    return gaussian_elimination_graph(
+        matrix_size, synthesis=synthesis, seed=seed, name=name
+    )
+
+
+# ----------------------------------------------------------------------
+# builders: the paper's graphs (fixed design points, scalable by replication)
+# ----------------------------------------------------------------------
+def _g2(synthesis, seed, name, copies=1):
+    # A single copy keeps the verbatim paper graph (name included), so the
+    # suite view stays byte-identical to the legacy hand-rolled suite.
+    return replicated_graph(build_g2, copies, name=name if copies > 1 else "")
+
+
+def _g3(synthesis, seed, name, copies=1):
+    return replicated_graph(build_g3, copies, name=name if copies > 1 else "")
+
+
+register_family("chain", _chain, "linear pipeline T1 -> ... -> Tn")
+register_family(
+    "fork-join", _fork_join, "repeated fork / parallel branches / join stages"
+)
+register_family(
+    "layered", _layered, "random layered DAG with seeded inter-layer density"
+)
+register_family(
+    "crossbar", _crossbar, "layered DAG with complete inter-layer wiring"
+)
+register_family(
+    "map-reduce", _map_reduce, "scatter / map / all-to-all reduce / gather"
+)
+register_family(
+    "series-parallel", _series_parallel, "random series-parallel composition"
+)
+register_family(
+    "erdos", _erdos, "Erdős–Rényi random DAG over a fixed topological order"
+)
+register_family("tree", _tree, "complete out-tree (divide) or in-tree (reduce)")
+register_family("diamond", _diamond, "wavefront grid of diamond dependencies")
+register_family("fft", _fft, "butterfly dependence pattern of an in-place FFT")
+register_family(
+    "gaussian-elimination", _gaussian, "column-oriented Gaussian elimination"
+)
+register_family(
+    "g2",
+    _g2,
+    "the paper's Figure 5 robotic-arm graph (replicable in series)",
+    uses_synthesis=False,
+)
+register_family(
+    "g3",
+    _g3,
+    "the paper's Table 1 fork-join graph (replicable in series)",
+    uses_synthesis=False,
+)

@@ -1,0 +1,202 @@
+"""Platform synthesis adapters: where a scenario's design points come from.
+
+The graph generators draw each task's design points from any object with a
+``make_task(name, rng)`` interface.  This module provides the three
+platform-backed implementations a :class:`~repro.scenarios.ScenarioSpec`
+can name:
+
+``"voltage-scaling"``
+    The paper's own recipe (:class:`~repro.workloads.DesignPointSynthesis`):
+    draw a base implementation and expand it through voltage-scaling
+    factors — durations grow, currents shrink cubically.
+``"dvs"``
+    A physical :class:`~repro.platform.DvsProcessor`: each task is a seeded
+    cycle count executed across a fixed supply-voltage ladder (alpha-power
+    frequency law, cubic dynamic power, constant platform overhead).
+``"fpga"``
+    A physical :class:`~repro.platform.FpgaFabric`: each task is a seeded
+    baseline runtime implemented at several parallelism widths
+    (Amdahl-limited speedup versus active-area power).
+
+All three produce power-monotone tasks with a uniform design-point count,
+so any family crossed with any platform yields a problem every algorithm in
+the library accepts.
+
+>>> import random
+>>> synthesis = make_platform("dvs", {"cycles_range": [40000.0, 50000.0]})
+>>> task = synthesis.make_task("T1", random.Random(7))
+>>> task.num_design_points
+4
+>>> task.is_power_monotone()
+True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from ..platform import DvsProcessor, FpgaFabric
+from ..taskgraph import Task
+from ..workloads.synthesis import DesignPointSynthesis, default_synthesis
+
+__all__ = [
+    "DvsSynthesis",
+    "FpgaSynthesis",
+    "PLATFORMS",
+    "platform_names",
+    "make_platform",
+]
+
+#: Default supply-voltage ladder of the DVS platform (volts, fastest first).
+DEFAULT_VOLTAGES: Tuple[float, ...] = (1.8, 1.4, 1.1, 0.9)
+
+#: Default parallelism widths of the FPGA platform (fastest first).
+DEFAULT_PARALLELISM: Tuple[float, ...] = (8.0, 4.0, 2.0, 1.0)
+
+
+@dataclass(frozen=True)
+class DvsSynthesis:
+    """Seeded task synthesis on a DVS processor.
+
+    Each task is a cycle requirement drawn uniformly from ``cycles_range``
+    (mega-cycles) and executed across the ``voltages`` ladder of the
+    ``processor``; the resulting design points carry real operating
+    voltages and platform currents.
+    """
+
+    processor: DvsProcessor = DvsProcessor()
+    voltages: Tuple[float, ...] = DEFAULT_VOLTAGES
+    cycles_range: Tuple[float, float] = (30_000.0, 150_000.0)
+
+    def __post_init__(self) -> None:
+        if not self.voltages:
+            raise ConfigurationError("at least one supply voltage is required")
+        lo, hi = self.cycles_range
+        if lo <= 0 or hi < lo:
+            raise ConfigurationError(f"invalid cycles_range {self.cycles_range!r}")
+
+    @property
+    def num_design_points(self) -> int:
+        return len(self.voltages)
+
+    def make_task(self, name: str, rng: random.Random) -> Task:
+        cycles = rng.uniform(*self.cycles_range)
+        return self.processor.make_task(name, cycles, self.voltages)
+
+
+@dataclass(frozen=True)
+class FpgaSynthesis:
+    """Seeded task synthesis on an FPGA fabric.
+
+    Each task is a ``parallelism = 1`` baseline runtime drawn uniformly
+    from ``base_time_range`` and implemented at every width in
+    ``parallelism_options`` (bitstream alternatives).
+    """
+
+    fabric: FpgaFabric = FpgaFabric()
+    parallelism_options: Tuple[float, ...] = DEFAULT_PARALLELISM
+    base_time_range: Tuple[float, float] = (4.0, 20.0)
+
+    def __post_init__(self) -> None:
+        if not self.parallelism_options:
+            raise ConfigurationError("at least one parallelism option is required")
+        lo, hi = self.base_time_range
+        if lo <= 0 or hi < lo:
+            raise ConfigurationError(f"invalid base_time_range {self.base_time_range!r}")
+
+    @property
+    def num_design_points(self) -> int:
+        return len(self.parallelism_options)
+
+    def make_task(self, name: str, rng: random.Random) -> Task:
+        base_time = rng.uniform(*self.base_time_range)
+        return self.fabric.make_task(name, base_time, self.parallelism_options)
+
+
+# ----------------------------------------------------------------------
+# the platform registry
+# ----------------------------------------------------------------------
+def _require_known(params: Dict[str, Any], allowed: set, platform: str) -> None:
+    """Reject unknown parameter keys — a typo'd key must not silently build
+    the default platform (the spec would describe a different experiment
+    than the one that runs)."""
+    unknown = set(params) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {platform!r} platform parameter(s): {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _build_voltage_scaling(params: Dict[str, Any]) -> DesignPointSynthesis:
+    _require_known(
+        params,
+        {"factors", "num_design_points", "duration_range", "current_range",
+         "duration_rule"},
+        "voltage-scaling",
+    )
+    if "factors" in params and "num_design_points" in params:
+        raise ConfigurationError(
+            "give either 'factors' or 'num_design_points', not both"
+        )
+    if "factors" in params:
+        factors = tuple(float(f) for f in params["factors"])
+    else:
+        factors = default_synthesis(int(params.get("num_design_points", 5))).factors
+    return DesignPointSynthesis(
+        factors=factors,
+        duration_range=tuple(params.get("duration_range", (2.0, 12.0))),
+        current_range=tuple(params.get("current_range", (300.0, 1000.0))),
+        duration_rule=str(params.get("duration_rule", "inverse")),
+    )
+
+
+def _build_dvs(params: Dict[str, Any]) -> DvsSynthesis:
+    _require_known(params, {"processor", "voltages", "cycles_range"}, "dvs")
+    processor_params = dict(params.get("processor", {}))
+    return DvsSynthesis(
+        processor=DvsProcessor(**processor_params),
+        voltages=tuple(float(v) for v in params.get("voltages", DEFAULT_VOLTAGES)),
+        cycles_range=tuple(params.get("cycles_range", (30_000.0, 150_000.0))),
+    )
+
+
+def _build_fpga(params: Dict[str, Any]) -> FpgaSynthesis:
+    _require_known(
+        params, {"fabric", "parallelism_options", "base_time_range"}, "fpga"
+    )
+    fabric_params = dict(params.get("fabric", {}))
+    return FpgaSynthesis(
+        fabric=FpgaFabric(**fabric_params),
+        parallelism_options=tuple(
+            float(p) for p in params.get("parallelism_options", DEFAULT_PARALLELISM)
+        ),
+        base_time_range=tuple(params.get("base_time_range", (4.0, 20.0))),
+    )
+
+
+#: Platform model factories a scenario can name: ``factory(params) -> synthesis``.
+PLATFORMS: Dict[str, Any] = {
+    "voltage-scaling": _build_voltage_scaling,
+    "dvs": _build_dvs,
+    "fpga": _build_fpga,
+}
+
+
+def platform_names() -> Tuple[str, ...]:
+    """All platform model keys, sorted."""
+    return tuple(sorted(PLATFORMS))
+
+
+def make_platform(platform: str, params: Mapping[str, Any]):
+    """Instantiate the named platform synthesis from its parameter mapping."""
+    try:
+        factory = PLATFORMS[platform]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform model {platform!r}; choose from {list(platform_names())}"
+        ) from None
+    return factory(dict(params))

@@ -1,0 +1,175 @@
+"""The scenario registry: an ordered, named catalogue of specs.
+
+A :class:`ScenarioRegistry` maps unique names to
+:class:`~repro.scenarios.ScenarioSpec` entries, preserves registration
+order (catalogue order is presentation order), and round-trips through
+``to_dict``/``from_dict`` so a catalogue can be committed, diffed and
+rebuilt.  The library's default catalogue lives in
+:mod:`repro.scenarios.catalog` and is reachable through
+:func:`default_registry`.
+
+>>> from repro.scenarios import ScenarioSpec, ScenarioRegistry
+>>> registry = ScenarioRegistry([
+...     ScenarioSpec(name="a", family="chain", family_params={"num_tasks": 3}),
+... ])
+>>> registry.names()
+('a',)
+>>> ScenarioRegistry.from_dict(registry.to_dict()).get("a") == registry.get("a")
+True
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..scheduling import SchedulingProblem
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioRegistry", "default_registry"]
+
+
+class ScenarioRegistry:
+    """An ordered collection of uniquely named scenario specs."""
+
+    def __init__(self, specs: Iterable[ScenarioSpec] = ()) -> None:
+        self._specs: "OrderedDict[str, ScenarioSpec]" = OrderedDict()
+        for spec in specs:
+            self.register(spec)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+        """Add a spec under its name; duplicates require ``replace=True``."""
+        if not replace and spec.name in self._specs:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is already registered "
+                "(pass replace=True to overwrite)"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """The spec registered under ``name``."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; choose from {list(self.names())}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All scenario names, in registration order."""
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        """All specs, in registration order."""
+        return tuple(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    # ------------------------------------------------------------------
+    # selection and building
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        names: Optional[Iterable[str]] = None,
+        family: Optional[str] = None,
+        chemistry: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> Tuple[ScenarioSpec, ...]:
+        """Specs filtered by name list and/or attribute values.
+
+        ``names`` preserves the registry's order (not the order given) and
+        rejects unknown names; the attribute filters compose with it.
+        """
+        if names is not None:
+            wanted = set(names)
+            unknown = wanted - set(self._specs)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown scenarios: {sorted(unknown)}; "
+                    f"choose from {list(self.names())}"
+                )
+        else:
+            wanted = None
+        selected = []
+        for spec in self._specs.values():
+            if wanted is not None and spec.name not in wanted:
+                continue
+            if family is not None and spec.family != family:
+                continue
+            if chemistry is not None and spec.chemistry != chemistry:
+                continue
+            if platform is not None and spec.platform != platform:
+                continue
+            selected.append(spec)
+        return tuple(selected)
+
+    def build_problems(
+        self, names: Optional[Iterable[str]] = None
+    ) -> List[SchedulingProblem]:
+        """Build the problem instances of the selected (default: all) scenarios."""
+        return [spec.build_problem() for spec in self.select(names=names)]
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    def families(self) -> Tuple[str, ...]:
+        """Distinct DAG families present, sorted."""
+        return tuple(sorted({spec.family for spec in self}))
+
+    def chemistries(self) -> Tuple[str, ...]:
+        """Distinct battery chemistries present, sorted."""
+        return tuple(sorted({spec.chemistry for spec in self}))
+
+    def platforms(self) -> Tuple[str, ...]:
+        """Distinct platform models present, sorted."""
+        return tuple(sorted({spec.platform for spec in self}))
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {"scenarios": [spec.to_dict() for spec in self]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioRegistry":
+        """Rebuild a registry from its :meth:`to_dict` form."""
+        return cls(ScenarioSpec.from_dict(entry) for entry in data.get("scenarios", ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioRegistry({len(self)} scenarios, "
+            f"{len(self.families())} families, "
+            f"{len(self.chemistries())} chemistries, "
+            f"{len(self.platforms())} platforms)"
+        )
+
+
+_DEFAULT: Optional[ScenarioRegistry] = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The library's standard scenario catalogue (built once, cached).
+
+    >>> registry = default_registry()
+    >>> len(registry) >= 25
+    True
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        from .catalog import build_catalog
+
+        _DEFAULT = build_catalog()
+    return _DEFAULT

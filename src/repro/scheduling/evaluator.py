@@ -46,6 +46,24 @@ probe its schedule cache first.  The evaluator maintains the cache key as a
 pair of value tuples spliced per move (state deltas), so probing costs no
 profile construction and repeat visits to a state — common in annealing
 walks and across engine jobs — skip the series evaluation entirely.
+
+A complete propose/apply/undo round trip (shared by the doctests below):
+
+>>> from repro.battery import RakhmatovVrudhulaModel
+>>> from repro.scheduling import DesignPointAssignment
+>>> from repro.scheduling.evaluator import IncrementalCostEvaluator
+>>> from repro.workloads import chain_graph
+>>> graph = chain_graph(3, seed=1)
+>>> assignment = DesignPointAssignment({name: 0 for name in graph.task_names()})
+>>> evaluator = IncrementalCostEvaluator(
+...     graph, graph.task_names(), assignment, RakhmatovVrudhulaModel(beta=0.273))
+>>> proposal = evaluator.propose_design_point("T2", 3)
+>>> evaluator.apply(proposal)
+>>> evaluator.cost == proposal.cost and evaluator.cost == evaluator.evaluate_full()
+True
+>>> evaluator.undo()
+>>> evaluator.columns["T2"]
+0
 """
 
 from __future__ import annotations
@@ -131,6 +149,17 @@ def evaluate_schedule(
     tables and hands them to the model's vectorized schedule path; no
     :class:`Schedule` or :class:`~repro.battery.LoadProfile` objects are
     created.  Returns bit-identical costs to the incremental evaluator.
+
+    >>> from repro.battery import RakhmatovVrudhulaModel
+    >>> from repro.scheduling import DesignPointAssignment
+    >>> from repro.scheduling.evaluator import evaluate_schedule
+    >>> from repro.workloads import chain_graph
+    >>> graph = chain_graph(3, seed=1)
+    >>> assignment = DesignPointAssignment({name: 0 for name in graph.task_names()})
+    >>> evaluation = evaluate_schedule(
+    ...     graph, graph.task_names(), assignment, RakhmatovVrudhulaModel(beta=0.273))
+    >>> evaluation.cost > 0 and evaluation.rest == 0.0
+    True
     """
     if validate:
         validate_sequence(graph, sequence)

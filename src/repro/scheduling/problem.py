@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..battery import BatterySpec, RakhmatovVrudhulaModel
+from ..battery import BatteryModel, BatterySpec
 from ..errors import ConfigurationError, InfeasibleDeadlineError
 from ..taskgraph import TaskGraph
 
@@ -53,8 +53,12 @@ class SchedulingProblem:
     # ------------------------------------------------------------------
     # convenience accessors
     # ------------------------------------------------------------------
-    def model(self) -> RakhmatovVrudhulaModel:
-        """The analytical battery model configured for this instance."""
+    def model(self) -> BatteryModel:
+        """The battery model configured for this instance.
+
+        The paper's Rakhmatov–Vrudhula chemistry by default; whatever
+        chemistry the :class:`~repro.battery.BatterySpec` names otherwise.
+        """
         return self.battery.model()
 
     @property

@@ -34,6 +34,7 @@ from .scaling import (
 )
 from .task import Task
 from .validation import (
+    require_connected_sinks,
     require_power_monotone,
     require_uniform_design_points,
     sequence_positions,
@@ -67,6 +68,7 @@ __all__ = [
     "scaled_task_rows",
     "validate_sequence",
     "sequence_positions",
+    "require_connected_sinks",
     "require_uniform_design_points",
     "require_power_monotone",
 ]

@@ -8,7 +8,7 @@ test-suite to assert that every algorithm output is a legal schedule.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..errors import (
     PrecedenceViolationError,
@@ -19,6 +19,7 @@ from .graph import TaskGraph
 
 __all__ = [
     "validate_sequence",
+    "require_connected_sinks",
     "require_uniform_design_points",
     "require_power_monotone",
     "sequence_positions",
@@ -59,6 +60,41 @@ def validate_sequence(graph: TaskGraph, sequence: Sequence[str]) -> None:
             raise PrecedenceViolationError(
                 f"task {child!r} is sequenced before its predecessor {parent!r}"
             )
+
+
+def require_connected_sinks(graph: TaskGraph, sinks: Iterable[str]) -> None:
+    """Raise :class:`TaskGraphError` unless every task reaches a declared sink.
+
+    Generators that promise a front-to-back connected shape (layered,
+    map-reduce, pipelines, ...) declare their intended sink set; a task from
+    which no declared sink is reachable is a structural dead end — it would
+    occupy the schedule without ever gating the graph's completion.  Note
+    that an undeclared *exit* task is automatically a dead end: it has no
+    successors, so no sink can be reachable from it.
+
+    >>> from repro.workloads.generators import chain_graph
+    >>> graph = chain_graph(3)
+    >>> require_connected_sinks(graph, ["T3"])            # fine: T1→T2→T3
+    >>> require_connected_sinks(graph, ["T1"])            # T2, T3 are dead ends
+    Traceback (most recent call last):
+        ...
+    repro.errors.TaskGraphError: tasks with no path to a sink: ['T2', 'T3'] (sinks: ['T1'])
+    """
+    sink_set = set(sinks)
+    if not sink_set:
+        raise TaskGraphError("at least one sink must be declared")
+    unknown = sink_set - set(graph.task_names())
+    if unknown:
+        raise TaskGraphError(f"declared sinks are not in the graph: {sorted(unknown)}")
+    dead = [
+        name
+        for name in graph.task_names()
+        if name not in sink_set and not (graph.descendants(name) & sink_set)
+    ]
+    if dead:
+        raise TaskGraphError(
+            f"tasks with no path to a sink: {sorted(dead)} (sinks: {sorted(sink_set)})"
+        )
 
 
 def require_uniform_design_points(graph: TaskGraph) -> int:

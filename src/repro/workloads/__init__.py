@@ -2,11 +2,16 @@
 
 from .generators import (
     chain_graph,
+    crossbar_graph,
     diamond_graph,
+    erdos_graph,
     fft_graph,
     fork_join_graph,
     gaussian_elimination_graph,
     layered_graph,
+    map_reduce_graph,
+    replicated_graph,
+    series_parallel_graph,
     tree_graph,
 )
 from .suite import SuiteEntry, problem_with_tightness, standard_suite, suite_problems
@@ -16,10 +21,15 @@ __all__ = [
     "chain_graph",
     "fork_join_graph",
     "layered_graph",
+    "crossbar_graph",
+    "map_reduce_graph",
+    "series_parallel_graph",
+    "erdos_graph",
     "tree_graph",
     "diamond_graph",
     "fft_graph",
     "gaussian_elimination_graph",
+    "replicated_graph",
     "DesignPointSynthesis",
     "default_synthesis",
     "SuiteEntry",

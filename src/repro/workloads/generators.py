@@ -3,45 +3,75 @@
 The paper tested its algorithm "using different task-graphs and
 design-points" and singles out the fork-join family as representative of
 common parallel algorithm structure.  The generators here cover that family
-and the other standard shapes used in task-scheduling literature:
+and the other standard shapes used in task-scheduling literature (several
+following the estee benchmark-generator families):
 
 * :func:`chain_graph` — a single pipeline (the degenerate sequence case);
 * :func:`fork_join_graph` — a source fans out into parallel branches that
   re-converge, repeated over stages (the shape of the paper's G3);
 * :func:`layered_graph` — random layered DAGs with configurable width and
   inter-layer edge density;
+* :func:`crossbar_graph` — layered DAGs with *complete* inter-layer wiring;
+* :func:`map_reduce_graph` — scatter / map / all-to-all reduce / gather;
+* :func:`series_parallel_graph` — random series-parallel compositions;
+* :func:`erdos_graph` — Erdős–Rényi-style random DAGs over an order;
 * :func:`tree_graph` — out-trees (divide) and in-trees (conquer);
-* :func:`diamond_graph` — a grid of diamond dependencies.
+* :func:`diamond_graph` — a grid of diamond dependencies;
+* :func:`replicated_graph` — several copies of a base graph chained in
+  series (used for scaled variants of the paper's G2/G3).
 
-All generators are deterministic for a given ``seed`` and produce power-
-monotone design points via :class:`~repro.workloads.DesignPointSynthesis`.
+All generators are deterministic for a given ``seed``, produce power-
+monotone design points via :class:`~repro.workloads.DesignPointSynthesis`
+(or any object with the same ``make_task(name, rng)`` interface, e.g. the
+platform syntheses in :mod:`repro.scenarios`), and validate their output at
+construction: acyclicity via :meth:`~repro.taskgraph.TaskGraph.validate`
+plus sink connectivity via
+:func:`~repro.taskgraph.validation.require_connected_sinks` against the
+family's intended sink set.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
-from ..taskgraph import TaskGraph
+from ..taskgraph import Task, TaskGraph, require_connected_sinks
 from .synthesis import DesignPointSynthesis, default_synthesis
 
 __all__ = [
     "chain_graph",
     "fork_join_graph",
     "layered_graph",
+    "crossbar_graph",
+    "map_reduce_graph",
+    "series_parallel_graph",
+    "erdos_graph",
     "tree_graph",
     "diamond_graph",
     "fft_graph",
     "gaussian_elimination_graph",
+    "replicated_graph",
 ]
 
 
-def _make_graph(name: str, synthesis: Optional[DesignPointSynthesis], seed: int):
+def _make_graph(name: str, synthesis, seed: int):
     synthesis = synthesis or default_synthesis()
     rng = random.Random(seed)
     graph = TaskGraph(name=name)
     return graph, synthesis, rng
+
+
+def _validated(graph: TaskGraph, sinks: Sequence[str]) -> TaskGraph:
+    """Run the construction-time checks every generator promises.
+
+    ``graph.validate()`` catches structural defects (cycles, dangling
+    edges); ``require_connected_sinks`` catches the subtler generator bug
+    of emitting a task with no path to the family's intended sink(s).
+    """
+    graph.validate()
+    require_connected_sinks(graph, sinks)
+    return graph
 
 
 def chain_graph(
@@ -60,7 +90,7 @@ def chain_graph(
         if previous is not None:
             graph.add_edge(previous.name, task.name)
         previous = task
-    return graph
+    return _validated(graph, [previous.name])
 
 
 def fork_join_graph(
@@ -96,7 +126,7 @@ def fork_join_graph(
             graph.add_edge(fork, branch)
             graph.add_edge(branch, join)
         fork = join
-    return graph
+    return _validated(graph, [fork])
 
 
 def layered_graph(
@@ -110,8 +140,14 @@ def layered_graph(
     """Random layered DAG: edges only go from one layer to the next.
 
     Every node in layer ``l+1`` is guaranteed at least one predecessor in
-    layer ``l`` so the graph stays connected front-to-back; additional
-    edges are added independently with ``edge_probability``.
+    layer ``l``, and every node in layer ``l`` at least one successor in
+    layer ``l+1``, so the graph stays connected front-to-back in both
+    directions; additional edges are added independently with
+    ``edge_probability``.  (The successor guarantee closes a seeded-generator
+    bug where a middle-layer node could be left with no path to the final
+    layer — a dead end the construction-time
+    :func:`~repro.taskgraph.validation.require_connected_sinks` check now
+    rejects.)
     """
     if num_layers < 1 or layer_width < 1:
         raise ConfigurationError("num_layers and layer_width must be >= 1")
@@ -136,7 +172,10 @@ def layered_graph(
                 parents = [rng.choice(upper)]
             for parent in parents:
                 graph.add_edge(parent, child)
-    return graph
+        for parent in upper:
+            if not graph.successors(parent):
+                graph.add_edge(parent, rng.choice(lower))
+    return _validated(graph, layers[-1])
 
 
 def tree_graph(
@@ -167,7 +206,8 @@ def tree_graph(
         counter += 1
         return task.name
 
-    current_level = [new_task()]
+    root = new_task()
+    current_level = [root]
     edges = []
     for _ in range(depth - 1):
         next_level = []
@@ -183,7 +223,8 @@ def tree_graph(
             graph.add_edge(parent, child)
         else:
             graph.add_edge(child, parent)
-    return graph
+    sinks = current_level if direction == "out" else [root]
+    return _validated(graph, sinks)
 
 
 def fft_graph(
@@ -218,7 +259,9 @@ def fft_graph(
             partner = position ^ (1 << (stage - 1))
             graph.add_edge(names[(stage - 1, position)], names[(stage, position)])
             graph.add_edge(names[(stage - 1, partner)], names[(stage, position)])
-    return graph
+    return _validated(
+        graph, [names[(stages, position)] for position in range(num_points)]
+    )
 
 
 def gaussian_elimination_graph(
@@ -258,7 +301,163 @@ def gaussian_elimination_graph(
             graph.add_edge(pivots[k], updates[(k, j)])
             if k > 0:
                 graph.add_edge(updates[(k - 1, j)], updates[(k, j)])
-    return graph
+    return _validated(graph, [updates[(matrix_size - 2, matrix_size - 1)]])
+
+
+def crossbar_graph(
+    num_layers: int = 4,
+    layer_width: int = 3,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "crossbar",
+) -> TaskGraph:
+    """Layered DAG with *complete* inter-layer wiring (estee's ``crossv``).
+
+    Every node in layer ``l`` feeds every node in layer ``l+1`` — the
+    maximally dense layered shape, a stress case for weighting heuristics
+    that aggregate over descendant sets (every layer-``l`` task sees the
+    identical subtree).
+    """
+    if num_layers < 1 or layer_width < 1:
+        raise ConfigurationError("num_layers and layer_width must be >= 1")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    layers: List[List[str]] = []
+    counter = 1
+    for _ in range(num_layers):
+        layer = []
+        for _ in range(layer_width):
+            task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+            counter += 1
+            layer.append(task.name)
+        layers.append(layer)
+    for upper, lower in zip(layers, layers[1:]):
+        for parent in upper:
+            for child in lower:
+                graph.add_edge(parent, child)
+    return _validated(graph, layers[-1])
+
+
+def map_reduce_graph(
+    num_maps: int = 4,
+    num_reduces: int = 2,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "map-reduce",
+) -> TaskGraph:
+    """Scatter / map / all-to-all reduce / gather (estee's ``mapreduce``).
+
+    A scatter task fans out into ``num_maps`` independent map tasks; every
+    reduce task depends on *all* maps (the shuffle); a final gather task
+    joins the reduces so the family has a single sink.
+    """
+    if num_maps < 1 or num_reduces < 1:
+        raise ConfigurationError("num_maps and num_reduces must be >= 1")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    counter = 1
+
+    def new_task(prefix: str) -> str:
+        nonlocal counter
+        task = graph.add_task(synthesis.make_task(f"{prefix}{counter}", rng))
+        counter += 1
+        return task.name
+
+    scatter = new_task("S")
+    maps = [new_task("M") for _ in range(num_maps)]
+    reduces = [new_task("R") for _ in range(num_reduces)]
+    gather = new_task("G")
+    for map_task in maps:
+        graph.add_edge(scatter, map_task)
+        for reduce_task in reduces:
+            graph.add_edge(map_task, reduce_task)
+    for reduce_task in reduces:
+        graph.add_edge(reduce_task, gather)
+    return _validated(graph, [gather])
+
+
+def series_parallel_graph(
+    depth: int = 3,
+    max_branches: int = 3,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "series-parallel",
+) -> TaskGraph:
+    """A random series-parallel composition of the given recursion depth.
+
+    At each level the generator flips a seeded coin: *series* composes two
+    sub-blocks one after the other; *parallel* places 2..``max_branches``
+    sub-blocks between a fresh fork and join.  Depth-0 blocks are single
+    tasks.  Series-parallel graphs are the natural habitat of structured
+    parallel programs (and of many scheduling lower bounds).
+    """
+    if depth < 0:
+        raise ConfigurationError("depth must be >= 0")
+    if max_branches < 2:
+        raise ConfigurationError("max_branches must be >= 2")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    counter = 1
+
+    def new_task() -> str:
+        nonlocal counter
+        task = graph.add_task(synthesis.make_task(f"T{counter}", rng))
+        counter += 1
+        return task.name
+
+    def build(level: int):
+        if level == 0:
+            single = new_task()
+            return single, single
+        if rng.random() < 0.5:  # series composition
+            first_in, first_out = build(level - 1)
+            second_in, second_out = build(level - 1)
+            graph.add_edge(first_out, second_in)
+            return first_in, second_out
+        fork = new_task()
+        join_inputs = []
+        for _ in range(rng.randint(2, max_branches)):
+            branch_in, branch_out = build(level - 1)
+            graph.add_edge(fork, branch_in)
+            join_inputs.append(branch_out)
+        join = new_task()
+        for branch_out in join_inputs:
+            graph.add_edge(branch_out, join)
+        return fork, join
+
+    _, sink = build(depth)
+    return _validated(graph, [sink])
+
+
+def erdos_graph(
+    num_tasks: int = 12,
+    edge_probability: float = 0.3,
+    synthesis: Optional[DesignPointSynthesis] = None,
+    seed: int = 0,
+    name: str = "erdos",
+) -> TaskGraph:
+    """Erdős–Rényi-style random DAG over a fixed topological order.
+
+    Each ordered pair ``(T_i, T_j)`` with ``i < j`` receives an edge
+    independently with ``edge_probability``; afterwards every task except
+    the last with no successor is wired to a later task chosen by the seeded
+    rng, which guarantees (by induction along the order) that every task
+    reaches the single sink ``T_n``.
+    """
+    if num_tasks < 1:
+        raise ConfigurationError("num_tasks must be >= 1")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ConfigurationError("edge_probability must be within [0, 1]")
+    graph, synthesis, rng = _make_graph(name, synthesis, seed)
+    names = []
+    for index in range(1, num_tasks + 1):
+        task = graph.add_task(synthesis.make_task(f"T{index}", rng))
+        names.append(task.name)
+    for i in range(num_tasks):
+        for j in range(i + 1, num_tasks):
+            if rng.random() < edge_probability:
+                graph.add_edge(names[i], names[j])
+    for i in range(num_tasks - 1):
+        if not graph.successors(names[i]):
+            graph.add_edge(names[i], names[rng.randint(i + 1, num_tasks - 1)])
+    return _validated(graph, [names[-1]])
 
 
 def diamond_graph(
@@ -288,4 +487,52 @@ def diamond_graph(
                 graph.add_edge(names[(row - 1, col)], names[(row, col)])
             if col > 0:
                 graph.add_edge(names[(row, col - 1)], names[(row, col)])
-    return graph
+    return _validated(graph, [names[(width - 1, width - 1)]])
+
+
+def replicated_graph(
+    build: Callable[[], TaskGraph],
+    copies: int,
+    name: str = "",
+) -> TaskGraph:
+    """Chain ``copies`` instances of a base graph in series.
+
+    Copy ``i``'s exit tasks all feed copy ``i+1``'s entry tasks, so the
+    result models ``copies`` back-to-back executions of the base
+    application — the natural way to scale the paper's fixed G2/G3 graphs
+    to larger instances without inventing new per-task data.  Task names
+    are prefixed ``"c{i}."`` to stay unique.  An empty ``name`` keeps the
+    base/derived graph name; the base builder's graph is never mutated.
+
+    >>> from repro.taskgraph import build_g3
+    >>> graph = replicated_graph(build_g3, 2, name="g3x2")
+    >>> graph.num_tasks
+    30
+    >>> sorted(graph.entry_tasks())
+    ['c1.T1']
+    >>> replicated_graph(build_g3, 1).name   # single copy: base graph as-is
+    'G3'
+    """
+    if copies < 1:
+        raise ConfigurationError("copies must be >= 1")
+    base = build()
+    if copies == 1:
+        if name and name != base.name:
+            # Rebuild rather than rename in place: the builder may hand out
+            # a shared/cached graph that must not change under it.
+            base = TaskGraph(name=name, tasks=base.tasks(), edges=base.edges())
+        return _validated(base, base.exit_tasks())
+    graph = TaskGraph(name=name or (f"{base.name}x{copies}" if base.name else ""))
+    previous_exits: List[str] = []
+    for copy_index in range(1, copies + 1):
+        prefix = f"c{copy_index}."
+        for task in base:
+            graph.add_task(Task(prefix + task.name, task.design_points, task.metadata))
+        for parent, child in base.edges():
+            graph.add_edge(prefix + parent, prefix + child)
+        entries = [prefix + entry for entry in base.entry_tasks()]
+        for exit_name in previous_exits:
+            for entry in entries:
+                graph.add_edge(exit_name, entry)
+        previous_exits = [prefix + exit_name for exit_name in base.exit_tasks()]
+    return _validated(graph, previous_exits)

@@ -6,24 +6,29 @@ wraps a generated (or paper) task graph into a
 :class:`~repro.scheduling.SchedulingProblem` whose deadline is expressed as a
 *tightness* fraction between the all-fastest and all-slowest makespans, so
 "0.3" always means a fairly tight deadline regardless of the graph's size.
+
+Since the scenario catalogue landed, this module is a thin view over
+:mod:`repro.scenarios`: the suite's workloads are the catalogue's *core*
+block (:data:`repro.scenarios.CORE_SCENARIOS`), built through their
+:class:`~repro.scenarios.ScenarioSpec` entries.  The names and problem
+construction are unchanged from the hand-rolled original, and the graphs
+are identical with one deliberate exception: ``layered-4x3`` gained edges
+from the generator connectivity bugfix (its seed-31 graph used to leave a
+middle-layer task with no path to the final layer), so its sigma/makespan
+numbers are not comparable to pre-fix runs.  For the full catalogue —
+more families, battery chemistries, platform models and tightness tiers —
+use ``repro.scenarios`` / ``repro.experiments.run_suite`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..battery import BatterySpec
 from ..errors import ConfigurationError
 from ..scheduling import SchedulingProblem
-from ..taskgraph import TaskGraph, build_g2, build_g3
-from .generators import (
-    chain_graph,
-    diamond_graph,
-    fork_join_graph,
-    layered_graph,
-    tree_graph,
-)
+from ..taskgraph import TaskGraph
 
 __all__ = ["SuiteEntry", "problem_with_tightness", "standard_suite", "suite_problems"]
 
@@ -66,40 +71,24 @@ def problem_with_tightness(
 
 
 def standard_suite() -> Tuple[SuiteEntry, ...]:
-    """The named workloads used by the sweep/ablation experiments and tests."""
-    return (
-        SuiteEntry("g2", build_g2, "paper Figure 5: robotic-arm controller (9 tasks, 4 DPs)"),
-        SuiteEntry("g3", build_g3, "paper Table 1: fork-join example (15 tasks, 5 DPs)"),
+    """The named workloads used by the sweep/ablation experiments and tests.
+
+    A view over the scenario catalogue's core block: one entry per name in
+    :data:`repro.scenarios.CORE_SCENARIOS`, building the graph through the
+    registered :class:`~repro.scenarios.ScenarioSpec`.  (Imported lazily:
+    ``repro.scenarios`` itself builds graphs through this package's
+    generators.)
+    """
+    from ..scenarios import CORE_SCENARIOS, default_registry
+
+    registry = default_registry()
+    return tuple(
         SuiteEntry(
-            "chain-10",
-            lambda: chain_graph(10, seed=11, name="chain-10"),
-            "10-task pipeline",
-        ),
-        SuiteEntry(
-            "fork-join-2x4",
-            lambda: fork_join_graph(2, 4, seed=21, name="fork-join-2x4"),
-            "two fork-join stages with four branches",
-        ),
-        SuiteEntry(
-            "layered-4x3",
-            lambda: layered_graph(4, 3, 0.5, seed=31, name="layered-4x3"),
-            "random layered DAG, 4 layers of 3 tasks",
-        ),
-        SuiteEntry(
-            "tree-out-3x2",
-            lambda: tree_graph(3, 2, "out", seed=41, name="tree-out-3x2"),
-            "binary out-tree of depth 3",
-        ),
-        SuiteEntry(
-            "tree-in-3x2",
-            lambda: tree_graph(3, 2, "in", seed=43, name="tree-in-3x2"),
-            "binary in-tree of depth 3",
-        ),
-        SuiteEntry(
-            "diamond-3",
-            lambda: diamond_graph(3, seed=51, name="diamond-3"),
-            "3x3 wavefront grid",
-        ),
+            name=spec.name,
+            build=spec.build_graph,
+            description=spec.description,
+        )
+        for spec in (registry.get(name) for name in CORE_SCENARIOS)
     )
 
 

@@ -6,8 +6,12 @@ import pytest
 
 from repro.battery import (
     BETA_PRESETS,
+    CHEMISTRIES,
     PAPER_BETA,
     BatterySpec,
+    IdealBatteryModel,
+    KineticBatteryModel,
+    PeukertModel,
     RakhmatovVrudhulaModel,
     battery_from_preset,
 )
@@ -42,6 +46,65 @@ class TestBatterySpec:
     def test_invalid_series_terms(self):
         with pytest.raises(BatteryModelError):
             BatterySpec(series_terms=0)
+
+
+class TestChemistries:
+    def test_default_chemistry_is_the_paper_model(self):
+        spec = BatterySpec()
+        assert spec.chemistry == "rakhmatov"
+        assert isinstance(spec.model(), RakhmatovVrudhulaModel)
+
+    def test_registry_names(self):
+        assert {"rakhmatov", "peukert", "kibam", "ideal"} <= set(CHEMISTRIES)
+
+    def test_peukert_chemistry(self):
+        spec = BatterySpec(
+            chemistry="peukert",
+            chemistry_params={"exponent": 1.4, "reference_current": 2.0},
+        )
+        model = spec.model()
+        assert isinstance(model, PeukertModel)
+        assert model.exponent == pytest.approx(1.4)
+        assert model.reference_current == pytest.approx(2.0)
+
+    def test_kibam_chemistry(self):
+        model = BatterySpec(chemistry="kibam", chemistry_params={"c": 0.5}).model()
+        assert isinstance(model, KineticBatteryModel)
+        assert model.c == pytest.approx(0.5)
+
+    def test_ideal_chemistry(self):
+        assert isinstance(BatterySpec(chemistry="ideal").model(), IdealBatteryModel)
+
+    def test_unknown_chemistry(self):
+        with pytest.raises(BatteryModelError, match="unknown battery chemistry"):
+            BatterySpec(chemistry="flux-capacitor")
+
+    def test_params_frozen_and_hashable(self):
+        spec = BatterySpec(chemistry="kibam", chemistry_params={"k": 0.1, "c": 0.5})
+        assert spec.chemistry_params == (("c", 0.5), ("k", 0.1))
+        assert hash(spec) == hash(
+            BatterySpec(chemistry="kibam", chemistry_params=(("c", 0.5), ("k", 0.1)))
+        )
+
+    def test_chemistry_distinguishes_job_keys(self):
+        from repro.engine import Job
+        from repro.scheduling import SchedulingProblem
+        from repro.taskgraph import build_g3
+
+        def job(spec):
+            return Job(
+                problem=SchedulingProblem(graph=build_g3(), deadline=230.0,
+                                          battery=spec),
+                algorithm="all-fastest",
+            )
+
+        default_key = job(BatterySpec()).key()
+        ideal_key = job(BatterySpec(chemistry="ideal")).key()
+        peukert_a = job(BatterySpec(chemistry="peukert",
+                                    chemistry_params={"exponent": 1.2})).key()
+        peukert_b = job(BatterySpec(chemistry="peukert",
+                                    chemistry_params={"exponent": 1.3})).key()
+        assert len({default_key, ideal_key, peukert_a, peukert_b}) == 4
 
 
 class TestPresets:

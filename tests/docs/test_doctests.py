@@ -1,0 +1,69 @@
+"""Tier-1 wiring for the public-API doctests.
+
+The docstring examples on the documented public modules are executable
+documentation; this module runs them under plain ``pytest -x -q`` so the
+tier-1 gate catches a drifting example even when the dedicated CI docs job
+(`pytest --doctest-modules` over the same modules) is not run locally.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.engine.api
+import repro.scenarios
+import repro.scenarios.catalog
+import repro.scenarios.families
+import repro.scenarios.platforms
+import repro.scenarios.registry
+import repro.scenarios.report
+import repro.scenarios.spec
+import repro.scheduling.evaluator
+import repro.battery.parameters
+import repro.taskgraph.validation
+import repro.workloads.generators
+import repro.analysis.leaderboard
+import repro.experiments.suite
+
+DOCUMENTED_MODULES = [
+    repro,
+    repro.engine.api,
+    repro.scenarios,
+    repro.scenarios.catalog,
+    repro.scenarios.families,
+    repro.scenarios.platforms,
+    repro.scenarios.registry,
+    repro.scenarios.report,
+    repro.scenarios.spec,
+    repro.scheduling.evaluator,
+    repro.battery.parameters,
+    repro.taskgraph.validation,
+    repro.workloads.generators,
+    repro.analysis.leaderboard,
+    repro.experiments.suite,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.IGNORE_EXCEPTION_DETAIL,
+        verbose=False,
+    )
+    assert results.failed == 0, (
+        f"{module.__name__} has {results.failed} failing doctest(s)"
+    )
+
+
+def test_documented_modules_actually_have_examples():
+    """Guard against the doctest gate silently going vacuous."""
+    finder = doctest.DocTestFinder()
+    total = sum(
+        len([t for t in finder.find(module) if t.examples])
+        for module in DOCUMENTED_MODULES
+    )
+    assert total >= 15

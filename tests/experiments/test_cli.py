@@ -73,3 +73,87 @@ class TestMain:
         out = capsys.readouterr().out
         assert "deadline" in out
         assert "[" in out and "]" in out  # Gantt bars present
+
+
+class TestSuiteCommand:
+    def test_suite_list_enumerates_catalogue(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        from repro.scenarios import default_registry
+
+        registry = default_registry()
+        for name in registry.names():
+            assert name in out
+        assert f"{len(registry)} scenarios" in out
+
+    def test_suite_list_filters_scenarios(self, capsys):
+        assert main(["suite", "--list", "--scenarios", "g3", "diamond-3"]) == 0
+        out = capsys.readouterr().out
+        assert "diamond-3" in out
+        assert "2 scenarios" in out
+        assert "erdos-18" not in out
+
+    def test_suite_run_small_selection(self, capsys):
+        assert main([
+            "suite", "--run",
+            "--scenarios", "g3", "g3-ideal",
+            "--algorithms", "all-fastest", "all-slowest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Suite leaderboard" in out
+        assert "g3-ideal" in out
+        assert "0 failed" in out
+
+    def test_suite_run_parallel_resume_byte_identical(self, tmp_path, capsys):
+        argv = ["suite", "--run", "--scenarios", "g3", "crossbar-4x3",
+                "--algorithms", "all-fastest", "iterative"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        store = ["--results-dir", str(tmp_path), "--resume"]
+        assert main(argv + ["--jobs", "2"] + store) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"] + store) == 0
+        resumed = capsys.readouterr().out
+
+        def results_only(text):
+            # Drop the accounting line: executed/resumed counts legitimately
+            # differ between fresh and resumed runs.
+            return [line for line in text.splitlines() if "resumed)" not in line]
+
+        assert results_only(serial) == results_only(parallel)
+        assert results_only(serial) == results_only(resumed)
+        assert "4 executed" in parallel
+        assert "4 resumed" in resumed
+
+
+class TestDocsCommand:
+    def test_docs_writes_and_checks(self, tmp_path, capsys):
+        out_dir = tmp_path / "docs"
+        assert main(["docs", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert (out_dir / "scenarios.md").exists()
+        assert (out_dir / "leaderboard.md").exists()
+        assert main(["docs", "--check", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "docs check OK" in out
+
+    def test_docs_check_fails_on_drift(self, tmp_path, capsys):
+        out_dir = tmp_path / "docs"
+        assert main(["docs", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        page = (out_dir / "scenarios.md").read_text()
+        (out_dir / "scenarios.md").write_text(page + "\ndrift\n")
+        assert main(["docs", "--check", "--out", str(out_dir)]) == 1
+
+    def test_docs_check_fails_when_missing(self, tmp_path):
+        assert main(["docs", "--check", "--out", str(tmp_path / "empty")]) == 1
+
+    def test_committed_catalogue_matches_registry(self):
+        """The repo's own docs/scenarios.md must never drift (CI gate)."""
+        from pathlib import Path
+
+        from repro.scenarios import catalogue_markdown
+
+        committed = Path(__file__).resolve().parents[2] / "docs" / "scenarios.md"
+        assert committed.exists()
+        assert committed.read_text(encoding="utf-8") == catalogue_markdown()

@@ -1,0 +1,135 @@
+"""Tests for the suite experiment driver and its leaderboard."""
+
+import pytest
+
+from repro.analysis import compute_leaderboard, leaderboard_table
+from repro.engine import ParallelExecutor, ResultStore
+from repro.experiments import DEFAULT_SUITE_ALGORITHMS, run_suite
+from repro.errors import ConfigurationError
+
+SMALL = ["g3", "crossbar-4x3", "g3-kibam"]
+
+
+class TestRunSuite:
+    def test_runs_selected_scenarios(self):
+        result = run_suite(scenarios=SMALL, algorithms=["all-fastest", "all-slowest"])
+        assert result.run.ok
+        assert len(result.run.results) == len(SMALL) * 2
+        assert [spec.name for spec in result.specs] == SMALL
+        table = result.to_table().to_text()
+        assert "crossbar-4x3" in table
+
+    def test_default_algorithms(self):
+        result = run_suite(scenarios=["g3"])
+        assert result.algorithms == DEFAULT_SUITE_ALGORITHMS
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            run_suite(scenarios=["no-such-scenario"])
+
+    def test_parallel_results_identical_to_serial(self):
+        serial = run_suite(scenarios=SMALL, algorithms=["all-fastest", "iterative"])
+        parallel = run_suite(
+            scenarios=SMALL,
+            algorithms=["all-fastest", "iterative"],
+            executor=ParallelExecutor(max_workers=2),
+        )
+        assert serial.to_table().to_text() == parallel.to_table().to_text()
+        assert (
+            serial.leaderboard_table().to_text()
+            == parallel.leaderboard_table().to_text()
+        )
+
+    def test_resume_answers_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "suite.jsonl")
+        first = run_suite(scenarios=SMALL, algorithms=["all-fastest"],
+                          store=store, resume=True)
+        second = run_suite(scenarios=SMALL, algorithms=["all-fastest"],
+                           store=store, resume=True)
+        assert first.run.executed == len(SMALL)
+        assert second.run.executed == 0
+        assert second.run.skipped == len(SMALL)
+        assert first.to_table().to_text() == second.to_table().to_text()
+
+    def test_chemistry_scenarios_get_distinct_job_keys(self):
+        result = run_suite(scenarios=["g3", "g3-kibam"], algorithms=["all-fastest"])
+        keys = [job.key() for job in result.run.jobs]
+        assert len(set(keys)) == 2
+
+
+class TestLeaderboard:
+    def test_winner_ordering_and_ties(self):
+        entries = compute_leaderboard(
+            [
+                ("p1", "a", 10.0, True, 0.0),
+                ("p1", "b", 20.0, True, 0.0),
+                ("p2", "a", 7.0, True, 0.0),
+                ("p2", "b", 7.0, True, 0.0),
+            ]
+        )
+        assert [e.algorithm for e in entries] == ["a", "b"]
+        assert entries[0].wins == 2
+        assert entries[1].wins == 1  # tied problem counts for both
+        assert entries[0].mean_excess_pct == pytest.approx(0.0)
+        assert entries[1].mean_excess_pct == pytest.approx(50.0)
+
+    def test_infeasible_results_cannot_win_or_set_the_best(self):
+        # A deadline-missing schedule can post an arbitrarily low sigma by
+        # running everything slow; it must not out-rank feasible schedules.
+        entries = compute_leaderboard(
+            [
+                ("p1", "cheater", 5.0, False, 0.0),
+                ("p1", "honest", 10.0, True, 0.0),
+            ]
+        )
+        assert [e.algorithm for e in entries] == ["honest", "cheater"]
+        by_name = {e.algorithm: e for e in entries}
+        assert by_name["honest"].wins == 1
+        assert by_name["honest"].mean_excess_pct == pytest.approx(0.0)
+        assert by_name["cheater"].wins == 0
+        assert by_name["cheater"].feasible == 0
+
+    def test_all_infeasible_problem_scores_nobody(self):
+        entries = compute_leaderboard(
+            [
+                ("p1", "a", 5.0, False, 0.0),
+                ("p1", "b", 6.0, False, 0.0),
+            ]
+        )
+        assert all(e.wins == 0 and e.mean_excess_pct == 0.0 for e in entries)
+
+    def test_unscored_algorithms_rank_last(self):
+        entries = compute_leaderboard(
+            [
+                ("p1", "never-feasible", 1.0, False, 0.0),
+                ("p1", "good", 10.0, True, 0.0),
+                ("p1", "worse", 20.0, True, 0.0),
+            ]
+        )
+        assert [e.algorithm for e in entries] == ["good", "worse", "never-feasible"]
+
+    def test_failures_counted_not_scored(self):
+        entries = compute_leaderboard(
+            [
+                ("p1", "a", 10.0, True, 0.0),
+                ("p1", "b", None, None, 0.0),
+            ]
+        )
+        by_name = {e.algorithm: e for e in entries}
+        assert by_name["b"].errors == 1
+        assert by_name["b"].mean_excess_pct == 0.0
+        assert by_name["a"].wins == 1
+
+    def test_table_has_no_timing_column(self):
+        # Rendered output is part of the parallel == serial byte-identity
+        # contract; wall-clock never is.
+        table = leaderboard_table(
+            compute_leaderboard([("p", "a", 1.0, True, 0.5)])
+        )
+        assert "time" not in table.to_text()
+
+    def test_suite_leaderboard_covers_all_algorithms(self):
+        result = run_suite(scenarios=SMALL)
+        entries = result.leaderboard()
+        assert {e.algorithm for e in entries} == set(DEFAULT_SUITE_ALGORITHMS)
+        assert all(e.problems == len(SMALL) for e in entries)

@@ -1,0 +1,222 @@
+"""Unit tests for ScenarioSpec: validation, building, hashing, round-trips."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import ScenarioSpec, problem_fingerprint
+
+
+def make_spec(**overrides):
+    params = dict(
+        name="t-layered",
+        family="layered",
+        family_params={"num_layers": 3, "layer_width": 2, "edge_probability": 0.5},
+        seed=5,
+        tightness=0.4,
+    )
+    params.update(overrides)
+    return ScenarioSpec(**params)
+
+
+class TestValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown DAG family"):
+            make_spec(family="nope", family_params={})
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigurationError, match="unknown platform"):
+            make_spec(platform="nope")
+
+    def test_unknown_chemistry(self):
+        with pytest.raises(ConfigurationError, match="unknown battery chemistry"):
+            make_spec(chemistry="nope")
+
+    def test_tightness_bounds(self):
+        with pytest.raises(ConfigurationError, match="tightness"):
+            make_spec(tightness=1.5)
+
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            make_spec(name="")
+
+    def test_params_accept_mapping_and_pairs(self):
+        from_mapping = make_spec()
+        from_pairs = make_spec(
+            family_params=(
+                ("edge_probability", 0.5),
+                ("layer_width", 2),
+                ("num_layers", 3),
+            )
+        )
+        assert from_mapping == from_pairs
+        assert isinstance(from_mapping.family_params, tuple)
+
+
+class TestBuilding:
+    def test_build_graph_is_deterministic(self):
+        a, b = make_spec().build_graph(), make_spec().build_graph()
+        assert a.to_dict() == b.to_dict()
+
+    def test_build_problem_respects_tightness(self):
+        problem = make_spec(tightness=0.0).build_problem()
+        assert problem.deadline == pytest.approx(problem.graph.min_makespan())
+        assert problem.name == "t-layered"
+
+    def test_seed_changes_graph(self):
+        a = make_spec(seed=5).build_graph()
+        b = make_spec(seed=6).build_graph()
+        assert a.to_dict() != b.to_dict()
+
+    def test_chemistry_reaches_problem_battery(self):
+        problem = make_spec(
+            chemistry="peukert", chemistry_params={"exponent": 1.3}
+        ).build_problem()
+        assert problem.battery.chemistry == "peukert"
+        model = problem.model()
+        assert type(model).__name__ == "PeukertModel"
+        assert model.exponent == pytest.approx(1.3)
+
+    @pytest.mark.parametrize("platform", ["voltage-scaling", "dvs", "fpga"])
+    def test_platforms_produce_uniform_monotone_tasks(self, platform):
+        graph = make_spec(platform=platform).build_graph()
+        assert graph.uniform_design_point_count() >= 2
+        assert all(task.is_power_monotone() for task in graph)
+
+
+class TestPlatformParams:
+    def test_voltage_scaling_ranges_are_honoured(self):
+        graph = make_spec(
+            family="chain", family_params={"num_tasks": 3},
+            platform_params={"duration_range": [5.0, 6.0],
+                             "current_range": [100.0, 110.0]},
+        ).build_graph()
+        fastest = graph.task("T1").ordered_design_points()[0]
+        assert 5.0 <= fastest.execution_time <= 6.0
+        assert 100.0 <= fastest.current <= 110.0
+
+    @pytest.mark.parametrize(
+        "platform, params",
+        [
+            ("voltage-scaling", {"duratoin_range": [1.0, 2.0]}),
+            ("dvs", {"voltage": [1.8]}),
+            ("fpga", {"parallelism": [2.0]}),
+        ],
+    )
+    def test_unknown_platform_params_rejected(self, platform, params):
+        with pytest.raises(ConfigurationError, match="platform parameter"):
+            make_spec(platform=platform, platform_params=params).build_graph()
+
+    def test_factors_and_num_design_points_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            make_spec(
+                platform_params={"factors": [1.0, 0.5], "num_design_points": 3}
+            ).build_graph()
+
+
+class TestPaperFamilies:
+    """g2/g3 carry published design points: platform/seed must be rejected,
+    not silently dropped (the spec would describe a different experiment
+    than the one that runs)."""
+
+    def test_platform_rejected(self):
+        with pytest.raises(ConfigurationError, match="published"):
+            ScenarioSpec(name="x", family="g3", platform="dvs")
+
+    def test_platform_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="published"):
+            ScenarioSpec(
+                name="x", family="g2",
+                platform_params={"num_design_points": 3},
+            )
+
+    def test_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed has no effect"):
+            ScenarioSpec(name="x", family="g3", seed=7)
+
+    def test_defaults_accepted_and_replicable(self):
+        spec = ScenarioSpec(name="x", family="g3", family_params={"copies": 2})
+        assert spec.build_graph().num_tasks == 30
+
+
+class TestIdentity:
+    def test_round_trip(self):
+        spec = make_spec(
+            chemistry="kibam",
+            chemistry_params={"c": 0.5, "k": 0.1},
+            platform="dvs",
+            platform_params={"voltages": [1.8, 1.2]},
+        )
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_round_trip_survives_json(self):
+        spec = make_spec(platform="fpga", platform_params={"base_time_range": [2.0, 9.0]})
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_name_is_not_part_of_content_hash(self):
+        assert make_spec().content_hash() == make_spec(name="other").content_hash()
+
+    def test_name_is_not_part_of_problem_fingerprint(self):
+        # The fingerprint must match content_hash's contract: identically
+        # parameterized specs fingerprint identically whatever they are called.
+        assert problem_fingerprint(
+            make_spec().build_problem()
+        ) == problem_fingerprint(make_spec(name="other").build_problem())
+
+    def test_semantic_fields_change_content_hash(self):
+        base = make_spec().content_hash()
+        assert make_spec(seed=6).content_hash() != base
+        assert make_spec(tightness=0.6).content_hash() != base
+        assert make_spec(chemistry="ideal").content_hash() != base
+        assert make_spec(platform="fpga").content_hash() != base
+
+    def test_with_tightness(self):
+        tier = make_spec().with_tightness(0.9)
+        assert tier.tightness == 0.9
+        assert tier.name == "t-layered@0.90"
+
+    def test_specs_are_hashable(self):
+        assert len({make_spec(), make_spec(), make_spec(seed=6)}) == 2
+
+
+class TestCrossProcessDeterminism:
+    """Same spec -> identical problem content hash in a different process."""
+
+    def test_problem_fingerprint_matches_subprocess(self):
+        spec = make_spec(platform="dvs", chemistry="kibam")
+        local = problem_fingerprint(spec.build_problem())
+        script = (
+            "import json, sys\n"
+            "from repro.scenarios import ScenarioSpec, problem_fingerprint\n"
+            "spec = ScenarioSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(problem_fingerprint(spec.build_problem()))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(spec.to_dict())],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == local
+
+    def test_content_hash_matches_subprocess(self):
+        spec = make_spec()
+        script = (
+            "import json, sys\n"
+            "from repro.scenarios import ScenarioSpec\n"
+            "spec = ScenarioSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(spec.content_hash())\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(spec.to_dict())],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == spec.content_hash()

@@ -2,14 +2,20 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TaskGraphError
+from repro.taskgraph import build_g3, require_connected_sinks
 from repro.workloads import (
     DesignPointSynthesis,
     chain_graph,
+    crossbar_graph,
     default_synthesis,
     diamond_graph,
+    erdos_graph,
     fork_join_graph,
     layered_graph,
+    map_reduce_graph,
+    replicated_graph,
+    series_parallel_graph,
     tree_graph,
 )
 
@@ -90,6 +96,138 @@ class TestLayeredGraph:
         sparse = layered_graph(4, 3, edge_probability=0.1, seed=5)
         dense = layered_graph(4, 3, edge_probability=1.0, seed=5)
         assert dense.num_edges >= sparse.num_edges
+
+
+class TestLayeredConnectivityRegression:
+    """Regression: seeded layered graphs used to emit middle-layer dead ends.
+
+    Before the construction-time connectivity fix, ``layered_graph(4, 3,
+    0.5, seed=1)`` left T5 and T7 (middle layers) with no path to the final
+    layer — they were exit tasks of a graph whose intended sinks are the
+    last layer only.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 31] + list(range(10)))
+    def test_every_task_reaches_the_final_layer(self, seed):
+        graph = layered_graph(4, 3, 0.5, seed=seed)
+        final_layer = set(graph.task_names()[-3:])
+        # Only final-layer tasks may be exits...
+        assert set(graph.exit_tasks()) <= final_layer
+        # ...and every task reaches one of them (raises on violation).
+        require_connected_sinks(graph, final_layer)
+
+    def test_validator_rejects_dead_ends(self):
+        graph = chain_graph(4, seed=0)
+        with pytest.raises(TaskGraphError, match="no path to a sink"):
+            require_connected_sinks(graph, ["T2"])
+
+    def test_validator_rejects_unknown_or_empty_sinks(self):
+        graph = chain_graph(3, seed=0)
+        with pytest.raises(TaskGraphError):
+            require_connected_sinks(graph, ["T9"])
+        with pytest.raises(TaskGraphError):
+            require_connected_sinks(graph, [])
+
+
+class TestCrossbarGraph:
+    def test_complete_interlayer_wiring(self):
+        graph = crossbar_graph(3, 4, seed=2)
+        assert graph.num_tasks == 12
+        assert graph.num_edges == 2 * 4 * 4
+        for child in graph.task_names()[4:8]:
+            assert graph.predecessors(child) == frozenset(graph.task_names()[:4])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            crossbar_graph(0, 3)
+
+
+class TestMapReduceGraph:
+    def test_shuffle_is_all_to_all(self):
+        graph = map_reduce_graph(4, 3, seed=5)
+        assert graph.num_tasks == 4 + 3 + 2
+        maps = [name for name in graph.task_names() if name.startswith("M")]
+        reduces = [name for name in graph.task_names() if name.startswith("R")]
+        for reduce_task in reduces:
+            assert graph.predecessors(reduce_task) == frozenset(maps)
+        assert len(graph.exit_tasks()) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            map_reduce_graph(0, 1)
+
+
+class TestSeriesParallelGraph:
+    def test_single_entry_and_exit(self):
+        graph = series_parallel_graph(3, seed=7)
+        assert len(graph.entry_tasks()) == 1
+        assert len(graph.exit_tasks()) == 1
+
+    def test_depth_zero_is_single_task(self):
+        graph = series_parallel_graph(0, seed=7)
+        assert graph.num_tasks == 1
+
+    def test_deterministic(self):
+        a = series_parallel_graph(3, seed=9)
+        b = series_parallel_graph(3, seed=9)
+        assert a.to_dict() == b.to_dict()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            series_parallel_graph(-1)
+        with pytest.raises(ConfigurationError):
+            series_parallel_graph(2, max_branches=1)
+
+
+class TestErdosGraph:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_single_sink_always_reachable(self, seed):
+        graph = erdos_graph(14, 0.2, seed=seed)
+        assert graph.exit_tasks() == (graph.task_names()[-1],)
+        require_connected_sinks(graph, [graph.task_names()[-1]])
+
+    def test_edge_probability_extremes(self):
+        sparse = erdos_graph(10, 0.0, seed=1)
+        dense = erdos_graph(10, 1.0, seed=1)
+        assert sparse.num_edges < dense.num_edges
+        assert dense.num_edges == 10 * 9 // 2
+
+    def test_deterministic(self):
+        a = erdos_graph(12, 0.3, seed=4)
+        b = erdos_graph(12, 0.3, seed=4)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestReplicatedGraph:
+    def test_copies_chain_in_series(self):
+        graph = replicated_graph(build_g3, 3)
+        base = build_g3()
+        assert graph.num_tasks == 3 * base.num_tasks
+        assert graph.entry_tasks() == tuple("c1." + t for t in base.entry_tasks())
+        assert graph.exit_tasks() == tuple("c3." + t for t in base.exit_tasks())
+        # copy boundaries: every c1 exit feeds every c2 entry
+        for exit_task in base.exit_tasks():
+            for entry_task in base.entry_tasks():
+                assert "c2." + entry_task in graph.successors("c1." + exit_task)
+
+    def test_single_copy_is_base_graph(self):
+        graph = replicated_graph(build_g3, 1, name="g3x1")
+        assert graph.num_tasks == build_g3().num_tasks
+        assert graph.name == "g3x1"
+
+    def test_single_copy_keeps_base_name_by_default(self):
+        assert replicated_graph(build_g3, 1).name == "G3"
+
+    def test_single_copy_rename_does_not_mutate_builders_graph(self):
+        base = build_g3()
+        renamed = replicated_graph(lambda: base, 1, name="other")
+        assert base.name == "G3"
+        assert renamed.name == "other"
+        assert renamed.to_dict()["tasks"] == base.to_dict()["tasks"]
+
+    def test_invalid_copies(self):
+        with pytest.raises(ConfigurationError):
+            replicated_graph(build_g3, 0)
 
 
 class TestTreeGraph:
