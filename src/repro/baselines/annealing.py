@@ -20,12 +20,13 @@ regions yet always reports a feasible incumbent when one exists.
 
 Both neighbourhood moves are the
 :class:`~repro.scheduling.IncrementalCostEvaluator`'s moves, so the walk is
-driven incrementally: each candidate re-costs only the schedule prefix its
-move touches instead of rebuilding a load profile and re-summing the whole
-Rakhmatov–Vrudhula series, and rejected candidates leave the state (and its
-cached per-interval contributions) untouched.  Incremental costs are
-bit-identical to full re-evaluation, so the walk's trajectory is exactly
-the one a full-recompute annealer with the same RNG stream would take.
+driven incrementally *for every chemistry*: each candidate re-costs only
+the schedule window its move touches instead of rebuilding a load profile
+and re-evaluating the whole model, and rejected candidates leave the state
+(and its cached per-interval contributions) untouched.  Incremental costs
+are bit-identical to full re-evaluation, so the walk's trajectory is
+exactly the one a full-recompute annealer with the same RNG stream would
+take.
 """
 
 from __future__ import annotations
@@ -103,7 +104,8 @@ def simulated_annealing_baseline(
     columns = {name: 0 for name in graph.task_names()}
 
     evaluator = IncrementalCostEvaluator(
-        graph, sequence, DesignPointAssignment(columns), battery_model
+        graph, sequence, DesignPointAssignment(columns), battery_model,
+        track_undo=False,  # the walk only moves forward; rejects are never applied
     )
 
     def penalised(sigma: float, makespan: float) -> Tuple[float, bool]:
@@ -128,13 +130,19 @@ def simulated_annealing_baseline(
     cooling = (final_t / initial_t) ** (1.0 / max(config.iterations - 1, 1))
     temperature = initial_t
 
-    positions = {name: index for index, name in enumerate(sequence)}
+    # Hot-loop views: the evaluator's live sequence/position state (re-read
+    # after relocations commit) and the fixed task-order pool the design-point
+    # draw samples from (``columns`` is mutated in place, never rebuilt, so
+    # its iteration order — and with it the RNG stream — never changes).
+    sequence = evaluator.state.sequence
+    positions = evaluator.positions
+    name_pool = list(columns)
 
     for _ in range(config.iterations):
         moved_column = None
         if rng.random() < 0.5:
             # Design-point move: shift one task by one column.
-            name = rng.choice(list(columns))
+            name = rng.choice(name_pool)
             column = columns[name]
             delta = rng.choice((-1, 1))
             new_column = min(max(column + delta, 0), m - 1)
@@ -164,14 +172,14 @@ def simulated_annealing_baseline(
         )
         if accept:
             evaluator.apply(proposal)
-            sequence = list(evaluator.sequence)
-            # Update the local mirror in place rather than rebuilding it from
-            # the proposal: ``rng.choice(list(columns))`` must keep drawing
-            # from the original task order for the walk to be reproducible.
-            columns = dict(columns)
+            # Update the column mirror in place (incumbent snapshots below
+            # copy, so this is safe) and re-read the evaluator's live
+            # sequence/position views, which a relocation replaces.
             if moved_column is not None:
                 columns[moved_column[0]] = moved_column[1]
-            positions = {task: index for index, task in enumerate(sequence)}
+            else:
+                sequence = evaluator.state.sequence
+                positions = evaluator.positions
             current_cost = candidate_cost
             current_makespan = proposal.makespan
             current_feasible = candidate_feasible

@@ -14,9 +14,10 @@ uniform assignment).
 
 :func:`best_uniform_baseline` evaluates all ``m`` uniform columns in one
 batch call of the battery model's schedule path
-(:meth:`~repro.battery.RakhmatovVrudhulaModel.schedule_charge_batch`) —
-one 3-D vectorized sigma computation instead of ``m`` independent ones —
-with per-column costs bit-identical to :func:`~repro.scheduling.battery_cost`.
+(:meth:`~repro.battery.ScheduleKernelMixin.schedule_charge_batch`, shared
+by all four chemistries) — one vectorized sigma computation instead of
+``m`` independent ones — with per-column costs bit-identical to
+:func:`~repro.scheduling.battery_cost`.
 """
 
 from __future__ import annotations

@@ -7,20 +7,24 @@ enumeration would exceed a configurable budget; within that budget the
 result is the true optimum, which the test-suite uses to check that the
 iterative heuristic and the annealer land close to (and never below) it.
 
-For models with a vectorized schedule path (the Rakhmatov–Vrudhula model),
+For models with a vectorized schedule path (all four built-in chemistries),
 orders are enumerated by a depth-first search that costs tasks as they are
 placed: an interval's sigma contribution depends only on its design point
 and its *time-to-end* (makespan minus completion time), both known the
 moment it is placed, so a prefix's sigma is exact long before the order is
-complete.  Since every remaining task will contribute at least its nominal
-charge ``I * Delta`` (the rate-capacity effect only adds), the quantity
+complete.  Each chemistry supplies a per-interval **contribution floor**
+(:meth:`~repro.battery.ScheduleKernelMixin.contribution_floor`) — the
+nominal charge ``I * Delta`` for the Rakhmatov–Vrudhula and kinetic models
+(their rate-capacity excess only adds), the *exact* contribution for the
+time-insensitive Peukert and ideal models — so the quantity
 
-    prefix sigma + sum of remaining nominal charges
+    prefix sigma + sum of remaining contribution floors
 
-is a lower bound on every completion of the prefix and prunes the subtree
-whenever it cannot beat the incumbent.  Shared prefixes across orders are
-also costed once instead of once per order.  Models without the vectorized
-path fall back to the plain enumerate-and-evaluate loop.
+is a valid lower bound on every completion of the prefix and prunes the
+subtree whenever it cannot beat the incumbent.  Shared prefixes across
+orders are also costed once instead of once per order.  Models without the
+vectorized path (or without a floor) fall back to the plain
+enumerate-and-evaluate loop.
 """
 
 from __future__ import annotations
@@ -112,11 +116,25 @@ def exhaustive_optimum(
     }
     names = graph.task_names()
 
+    best = None
+    pruned = False
     if hasattr(battery_model, "interval_contributions"):
-        best = _pruned_search(
-            graph, names, durations, currents, battery_model, deadline, m, n
-        )
-    else:
+        try:
+            best = _pruned_search(
+                graph, names, durations, currents, battery_model, deadline, m, n
+            )
+            pruned = True
+        except (NotImplementedError, AttributeError):
+            # Two shapes of "kernel but no floor": a ScheduleKernelMixin
+            # subclass that never overrode the raising contribution_floor
+            # stub (hasattr cannot tell it from a real implementation), and
+            # a model implementing interval_contributions without the mixin
+            # at all (no contribution_floor attribute; CachedBatteryModel
+            # re-raises the miss as AttributeError).  Both take the
+            # documented fallback; the probe raises before any candidate is
+            # accepted, so nothing partial leaks out of the abandoned search.
+            pruned = False
+    if not pruned:
         orders = list(enumerate_topological_orders(graph))
         best = _legacy_search(
             orders, names, durations, currents, battery_model, deadline, m, n
@@ -158,6 +176,16 @@ def _pruned_search(
     successors = {name: graph.successors(name) for name in names}
     base_indegree = {name: len(graph.predecessors(name)) for name in names}
 
+    # Per-(task, column) contribution floors, computed once: the chemistry's
+    # guaranteed minimum contribution of the task at that design point,
+    # whatever its eventual position.
+    floors = {
+        name: model.contribution_floor(
+            np.asarray(durations[name]), np.asarray(currents[name])
+        )
+        for name in names
+    }
+
     best_cost = math.inf
     best: Optional[Tuple[Tuple[str, ...], Tuple[int, ...], float]] = None
 
@@ -168,14 +196,13 @@ def _pruned_search(
         makespan = sum(duration_of[name] for name in names)
         if makespan > deadline + 1e-9:
             continue
-        total_nominal = math.fsum(
-            current_of[name] * duration_of[name] for name in names
-        )
+        floor_of = {name: float(floors[name][column_by_name[name]]) for name in names}
+        total_floor = math.fsum(floor_of[name] for name in names)
 
         prefix: List[str] = []
         indegree = dict(base_indegree)
 
-        def place(elapsed: float, sigma: float, remaining_nominal: float) -> None:
+        def place(elapsed: float, sigma: float, remaining_floor: float) -> None:
             nonlocal best_cost, best
             # Placed tasks carry indegree -1, so the test also excludes them.
             ready = [name for name in names if indegree[name] == 0]
@@ -197,10 +224,10 @@ def _pruned_search(
                         best = (tuple(prefix) + (name,), columns, makespan)
                         margin = 1e-9 * (1.0 + abs(best_cost))
                     continue
-                new_remaining = remaining_nominal - current_of[name] * duration_of[name]
-                # Every unplaced task contributes at least its nominal charge
-                # (the bracket of Equation 1 never drops below Delta_k once
-                # the interval has completed), so this bound is exact up to
+                new_remaining = remaining_floor - floor_of[name]
+                # Every unplaced task contributes at least its chemistry's
+                # contribution floor wherever it lands, so this bound is
+                # valid (and exact for time-insensitive chemistries) up to
                 # float noise; the margin keeps pruning conservative.
                 if new_sigma + new_remaining - margin >= best_cost:
                     continue
@@ -214,7 +241,7 @@ def _pruned_search(
                 for child in successors[name]:
                     indegree[child] += 1
 
-        place(0.0, 0.0, total_nominal)
+        place(0.0, 0.0, total_floor)
 
     return best
 

@@ -44,6 +44,18 @@ class BatteryModel(abc.ABC):
     # ------------------------------------------------------------------
     # derived functionality shared by all models
     # ------------------------------------------------------------------
+    def apparent_charge_reference(
+        self, profile: LoadProfile, at_time: Optional[float] = None
+    ) -> float:
+        """The scalar conformance oracle for this model's fast paths.
+
+        For models whose ``apparent_charge`` *is* the retained scalar loop
+        (Peukert, KiBaM, ideal) this is the same computation; models that
+        vectorized ``apparent_charge`` override it with the original
+        per-interval implementation (the Rakhmatov–Vrudhula model).
+        """
+        return self.apparent_charge(profile, at_time)
+
     def cost(self, profile: LoadProfile) -> float:
         """Scheduling cost of a profile: apparent charge at its completion time."""
         return self.apparent_charge(profile, at_time=profile.end_time)

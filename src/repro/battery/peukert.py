@@ -17,21 +17,34 @@ the related work cited in the paper (Luo & Jha; Pedram & Wu) and is provided
 here as an alternative cost function and as an ablation anchor.  Unlike the
 Rakhmatov–Vrudhula model it has no recovery effect, so idle time never
 reduces the apparent charge.
+
+Because each interval's effective charge depends only on its own duration
+and current — never on *when* the interval runs — the model is
+time-**insensitive** in the sense of
+:class:`~repro.battery.kernels.ScheduleKernelMixin`: its vectorized
+schedule kernel ignores the time-to-end parameter, the incremental
+evaluator re-costs only the intervals a move actually touches, and the
+per-interval contribution is its own exact pruning floor.  The scalar
+per-profile loop in :meth:`PeukertModel.apparent_charge` is retained as the
+conformance reference for the vectorized kernel.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
+
+import numpy as np
 
 from ..errors import BatteryModelError
 from .base import BatteryModel
+from .kernels import ScheduleKernelMixin
 from .profile import LoadProfile
 
 __all__ = ["PeukertModel"]
 
 
-class PeukertModel(BatteryModel):
+class PeukertModel(ScheduleKernelMixin, BatteryModel):
     """Per-interval Peukert's-law effective-charge model.
 
     Parameters
@@ -54,8 +67,16 @@ class PeukertModel(BatteryModel):
         self.exponent = float(exponent)
         self.reference_current = float(reference_current)
 
+    #: Contributions ignore time-to-end entirely (no recovery, no history).
+    TIME_SENSITIVE = False
+
     def apparent_charge(self, profile: LoadProfile, at_time: Optional[float] = None) -> float:
-        """Sum of per-interval effective charges applied before ``at_time``."""
+        """Sum of per-interval effective charges applied before ``at_time``.
+
+        This scalar per-interval loop is the retained reference
+        implementation; the scheduling stack evaluates through the
+        vectorized :meth:`interval_contributions` kernel instead.
+        """
         if at_time is None:
             at_time = profile.end_time
         total = 0.0
@@ -66,6 +87,30 @@ class PeukertModel(BatteryModel):
             ratio = interval.current / self.reference_current
             total += self.reference_current * effective_duration * ratio**self.exponent
         return total
+
+    # ------------------------------------------------------------------
+    # canonical schedule kernel
+    # ------------------------------------------------------------------
+    def interval_contributions(
+        self,
+        durations: np.ndarray,
+        currents: np.ndarray,
+        time_to_end: np.ndarray,
+    ) -> np.ndarray:
+        """Per-interval effective charges (``time_to_end`` is ignored).
+
+        Elementwise the same arithmetic as the scalar loop in
+        :meth:`apparent_charge`, so each contribution is bit-identical to
+        the retained reference.
+        """
+        durations = np.asarray(durations, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        ratio = currents / self.reference_current
+        return self.reference_current * durations * ratio**self.exponent
+
+    def signature(self) -> Tuple:
+        """Exact-parameter cache fingerprint (see :func:`repro.engine.model_signature`)."""
+        return (type(self).__name__, self.exponent, self.reference_current)
 
     def __repr__(self) -> str:
         return (

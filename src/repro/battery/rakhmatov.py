@@ -41,27 +41,27 @@ of ``np.exp`` calls):
   :class:`~repro.battery.LoadProfile` at an arbitrary time, bit-identical to
   the original per-interval scalar loop (kept as a reference implementation
   for the golden tests);
-* :meth:`RakhmatovVrudhulaModel.schedule_charge` /
-  :meth:`~RakhmatovVrudhulaModel.schedule_contributions` — the *canonical
-  schedule path* used by the scheduling evaluator stack.  It parametrises
-  each interval by its **time-to-end** (makespan minus interval end), which
-  depends only on the durations *after* the interval — the property the
-  incremental evaluator exploits to re-cost single-move neighbours without
-  touching unaffected intervals; and
-* :meth:`RakhmatovVrudhulaModel.schedule_charge_batch` — many back-to-back
-  schedules in one 3-D computation (profiles x intervals x series terms),
-  bit-identical to evaluating each schedule individually.
+* :meth:`RakhmatovVrudhulaModel.interval_contributions` — the Equation-1
+  bracket parametrised by each interval's **time-to-end** (makespan minus
+  interval end), which depends only on the durations *after* the interval —
+  the property the incremental evaluator exploits to re-cost single-move
+  neighbours without touching unaffected intervals.  The chemistry-generic
+  :class:`~repro.battery.kernels.ScheduleKernelMixin` derives the canonical
+  schedule path (``schedule_contributions`` / ``schedule_charge`` /
+  ``schedule_charge_batch``) from this kernel, exactly as it does for the
+  other chemistries.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..errors import BatteryModelError
 from .base import BatteryModel
+from .kernels import ScheduleKernelMixin, suffix_durations
 from .profile import LoadProfile
 
 __all__ = ["RakhmatovVrudhulaModel", "suffix_durations"]
@@ -70,25 +70,7 @@ __all__ = ["RakhmatovVrudhulaModel", "suffix_durations"]
 DEFAULT_SERIES_TERMS = 10
 
 
-def suffix_durations(durations: "np.ndarray") -> "np.ndarray":
-    """Suffix sums ``tail[k] = sum(durations[k+1:])``, accumulated back-to-front.
-
-    ``tail[k]`` is interval ``k``'s time-to-end when sigma is evaluated at
-    the makespan of a back-to-back schedule.  The accumulation order (last
-    interval first, one addition per step) is part of the scheduling stack's
-    bit-level contract: the incremental evaluator re-extends exactly this
-    chain when it recomputes the prefix affected by a move, which keeps
-    partial updates bit-identical to a full re-evaluation.
-    """
-    durations = np.asarray(durations, dtype=float)
-    n = durations.shape[0]
-    if n == 0:
-        return np.zeros(0)
-    reverse = np.cumsum(durations[::-1])
-    return np.concatenate((reverse[::-1][1:], [0.0]))
-
-
-class RakhmatovVrudhulaModel(BatteryModel):
+class RakhmatovVrudhulaModel(ScheduleKernelMixin, BatteryModel):
     """Analytical high-level battery model with rate-capacity and recovery effects.
 
     Parameters
@@ -201,7 +183,7 @@ class RakhmatovVrudhulaModel(BatteryModel):
         return effective_duration + 2.0 * series
 
     # ------------------------------------------------------------------
-    # canonical schedule path (gap-free back-to-back intervals)
+    # canonical schedule kernel (gap-free back-to-back intervals)
     # ------------------------------------------------------------------
     def interval_contributions(
         self,
@@ -223,76 +205,17 @@ class RakhmatovVrudhulaModel(BatteryModel):
         series = self._bracket(since_end=time_to_end, since_start=time_to_end + durations)
         return currents * (durations + 2.0 * series)
 
-    def schedule_contributions(
-        self,
-        durations: Sequence[float],
-        currents: Sequence[float],
-        rest: float = 0.0,
+    def contribution_floor(
+        self, durations: np.ndarray, currents: np.ndarray
     ) -> np.ndarray:
-        """Per-interval contributions of a back-to-back schedule.
+        """Nominal charge ``I * Delta`` per interval.
 
-        The schedule runs ``durations[k]`` at ``currents[k]`` consecutively
-        from time zero and sigma is evaluated ``rest`` time units after the
-        makespan (``rest > 0`` credits post-completion recovery).
+        A valid pruning floor: the Equation-1 bracket never drops below the
+        interval's duration once the interval has completed (the recovery
+        decay only sheds the rate-capacity *excess*), so every contribution
+        is at least the plain coulomb count.
         """
-        if rest < 0:
-            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
-        durations = np.asarray(durations, dtype=float)
-        currents = np.asarray(currents, dtype=float)
-        if durations.shape != currents.shape:
-            raise BatteryModelError("durations and currents must have the same shape")
-        tail = suffix_durations(durations)
-        return self.interval_contributions(durations, currents, tail + rest)
-
-    def schedule_charge(
-        self,
-        durations: Sequence[float],
-        currents: Sequence[float],
-        rest: float = 0.0,
-    ) -> float:
-        """sigma of a back-to-back schedule, evaluated ``rest`` after the makespan.
-
-        This is the canonical cost of the scheduling stack: exact (fsum)
-        reduction of :meth:`schedule_contributions`, so full, incremental and
-        batch evaluation of the same schedule return bit-identical values.
-        """
-        return float(math.fsum(self.schedule_contributions(durations, currents, rest)))
-
-    def schedule_charge_batch(
-        self,
-        durations: Sequence[Sequence[float]],
-        currents: Sequence[Sequence[float]],
-        rest: float = 0.0,
-    ) -> np.ndarray:
-        """sigma of many equal-length back-to-back schedules at once.
-
-        ``durations`` / ``currents`` are (profiles x intervals) arrays; the
-        result is one sigma per profile, bit-identical to calling
-        :meth:`schedule_charge` per row (the 3-D elementwise kernel and the
-        per-row reductions reproduce the 2-D arithmetic exactly).
-        """
-        if rest < 0:
-            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
-        durations = np.asarray(durations, dtype=float)
-        currents = np.asarray(currents, dtype=float)
-        if durations.ndim != 2 or durations.shape != currents.shape:
-            raise BatteryModelError(
-                "durations and currents must be 2-D arrays of identical shape"
-            )
-        if durations.shape[1] == 0:
-            return np.zeros(durations.shape[0])
-        # Suffix sums per row, accumulated back-to-front exactly like the 1-D case.
-        reverse = np.cumsum(durations[:, ::-1], axis=1)
-        tail = np.concatenate(
-            (reverse[:, ::-1][:, 1:], np.zeros((durations.shape[0], 1))), axis=1
-        )
-        since_end = tail + rest
-        since_start = since_end + durations
-        decay_end = np.exp(-self._beta2m2[None, None, :] * since_end[:, :, None])
-        decay_start = np.exp(-self._beta2m2[None, None, :] * since_start[:, :, None])
-        series = np.sum((decay_end - decay_start) / self._beta2m2[None, None, :], axis=2)
-        contributions = currents * (durations + 2.0 * series)
-        return np.array([math.fsum(row) for row in contributions])
+        return np.asarray(currents, dtype=float) * np.asarray(durations, dtype=float)
 
     # ------------------------------------------------------------------
     # convenience closed forms
@@ -346,6 +269,10 @@ class RakhmatovVrudhulaModel(BatteryModel):
             raise BatteryModelError("rest duration must be non-negative")
         end = profile.end_time
         return self.apparent_charge(profile, end) - self.apparent_charge(profile, end + rest)
+
+    def signature(self) -> tuple:
+        """Exact-parameter cache fingerprint (see :func:`repro.engine.model_signature`)."""
+        return (type(self).__name__, self.beta, self.series_terms)
 
     def __repr__(self) -> str:
         return f"RakhmatovVrudhulaModel(beta={self.beta:g}, series_terms={self.series_terms})"

@@ -70,7 +70,8 @@ def refine_solution(
     battery_model = model if model is not None else problem.model()
 
     evaluator = IncrementalCostEvaluator(
-        graph, solution.sequence, solution.assignment, battery_model
+        graph, solution.sequence, solution.assignment, battery_model,
+        track_undo=False,  # the sweep commits improvements only, never undoes
     )
     best_cost = solution.cost
 

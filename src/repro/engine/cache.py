@@ -94,14 +94,26 @@ def model_signature(model: BatteryModel) -> Tuple:
 
     Two models with equal signatures must produce identical
     ``apparent_charge`` values for every profile, so that one cache can be
-    shared safely across models (e.g. across beta-sweep coordinates).
+    shared safely across models (e.g. across beta-sweep coordinates) *and*
+    across chemistries — the signature leads with the model's type name, so
+    chemistries with numerically identical parameters can never alias.
+
+    Models defining ``signature()`` (every built-in chemistry, plus
+    :class:`CachedBatteryModel`, which delegates to its inner model) supply
+    their own exact-parameter fingerprint.  The repr fallback for unknown
+    third-party models is precision-lossy (``%g``-style formatting), which
+    is why the built-ins stopped relying on it: two models whose parameters
+    differ below the repr precision must not share cache entries.
     """
+    signature = getattr(model, "signature", None)
+    if callable(signature):
+        return signature()
     beta = getattr(model, "beta", None)
     series_terms = getattr(model, "series_terms", None)
     if beta is not None:
         return (type(model).__name__, float(beta), series_terms)
-    # Fallback: parameter-free models (e.g. the ideal battery) key by type;
-    # anything else keys by repr, which every model implements.
+    # Fallback: parameter-free models key by type; anything else keys by
+    # repr, which every model implements.
     return (type(model).__name__, repr(model))
 
 
@@ -185,6 +197,10 @@ class CachedBatteryModel(BatteryModel):
     def series_terms(self) -> Optional[int]:
         return getattr(self.inner, "series_terms", None)
 
+    def signature(self) -> Tuple:
+        """The wrapped model's cache fingerprint (wrapping never changes keys)."""
+        return self._signature
+
     def apparent_charge(
         self, profile: LoadProfile, at_time: Optional[float] = None
     ) -> float:
@@ -231,10 +247,17 @@ class CachedBatteryModel(BatteryModel):
         return (self._signature, _SCHEDULE_TAG, state_key)
 
     # The evaluator's incremental path needs the wrapped model's
-    # per-interval decomposition; forward it when present.  (Contribution
-    # arrays are not memoised — only whole-schedule sigmas are.)
+    # per-interval decomposition (and its chemistry traits); forward them
+    # when present.  (Contribution arrays are not memoised — only
+    # whole-schedule sigmas are.)
     def __getattr__(self, name: str):
-        if name in ("interval_contributions", "schedule_contributions", "schedule_charge_batch"):
+        if name in (
+            "interval_contributions",
+            "schedule_contributions",
+            "schedule_charge_batch",
+            "contribution_floor",
+            "TIME_SENSITIVE",
+        ):
             return getattr(self.inner, name)
         raise AttributeError(
             f"{type(self).__name__!r} object has no attribute {name!r}"

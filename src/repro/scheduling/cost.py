@@ -1,9 +1,10 @@
 """Battery cost of a schedule (the paper's ``CalculateBatteryCost``).
 
 The cost of a candidate solution is the apparent charge sigma drawn from the
-battery by the time the last task completes, computed with the
-Rakhmatov–Vrudhula model over the back-to-back discharge profile induced by
-the task sequence and its design-point assignment.  An option allows
+battery by the time the last task completes, computed with the problem's
+battery chemistry (the Rakhmatov–Vrudhula model by default) over the
+back-to-back discharge profile induced by the task sequence and its
+design-point assignment.  An option allows
 evaluating sigma at the deadline instead, which credits the recovery that
 happens while the platform idles between completion and the deadline.
 

@@ -36,7 +36,24 @@ with an exactly rounded (order-independent) ``math.fsum``.  Searches driven
 incrementally therefore walk the *identical* trajectory a full-recompute
 search would.
 
-Models without a vectorized schedule path (anything that does not implement
+Chemistry dispatch
+------------------
+The evaluator is chemistry-generic: every model built on
+:class:`~repro.battery.ScheduleKernelMixin` (all four built-in chemistries
+— Rakhmatov–Vrudhula, Peukert, KiBaM, ideal) gets true incremental updates
+through its ``interval_contributions`` kernel.  The recompute window
+depends on the chemistry's ``TIME_SENSITIVE`` flag:
+
+* **time-sensitive** chemistries (Rakhmatov–Vrudhula, KiBaM): a move at
+  window ``[lo, hi]`` changes the time-to-end of every interval at or
+  before ``hi``, so the whole prefix ``[0, hi]`` is re-costed and the
+  suffix is reused;
+* **time-insensitive** chemistries (Peukert, ideal): contributions ignore
+  time-to-end entirely, so only the changed segment ``[lo, hi]`` is
+  re-costed — contributions on *both* sides are reused bit-for-bit, and a
+  moved evaluation point (deadline mode) invalidates nothing.
+
+Third-party models without a vectorized schedule path (no
 ``interval_contributions``) degrade gracefully: proposals fall back to a
 full ``schedule_charge`` evaluation, which for them materialises the load
 profile — exactly what the pre-evaluator call sites did.
@@ -68,7 +85,6 @@ True
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -184,7 +200,9 @@ class ScheduleState:
     ``tail[k]`` is the time-to-end of interval ``k`` (suffix sum of the
     durations after it); ``contributions[k]`` is interval ``k``'s share of
     sigma (``None`` for models without a vectorized schedule path, which
-    evaluate whole schedules only).
+    evaluate whole schedules only).  For time-insensitive chemistries the
+    contributions never read ``tail``, so the evaluator leaves it at its
+    construction-time values rather than maintaining it per move.
     """
 
     sequence: List[str]
@@ -198,7 +216,12 @@ class ScheduleState:
     cost: float
 
     def copy(self) -> "ScheduleState":
-        """Independent deep-enough copy used for the undo snapshot."""
+        """Independent deep-enough copy (external snapshotting hook).
+
+        The evaluator itself reverts moves through O(window) undo records
+        rather than full-state copies; this remains for callers that want a
+        frozen view of a state.
+        """
         return ScheduleState(
             sequence=list(self.sequence),
             columns=dict(self.columns),
@@ -233,11 +256,40 @@ class MoveProposal:
     _durations: np.ndarray = field(repr=False)
     _currents: np.ndarray = field(repr=False)
     _recompute_hi: int = field(repr=False)
+    _recompute_lo: int = field(repr=False, default=0)
     _tail_head: Optional[np.ndarray] = field(repr=False, default=None)
     _contrib_head: Optional[np.ndarray] = field(repr=False, default=None)
     _dur_key: Optional[Tuple[float, ...]] = field(repr=False, default=None)
     _cur_key: Optional[Tuple[float, ...]] = field(repr=False, default=None)
     _version: int = field(repr=False, default=0)
+    _changed_column: Optional[Tuple[str, int]] = field(repr=False, default=None)
+    _move_window: Optional[Tuple[int, int]] = field(repr=False, default=None)
+
+
+@dataclass
+class _UndoRecord:
+    """Minimal delta needed to revert one applied proposal.
+
+    ``apply`` replaces the state's array/list/dict *objects* wholesale except
+    for ``tail``/``contributions`` (mutated in place over the recompute
+    window), so the record keeps cheap references to the replaced objects and
+    copies only the overwritten slices — O(window), not O(n)."""
+
+    sequence: List[str]
+    columns_change: Optional[Tuple[str, int]]
+    durations: np.ndarray
+    currents: np.ndarray
+    tail_slice: Optional[np.ndarray]
+    contrib_slice: Optional[np.ndarray]
+    lo: int
+    hi: int
+    makespan: float
+    rest: float
+    cost: float
+    positions: Dict[str, int]
+    columns_key: Tuple[Tuple[str, int], ...]
+    dur_key: Optional[Tuple[float, ...]]
+    cur_key: Optional[Tuple[float, ...]]
 
 
 class IncrementalCostEvaluator:
@@ -251,12 +303,20 @@ class IncrementalCostEvaluator:
         The starting candidate (validated against the graph).
     model:
         Battery model supplying the cost function.  Models implementing the
-        vectorized schedule path (``interval_contributions``) get true
-        incremental updates; any other model is evaluated whole-schedule per
-        proposal, which matches the pre-evaluator behaviour of the searchers.
+        vectorized schedule path (``interval_contributions`` — all four
+        built-in chemistries) get true incremental updates, with the
+        recompute window narrowed further for time-insensitive chemistries
+        (see the module docstring); any other model is evaluated
+        whole-schedule per proposal, which matches the pre-evaluator
+        behaviour of the searchers.
     deadline, evaluate_at:
         Sigma evaluation point, with the same semantics (including deadline
         clamping) as :func:`repro.scheduling.battery_cost`.
+    track_undo:
+        When true (default) every ``apply`` records the one-level delta that
+        ``undo`` reverts.  Searchers that only ever move forward (annealing,
+        the refinement sweep: a rejected candidate is simply never applied)
+        disable it to keep commits allocation-free.
     """
 
     def __init__(
@@ -267,6 +327,7 @@ class IncrementalCostEvaluator:
         model: BatteryModel,
         deadline: Optional[float] = None,
         evaluate_at: str = "completion",
+        track_undo: bool = True,
     ) -> None:
         validate_sequence(graph, sequence)
         assignment.validate(graph)
@@ -286,6 +347,11 @@ class IncrementalCostEvaluator:
         self._compute_model: BatteryModel = (
             model.inner if cache_capable and hasattr(model, "inner") else model
         )
+        # Chemistry dispatch: time-insensitive kernels (Peukert, ideal) keep
+        # contributions valid on both sides of a move.
+        self._time_sensitive = bool(
+            getattr(self._compute_model, "TIME_SENSITIVE", True)
+        )
         # Per-task design-point tables, indexed by canonical column.
         self._durations_by_task: Dict[str, Tuple[float, ...]] = {}
         self._currents_by_task: Dict[str, Tuple[float, ...]] = {}
@@ -295,8 +361,17 @@ class IncrementalCostEvaluator:
             self._currents_by_task[task.name] = tuple(dp.current for dp in points)
         self.state = self._build_state(list(sequence), {name: assignment[name] for name in assignment})
         self._positions = {name: index for index, name in enumerate(self.state.sequence)}
-        self._undo_state: Optional[ScheduleState] = None
+        self._undo_record: Optional[_UndoRecord] = None
+        self._track_undo = bool(track_undo)
         self._version = 0
+        # Sorted (task, column) key of the current state, spliced per move so
+        # proposals never pay an O(n log n) re-sort on the hot path.
+        self._name_rank = {
+            name: rank for rank, name in enumerate(sorted(self.state.columns))
+        }
+        self._columns_key: Tuple[Tuple[str, int], ...] = tuple(
+            sorted(self.state.columns.items())
+        )
         # Cache key halves, spliced per move (state deltas) — only maintained
         # when the model actually exposes a schedule cache.
         self._dur_key: Optional[Tuple[float, ...]] = None
@@ -342,6 +417,16 @@ class IncrementalCostEvaluator:
         except KeyError:
             raise ScheduleError(f"task {name!r} is not part of this schedule") from None
 
+    @property
+    def positions(self) -> Dict[str, int]:
+        """Live task -> position mapping of the current state.
+
+        Returned by reference for hot-loop searchers (one dict lookup beats a
+        method call per query); treat it as read-only — it is replaced, not
+        mutated, when a relocation commits, so re-read it after ``apply``.
+        """
+        return self._positions
+
     def candidate_makespan(self, name: str, column: int) -> float:
         """Makespan if ``name`` moved to design-point ``column`` (no costing).
 
@@ -355,7 +440,7 @@ class IncrementalCostEvaluator:
                 f"column {column} out of range for task {name!r} "
                 f"({len(durations)} design points)"
             )
-        candidate = self.state.durations.copy()
+        candidate = self.state.durations.tolist()
         candidate[position] = durations[column]
         return math.fsum(candidate)
 
@@ -396,20 +481,25 @@ class IncrementalCostEvaluator:
         new_currents = self.state.currents.copy()
         new_durations[position] = durations[column]
         new_currents[position] = self._currents_by_task[name][column]
-        makespan = math.fsum(new_durations)
+        makespan = math.fsum(new_durations.tolist())
         rest = _resolve_rest(makespan, self.deadline, self.evaluate_at)
-        columns = dict(self.state.columns)
-        columns[name] = column
+        rank = self._name_rank[name]
+        columns_key = (
+            self._columns_key[:rank]
+            + ((name, column),)
+            + self._columns_key[rank + 1 :]
+        )
         return self._cost_candidate(
             kind="design_point",
             sequence=tuple(self.state.sequence),
-            columns=columns,
+            columns_key=columns_key,
             new_durations=new_durations,
             new_currents=new_currents,
             lo=position,
             hi=position,
             makespan=makespan,
             rest=rest,
+            changed_column=(name, column),
         )
 
     def propose_relocate(self, name: str, position: int) -> MoveProposal:
@@ -456,31 +546,40 @@ class IncrementalCostEvaluator:
         return self._cost_candidate(
             kind="relocate",
             sequence=tuple(new_sequence),
-            columns=self.state.columns,
+            columns_key=self._columns_key,
             new_durations=new_durations,
             new_currents=new_currents,
             lo=lo,
             hi=hi,
             makespan=self.state.makespan,
             rest=self.state.rest,
+            changed_column=None,
+            move_window=(lo, hi),
         )
 
     def _cost_candidate(
         self,
         kind: str,
         sequence: Tuple[str, ...],
-        columns: Dict[str, int],
+        columns_key: Tuple[Tuple[str, int], ...],
         new_durations: np.ndarray,
         new_currents: np.ndarray,
         lo: int,
         hi: int,
         makespan: float,
         rest: float,
+        changed_column: Optional[Tuple[str, int]],
+        move_window: Optional[Tuple[int, int]] = None,
     ) -> MoveProposal:
-        """Evaluate a candidate's cost, reusing suffix contributions and cache."""
-        columns_key = tuple(sorted(columns.items()))
+        """Evaluate a candidate's cost, reusing unaffected contributions and cache."""
+        recompute_lo = 0
         recompute_hi = hi
-        if rest != self.state.rest:
+        if not self._time_sensitive:
+            # Contributions ignore time-to-end: both sides of the changed
+            # segment are reused, and a moved evaluation point (deadline
+            # mode) invalidates nothing.
+            recompute_lo = lo
+        elif rest != self.state.rest:
             # The evaluation point moved (deadline mode): every interval's
             # time-to-evaluation changes, so nothing can be reused.
             recompute_hi = len(sequence) - 1
@@ -506,16 +605,18 @@ class IncrementalCostEvaluator:
         if cached is not None:
             cost = cached
         elif self._vectorized and self.state.contributions is not None:
-            tail_head, contrib_head = self._recompute_head(
-                new_durations, new_currents, recompute_hi, rest
+            tail_head, contrib_head = self._recompute_window(
+                new_durations, new_currents, recompute_lo, recompute_hi, rest
             )
-            cost = float(
-                math.fsum(
-                    itertools.chain(
-                        contrib_head, self.state.contributions[recompute_hi + 1 :]
-                    )
-                )
+            # fsum over plain floats (tolist) — exact, order-independent, and
+            # much faster than iterating the boxed numpy elements.
+            values = (
+                contrib_head.tolist()
+                + self.state.contributions[recompute_hi + 1 :].tolist()
             )
+            if recompute_lo:
+                values += self.state.contributions[:recompute_lo].tolist()
+            cost = float(math.fsum(values))
         else:
             cost = self._compute_model.schedule_charge(new_durations, new_currents, rest)
         if cached is None and self._schedule_cache is not None:
@@ -530,39 +631,65 @@ class IncrementalCostEvaluator:
             _durations=new_durations,
             _currents=new_currents,
             _recompute_hi=recompute_hi,
+            _recompute_lo=recompute_lo,
             _tail_head=tail_head,
             _contrib_head=contrib_head,
             _dur_key=dur_key,
             _cur_key=cur_key,
             _version=self._version,
+            _changed_column=changed_column,
+            _move_window=move_window,
         )
 
-    def _recompute_head(
+    def _recompute_window(
         self,
         durations: np.ndarray,
         currents: np.ndarray,
+        lo: int,
         hi: int,
         rest: float,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Recompute tail[0:hi] and contributions[0:hi+1] for a candidate.
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Recompute the contributions of window ``[lo, hi]`` for a candidate.
 
-        ``tail[hi]`` is unchanged by construction (only durations at or
-        before ``hi`` differ), so the suffix-sum chain is re-extended from it
-        downwards with exactly the additions a full back-to-front cumsum
-        would perform — the root of the full/incremental bit-identity.
+        Time-sensitive chemistries always pass ``lo == 0`` (the whole prefix
+        changed time-to-end): ``tail[hi]`` is unchanged by construction
+        (only durations at or before ``hi`` differ), so the suffix-sum chain
+        is re-extended from it downwards with exactly the additions a full
+        back-to-front cumsum would perform — the root of the
+        full/incremental bit-identity — and the refreshed ``tail[0:hi]`` is
+        returned alongside the contributions.
+
+        Time-insensitive chemistries re-cost only ``[lo, hi]``; the kernel
+        ignores time-to-end, so no tail maintenance is needed (``None``).
         """
+        if not self._time_sensitive:
+            contrib = self._compute_model.interval_contributions(
+                durations[lo : hi + 1],
+                currents[lo : hi + 1],
+                np.zeros(hi - lo + 1),
+            )
+            return None, contrib
         n = durations.shape[0]
         if hi >= n - 1:
             tail_all = suffix_durations(durations)
             tail_head = tail_all[:-1]
+            time_to_end = tail_all + rest
         else:
-            chain = np.cumsum(
-                np.concatenate(([self.state.tail[hi]], durations[hi:0:-1]))
-            )
+            # Re-extend the back-to-front suffix-sum chain from the unchanged
+            # anchor tail[hi], with exactly the additions a full cumsum would
+            # perform (in-place, no intermediate concatenations).
+            anchor = self.state.tail[hi]
+            chain = np.empty(hi + 1)
+            chain[0] = anchor
+            chain[1:] = durations[hi:0:-1]
+            np.cumsum(chain, out=chain)
             tail_head = chain[1:][::-1]
-            tail_all = np.concatenate((tail_head, [self.state.tail[hi]]))
+            time_to_end = np.empty(hi + 1)
+            time_to_end[:hi] = tail_head
+            time_to_end[hi] = anchor
+            time_to_end += rest
         contrib_head = self._compute_model.interval_contributions(
-            durations[: hi + 1], currents[: hi + 1], tail_all[: hi + 1] + rest
+            durations[: hi + 1], currents[: hi + 1], time_to_end[: hi + 1]
         )
         return tail_head, contrib_head
 
@@ -570,56 +697,113 @@ class IncrementalCostEvaluator:
     # state transitions
     # ------------------------------------------------------------------
     def apply(self, proposal: MoveProposal) -> None:
-        """Commit a proposal produced from the *current* state."""
+        """Commit a proposal produced from the *current* state.
+
+        Applies state deltas only: the arrays/objects the proposal replaces
+        are kept by reference in a one-level undo record, the per-interval
+        contributions (and tail) are patched in place over the recompute
+        window, and position/column bookkeeping is touched only where the
+        move kind actually changes it.
+        """
         if proposal._version != self._version:
             raise ScheduleError(
                 "stale proposal: it was produced from a different evaluator state"
             )
         state = self.state
-        self._undo_state = state.copy()
         hi = proposal._recompute_hi
+        lo = proposal._recompute_lo
+        record: Optional[_UndoRecord] = None
+        if self._track_undo:
+            record = _UndoRecord(
+                sequence=state.sequence,
+                columns_change=None,
+                durations=state.durations,
+                currents=state.currents,
+                tail_slice=None,
+                contrib_slice=None,
+                lo=lo,
+                hi=hi,
+                makespan=state.makespan,
+                rest=state.rest,
+                cost=state.cost,
+                positions=self._positions,
+                columns_key=self._columns_key,
+                dur_key=self._dur_key,
+                cur_key=self._cur_key,
+            )
         if self._vectorized and state.contributions is not None:
             if proposal._contrib_head is None:
                 # Cache hit skipped the array work at proposal time; redo it
                 # now so the state stays internally consistent.
-                tail_head, contrib_head = self._recompute_head(
-                    proposal._durations, proposal._currents, hi, proposal.rest
+                tail_head, contrib_head = self._recompute_window(
+                    proposal._durations, proposal._currents, lo, hi, proposal.rest
                 )
             else:
                 tail_head, contrib_head = proposal._tail_head, proposal._contrib_head
-            if hi > 0:
+            if record is not None:
+                record.contrib_slice = state.contributions[lo : hi + 1].copy()
+            state.contributions[lo : hi + 1] = contrib_head
+            if tail_head is not None and hi > 0:
+                if record is not None:
+                    record.tail_slice = state.tail[:hi].copy()
                 state.tail[:hi] = tail_head
-            state.contributions[: hi + 1] = contrib_head
         state.durations = proposal._durations
         state.currents = proposal._currents
-        state.sequence = list(proposal.sequence)
-        state.columns = dict(proposal.columns)
+        if proposal._changed_column is not None:
+            name, column = proposal._changed_column
+            if record is not None:
+                record.columns_change = (name, state.columns[name])
+            state.columns[name] = column
+        else:
+            # Relocation: columns untouched, but order and positions change —
+            # only inside the move window, so patch a copy rather than
+            # rebuilding the whole mapping (the old dict stays in the record).
+            state.sequence = list(proposal.sequence)
+            positions = self._positions.copy()
+            move_lo, move_hi = proposal._move_window
+            for index in range(move_lo, move_hi + 1):
+                positions[state.sequence[index]] = index
+            self._positions = positions
         state.makespan = proposal.makespan
         state.rest = proposal.rest
         state.cost = proposal.cost
         self._version += 1
-        self._positions = {name: index for index, name in enumerate(state.sequence)}
+        self._columns_key = proposal.columns
+        if self._track_undo:
+            self._undo_record = record
         if self._schedule_cache is not None:
-            if proposal._dur_key is not None:
-                self._dur_key = proposal._dur_key
-                self._cur_key = proposal._cur_key
-            else:
-                self._dur_key = tuple(map(float, state.durations))
-                self._cur_key = tuple(map(float, state.currents))
+            self._dur_key = proposal._dur_key
+            self._cur_key = proposal._cur_key
 
     def undo(self) -> None:
         """Revert the most recently applied proposal (one level deep)."""
-        if self._undo_state is None:
+        record = self._undo_record
+        if record is None:
+            if not self._track_undo:
+                raise ScheduleError(
+                    "undo is disabled: this evaluator was built with track_undo=False"
+                )
             raise ScheduleError("nothing to undo: no proposal has been applied")
-        self.state = self._undo_state
-        self._undo_state = None
+        state = self.state
+        state.sequence = record.sequence
+        if record.columns_change is not None:
+            name, column = record.columns_change
+            state.columns[name] = column
+        state.durations = record.durations
+        state.currents = record.currents
+        if state.contributions is not None and record.contrib_slice is not None:
+            state.contributions[record.lo : record.hi + 1] = record.contrib_slice
+        if record.tail_slice is not None:
+            state.tail[: record.hi] = record.tail_slice
+        state.makespan = record.makespan
+        state.rest = record.rest
+        state.cost = record.cost
+        self._positions = record.positions
+        self._columns_key = record.columns_key
+        self._dur_key = record.dur_key
+        self._cur_key = record.cur_key
+        self._undo_record = None
         self._version += 1
-        self._positions = {
-            name: index for index, name in enumerate(self.state.sequence)
-        }
-        if self._schedule_cache is not None:
-            self._dur_key = tuple(map(float, self.state.durations))
-            self._cur_key = tuple(map(float, self.state.currents))
 
     # ------------------------------------------------------------------
     # construction

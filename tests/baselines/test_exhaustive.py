@@ -7,6 +7,7 @@ from repro.baselines import (
     exhaustive_optimum,
     rakhmatov_baseline,
 )
+from repro.baselines.exhaustive import _legacy_search
 from repro.battery import BatterySpec
 from repro.core import battery_aware_schedule
 from repro.errors import ConfigurationError, InfeasibleDeadlineError
@@ -67,3 +68,104 @@ class TestExhaustiveOptimum:
         )
         with pytest.raises(InfeasibleDeadlineError):
             exhaustive_optimum(problem)
+
+
+class TestFloorlessMixinFallback:
+    def test_mixin_model_without_floor_falls_back_to_legacy(self, diamond4):
+        """A time-sensitive kernel-mixin model that never overrode
+        ``contribution_floor`` must take the plain enumeration path, not
+        crash inside the pruned DFS (hasattr cannot tell the mixin's raising
+        floor stub from a real implementation)."""
+        import numpy as np
+
+        from repro.battery import IdealBatteryModel, ScheduleKernelMixin
+        from repro.battery.base import BatteryModel
+
+        class FloorlessModel(ScheduleKernelMixin, BatteryModel):
+            # TIME_SENSITIVE stays True, so the inherited contribution_floor
+            # raises NotImplementedError.
+            def apparent_charge(self, profile, at_time=None):
+                return IdealBatteryModel().apparent_charge(profile, at_time)
+
+            def interval_contributions(self, durations, currents, time_to_end):
+                return np.asarray(currents, float) * np.asarray(durations, float)
+
+        deadline = 0.6 * (diamond4.min_makespan() + diamond4.max_makespan())
+        problem = SchedulingProblem(
+            graph=diamond4, deadline=deadline, battery=BatterySpec(beta=0.273)
+        )
+        result = exhaustive_optimum(problem, model=FloorlessModel())
+        reference = exhaustive_optimum(problem, model=IdealBatteryModel())
+        assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+
+    def test_non_mixin_model_with_kernel_falls_back_to_legacy(self, diamond4):
+        """A model exposing ``interval_contributions`` without the mixin has
+        no ``contribution_floor`` attribute at all — the pruned search's
+        probe raises AttributeError, which must also take the fallback."""
+        import numpy as np
+
+        from repro.battery import IdealBatteryModel
+        from repro.battery.base import BatteryModel
+
+        class KernelOnlyModel(BatteryModel):
+            def apparent_charge(self, profile, at_time=None):
+                return IdealBatteryModel().apparent_charge(profile, at_time)
+
+            def interval_contributions(self, durations, currents, time_to_end):
+                return np.asarray(currents, float) * np.asarray(durations, float)
+
+        deadline = 0.6 * (diamond4.min_makespan() + diamond4.max_makespan())
+        problem = SchedulingProblem(
+            graph=diamond4, deadline=deadline, battery=BatterySpec(beta=0.273)
+        )
+        result = exhaustive_optimum(problem, model=KernelOnlyModel())
+        reference = exhaustive_optimum(problem, model=IdealBatteryModel())
+        assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+
+
+class TestCrossChemistryPruning:
+    """The per-chemistry contribution floors must never prune the optimum."""
+
+    CHEMISTRIES = (
+        ("rakhmatov", ()),
+        ("peukert", (("exponent", 1.3),)),
+        ("kibam", ()),
+        ("ideal", ()),
+    )
+
+    @pytest.mark.parametrize("chemistry,params", CHEMISTRIES)
+    def test_pruned_search_matches_legacy_enumeration(
+        self, diamond4, chemistry, params
+    ):
+        deadline = 0.6 * (diamond4.min_makespan() + diamond4.max_makespan())
+        problem = SchedulingProblem(
+            graph=diamond4, deadline=deadline,
+            battery=BatterySpec(
+                beta=0.273, chemistry=chemistry, chemistry_params=params
+            ),
+        )
+        model = problem.model()
+        pruned = exhaustive_optimum(problem)
+
+        graph = problem.graph
+        names = graph.task_names()
+        durations = {
+            t.name: [dp.execution_time for dp in t.ordered_design_points()]
+            for t in graph
+        }
+        currents = {
+            t.name: [dp.current for dp in t.ordered_design_points()] for t in graph
+        }
+        orders = list(enumerate_topological_orders(graph))
+        legacy = _legacy_search(
+            orders, names, durations, currents, model, deadline,
+            graph.uniform_design_point_count(), graph.num_tasks,
+        )
+        assert legacy is not None
+        assert pruned.cost == pytest.approx(
+            model.schedule_charge(
+                [durations[n][dict(zip(names, legacy[1]))[n]] for n in legacy[0]],
+                [currents[n][dict(zip(names, legacy[1]))[n]] for n in legacy[0]],
+            ),
+            rel=1e-12,
+        )

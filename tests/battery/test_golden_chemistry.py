@@ -1,0 +1,185 @@
+"""Golden conformance fixtures for the chemistry-generic cost stack.
+
+``golden_chemistry.json`` pins, at full float precision:
+
+* the canonical schedule-path sigma (``schedule_charge``) of the paper's G2
+  and G3 graphs under every chemistry, for every uniform design-point
+  column plus one mixed assignment; and
+* a smoke slice of the scenario catalogue: the all-fastest cost of
+  representative chemistry scenarios, evaluated through each scenario's own
+  ``BatterySpec``-built model.
+
+The committed values gate the vectorized kernels: any refactor that changes
+a sigma by even one ulp fails these tests, so the fast paths cannot drift
+silently.  Each value is additionally cross-checked against the retained
+scalar profile reference (<= 1e-9), tying the goldens back to the original
+per-interval implementations.
+
+Regenerate after an *intentional* kernel change with::
+
+    PYTHONPATH=src python tests/battery/test_golden_chemistry.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import build_g2, build_g3
+from repro.battery import (
+    IdealBatteryModel,
+    KineticBatteryModel,
+    LoadProfile,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+)
+from repro.scenarios import default_registry
+from repro.scheduling import (
+    DesignPointAssignment,
+    evaluate_schedule,
+    sequence_by_decreasing_energy,
+)
+
+GOLDEN_PATH = Path(__file__).with_name("golden_chemistry.json")
+
+#: Fixed per-chemistry models (parameters chosen once; part of the fixture).
+CHEMISTRY_MODELS = {
+    "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
+    "peukert": lambda: PeukertModel(exponent=1.3),
+    "kibam": lambda: KineticBatteryModel(c=0.625, k=0.05),
+    "ideal": lambda: IdealBatteryModel(),
+}
+
+#: Catalogue scenarios in the smoke slice: every chemistry-block scenario
+#: plus the rakhmatov-costed G2/G3 anchors.
+SMOKE_SCENARIOS = (
+    "g2",
+    "g3",
+    "g3-peukert",
+    "g3-kibam",
+    "g3-ideal",
+    "layered-4x3-kibam",
+    "map-reduce-6x3-peukert",
+    "erdos-18-kibam",
+    "dvs-erdos-16-peukert",
+)
+
+
+def _graph_assignments(graph):
+    """The gated assignments: every uniform column plus one mixed staircase."""
+    m = graph.uniform_design_point_count()
+    cases = {
+        f"uniform-{column + 1}": DesignPointAssignment.uniform(graph, column)
+        for column in range(m)
+    }
+    names = graph.task_names()
+    cases["mixed-staircase"] = DesignPointAssignment(
+        {name: index % m for index, name in enumerate(names)}
+    )
+    return cases
+
+
+def _schedule_arrays(graph, assignment):
+    sequence = sequence_by_decreasing_energy(graph)
+    durations = [assignment.execution_time(graph, name) for name in sequence]
+    currents = [assignment.current(graph, name) for name in sequence]
+    return durations, currents
+
+
+def compute_graph_entries():
+    """sigma of every (graph, chemistry, assignment) golden case."""
+    entries = {}
+    for graph_name, builder in (("g2", build_g2), ("g3", build_g3)):
+        graph = builder()
+        entries[graph_name] = {}
+        for chemistry, make_model in sorted(CHEMISTRY_MODELS.items()):
+            model = make_model()
+            entries[graph_name][chemistry] = {
+                label: model.schedule_charge(*_schedule_arrays(graph, assignment))
+                for label, assignment in _graph_assignments(graph).items()
+            }
+    return entries
+
+
+def compute_catalog_entries():
+    """All-fastest canonical cost of the catalogue smoke slice."""
+    registry = default_registry()
+    entries = {}
+    for name in SMOKE_SCENARIOS:
+        problem = registry.get(name).build_problem()
+        graph = problem.graph
+        sequence = sequence_by_decreasing_energy(graph)
+        assignment = DesignPointAssignment.all_fastest(graph)
+        entries[name] = evaluate_schedule(
+            graph, sequence, assignment, problem.model()
+        ).cost
+    return entries
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():  # pragma: no cover - regeneration guard
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; regenerate with "
+            "`PYTHONPATH=src python tests/battery/test_golden_chemistry.py`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGraphGoldens:
+    @pytest.mark.parametrize("graph_name", ["g2", "g3"])
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_MODELS))
+    def test_schedule_charge_bit_identical_to_committed(
+        self, golden, graph_name, chemistry
+    ):
+        graph = {"g2": build_g2, "g3": build_g3}[graph_name]()
+        model = CHEMISTRY_MODELS[chemistry]()
+        committed = golden["graphs"][graph_name][chemistry]
+        for label, assignment in _graph_assignments(graph).items():
+            value = model.schedule_charge(*_schedule_arrays(graph, assignment))
+            assert value == committed[label], (graph_name, chemistry, label)
+
+    @pytest.mark.parametrize("graph_name", ["g2", "g3"])
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_MODELS))
+    def test_committed_values_match_scalar_reference(
+        self, golden, graph_name, chemistry
+    ):
+        """Ties the goldens back to the retained per-interval scalar loops."""
+        graph = {"g2": build_g2, "g3": build_g3}[graph_name]()
+        model = CHEMISTRY_MODELS[chemistry]()
+        committed = golden["graphs"][graph_name][chemistry]
+        for label, assignment in _graph_assignments(graph).items():
+            durations, currents = _schedule_arrays(graph, assignment)
+            profile = LoadProfile.from_back_to_back(durations, currents)
+            reference = model.apparent_charge_reference(profile, profile.end_time)
+            assert committed[label] == pytest.approx(reference, abs=1e-9)
+
+
+class TestCatalogSmokeSlice:
+    def test_all_scenarios_present(self, golden):
+        assert sorted(golden["catalog"]) == sorted(SMOKE_SCENARIOS)
+
+    def test_costs_bit_identical_to_committed(self, golden):
+        computed = compute_catalog_entries()
+        for name in SMOKE_SCENARIOS:
+            assert computed[name] == golden["catalog"][name], name
+
+
+def main() -> None:  # pragma: no cover - manual regeneration entry point
+    payload = {
+        "_comment": (
+            "Golden per-chemistry sigma values; regenerate with "
+            "`PYTHONPATH=src python tests/battery/test_golden_chemistry.py` "
+            "only after an intentional kernel change."
+        ),
+        "graphs": compute_graph_entries(),
+        "catalog": compute_catalog_entries(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -42,3 +42,30 @@ class TestApparentCharge:
 
     def test_repr(self, model):
         assert repr(model) == "IdealBatteryModel()"
+
+
+class TestScheduleKernel:
+    """The coulomb-counting vectorized kernel."""
+
+    def test_kernel_is_plain_coulomb_count(self):
+        model = IdealBatteryModel()
+        values = model.interval_contributions([5.0, 2.0], [300.0, 100.0], [40.0, 7.0])
+        assert values.tolist() == [1500.0, 200.0]
+
+    def test_contribution_floor_is_exact(self):
+        model = IdealBatteryModel()
+        assert model.contribution_floor([5.0, 2.0], [300.0, 100.0]).tolist() == [
+            1500.0, 200.0,
+        ]
+
+    def test_time_sensitive_flag(self):
+        assert IdealBatteryModel().TIME_SENSITIVE is False
+
+    def test_schedule_charge_is_order_invariant(self):
+        model = IdealBatteryModel()
+        assert model.schedule_charge([1.0, 2.0, 3.0], [10.0, 20.0, 30.0]) == (
+            model.schedule_charge([3.0, 1.0, 2.0], [30.0, 10.0, 20.0])
+        )
+
+    def test_signature_is_parameter_free(self):
+        assert IdealBatteryModel().signature() == ("IdealBatteryModel",)

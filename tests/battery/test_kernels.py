@@ -1,0 +1,71 @@
+"""Unit tests for the shared schedule-kernel mixin."""
+
+import numpy as np
+import pytest
+
+from repro.battery import ScheduleKernelMixin, suffix_durations
+from repro.battery.base import BatteryModel
+
+
+class _StubKernel(ScheduleKernelMixin, BatteryModel):
+    """Minimal chemistry: contribution = I * Delta + time_to_end (sensitive)."""
+
+    def apparent_charge(self, profile, at_time=None):  # pragma: no cover - unused
+        return 0.0
+
+    def interval_contributions(self, durations, currents, time_to_end):
+        durations = np.asarray(durations, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        time_to_end = np.asarray(time_to_end, dtype=float)
+        return currents * durations + time_to_end
+
+
+class TestMixinContracts:
+    def test_kernel_required(self):
+        class NoKernel(ScheduleKernelMixin, BatteryModel):
+            def apparent_charge(self, profile, at_time=None):
+                return 0.0
+
+        with pytest.raises(NotImplementedError):
+            NoKernel().interval_contributions([1.0], [1.0], [0.0])
+
+    def test_sensitive_chemistry_must_supply_its_own_floor(self):
+        with pytest.raises(NotImplementedError):
+            _StubKernel().contribution_floor([1.0], [1.0])
+
+    def test_insensitive_floor_defaults_to_exact_contribution(self):
+        class Insensitive(_StubKernel):
+            TIME_SENSITIVE = False
+
+            def interval_contributions(self, durations, currents, time_to_end):
+                return np.asarray(currents, float) * np.asarray(durations, float)
+
+        floors = Insensitive().contribution_floor([2.0, 3.0], [5.0, 7.0])
+        assert floors.tolist() == [10.0, 21.0]
+
+    def test_schedule_charge_uses_suffix_parametrization(self):
+        model = _StubKernel()
+        durations = [2.0, 3.0, 4.0]
+        currents = [1.0, 1.0, 1.0]
+        tail = suffix_durations(np.asarray(durations))
+        expected = sum(
+            current * duration + tte
+            for current, duration, tte in zip(currents, durations, tail)
+        )
+        assert model.schedule_charge(durations, currents) == pytest.approx(expected)
+
+    def test_batch_matches_single_rows(self):
+        model = _StubKernel()
+        durations = [[2.0, 3.0], [1.0, 4.0]]
+        currents = [[1.0, 2.0], [3.0, 1.0]]
+        batched = model.schedule_charge_batch(durations, currents, rest=5.0)
+        for row in range(2):
+            assert batched[row] == model.schedule_charge(
+                durations[row], currents[row], rest=5.0
+            )
+
+    def test_batch_of_empty_schedules(self):
+        model = _StubKernel()
+        assert model.schedule_charge_batch(
+            np.zeros((3, 0)), np.zeros((3, 0))
+        ).tolist() == [0.0, 0.0, 0.0]

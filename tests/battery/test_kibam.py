@@ -97,3 +97,73 @@ class TestApparentCharge:
         gentle = LoadProfile.from_back_to_back([30.0, 30.0], [400.0, 100.0])
         harsh = LoadProfile.from_back_to_back([30.0, 30.0], [100.0, 400.0])
         assert (model.cost(gentle) < model.cost(harsh)) == (rv.cost(gentle) < rv.cost(harsh))
+
+
+class TestSuperposedScheduleKernel:
+    """The vectorized time-to-end kernel against the sequential well pass."""
+
+    def test_single_interval_matches_closed_form(self, model):
+        duration, current = 10.0, 200.0
+        contribution = float(
+            model.interval_contributions([duration], [current], [0.0])[0]
+        )
+        profile = LoadProfile.from_back_to_back([duration], [current])
+        assert contribution == pytest.approx(model.apparent_charge(profile), rel=1e-12)
+
+    def test_schedule_charge_matches_sequential_advance(self, model):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(30):
+            n = rng.randint(1, 15)
+            durations = [rng.uniform(0.1, 25.0) for _ in range(n)]
+            currents = [rng.uniform(0.0, 400.0) for _ in range(n)]
+            rest = rng.choice([0.0, rng.uniform(0.0, 80.0)])
+            profile = LoadProfile.from_back_to_back(durations, currents)
+            superposed = model.schedule_charge(durations, currents, rest)
+            sequential = model.apparent_charge(profile, profile.end_time + rest)
+            assert superposed == pytest.approx(sequential, rel=1e-12)
+
+    def test_stranded_mode_is_nonnegative_and_decays(self, model):
+        """The recovery mode shrinks as the interval recedes into the past."""
+        nominal = 10.0 * 200.0
+        values = [
+            float(model.interval_contributions([10.0], [200.0], [tte])[0])
+            for tte in (0.0, 5.0, 50.0, 500.0)
+        ]
+        assert all(earlier >= later for earlier, later in zip(values, values[1:]))
+        assert values[0] > nominal
+        assert values[-1] == pytest.approx(nominal, rel=1e-6)
+
+    def test_contribution_floor_is_a_valid_bound(self, model):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            duration = rng.uniform(0.0, 30.0)
+            current = rng.uniform(0.0, 500.0)
+            tte = rng.uniform(0.0, 100.0)
+            floor = float(model.contribution_floor([duration], [current])[0])
+            contribution = float(
+                model.interval_contributions([duration], [current], [tte])[0]
+            )
+            assert floor <= contribution + 1e-12
+            assert floor == pytest.approx(current * duration)
+
+    def test_time_sensitive_flag(self, model):
+        assert model.TIME_SENSITIVE is True
+
+    def test_kernel_input_validation(self, model):
+        with pytest.raises(BatteryModelError):
+            model.schedule_contributions([1.0, 2.0], [3.0], rest=0.0)
+        with pytest.raises(BatteryModelError):
+            model.schedule_charge([1.0], [3.0], rest=-1.0)
+        with pytest.raises(BatteryModelError):
+            model.schedule_charge_batch([[1.0]], [[3.0]], rest=-1.0)
+        with pytest.raises(BatteryModelError):
+            model.schedule_charge_batch([1.0], [3.0])
+
+    def test_signature_exposes_exact_parameters(self):
+        assert KineticBatteryModel(c=0.5, k=0.07).signature() == (
+            "KineticBatteryModel", 0.5, 0.07,
+        )

@@ -1,0 +1,137 @@
+"""Edge-case tests for the generic lifetime machinery, across chemistries.
+
+``BatteryModel.lifetime`` / ``supports`` / ``_bisect_crossing`` are shared
+by every chemistry (they only consume ``apparent_charge``), so each edge
+case is exercised under all four battery models:
+
+* empty profiles (nothing ever exhausts the battery);
+* zero-current tails (a crossing can only happen while current flows, and a
+  trailing rest must neither create nor hide one);
+* a capacity hit *exactly* on an interval boundary (the bisection must
+  converge to the boundary, not skip into the next interval); and
+* invalid capacities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.battery import (
+    IdealBatteryModel,
+    KineticBatteryModel,
+    LoadInterval,
+    LoadProfile,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+)
+from repro.errors import BatteryModelError
+
+CHEMISTRY_MODELS = {
+    "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
+    "peukert": lambda: PeukertModel(exponent=1.3),
+    "kibam": lambda: KineticBatteryModel(c=0.625, k=0.05),
+    "ideal": lambda: IdealBatteryModel(),
+}
+
+
+@pytest.fixture(params=sorted(CHEMISTRY_MODELS))
+def model(request):
+    return CHEMISTRY_MODELS[request.param]()
+
+
+@pytest.fixture
+def discharge_then_rest() -> LoadProfile:
+    """One 10-minute 200 mA discharge followed by a 100-minute zero-current tail."""
+    return LoadProfile(
+        [LoadInterval(0.0, 10.0, 200.0), LoadInterval(10.0, 100.0, 0.0)]
+    )
+
+
+class TestEmptyProfile:
+    def test_lifetime_is_none(self, model):
+        assert model.lifetime(LoadProfile(), capacity=1.0) is None
+
+    def test_supports_any_capacity(self, model):
+        assert model.supports(LoadProfile(), capacity=1e-6)
+
+    def test_apparent_charge_is_zero(self, model):
+        assert model.apparent_charge(LoadProfile(), at_time=5.0) == 0.0
+
+
+class TestInvalidCapacity:
+    @pytest.mark.parametrize("capacity", [0.0, -1.0, math.inf, math.nan])
+    def test_rejected(self, model, discharge_then_rest, capacity):
+        with pytest.raises(BatteryModelError):
+            model.lifetime(discharge_then_rest, capacity=capacity)
+
+
+class TestZeroCurrentTail:
+    def test_crossing_found_inside_the_discharge_interval(
+        self, model, discharge_then_rest
+    ):
+        """A capacity reached mid-discharge is located there, not in the tail."""
+        target = 0.5 * model.apparent_charge(discharge_then_rest, at_time=10.0)
+        lifetime = model.lifetime(discharge_then_rest, capacity=target)
+        assert lifetime is not None
+        assert 0.0 < lifetime < 10.0
+        # The bisection's answer is consistent: sigma at the reported time
+        # equals the capacity to bisection precision.
+        assert model.apparent_charge(
+            discharge_then_rest, at_time=lifetime
+        ) == pytest.approx(target, rel=1e-9)
+
+    def test_tail_never_creates_a_crossing(self, model, discharge_then_rest):
+        """A capacity above the peak sigma survives the whole profile: rest
+        can only hold sigma level (no-recovery chemistries) or shed it."""
+        peak = model.apparent_charge(discharge_then_rest, at_time=10.0)
+        assert model.lifetime(discharge_then_rest, capacity=peak * 1.001) is None
+        assert model.supports(discharge_then_rest, capacity=peak * 1.001)
+
+    def test_supports_matches_lifetime(self, model, discharge_then_rest):
+        target = 0.9 * model.apparent_charge(discharge_then_rest, at_time=10.0)
+        assert model.supports(discharge_then_rest, capacity=target) is (
+            model.lifetime(discharge_then_rest, capacity=target) is None
+        )
+
+
+class TestCapacityOnIntervalBoundary:
+    @pytest.fixture
+    def two_step_profile(self) -> LoadProfile:
+        return LoadProfile.from_back_to_back(
+            durations=[3.0, 4.0], currents=[200.0, 50.0]
+        )
+
+    def test_capacity_hit_exactly_at_first_interval_end(self, model, two_step_profile):
+        """capacity == sigma(first boundary): the crossing is the boundary."""
+        boundary = 3.0
+        capacity = model.apparent_charge(two_step_profile, at_time=boundary)
+        lifetime = model.lifetime(two_step_profile, capacity=capacity)
+        assert lifetime is not None
+        assert lifetime == pytest.approx(boundary, rel=1e-9)
+
+    def test_capacity_hit_exactly_at_profile_end(self, model):
+        """capacity == sigma(makespan): exhausted right at completion.
+
+        Uses an increasing current staircase so sigma rises monotonically —
+        under a decreasing one the recovery chemistries peak at the *first*
+        boundary and the first crossing correctly lands there instead.
+        """
+        two_step_profile = LoadProfile.from_back_to_back(
+            durations=[3.0, 4.0], currents=[50.0, 200.0]
+        )
+        end = two_step_profile.end_time
+        capacity = model.apparent_charge(two_step_profile, at_time=end)
+        lifetime = model.lifetime(two_step_profile, capacity=capacity)
+        assert lifetime is not None
+        assert lifetime == pytest.approx(end, rel=1e-9)
+        # One ulp above the peak and the battery survives.
+        assert model.lifetime(two_step_profile, capacity=capacity * 1.001) is None
+
+    def test_ideal_boundary_is_exact(self):
+        """Closed-form check: 2 mA for 3 min is exactly 6 mA·min."""
+        model = IdealBatteryModel()
+        profile = LoadProfile.from_back_to_back(durations=[3.0, 4.0], currents=[2.0, 1.0])
+        lifetime = model.lifetime(profile, capacity=6.0)
+        assert lifetime == pytest.approx(3.0, rel=1e-9)

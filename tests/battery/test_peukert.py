@@ -60,3 +60,41 @@ class TestApparentCharge:
         assert model.apparent_charge(profile, at_time=2.0) == pytest.approx(
             0.5 * model.apparent_charge(profile, at_time=4.0)
         )
+
+
+class TestScheduleKernel:
+    """The time-insensitive vectorized kernel of Peukert's law."""
+
+    def test_kernel_ignores_time_to_end(self):
+        model = PeukertModel(exponent=1.3)
+        a = model.interval_contributions([5.0, 2.0], [300.0, 100.0], [0.0, 0.0])
+        b = model.interval_contributions([5.0, 2.0], [300.0, 100.0], [40.0, 7.0])
+        assert a.tolist() == b.tolist()
+
+    def test_contribution_matches_per_interval_law(self):
+        model = PeukertModel(exponent=1.3, reference_current=2.0)
+        value = float(model.interval_contributions([4.0], [10.0], [0.0])[0])
+        assert value == pytest.approx(2.0 * 4.0 * (10.0 / 2.0) ** 1.3)
+
+    def test_contribution_floor_is_exact(self):
+        model = PeukertModel(exponent=1.3)
+        floor = model.contribution_floor([5.0, 2.0], [300.0, 100.0])
+        exact = model.interval_contributions([5.0, 2.0], [300.0, 100.0], [9.0, 1.0])
+        assert floor.tolist() == exact.tolist()
+
+    def test_time_sensitive_flag(self):
+        assert PeukertModel().TIME_SENSITIVE is False
+
+    def test_schedule_charge_matches_profile_path(self):
+        model = PeukertModel(exponent=1.25)
+        durations = [10.0, 5.0, 20.0]
+        currents = [300.0, 150.0, 80.0]
+        profile = LoadProfile.from_back_to_back(durations, currents)
+        assert model.schedule_charge(durations, currents) == pytest.approx(
+            model.apparent_charge(profile), rel=1e-12
+        )
+
+    def test_signature_exposes_exact_parameters(self):
+        assert PeukertModel(exponent=1.2, reference_current=3.0).signature() == (
+            "PeukertModel", 1.2, 3.0,
+        )

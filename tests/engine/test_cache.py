@@ -3,8 +3,23 @@
 import pytest
 
 from repro import LoadProfile, RakhmatovVrudhulaModel
-from repro.battery import IdealBatteryModel
+from repro.battery import (
+    BatteryModel,
+    IdealBatteryModel,
+    KineticBatteryModel,
+    PeukertModel,
+)
 from repro.engine import BatteryCostCache, CachedBatteryModel, model_signature
+
+
+class _CoulombOnlyModel(BatteryModel):
+    """A minimal third-party model with no vectorized schedule path."""
+
+    def apparent_charge(self, profile, at_time=None):
+        return IdealBatteryModel().apparent_charge(profile, at_time)
+
+    def __repr__(self):
+        return "_CoulombOnlyModel()"
 
 
 @pytest.fixture
@@ -115,6 +130,48 @@ class TestModelSignature:
     def test_parameter_free_model_keys_by_type(self):
         assert model_signature(IdealBatteryModel()) == model_signature(IdealBatteryModel())
 
+    def test_chemistries_with_identical_numeric_parameters_do_not_collide(self):
+        """Regression: equal parameter values across chemistries must never alias."""
+        value = 1.25
+        models = [
+            RakhmatovVrudhulaModel(beta=value),
+            PeukertModel(exponent=value, reference_current=value),
+            KineticBatteryModel(c=0.625, k=value),
+            IdealBatteryModel(),
+        ]
+        signatures = [model_signature(m) for m in models]
+        assert len(set(signatures)) == len(signatures)
+
+    def test_sub_repr_precision_parameters_do_not_collide(self):
+        """Regression: the old repr-based keys collapsed parameters that differ
+        below ``%g`` display precision, so two different Peukert/KiBaM models
+        could answer from each other's cache entries."""
+        a = PeukertModel(exponent=1.2)
+        b = PeukertModel(exponent=1.2 * (1.0 + 2.0**-50))
+        assert repr(a) == repr(b)  # indistinguishable to the old scheme
+        assert model_signature(a) != model_signature(b)
+        ka = KineticBatteryModel(k=0.05)
+        kb = KineticBatteryModel(k=0.05 * (1.0 + 2.0**-50))
+        assert repr(ka) == repr(kb)
+        assert model_signature(ka) != model_signature(kb)
+
+    def test_shared_cache_keeps_chemistries_apart(self):
+        """Two chemistries sharing one cache never answer from each other."""
+        cache = BatteryCostCache()
+        peukert = CachedBatteryModel(PeukertModel(exponent=1.3), cache)
+        kibam = CachedBatteryModel(KineticBatteryModel(), cache)
+        durations = [10.0, 5.0]
+        currents = [300.0, 150.0]
+        first = peukert.schedule_charge(durations, currents)
+        second = kibam.schedule_charge(durations, currents)
+        assert first != second
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_wrapper_delegates_signature_to_inner(self):
+        inner = KineticBatteryModel(c=0.5, k=0.07)
+        assert model_signature(CachedBatteryModel(inner)) == model_signature(inner)
+
 
 class TestScheduleCharge:
     """The array-keyed schedule namespace used by the evaluator stack."""
@@ -170,9 +227,22 @@ class TestScheduleCharge:
         assert cached.interval_contributions == inner.interval_contributions
         assert cached.schedule_charge_batch == inner.schedule_charge_batch
 
+    def test_forwarding_present_for_every_chemistry(self):
+        for inner in (
+            RakhmatovVrudhulaModel(beta=0.273),
+            PeukertModel(exponent=1.3),
+            KineticBatteryModel(),
+            IdealBatteryModel(),
+        ):
+            cached = CachedBatteryModel(inner)
+            assert cached.interval_contributions == inner.interval_contributions
+            assert cached.contribution_floor == inner.contribution_floor
+            assert cached.TIME_SENSITIVE == inner.TIME_SENSITIVE
+
     def test_forwarding_absent_for_generic_inner(self):
-        cached = CachedBatteryModel(IdealBatteryModel())
+        cached = CachedBatteryModel(_CoulombOnlyModel())
         assert not hasattr(cached, "interval_contributions")
+        assert not hasattr(cached, "contribution_floor")
         # The generic schedule_charge fallback still works (and is cached).
         value = cached.schedule_charge([10.0, 5.0], [300.0, 150.0])
         assert value == pytest.approx(10.0 * 300.0 + 5.0 * 150.0)

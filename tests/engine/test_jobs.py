@@ -62,6 +62,38 @@ class TestJobKeys:
             problem=problem, algorithm="iterative", params={"max_iterations": 3}
         ).key()
 
+    def test_key_distinguishes_chemistries_with_identical_numbers(self, problem):
+        """Regression: same beta/capacity/series_terms but different chemistry
+        (or different chemistry_params) must never produce colliding keys."""
+
+        def job_for(battery: BatterySpec) -> Job:
+            return Job(
+                problem=SchedulingProblem(
+                    graph=problem.graph, deadline=problem.deadline, battery=battery
+                ),
+                algorithm="iterative",
+            )
+
+        keys = [
+            job_for(BatterySpec(beta=0.273)).key(),
+            job_for(BatterySpec(beta=0.273, chemistry="peukert")).key(),
+            job_for(BatterySpec(beta=0.273, chemistry="kibam")).key(),
+            job_for(BatterySpec(beta=0.273, chemistry="ideal")).key(),
+            job_for(
+                BatterySpec(
+                    beta=0.273,
+                    chemistry="peukert",
+                    chemistry_params={"exponent": 1.3},
+                )
+            ).key(),
+            job_for(
+                BatterySpec(
+                    beta=0.273, chemistry="kibam", chemistry_params={"c": 0.5}
+                )
+            ).key(),
+        ]
+        assert len(set(keys)) == len(keys)
+
     def test_alias_resolves_to_same_key(self, problem):
         assert Job(problem=problem, algorithm="iterative (ours)").key() == Job(
             problem=problem, algorithm="iterative"

@@ -21,8 +21,10 @@ import pytest
 
 from repro.battery import (
     IdealBatteryModel,
+    KineticBatteryModel,
     LoadInterval,
     LoadProfile,
+    PeukertModel,
     RakhmatovVrudhulaModel,
     suffix_durations,
 )
@@ -37,8 +39,22 @@ from repro.taskgraph import G3_BETA
 from repro.workloads.generators import layered_graph
 
 #: Agreement tolerance between incremental and full evaluation (the issue's
-#: contract; in practice the two are bit-identical for the analytical model).
+#: contract; in practice the two are bit-identical for every chemistry).
 AGREEMENT_ATOL = 1e-9
+
+#: One representative model per battery chemistry (non-default parameters
+#: where the chemistry has any, so parameter plumbing is exercised too).
+CHEMISTRY_MODELS = {
+    "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=G3_BETA),
+    "peukert": lambda: PeukertModel(exponent=1.3),
+    "kibam": lambda: KineticBatteryModel(c=0.625, k=0.05),
+    "ideal": lambda: IdealBatteryModel(),
+}
+
+@pytest.fixture(params=sorted(CHEMISTRY_MODELS))
+def chemistry_model(request):
+    """One battery model per chemistry, for cross-chemistry conformance."""
+    return CHEMISTRY_MODELS[request.param]()
 
 
 def random_walk_moves(graph, evaluator, rng, steps):
@@ -249,3 +265,130 @@ class TestSchedulePathConsistency:
         expected_makespan = assignment.total_execution_time(g3)
         assert evaluation.makespan == pytest.approx(expected_makespan)
         assert evaluation.rest == pytest.approx(500.0 - evaluation.makespan)
+
+
+class TestCrossChemistryIncrementalAgreesWithFull:
+    """The incremental/full contract, for every battery chemistry.
+
+    Mirrors :class:`TestIncrementalAgreesWithFullCost` but parametrised over
+    all four chemistries: 220-move mixed propose/apply/undo walks where every
+    proposal must agree with a from-scratch ``battery_cost`` to <= 1e-9 —
+    and in fact bitwise, since every chemistry shares the fsum-reduced
+    time-to-end kernel of ``ScheduleKernelMixin``.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_220_mixed_moves_match_battery_cost(self, chemistry_model, seed):
+        graph = layered_graph(num_layers=8, layer_width=3, seed=seed, name=f"xwalk{seed}")
+        sequence = sequence_by_decreasing_energy(graph)
+        assignment = DesignPointAssignment.all_fastest(graph)
+        evaluator = IncrementalCostEvaluator(graph, sequence, assignment, chemistry_model)
+        rng = random.Random(2000 + seed)
+        for step, proposal in enumerate(
+            random_walk_moves(graph, evaluator, rng, steps=220)
+        ):
+            full = battery_cost(
+                graph,
+                proposal.sequence,
+                DesignPointAssignment(dict(proposal.columns)),
+                chemistry_model,
+            )
+            assert proposal.cost == pytest.approx(full, abs=AGREEMENT_ATOL), step
+            # The stack's stronger, internal contract: bit-identical.
+            assert proposal.cost == full, step
+            if rng.random() < 0.7:
+                evaluator.apply(proposal)
+                assert evaluator.cost == full
+        assert evaluator.cost == evaluator.evaluate_full()
+
+    def test_deadline_mode_walk_matches_battery_cost(self, g3, chemistry_model):
+        """Deadline-mode (recovery-crediting) proposals match battery_cost."""
+        sequence = sequence_by_decreasing_energy(g3)
+        assignment = DesignPointAssignment.all_fastest(g3)
+        deadline = 400.0
+        evaluator = IncrementalCostEvaluator(
+            g3, sequence, assignment, chemistry_model,
+            deadline=deadline, evaluate_at="deadline",
+        )
+        rng = random.Random(5)
+        for proposal in random_walk_moves(g3, evaluator, rng, steps=60):
+            full = battery_cost(
+                g3,
+                proposal.sequence,
+                DesignPointAssignment(dict(proposal.columns)),
+                chemistry_model,
+                deadline=deadline,
+                evaluate_at="deadline",
+            )
+            assert proposal.cost == pytest.approx(full, abs=AGREEMENT_ATOL)
+            assert proposal.cost == full
+            if rng.random() < 0.5:
+                evaluator.apply(proposal)
+
+    def test_undo_restores_state_bit_for_bit(self, g3, chemistry_model):
+        sequence = sequence_by_decreasing_energy(g3)
+        assignment = DesignPointAssignment.all_fastest(g3)
+        evaluator = IncrementalCostEvaluator(g3, sequence, assignment, chemistry_model)
+        rng = random.Random(3)
+        for proposal in random_walk_moves(g3, evaluator, rng, steps=30):
+            before_cost = evaluator.cost
+            before_sequence = evaluator.sequence
+            before_columns = evaluator.columns
+            before_contrib = evaluator.state.contributions.copy()
+            evaluator.apply(proposal)
+            evaluator.undo()
+            assert evaluator.cost == before_cost
+            assert evaluator.sequence == before_sequence
+            assert evaluator.columns == before_columns
+            assert np.array_equal(evaluator.state.contributions, before_contrib)
+
+    def test_batch_matches_single_bitwise(self, chemistry_model):
+        rng = random.Random(31)
+        n, batch = 12, 7
+        durations = [[rng.uniform(0.1, 30.0) for _ in range(n)] for _ in range(batch)]
+        currents = [[rng.uniform(0.0, 500.0) for _ in range(n)] for _ in range(batch)]
+        batched = chemistry_model.schedule_charge_batch(durations, currents)
+        for row in range(batch):
+            assert batched[row] == chemistry_model.schedule_charge(
+                durations[row], currents[row]
+            )
+
+    def test_schedule_charge_close_to_scalar_reference(self, chemistry_model):
+        """The vectorized kernel against the retained scalar profile path."""
+        rng = random.Random(23)
+        for _ in range(30):
+            n = rng.randint(1, 20)
+            durations = [rng.uniform(0.1, 30.0) for _ in range(n)]
+            currents = [rng.uniform(0.0, 500.0) for _ in range(n)]
+            rest = rng.choice([0.0, rng.uniform(0.0, 60.0)])
+            profile = LoadProfile.from_back_to_back(durations, currents)
+            array_path = chemistry_model.schedule_charge(durations, currents, rest)
+            profile_path = chemistry_model.apparent_charge_reference(
+                profile, profile.end_time + rest
+            )
+            assert array_path == pytest.approx(profile_path, abs=AGREEMENT_ATOL)
+
+    def test_schedule_cache_composes_with_every_chemistry(self, chemistry_model):
+        """Cache-wrapped evaluators return the exact uncached costs."""
+        from repro.engine import BatteryCostCache, CachedBatteryModel
+
+        graph = layered_graph(num_layers=5, layer_width=3, seed=4, name="xcache")
+        sequence = sequence_by_decreasing_energy(graph)
+        assignment = DesignPointAssignment.all_fastest(graph)
+        plain = IncrementalCostEvaluator(graph, sequence, assignment, chemistry_model)
+        cached_model = CachedBatteryModel(chemistry_model, BatteryCostCache())
+        wrapped = IncrementalCostEvaluator(graph, sequence, assignment, cached_model)
+        names = list(graph.task_names())
+        for name in names[:6]:
+            column = 1 if plain.columns[name] != 1 else 2
+            assert (
+                wrapped.propose_design_point(name, column).cost
+                == plain.propose_design_point(name, column).cost
+            )
+        # Repeat proposals answer from the cache without drifting.
+        hits_before = cached_model.cache.stats.hits
+        repeat = wrapped.propose_design_point(names[0], 1 if wrapped.columns[names[0]] != 1 else 2)
+        assert cached_model.cache.stats.hits > hits_before
+        assert repeat.cost == plain.propose_design_point(
+            names[0], 1 if plain.columns[names[0]] != 1 else 2
+        ).cost

@@ -199,6 +199,55 @@ class TestCachedModelComposition:
         assert proposal.cost == pytest.approx(expected)
 
 
+class TestUndoTracking:
+    def test_track_undo_false_commits_and_refuses_undo(self, diamond4, assignment, model):
+        evaluator = IncrementalCostEvaluator(
+            diamond4, SEQ, assignment, model, track_undo=False
+        )
+        proposal = evaluator.propose_design_point("B", 1)
+        evaluator.apply(proposal)
+        assert evaluator.cost == proposal.cost
+        assert evaluator.cost == evaluator.evaluate_full()
+        with pytest.raises(ScheduleError, match="track_undo"):
+            evaluator.undo()
+
+    def test_undo_after_cache_hit_apply(self, diamond4, assignment, model):
+        cached = CachedBatteryModel(model, BatteryCostCache())
+        evaluator = IncrementalCostEvaluator(diamond4, SEQ, assignment, cached)
+        before_cost = evaluator.cost
+        before_contrib = evaluator.state.contributions.copy()
+        evaluator.propose_design_point("B", 1)  # fills the cache
+        hit = evaluator.propose_design_point("B", 1)  # served from cache
+        evaluator.apply(hit)
+        evaluator.undo()
+        assert evaluator.cost == before_cost
+        assert np.array_equal(evaluator.state.contributions, before_contrib)
+        assert evaluator.cost == evaluator.evaluate_full()
+
+    def test_interleaved_proposals_and_undo_stay_consistent(self, diamond4, assignment, model):
+        evaluator = IncrementalCostEvaluator(diamond4, SEQ, assignment, model)
+        evaluator.apply(evaluator.propose_relocate("B", 2))
+        evaluator.apply(evaluator.propose_design_point("A", 1))
+        evaluator.undo()  # back to the post-relocate state
+        assert evaluator.sequence == ("A", "C", "B", "D")
+        assert evaluator.columns["A"] == 0
+        assert evaluator.cost == evaluator.evaluate_full()
+
+
+class TestPositionsView:
+    def test_positions_reflect_current_order(self, evaluator):
+        assert evaluator.positions == {"A": 0, "B": 1, "C": 2, "D": 3}
+        evaluator.apply(evaluator.propose_relocate("B", 2))
+        assert evaluator.positions == {"A": 0, "C": 1, "B": 2, "D": 3}
+
+    def test_positions_replaced_not_mutated_on_relocate(self, evaluator):
+        view = evaluator.positions
+        evaluator.apply(evaluator.propose_relocate("B", 2))
+        # The pre-move view is left intact; the evaluator swapped in a new dict.
+        assert view == {"A": 0, "B": 1, "C": 2, "D": 3}
+        assert evaluator.positions is not view
+
+
 class TestScheduleStateShape:
     def test_state_arrays_are_consistent(self, diamond4, assignment, evaluator):
         state = evaluator.state
