@@ -1,0 +1,235 @@
+"""Benchmark of the runtime simulator (events/sec + replay conformance).
+
+Measures, on a crossbar scenario (complete inter-layer wiring — the
+densest wakeup pattern the generators produce):
+
+* **events/sec** of the event loop per policy — a 200-task crossbar under
+  10% jitter + 2% failures, replicated over seeds; and
+* **replay-vs-offline conformance timing** — simulating a
+  ``StaticReplayScheduler`` with zero perturbation against the offline
+  ``evaluate_schedule`` of the same candidate, asserting the sigmas are
+  *bit-identical* for every chemistry (the sim stack's conformance
+  anchor) and reporting the simulation overhead factor.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py            # full, writes BENCH_sim.json
+    PYTHONPATH=src python benchmarks/bench_sim.py --smoke    # quick CI regression gate
+
+The smoke mode shrinks the workload (60 tasks, fewer replications), still
+asserts bitwise replay conformance on every chemistry and fails (non-zero
+exit) if the event loop drops below a conservative absolute throughput
+floor — a hot-path regression gate for CI, sized an order of magnitude
+below what the pure-Python loop sustains so machine noise cannot trip it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.battery import (
+    IdealBatteryModel,
+    KineticBatteryModel,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+)
+from repro.scenarios import ScenarioSpec
+from repro.scheduling import (
+    DesignPointAssignment,
+    evaluate_schedule,
+    sequence_by_decreasing_energy,
+)
+from repro.sim import (
+    PerturbationModel,
+    Simulator,
+    StaticReplayScheduler,
+    make_policy,
+    rng_for_seed,
+)
+
+#: Minimum events/sec the smoke gate tolerates (the loop sustains well
+#: over 10x this on any recent machine; the margin absorbs noisy CI boxes).
+SMOKE_EVENTS_PER_SEC_FLOOR = 5_000.0
+
+CHEMISTRY_MODELS = {
+    "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
+    "peukert": lambda: PeukertModel(exponent=1.3),
+    "kibam": lambda: KineticBatteryModel(c=0.625, k=0.05),
+    "ideal": lambda: IdealBatteryModel(),
+}
+
+POLICIES = ("static-replay", "greedy-energy", "deadline-slack", "battery-reactive")
+
+
+def crossbar_spec(num_layers: int, layer_width: int) -> ScenarioSpec:
+    """The benchmark workload: a jittery crossbar scenario."""
+    return ScenarioSpec(
+        name=f"bench-crossbar-{num_layers}x{layer_width}",
+        family="crossbar",
+        seed=61,
+        family_params={"num_layers": num_layers, "layer_width": layer_width},
+        tightness=0.5,
+        jitter=0.10,
+        failure_rate=0.02,
+    )
+
+
+def bench_events_per_second(
+    spec: ScenarioSpec, policy: str, replications: int
+) -> Dict[str, float]:
+    """Wall-clock the event loop for one policy over seeded replications.
+
+    The scheduler is built once outside the timed region (policies rebind
+    per run through ``init``): for ``static-replay`` construction runs the
+    whole offline algorithm, which would otherwise dominate and measure
+    the wrong stack.
+    """
+    problem = spec.build_problem()
+    perturbation = spec.perturbation()
+    scheduler = make_policy(policy, problem)
+    total_events = 0
+    started = time.perf_counter()
+    for replication in range(replications):
+        result = Simulator(
+            problem,
+            scheduler,
+            perturbation=perturbation,
+            rng=rng_for_seed(0, replication),
+        ).run()
+        total_events += result.events
+    wall = time.perf_counter() - started
+    return {
+        "tasks": problem.graph.num_tasks,
+        "replications": replications,
+        "events": total_events,
+        "wall_s": wall,
+        "events_per_sec": total_events / wall if wall > 0 else float("inf"),
+    }
+
+
+def bench_replay_conformance(
+    spec: ScenarioSpec, repeats: int
+) -> Dict[str, Dict[str, float]]:
+    """Replay-vs-offline timing, with the bitwise equality asserted per chemistry."""
+    graph = spec.build_graph()
+    sequence = sequence_by_decreasing_energy(graph)
+    assignment = DesignPointAssignment.all_fastest(graph)
+    columns = {name: assignment[name] for name in sequence}
+    problem = spec.build_problem()
+    report: Dict[str, Dict[str, float]] = {}
+    for chemistry, make_model in sorted(CHEMISTRY_MODELS.items()):
+        model = make_model()
+
+        started = time.perf_counter()
+        for _ in range(repeats):
+            offline = evaluate_schedule(
+                graph, sequence, assignment, model, validate=False
+            )
+        offline_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(repeats):
+            simulated = Simulator(
+                problem,
+                StaticReplayScheduler(sequence, columns),
+                perturbation=PerturbationModel(),
+                model=model,
+            ).run()
+        sim_wall = time.perf_counter() - started
+
+        report[chemistry] = {
+            "bitwise_equal": simulated.cost == offline.cost,
+            "offline_wall_s": offline_wall,
+            "simulated_wall_s": sim_wall,
+            "overhead_factor": sim_wall / offline_wall if offline_wall else float("inf"),
+        }
+    return report
+
+
+def run(smoke: bool, output: str) -> int:
+    if smoke:
+        spec = crossbar_spec(num_layers=12, layer_width=5)  # 60 tasks
+        replications, repeats = 3, 5
+    else:
+        spec = crossbar_spec(num_layers=40, layer_width=5)  # 200 tasks
+        replications, repeats = 10, 20
+
+    report = {
+        "workload": spec.to_dict(),
+        "mode": "smoke" if smoke else "full",
+        "events": {},
+        "replay_conformance": {},
+    }
+
+    print(f"== event-loop throughput ({spec.name}, jitter 10% / fail 2%) ==")
+    for policy in POLICIES:
+        row = bench_events_per_second(spec, policy, replications)
+        report["events"][policy] = row
+        print(
+            f"  {policy:<18} {row['events']:6d} events in {row['wall_s']:6.2f}s   "
+            f"{row['events_per_sec']:10.0f} events/s"
+        )
+
+    print("== replay-vs-offline conformance (zero perturbation) ==")
+    conformance = bench_replay_conformance(spec, repeats)
+    report["replay_conformance"] = conformance
+    for chemistry, row in conformance.items():
+        print(
+            f"  {chemistry:<10} bitwise equal: {row['bitwise_equal']}   "
+            f"offline {row['offline_wall_s'] / repeats * 1e3:7.2f}ms   "
+            f"simulated {row['simulated_wall_s'] / repeats * 1e3:7.2f}ms   "
+            f"overhead {row['overhead_factor']:5.1f}x"
+        )
+
+    failures: List[str] = []
+    for chemistry, row in conformance.items():
+        if not row["bitwise_equal"]:
+            failures.append(
+                f"[{chemistry}] simulated replay sigma diverged from the "
+                "offline evaluator"
+            )
+    for policy, row in report["events"].items():
+        if row["events_per_sec"] < SMOKE_EVENTS_PER_SEC_FLOOR:
+            failures.append(
+                f"[{policy}] event loop below the "
+                f"{SMOKE_EVENTS_PER_SEC_FLOOR:.0f} events/s floor "
+                f"({row['events_per_sec']:.0f})"
+            )
+
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick regression gate: smaller workload, no JSON by default",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_sim.json in full mode)",
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = "BENCH_sim.json"
+    return run(smoke=args.smoke, output=output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

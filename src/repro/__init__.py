@@ -37,7 +37,10 @@ Subpackages
     platform models, battery chemistries and deadline tiers.
 ``repro.engine``
     Parallel experiment execution: jobs, executors, battery-cost caching
-    and resumable result stores.
+    and resumable result stores (offline experiments and simulations).
+``repro.sim``
+    Event-driven runtime simulation: online scheduling policies,
+    seeded perturbations, bit-conformant replay of offline schedules.
 ``repro.analysis``
     Metrics, text tables, algorithm comparisons and suite leaderboards.
 ``repro.experiments``
@@ -100,6 +103,12 @@ from .taskgraph import (
     scaled_design_points,
 )
 from .scenarios import ScenarioRegistry, ScenarioSpec, default_registry
+from .sim import (
+    PerturbationModel,
+    Simulator,
+    SimulationResult,
+    StaticReplayScheduler,
+)
 from .workloads import (
     chain_graph,
     diamond_graph,
@@ -168,6 +177,11 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioRegistry",
     "default_registry",
+    # runtime simulation
+    "Simulator",
+    "SimulationResult",
+    "StaticReplayScheduler",
+    "PerturbationModel",
     # errors
     "ReproError",
     "TaskGraphError",

@@ -14,6 +14,14 @@ from .export import (
     table_to_records,
 )
 from .leaderboard import LeaderboardEntry, compute_leaderboard, leaderboard_table
+from .robustness import (
+    PolicyStanding,
+    RobustnessRow,
+    compute_robustness,
+    degradation_leaderboard,
+    degradation_table,
+    robustness_table,
+)
 from .metrics import (
     ScheduleMetrics,
     percent_difference,
@@ -37,6 +45,12 @@ __all__ = [
     "LeaderboardEntry",
     "compute_leaderboard",
     "leaderboard_table",
+    "RobustnessRow",
+    "PolicyStanding",
+    "compute_robustness",
+    "robustness_table",
+    "degradation_leaderboard",
+    "degradation_table",
     "gantt_chart",
     "current_profile_chart",
     "table_to_csv",

@@ -1,0 +1,241 @@
+"""Robustness analysis: simulated-lifetime distributions vs. offline sigma.
+
+The runtime simulator turns each (scenario, policy) cell into a
+*distribution* of outcomes — one realised sigma/makespan per seeded
+replication.  This module reduces those distributions against the offline
+prediction:
+
+* :func:`compute_robustness` — one :class:`RobustnessRow` per cell:
+  mean/min/max realised sigma, its spread, the **degradation** relative to
+  the offline-predicted sigma of the same scenario, deadline-hit rate and
+  retry accounting;
+* :func:`degradation_leaderboard` — policies ranked across scenarios by
+  mean degradation (an online policy beating the static replay under
+  jitter is exactly the effect the simulation layer exists to measure);
+* table renderers for both, timing-free so engine runs stay
+  byte-reproducible.
+
+All statistics reduce with ``math.fsum`` over deterministic orderings, so
+a report is a pure function of the records that feed it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .tables import TextTable
+
+__all__ = [
+    "RobustnessRow",
+    "PolicyStanding",
+    "compute_robustness",
+    "robustness_table",
+    "degradation_leaderboard",
+    "degradation_table",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    """Distribution summary of one (scenario, policy) simulation cell."""
+
+    scenario: str
+    policy: str
+    offline_cost: Optional[float]
+    """The offline evaluator's sigma prediction for the scenario, or
+    ``None`` when no anchor is available (the offline run failed)."""
+
+    replications: int
+    mean_cost: float
+    std_cost: float
+    """Population standard deviation of the realised sigmas."""
+
+    min_cost: float
+    max_cost: float
+    feasible_rate: float
+    """Fraction of replications that met the deadline."""
+
+    mean_retries: float
+
+    @property
+    def degradation_percent(self) -> Optional[float]:
+        """Mean realised sigma relative to the offline prediction (%).
+
+        Positive: runtime uncertainty cost battery life beyond the model;
+        negative: the (online) policy beat the offline plan at runtime.
+        ``None`` when the scenario has no offline anchor — a missing
+        anchor must surface as missing, never as a fake-perfect 0%.
+        """
+        if self.offline_cost is None or self.offline_cost == 0:
+            return None
+        return (self.mean_cost - self.offline_cost) / self.offline_cost * 100.0
+
+    @property
+    def spread_percent(self) -> float:
+        """Relative spread of the distribution (std / mean, %)."""
+        if self.mean_cost == 0:
+            return 0.0
+        return self.std_cost / self.mean_cost * 100.0
+
+
+@dataclass(frozen=True)
+class PolicyStanding:
+    """One policy's aggregate standing across all scenarios."""
+
+    policy: str
+    scenarios: int
+    mean_degradation_percent: float
+    """Mean of the per-scenario degradations (the leaderboard key)."""
+
+    worst_degradation_percent: float
+    feasible_rate: float
+    """Deadline-hit rate pooled over every replication of the policy."""
+
+
+def compute_robustness(
+    records: Iterable,
+    offline_costs: Mapping[str, float],
+) -> List[RobustnessRow]:
+    """Reduce simulation records into per-(scenario, policy) rows.
+
+    ``records`` are :class:`~repro.engine.SimulationRecord`-shaped objects
+    (``scenario``/``policy``/``cost``/``feasible``/``retries``; failed
+    records are skipped — their error is the engine run's concern).
+    ``offline_costs`` maps each scenario name to the offline-predicted
+    sigma; scenarios absent from it get ``offline_cost=None`` rows (shown
+    as missing, excluded from the degradation leaderboard).  Rows come
+    back sorted by (scenario, policy) for reproducible reports.
+    """
+    cells: Dict[Tuple[str, str], List] = {}
+    for record in records:
+        if getattr(record, "ok", True) and record.cost is not None:
+            cells.setdefault((record.scenario, record.policy), []).append(record)
+    rows: List[RobustnessRow] = []
+    for (scenario, policy) in sorted(cells):
+        group = cells[(scenario, policy)]
+        costs = [record.cost for record in group]
+        n = len(costs)
+        mean = math.fsum(costs) / n
+        variance = math.fsum((cost - mean) ** 2 for cost in costs) / n
+        anchor = offline_costs.get(scenario)
+        rows.append(
+            RobustnessRow(
+                scenario=scenario,
+                policy=policy,
+                offline_cost=float(anchor) if anchor is not None else None,
+                replications=n,
+                mean_cost=mean,
+                std_cost=math.sqrt(variance),
+                min_cost=min(costs),
+                max_cost=max(costs),
+                feasible_rate=sum(
+                    1 for record in group if record.feasible
+                ) / n,
+                mean_retries=math.fsum(record.retries for record in group) / n,
+            )
+        )
+    return rows
+
+
+def robustness_table(rows: Sequence[RobustnessRow]) -> TextTable:
+    """Per-cell distribution table (scenario-major, policy-minor)."""
+    table = TextTable(
+        title="Simulated robustness (realised sigma vs. offline prediction)",
+        headers=(
+            "scenario",
+            "policy",
+            "offline",
+            "mean",
+            "spread %",
+            "degr %",
+            "feas %",
+            "retries",
+        ),
+        precision=2,
+    )
+    for row in rows:
+        table.add_row(
+            row.scenario,
+            row.policy,
+            row.offline_cost if row.offline_cost is not None else "-",
+            row.mean_cost,
+            row.spread_percent,
+            row.degradation_percent if row.degradation_percent is not None else "-",
+            row.feasible_rate * 100.0,
+            row.mean_retries,
+        )
+    return table
+
+
+def degradation_leaderboard(
+    rows: Sequence[RobustnessRow],
+) -> List[PolicyStanding]:
+    """Policies ranked by mean degradation across scenarios (best first).
+
+    Rows without an offline anchor (``degradation_percent is None``) are
+    excluded from the degradation statistics — and from the ``scenarios``
+    count — so a failed anchor can never inflate a policy's standing.
+    Ties break by pooled deadline-hit rate (higher first), then by name —
+    the ordering is total, so leaderboards are reproducible.
+    """
+    by_policy: Dict[str, List[RobustnessRow]] = {}
+    for row in rows:
+        by_policy.setdefault(row.policy, []).append(row)
+    standings: List[PolicyStanding] = []
+    for policy in sorted(by_policy):
+        group = [
+            row for row in by_policy[policy]
+            if row.degradation_percent is not None
+        ]
+        if not group:
+            continue
+        degradations = [row.degradation_percent for row in group]
+        total_reps = sum(row.replications for row in group)
+        feasible = math.fsum(
+            row.feasible_rate * row.replications for row in group
+        )
+        standings.append(
+            PolicyStanding(
+                policy=policy,
+                scenarios=len(group),
+                mean_degradation_percent=math.fsum(degradations) / len(degradations),
+                worst_degradation_percent=max(degradations),
+                feasible_rate=feasible / total_reps if total_reps else 0.0,
+            )
+        )
+    standings.sort(
+        key=lambda standing: (
+            standing.mean_degradation_percent,
+            -standing.feasible_rate,
+            standing.policy,
+        )
+    )
+    return standings
+
+
+def degradation_table(standings: Sequence[PolicyStanding]) -> TextTable:
+    """The degradation leaderboard as a report table."""
+    table = TextTable(
+        title="Policy degradation leaderboard (lower is better)",
+        headers=(
+            "rank",
+            "policy",
+            "scenarios",
+            "mean degr %",
+            "worst degr %",
+            "feas %",
+        ),
+        precision=2,
+    )
+    for rank, standing in enumerate(standings, start=1):
+        table.add_row(
+            rank,
+            standing.policy,
+            standing.scenarios,
+            standing.mean_degradation_percent,
+            standing.worst_degradation_percent,
+            standing.feasible_rate * 100.0,
+        )
+    return table

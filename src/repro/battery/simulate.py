@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import BatteryModelError
 from .base import BatteryModel
@@ -67,6 +67,45 @@ class DischargeTrace:
     def peak_unavailable_charge(self) -> float:
         """Largest recoverable charge observed along the trace."""
         return max(self.unavailable_charge, default=0.0)
+
+    # ------------------------------------------------------------------
+    # serialisation (sim result records embed traces through these)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {
+            "times": list(self.times),
+            "apparent_charge": list(self.apparent_charge),
+            "delivered_charge": list(self.delivered_charge),
+            "current": list(self.current),
+            "capacity": self.capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DischargeTrace":
+        """Rebuild a trace from its :meth:`to_dict` form.
+
+        The four sample series must have equal lengths; ``capacity`` is
+        optional (``None`` disables the capacity-dependent queries, exactly
+        as at construction time).
+        """
+        times = tuple(float(value) for value in data.get("times", ()))
+        sigmas = tuple(float(value) for value in data.get("apparent_charge", ()))
+        delivered = tuple(float(value) for value in data.get("delivered_charge", ()))
+        currents = tuple(float(value) for value in data.get("current", ()))
+        if not (len(times) == len(sigmas) == len(delivered) == len(currents)):
+            raise BatteryModelError(
+                "trace sample series must have equal lengths, got "
+                f"{len(times)}/{len(sigmas)}/{len(delivered)}/{len(currents)}"
+            )
+        capacity = data.get("capacity")
+        return cls(
+            times=times,
+            apparent_charge=sigmas,
+            delivered_charge=delivered,
+            current=currents,
+            capacity=float(capacity) if capacity is not None else None,
+        )
 
     def ascii_plot(self, width: int = 60, height: int = 12) -> str:
         """Coarse ASCII plot of sigma (``*``) and delivered charge (``.``) over time."""

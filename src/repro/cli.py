@@ -85,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="directory for the append-only JSONL result store "
                  "(default: %(default)s; --resume alone implies .repro-results)")
 
+    def add_seed_argument(subparser: argparse.ArgumentParser) -> None:
+        """--seed for commands whose jobs can carry a seed parameter."""
+        subparser.add_argument(
+            "--seed", type=int, default=None, metavar="N",
+            help="seed recorded in every engine job (stochastic algorithms "
+                 "consume it; two same-seed runs are byte-identical)")
+
     subparsers.add_parser("table2", help="reproduce Table 2 (sequences per iteration)")
     subparsers.add_parser("table3", help="reproduce Table 3 (sigma/Delta per window)")
     table4 = subparsers.add_parser("table4", help="reproduce Table 4 (comparison with the [1]-style baseline)")
@@ -93,11 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("figures", help="reproduce Figures 3-5 and the Table 1 scaling check")
     ablation = subparsers.add_parser("ablation", help="factor ablation over the Table 4 instances")
     add_engine_arguments(ablation)
+    add_seed_argument(ablation)
 
     sweep = subparsers.add_parser("sweep", help="deadline sweep of ours vs. baselines")
     sweep.add_argument("--graph", choices=("g2", "g3"), default="g3")
     sweep.add_argument("--points", type=int, default=6)
     add_engine_arguments(sweep)
+    add_seed_argument(sweep)
 
     suite = subparsers.add_parser(
         "suite", help="list or run the scenario catalogue (repro.scenarios)"
@@ -116,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+", default=None, metavar="ALGO",
         help="algorithms to run (default: iterative + deterministic baselines)")
     add_engine_arguments(suite)
+    add_seed_argument(suite)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="event-driven runtime simulation of policies under uncertainty",
+    )
+    simulate.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="catalogue scenarios to simulate (default: the stochastic tier)")
+    simulate.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="simulation policies (default: static-replay + the online "
+             "schedulers; see repro.sim.policy_names())")
+    simulate.add_argument(
+        "--replications", type=int, default=3, metavar="N",
+        help="seeded perturbation replications per scenario/policy cell "
+             "(default: %(default)s)")
+    add_engine_arguments(simulate)
+    add_seed_argument(simulate)
 
     docs = subparsers.add_parser(
         "docs", help="regenerate docs/scenarios.md from the scenario registry"
@@ -140,19 +168,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine_options(args: argparse.Namespace) -> dict:
+def _engine_options(args: argparse.Namespace, record_type=None) -> dict:
     """Executor/store/resume keyword arguments from the engine CLI flags."""
     results_dir = args.results_dir
     if results_dir is None and args.resume:
         results_dir = ".repro-results"
     store = None
     if results_dir is not None:
-        store = ResultStore(Path(results_dir) / f"{args.command}.jsonl")
-    return {
+        path = Path(results_dir) / f"{args.command}.jsonl"
+        store = (
+            ResultStore(path, record_type=record_type)
+            if record_type is not None
+            else ResultStore(path)
+        )
+    options = {
         "executor": default_executor(args.jobs),
         "store": store,
         "resume": args.resume,
     }
+    if getattr(args, "seed", None) is not None:
+        options["seed"] = args.seed
+    return options
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -222,6 +258,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{len(registry.chemistries())} chemistries, "
                 f"{len(registry.platforms())} platform models"
             )
+    elif args.command == "simulate":
+        from .engine import SimulationRecord
+        from .experiments import run_simulation_suite
+
+        options = _engine_options(args, record_type=SimulationRecord)
+        seed = options.pop("seed", 0)
+        simulation = run_simulation_suite(
+            scenarios=args.scenarios,
+            policies=args.policies,
+            replications=args.replications,
+            seed=seed,
+            **options,
+        )
+        out.append(simulation.robustness_table().to_text())
+        out.append("")
+        out.append(simulation.leaderboard_table().to_text())
+        out.append("")
+        out.append(simulation.summary())
     elif args.command == "docs":
         from .scenarios import catalogue_markdown, leaderboard_markdown
 

@@ -8,6 +8,13 @@ dominate runtime; and an append-only JSONL store makes long sweeps
 resumable.  :func:`~repro.engine.run_experiments` is the single entry point
 the experiment layer, the benchmarks and the CLI all build on.
 
+Runtime-simulation work rides the same machinery: a
+:class:`~repro.engine.SimulationJob` (scenario spec + policy + seed +
+replication, content-hash keyed) runs through the same executors via
+:func:`~repro.engine.run_simulation_jobs`, with
+:class:`~repro.engine.SimulationRecord` rows stored resumably in a
+``ResultStore(record_type=SimulationRecord)``.
+
 Guarantees
 ----------
 * **Determinism** — results come back in job order whatever the executor,
@@ -42,9 +49,21 @@ from .jobs import (
     resolve_algorithm_name,
     scheduler_config_params,
 )
+from .simjobs import (
+    SimulationJob,
+    SimulationRecord,
+    SimulationRun,
+    execute_simulation_job,
+    run_simulation_jobs,
+)
 from .store import ResultStore
 
 __all__ = [
+    "SimulationJob",
+    "SimulationRecord",
+    "SimulationRun",
+    "execute_simulation_job",
+    "run_simulation_jobs",
     "Job",
     "JobResult",
     "algorithm_names",

@@ -219,7 +219,9 @@ def run_experiments(
     algorithms:
         Registered algorithm names, or a mapping of name -> params.
     executor:
-        Any object with the executor contract (``run(jobs, progress=...)``);
+        Any object with the executor contract
+        (``run(jobs, progress=..., runner=...)`` — ``runner`` is the
+        module-level job-execution function, defaulted per job type);
         defaults to a fresh :class:`~repro.engine.executors.SerialExecutor`.
     store:
         Optional :class:`~repro.engine.store.ResultStore`; every newly

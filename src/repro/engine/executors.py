@@ -40,6 +40,13 @@ __all__ = [
 #: ``progress(done, total, result)`` is invoked after every job completes.
 ProgressCallback = Callable[[int, int, JobResult], None]
 
+#: Executors run any job type through a module-level ``runner(job, cache=None)``
+#: returning a result record — :func:`execute_job` for experiment jobs,
+#: :func:`repro.engine.simjobs.execute_simulation_job` for simulation jobs.
+#: Module-level matters: the parallel executor ships the runner to worker
+#: processes by reference.
+JobRunner = Callable[..., object]
+
 
 def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult:
     """Run one job to completion, capturing any failure into the result.
@@ -107,6 +114,25 @@ def _worker_cache() -> BatteryCostCache:
     return _PROCESS_CACHE
 
 
+def _pool_failure_result(job, exc: Exception):
+    """A failure record for a job the *pool* (not the runner) lost.
+
+    Runner-level failures are captured inside the worker; this covers
+    pickling/transport errors.  Job types other than :class:`Job` supply
+    their own record shape through ``failure_result``.
+    """
+    message = f"{type(exc).__name__}: {exc}"
+    maker = getattr(job, "failure_result", None)
+    if maker is not None:
+        return maker(message)
+    return JobResult(
+        key=job.key(),
+        algorithm=job.algorithm,
+        problem_name=job.problem.name or job.problem.graph.name or "",
+        error=message,
+    )
+
+
 class SerialExecutor:
     """Run jobs one after another in the calling process.
 
@@ -123,13 +149,16 @@ class SerialExecutor:
         return 1
 
     def run(
-        self, jobs: Iterable[Job], progress: Optional[ProgressCallback] = None
+        self,
+        jobs: Iterable[Job],
+        progress: Optional[ProgressCallback] = None,
+        runner: JobRunner = execute_job,
     ) -> List[JobResult]:
         """Execute every job; always returns results in submission order."""
         job_list = list(jobs)
         results: List[JobResult] = []
         for index, job in enumerate(job_list):
-            result = execute_job(job, cache=self.cache)
+            result = runner(job, cache=self.cache)
             results.append(result)
             if progress is not None:
                 progress(index + 1, len(job_list), result)
@@ -161,7 +190,10 @@ class ParallelExecutor:
         self._serial_fallback: Optional[SerialExecutor] = None
 
     def run(
-        self, jobs: Iterable[Job], progress: Optional[ProgressCallback] = None
+        self,
+        jobs: Iterable[Job],
+        progress: Optional[ProgressCallback] = None,
+        runner: JobRunner = execute_job,
     ) -> List[JobResult]:
         """Execute every job across the pool; results in submission order."""
         job_list = list(jobs)
@@ -172,7 +204,7 @@ class ParallelExecutor:
             # fallback executor persists so its cache spans run() calls.
             if self._serial_fallback is None:
                 self._serial_fallback = SerialExecutor(self.cache_size)
-            return self._serial_fallback.run(job_list, progress=progress)
+            return self._serial_fallback.run(job_list, progress=progress, runner=runner)
 
         results: List[Optional[JobResult]] = [None] * len(job_list)
         workers = min(self.max_workers, len(job_list))
@@ -182,7 +214,7 @@ class ParallelExecutor:
             initargs=(self.cache_size,),
         ) as pool:
             pending = {
-                pool.submit(execute_job, job): index
+                pool.submit(runner, job): index
                 for index, job in enumerate(job_list)
             }
             done = 0
@@ -192,12 +224,7 @@ class ParallelExecutor:
                     result = future.result()
                 except Exception as exc:  # pool/pickling failure, not the job
                     job = job_list[index]
-                    result = JobResult(
-                        key=job.key(),
-                        algorithm=job.algorithm,
-                        problem_name=job.problem.name or job.problem.graph.name or "",
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
+                    result = _pool_failure_result(job, exc)
                 results[index] = result
                 done += 1
                 if progress is not None:

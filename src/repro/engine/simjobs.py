@@ -1,0 +1,354 @@
+"""Simulation jobs: runtime-simulator runs as engine work items.
+
+A :class:`SimulationJob` is to :mod:`repro.sim` what
+:class:`~repro.engine.Job` is to the offline algorithms: pure data — a
+:class:`~repro.scenarios.ScenarioSpec`, a policy name, policy parameters,
+a seed and a replication index — hashed into a stable content key, shipped
+to worker processes, executed with per-job error isolation, and resumable
+through the same append-only :class:`~repro.engine.ResultStore` (with
+``record_type=SimulationRecord``).
+
+Determinism mirrors the experiment engine's guarantee: a job's outcome is
+a pure function of its content (the perturbation stream is seeded by
+``(seed, replication)``), so serial, parallel and resumed runs of the same
+job list produce byte-identical records, and a store never goes stale
+under re-ordering.
+
+>>> from repro.engine import SimulationJob, run_simulation_jobs
+>>> from repro.scenarios import default_registry
+>>> job = SimulationJob(spec=default_registry().get("g3"), policy="greedy-energy")
+>>> run = run_simulation_jobs([job])
+>>> run.ok and run.records[0].feasible
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..scenarios import ScenarioSpec
+from .cache import BatteryCostCache, CachedBatteryModel
+from .executors import SerialExecutor, _worker_cache
+from .jobs import _canonical
+from .store import ResultStore
+
+__all__ = [
+    "SimulationJob",
+    "SimulationRecord",
+    "SimulationRun",
+    "execute_simulation_job",
+    "run_simulation_jobs",
+]
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (scenario, policy, seed, replication) simulation work item.
+
+    Attributes
+    ----------
+    spec:
+        The scenario to simulate — its problem *and* its stochastic tier.
+    policy:
+        Registered policy name (see :func:`repro.sim.policy_names`).
+    params:
+        JSON-serialisable policy parameters (e.g. ``{"algorithm":
+        "annealing", "algorithm_params": {"seed": 7}}`` for a replay of a
+        different offline schedule, or ``{"soc_reserve": 0.4}`` for the
+        reactive policy).
+    seed, replication:
+        Perturbation stream identity; replications of one scenario/policy
+        cell share ``seed`` and vary ``replication``.
+    evaluate_at:
+        Sigma evaluation point, as in the offline stack.
+    """
+
+    spec: ScenarioSpec
+    policy: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    replication: int = 0
+    evaluate_at: str = "completion"
+
+    def __post_init__(self) -> None:
+        from ..sim.schedulers import POLICIES, policy_names
+
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown simulation policy {self.policy!r}; "
+                f"choose from {list(policy_names())}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------------
+    def job_spec(self) -> Dict[str, Any]:
+        """The complete, JSON-serialisable description of this job."""
+        scenario = self.spec.to_dict()
+        # Presentational fields are excluded, like Job.key() excludes the
+        # problem's display name: equal work gets equal keys.
+        scenario.pop("name", None)
+        scenario.pop("description", None)
+        return {
+            "scenario": scenario,
+            "policy": self.policy,
+            "params": _canonical(self.params),
+            "seed": self.seed,
+            "replication": self.replication,
+            "evaluate_at": self.evaluate_at,
+        }
+
+    def key(self) -> str:
+        """Stable content hash identifying this job across runs and machines."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            payload = json.dumps(self.job_spec(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``scenario/policy#replication`` tag."""
+        return f"{self.spec.name}/{self.policy}#{self.replication}"
+
+    def failure_result(self, error: str) -> "SimulationRecord":
+        """The record shape for a failure outside the runner (pool loss)."""
+        return SimulationRecord(
+            key=self.key(),
+            scenario=self.spec.name,
+            policy=self.policy,
+            seed=self.seed,
+            replication=self.replication,
+            error=error,
+        )
+
+    def __repr__(self) -> str:
+        return f"SimulationJob({self.label}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class SimulationRecord:
+    """Store-friendly outcome of one :class:`SimulationJob`.
+
+    A completed run carries the realised-timeline essentials and
+    ``error is None``; a failed run (including a retry-budget-exhausted
+    simulation) carries the one-line error and ``None`` elsewhere.
+    """
+
+    key: str
+    scenario: str
+    policy: str
+    seed: int = 0
+    replication: int = 0
+    cost: Optional[float] = None
+    makespan: Optional[float] = None
+    feasible: Optional[bool] = None
+    retries: int = 0
+    events: int = 0
+    depletion_time: Optional[float] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the simulation completed."""
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-friendly representation (inverse of :meth:`from_dict`)."""
+        return {
+            "key": self.key,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "seed": self.seed,
+            "replication": self.replication,
+            "cost": self.cost,
+            "makespan": self.makespan,
+            "feasible": self.feasible,
+            "retries": self.retries,
+            "events": self.events,
+            "depletion_time": self.depletion_time,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            key=str(data["key"]),
+            scenario=str(data["scenario"]),
+            policy=str(data["policy"]),
+            seed=int(data.get("seed", 0)),
+            replication=int(data.get("replication", 0)),
+            cost=data.get("cost"),
+            makespan=data.get("makespan"),
+            feasible=data.get("feasible"),
+            retries=int(data.get("retries", 0)),
+            events=int(data.get("events", 0)),
+            depletion_time=data.get("depletion_time"),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if not self.ok:
+            return f"{self.scenario}/{self.policy}#{self.replication}: ERROR {self.error}"
+        status = "ok" if self.feasible else "DEADLINE MISS"
+        return (
+            f"{self.scenario}/{self.policy}#{self.replication}: "
+            f"sigma={self.cost:.1f}, makespan={self.makespan:.1f} ({status})"
+        )
+
+
+def execute_simulation_job(
+    job: SimulationJob, cache: Optional[BatteryCostCache] = None
+) -> SimulationRecord:
+    """Run one simulation job to completion, capturing any failure.
+
+    The single execution path of serial and parallel runs (module-level so
+    worker processes import it by name).  The battery model is wrapped in
+    the worker's :class:`~repro.engine.BatteryCostCache`, so the offline
+    schedule a ``static-replay`` policy computes — and the live
+    state-of-charge queries of the reactive policy — share cached sigma
+    evaluations across jobs exactly like experiment jobs do.
+    """
+    from ..sim.perturbation import rng_for_seed
+    from ..sim.runtime import Simulator
+    from ..sim.schedulers import make_policy
+
+    if cache is None:
+        cache = _worker_cache()
+    started = time.perf_counter()
+    try:
+        problem = job.spec.build_problem()
+        model = CachedBatteryModel(problem.model(), cache)
+        scheduler = make_policy(job.policy, problem, job.params, model=model)
+        result = Simulator(
+            problem,
+            scheduler,
+            perturbation=job.spec.perturbation(),
+            rng=rng_for_seed(job.seed, job.replication),
+            model=model,
+            evaluate_at=job.evaluate_at,
+        ).run()
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        return SimulationRecord(
+            key=job.key(),
+            scenario=job.spec.name,
+            policy=job.policy,
+            seed=job.seed,
+            replication=job.replication,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - started,
+        )
+    return SimulationRecord(
+        key=job.key(),
+        scenario=job.spec.name,
+        policy=job.policy,
+        seed=job.seed,
+        replication=job.replication,
+        cost=result.cost,
+        makespan=result.makespan,
+        feasible=result.feasible,
+        retries=result.retries,
+        events=result.events,
+        depletion_time=result.depletion_time,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class SimulationRun:
+    """Everything produced by one :func:`run_simulation_jobs` call."""
+
+    jobs: Tuple[SimulationJob, ...]
+    records: Tuple[SimulationRecord, ...]
+    executed: int
+    """Jobs actually simulated in this call."""
+    skipped: int
+    """Jobs answered from the result store (resume hits)."""
+
+    @property
+    def ok(self) -> bool:
+        """True when every simulation completed."""
+        return all(record.ok for record in self.records)
+
+    def failures(self) -> Tuple[SimulationRecord, ...]:
+        """The records that captured an error."""
+        return tuple(record for record in self.records if not record.ok)
+
+    def by_cell(self) -> Dict[Tuple[str, str], List[SimulationRecord]]:
+        """Records grouped per (scenario, policy) cell, replication order."""
+        grouped: Dict[Tuple[str, str], List[SimulationRecord]] = {}
+        for record in self.records:
+            grouped.setdefault((record.scenario, record.policy), []).append(record)
+        for cell in grouped.values():
+            cell.sort(key=lambda record: record.replication)
+        return grouped
+
+    def summary(self) -> str:
+        """One-line accounting summary."""
+        return (
+            f"{len(self.records)} simulations ({self.executed} executed, "
+            f"{self.skipped} resumed), {len(self.failures())} failed"
+        )
+
+
+def run_simulation_jobs(
+    jobs: Sequence[SimulationJob],
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    progress=None,
+) -> SimulationRun:
+    """Run simulation jobs through an executor — the sim analogue of
+    :func:`repro.engine.run_jobs`.
+
+    Records come back in job order whatever the executor, so downstream
+    reports are byte-reproducible; with ``resume=True`` the store answers
+    jobs whose key already holds a completed record.  The store must have
+    been built with ``record_type=SimulationRecord``, and a custom
+    executor must accept the full contract
+    ``run(jobs, progress=..., runner=...)`` (simulation jobs are executed
+    through :func:`execute_simulation_job`, passed as ``runner``).
+    """
+    if resume and store is None:
+        raise ConfigurationError("resume=True requires a result store")
+    if store is not None and store.record_type is not SimulationRecord:
+        raise ConfigurationError(
+            "simulation runs need a ResultStore(record_type=SimulationRecord); "
+            f"this store holds {store.record_type.__name__}"
+        )
+    jobs = list(jobs)
+    executor = executor if executor is not None else SerialExecutor()
+
+    if resume and store is not None:
+        pending, done = store.split_pending(jobs)
+    else:
+        pending, done = list(jobs), {}
+
+    fresh = (
+        executor.run(pending, progress=progress, runner=execute_simulation_job)
+        if pending
+        else []
+    )
+    if store is not None:
+        store.append_many(fresh)
+
+    by_key: Dict[str, SimulationRecord] = dict(done)
+    for record in fresh:
+        by_key[record.key] = record
+    ordered = tuple(by_key[job.key()] for job in jobs)
+    return SimulationRun(
+        jobs=tuple(jobs),
+        records=ordered,
+        executed=len(fresh),
+        skipped=len(done),
+    )

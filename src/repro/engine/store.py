@@ -27,10 +27,18 @@ _PathLike = Union[str, Path]
 
 
 class ResultStore:
-    """A durable key -> :class:`JobResult` mapping backed by one JSONL file."""
+    """A durable key -> result-record mapping backed by one JSONL file.
 
-    def __init__(self, path: _PathLike) -> None:
+    ``record_type`` is the record class stored in this file —
+    :class:`JobResult` (the default) for experiment runs,
+    :class:`~repro.engine.simjobs.SimulationRecord` for simulation runs.
+    Any class with ``key``/``ok``/``to_dict``/``from_dict`` fits; one store
+    file holds exactly one record type.
+    """
+
+    def __init__(self, path: _PathLike, record_type: type = JobResult) -> None:
         self.path = Path(path)
+        self.record_type = record_type
         self.corrupt_lines = 0
 
     def exists(self) -> bool:
@@ -52,7 +60,7 @@ class ResultStore:
                 if not line:
                     continue
                 try:
-                    result = JobResult.from_dict(json.loads(line))
+                    result = self.record_type.from_dict(json.loads(line))
                 except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                     self.corrupt_lines += 1
                     continue

@@ -21,6 +21,7 @@ __all__ = [
     "ProfileError",
     "AlgorithmError",
     "ConfigurationError",
+    "SimulationError",
 ]
 
 
@@ -83,3 +84,12 @@ class AlgorithmError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid configuration supplied to an algorithm or experiment."""
+
+
+class SimulationError(ReproError):
+    """The runtime simulator hit an inconsistent or unrecoverable state.
+
+    Covers protocol violations (a scheduler assigning a non-ready or
+    already-finished task, virtual time running backwards) as well as
+    runs abandoned after a task exhausted its retry budget.
+    """

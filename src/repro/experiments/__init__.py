@@ -22,6 +22,11 @@ from .models import (
     battery_model_crosscheck,
     default_models,
 )
+from .simulate import (
+    DEFAULT_SIM_POLICIES,
+    SimulationSuiteResult,
+    run_simulation_suite,
+)
 from .suite import DEFAULT_SUITE_ALGORITHMS, SuiteRunResult, run_suite
 from .sweep import (
     SWEEP_ALGORITHMS,
@@ -63,6 +68,9 @@ __all__ = [
     "run_suite",
     "SuiteRunResult",
     "DEFAULT_SUITE_ALGORITHMS",
+    "run_simulation_suite",
+    "SimulationSuiteResult",
+    "DEFAULT_SIM_POLICIES",
     "deadline_sweep",
     "beta_sweep",
     "default_algorithms",

@@ -77,16 +77,20 @@ def run_ablation(
     executor=None,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    seed: Optional[int] = None,
 ) -> AblationResult:
     """Run the full heuristic and each single-factor ablation over ``problems``.
 
     Defaults to the six Table 4 instances, which keeps the experiment
     anchored to the paper's workloads.  Each (problem, dropped-factor) cell
     is one engine job — six problems times six configurations fan out over
-    ``executor`` and can resume from a result store.
+    ``executor`` and can resume from a result store.  ``seed`` is recorded
+    in every job's parameters (the iterative heuristic is deterministic,
+    but per-seed job keys keep seeded and unseeded store entries apart).
     """
     problem_list = list(problems) if problems is not None else list(table4_problems())
-    base_params = scheduler_config_params(config)
+    seed_params = {"seed": int(seed)} if seed is not None else {}
+    base_params = {**scheduler_config_params(config), **seed_params}
 
     jobs: List[Job] = []
     for problem in problem_list:
@@ -96,7 +100,10 @@ def run_ablation(
                 Job(
                     problem=problem,
                     algorithm="iterative",
-                    params=scheduler_config_params(config, drop_factor=factor),
+                    params={
+                        **scheduler_config_params(config, drop_factor=factor),
+                        **seed_params,
+                    },
                 )
             )
 

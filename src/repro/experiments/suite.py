@@ -101,14 +101,18 @@ def run_suite(
     resume: bool = False,
     progress=None,
     registry: Optional[ScenarioRegistry] = None,
+    seed: Optional[int] = None,
 ) -> SuiteRunResult:
     """Run algorithms over scenario-catalogue problems through the engine.
 
     Parameters
     ----------
     scenarios:
-        Scenario names to include (default: every scenario in the
-        registry, in catalogue order).
+        Scenario names to include (default: every *deterministic* scenario
+        in the registry, in catalogue order — stochastic-tier entries
+        build offline problems identical to their deterministic twins, so
+        including them would double-count those problems in the
+        leaderboard; name them explicitly to run them anyway).
     algorithms:
         Algorithm names or a name -> params mapping (default:
         :data:`DEFAULT_SUITE_ALGORITHMS`).
@@ -120,9 +124,16 @@ def run_suite(
     registry:
         Scenario registry to select from (default:
         :func:`repro.scenarios.default_registry`).
+    seed:
+        Merged into every job's parameters; stochastic algorithms (the
+        annealing baseline) consume it, so two same-seed suite runs are
+        byte-identical, and it enters every job key either way.
     """
     registry = registry if registry is not None else default_registry()
-    specs = registry.select(names=scenarios)
+    if scenarios is None:
+        specs = registry.select(stochastic=False)
+    else:
+        specs = registry.select(names=scenarios)
     algorithm_spec: AlgorithmSpec = (
         algorithms if algorithms is not None else DEFAULT_SUITE_ALGORITHMS
     )
@@ -134,6 +145,7 @@ def run_suite(
         store=store,
         resume=resume,
         progress=progress,
+        params={"seed": int(seed)} if seed is not None else None,
     )
     # Iterating a mapping yields its keys, so both spec shapes reduce to names.
     return SuiteRunResult(

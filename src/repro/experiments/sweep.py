@@ -124,11 +124,17 @@ def _engine_points(
     executor,
     store: Optional[ResultStore],
     resume: bool,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run the sweep grid through the engine and fold results into points."""
     engine_names = [engine for _, engine in SWEEP_ALGORITHMS]
     run = run_experiments(
-        problems, engine_names, executor=executor, store=store, resume=resume
+        problems,
+        engine_names,
+        executor=executor,
+        store=store,
+        resume=resume,
+        params={"seed": int(seed)} if seed is not None else None,
     )
     per_problem = len(engine_names)
     points: List[SweepPoint] = []
@@ -151,11 +157,15 @@ def deadline_sweep(
     executor=None,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    seed: Optional[int] = None,
 ) -> SweepResult:
     """Scan the deadline between the all-fastest and all-slowest makespans.
 
     ``margin`` keeps the tightest point slightly above the all-fastest
     makespan so every algorithm has at least a sliver of slack to work with.
+    ``seed`` is merged into every engine job's parameters: stochastic
+    algorithms consume it, deterministic ones record it in their job keys
+    (so stores keep per-seed results apart).
     """
     if num_points < 2:
         raise ConfigurationError("num_points must be >= 2")
@@ -183,7 +193,9 @@ def deadline_sweep(
         ]
         labels = tuple(algorithms)
     else:
-        points = _engine_points(problems, deadlines, executor, store, resume)
+        points = _engine_points(
+            problems, deadlines, executor, store, resume, seed=seed
+        )
         labels = tuple(display for display, _ in SWEEP_ALGORITHMS)
     return SweepResult(
         parameter="deadline",
@@ -201,6 +213,7 @@ def beta_sweep(
     executor=None,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    seed: Optional[int] = None,
 ) -> SweepResult:
     """Scan the battery diffusion parameter at a fixed deadline."""
     if not betas:
@@ -224,7 +237,12 @@ def beta_sweep(
         labels = tuple(algorithms)
     else:
         points = _engine_points(
-            problems, [float(beta) for beta in betas], executor, store, resume
+            problems,
+            [float(beta) for beta in betas],
+            executor,
+            store,
+            resume,
+            seed=seed,
         )
         labels = tuple(display for display, _ in SWEEP_ALGORITHMS)
     return SweepResult(

@@ -16,7 +16,11 @@ The catalogue is organised in blocks:
 * **tightness** — tight/loose deadline tiers of representative graphs;
 * **chemistry** — representative graphs under non-default battery models;
 * **platform** — representative graphs with DVS- and FPGA-derived design
-  points.
+  points;
+* **stochastic** — scenarios carrying the optional perturbation tier
+  (duration jitter x failure rate) consumed by the runtime simulator
+  (``repro.sim`` / ``python -m repro.cli simulate``); their *offline*
+  problems are identical to the corresponding deterministic entries.
 
 Regenerate the committed ``docs/scenarios.md`` from this module with
 ``python -m repro.cli docs`` (CI fails when the two drift apart).
@@ -55,6 +59,9 @@ def _spec(
     chemistry_params: Optional[Mapping[str, Any]] = None,
     platform: str = "voltage-scaling",
     platform_params: Optional[Mapping[str, Any]] = None,
+    jitter: float = 0.0,
+    jitter_model: str = "lognormal",
+    failure_rate: float = 0.0,
     description: str = "",
 ) -> ScenarioSpec:
     return ScenarioSpec(
@@ -67,6 +74,9 @@ def _spec(
         platform_params=platform_params or {},
         chemistry=chemistry,
         chemistry_params=chemistry_params or {},
+        jitter=jitter,
+        jitter_model=jitter_model,
+        failure_rate=failure_rate,
         description=description,
     )
 
@@ -226,5 +236,37 @@ def build_catalog() -> ScenarioRegistry:
               chemistry="peukert", chemistry_params={"exponent": 1.2},
               family_params={"num_tasks": 16, "edge_probability": 0.3},
               description="random DAG on a DVS processor under Peukert's law"))
+
+    # ------------------------------------------------------------------
+    # stochastic: the perturbation tier (jitter level x failure rate)
+    # ------------------------------------------------------------------
+    add(_spec("g3-jitter10", "g3", jitter=0.10,
+              description="G3 under 10% lognormal duration jitter"))
+    add(_spec("g3-jitter25", "g3", jitter=0.25,
+              description="G3 under 25% lognormal duration jitter"))
+    add(_spec("g3-jitter10-fail5", "g3", jitter=0.10, failure_rate=0.05,
+              description="G3 with 10% jitter and 5% per-attempt failures"))
+    add(_spec("g2-jitter10-uniform", "g2", jitter=0.10, jitter_model="uniform",
+              description="G2 under +/-10% uniform duration jitter"))
+    add(_spec("g3-kibam-jitter10", "g3", chemistry="kibam", jitter=0.10,
+              description="G3 on the kinetic battery model, 10% jitter"))
+    add(_spec("g3-peukert-jitter10", "g3", chemistry="peukert",
+              chemistry_params={"exponent": 1.3}, jitter=0.10,
+              description="G3 under Peukert's law, 10% jitter"))
+    add(_spec("layered-4x3-jitter15", "layered", seed=31, jitter=0.15,
+              family_params={"num_layers": 4, "layer_width": 3,
+                             "edge_probability": 0.5},
+              description="layered-4x3 under 15% lognormal jitter"))
+    add(_spec("crossbar-4x3-jitter20", "crossbar", seed=61, jitter=0.20,
+              family_params={"num_layers": 4, "layer_width": 3},
+              description="crossbar-4x3 under 20% lognormal jitter"))
+    add(_spec("map-reduce-6x3-fail10", "map-reduce", seed=71,
+              failure_rate=0.10,
+              family_params={"num_maps": 6, "num_reduces": 3},
+              description="map-reduce-6x3 with 10% per-attempt failures"))
+    add(_spec("erdos-18-jitter25-fail5", "erdos", seed=91, jitter=0.25,
+              failure_rate=0.05,
+              family_params={"num_tasks": 18, "edge_probability": 0.25},
+              description="erdos-18 with 25% jitter and 5% failures"))
 
     return registry

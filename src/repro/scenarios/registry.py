@@ -86,11 +86,14 @@ class ScenarioRegistry:
         family: Optional[str] = None,
         chemistry: Optional[str] = None,
         platform: Optional[str] = None,
+        stochastic: Optional[bool] = None,
     ) -> Tuple[ScenarioSpec, ...]:
         """Specs filtered by name list and/or attribute values.
 
         ``names`` preserves the registry's order (not the order given) and
         rejects unknown names; the attribute filters compose with it.
+        ``stochastic`` filters on whether the spec carries a perturbation
+        tier (``True``: only stochastic, ``False``: only deterministic).
         """
         if names is not None:
             wanted = set(names)
@@ -111,6 +114,8 @@ class ScenarioRegistry:
             if chemistry is not None and spec.chemistry != chemistry:
                 continue
             if platform is not None and spec.platform != platform:
+                continue
+            if stochastic is not None and spec.has_perturbation != stochastic:
                 continue
             selected.append(spec)
         return tuple(selected)

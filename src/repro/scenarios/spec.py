@@ -140,6 +140,13 @@ class ScenarioSpec:
     beta:
         Rakhmatov–Vrudhula diffusion parameter carried by the battery spec
         (used by the default chemistry).
+    jitter, jitter_model, failure_rate:
+        The optional **stochastic tier**: multiplicative duration jitter
+        (spread and distribution — ``"lognormal"`` or ``"uniform"``) and a
+        per-attempt failure probability, consumed by the runtime simulator
+        (:mod:`repro.sim`).  All-default values mean a deterministic
+        scenario; the offline problem built by :meth:`build_problem` is
+        unaffected either way.
     description:
         One-line human description for the catalogue (presentational; not
         part of the content hash).
@@ -155,6 +162,9 @@ class ScenarioSpec:
     chemistry: str = "rakhmatov"
     chemistry_params: FrozenParams = ()
     beta: float = PAPER_BETA
+    jitter: float = 0.0
+    jitter_model: str = "lognormal"
+    failure_rate: float = 0.0
     description: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -177,6 +187,24 @@ class ScenarioSpec:
         if not (0.0 <= self.tightness <= 1.0):
             raise ConfigurationError(
                 f"tightness must be within [0, 1], got {self.tightness!r}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter!r}")
+        if self.jitter_model not in ("lognormal", "uniform"):
+            # Kept in sync with repro.sim.perturbation.JITTER_MODELS (not
+            # imported here: scenarios sit below the sim layer).
+            raise ConfigurationError(
+                f"unknown jitter model {self.jitter_model!r}; "
+                "choose from ('lognormal', 'uniform')"
+            )
+        if self.jitter_model == "uniform" and self.jitter >= 1.0:
+            raise ConfigurationError(
+                "uniform jitter must be < 1 (duration factors stay positive), "
+                f"got {self.jitter!r}"
+            )
+        if not (0.0 <= self.failure_rate < 1.0):
+            raise ConfigurationError(
+                f"failure_rate must be within [0, 1), got {self.failure_rate!r}"
             )
         if not FAMILIES[self.family].uses_synthesis:
             # Paper-graph families carry published design points; a platform
@@ -243,15 +271,40 @@ class ScenarioSpec:
             name=self.name,
         )
 
+    @property
+    def has_perturbation(self) -> bool:
+        """True when the spec carries a non-trivial stochastic tier."""
+        return self.jitter != 0.0 or self.failure_rate != 0.0
+
+    def perturbation(self):
+        """The stochastic tier as a :class:`repro.sim.PerturbationModel`.
+
+        Always returns a model — a null one for deterministic scenarios —
+        so simulation call sites need no branching.  (Imported lazily:
+        the scenario layer sits below the sim layer.)
+        """
+        from ..sim.perturbation import PerturbationModel
+
+        return PerturbationModel(
+            jitter=self.jitter,
+            jitter_model=self.jitter_model,
+            failure_rate=self.failure_rate,
+        )
+
     # ------------------------------------------------------------------
     # identity and serialisation
     # ------------------------------------------------------------------
     def content_hash(self) -> str:
-        """Stable hash of everything that determines the built problem.
+        """Stable hash of everything that determines the built problem —
+        plus, for stochastic scenarios, the perturbation tier (which
+        determines the simulation workloads keyed on the spec).
 
         Excludes the presentational ``name``/``description`` fields: two
         differently named specs with equal content hash produce identical
-        problems (up to the problem's display name).
+        problems (up to the problem's display name).  The perturbation
+        fields enter the payload only when non-default, so the hashes of
+        all deterministic scenarios are unchanged from before the
+        stochastic tier existed.
         """
         payload = {
             "family": self.family,
@@ -264,6 +317,12 @@ class ScenarioSpec:
             "chemistry_params": _thaw_params(self.chemistry_params),
             "beta": self.beta,
         }
+        if self.has_perturbation:
+            payload["perturbation"] = {
+                "jitter": self.jitter,
+                "jitter_model": self.jitter_model,
+                "failure_rate": self.failure_rate,
+            }
         return _digest(canonical_json(payload))
 
     def to_dict(self) -> Dict[str, Any]:
@@ -279,6 +338,9 @@ class ScenarioSpec:
             "chemistry": self.chemistry,
             "chemistry_params": _jsonable(_thaw_params(self.chemistry_params)),
             "beta": self.beta,
+            "jitter": self.jitter,
+            "jitter_model": self.jitter_model,
+            "failure_rate": self.failure_rate,
             "description": self.description,
         }
 
@@ -296,6 +358,9 @@ class ScenarioSpec:
             chemistry=str(data.get("chemistry", "rakhmatov")),
             chemistry_params=dict(data.get("chemistry_params", {})),
             beta=float(data.get("beta", PAPER_BETA)),
+            jitter=float(data.get("jitter", 0.0)),
+            jitter_model=str(data.get("jitter_model", "lognormal")),
+            failure_rate=float(data.get("failure_rate", 0.0)),
             description=str(data.get("description", "")),
         )
 
@@ -307,7 +372,15 @@ class ScenarioSpec:
 
     def summary(self) -> str:
         """One-line catalogue description."""
-        return (
+        line = (
             f"{self.name}: {self.family} family, {self.platform} platform, "
             f"{self.chemistry} chemistry, tightness {self.tightness:.2f}"
         )
+        if self.has_perturbation:
+            parts = []
+            if self.jitter:
+                parts.append(f"{self.jitter_model} jitter {self.jitter:g}")
+            if self.failure_rate:
+                parts.append(f"failure rate {self.failure_rate:g}")
+            line += f" ({', '.join(parts)})"
+        return line

@@ -1,0 +1,86 @@
+"""Event-driven runtime simulation of schedules under uncertainty.
+
+Everything below :mod:`repro.sim` in the stack evaluates **static offline**
+schedules: a (sequence, assignment) candidate is costed as if every task
+ran for exactly its modeled execution time.  This package asks the
+complementary *online* question — what actually happens at runtime when
+durations jitter, tasks fail and retry, and the scheduler has to decide
+on the fly — by executing a task graph forward in virtual time on the
+modeled single-processing-element platform while tracking battery state
+through the same chemistry kernels the offline cost stack uses.
+
+The pieces (estee-style discrete-event shape):
+
+* :class:`Simulator` (:mod:`repro.sim.runtime`) — the event loop: a
+  :class:`VirtualClock`, a heap of :class:`SimEvent` wakeups, per-task
+  :class:`TaskRuntimeInfo`, and a scheduler wakeup protocol
+  (``schedule(new_ready, new_finished)``).
+* :class:`Scheduler` policies (:mod:`repro.sim.schedulers`) —
+  :class:`StaticReplayScheduler` (replays an offline schedule: the bridge
+  to every existing result), :class:`GreedyEnergyScheduler`,
+  :class:`DeadlineSlackScheduler` and :class:`BatteryReactiveScheduler`
+  (queries live state-of-charge).
+* :class:`PerturbationModel` (:mod:`repro.sim.perturbation`) — seeded
+  multiplicative duration jitter (lognormal/uniform) and task
+  failure + retry, driven by explicit :class:`numpy.random.Generator`
+  streams so every run is reproducible and engine-cacheable.
+* :class:`SimulationResult` (:mod:`repro.sim.result`) — the executed
+  timeline plus the final sigma, computed through the model's
+  ``schedule_charge`` so that replaying an offline schedule with zero
+  perturbation reproduces the offline evaluator's cost **bitwise** (the
+  conformance anchor, gated by the golden-fixture tests).
+
+Orchestration at scale lives in :mod:`repro.engine`
+(:class:`~repro.engine.SimulationJob` — content-hashed, parallel,
+resumable) and :mod:`repro.experiments.simulate`
+(:func:`~repro.experiments.run_simulation_suite`); the CLI entry point is
+``python -m repro.cli simulate``.
+
+>>> from repro.sim import Simulator, StaticReplayScheduler
+>>> from repro.scheduling import DesignPointAssignment, SchedulingProblem
+>>> from repro.taskgraph import build_g3
+>>> problem = SchedulingProblem(graph=build_g3(), deadline=230.0)
+>>> sequence = problem.graph.topological_order()
+>>> columns = {name: 0 for name in sequence}
+>>> result = Simulator(problem, StaticReplayScheduler(sequence, columns)).run()
+>>> result.feasible and result.retries == 0
+True
+"""
+
+from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
+from .perturbation import JITTER_MODELS, PerturbationModel, rng_for_seed
+from .result import SimulatedInterval, SimulationResult
+from .runtime import Simulator
+from .schedulers import (
+    POLICIES,
+    BatteryReactiveScheduler,
+    DeadlineSlackScheduler,
+    GreedyEnergyScheduler,
+    Scheduler,
+    StaticReplayScheduler,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "VirtualClock",
+    "SimEvent",
+    "TaskState",
+    "TaskRuntimeInfo",
+    "PerturbationModel",
+    "JITTER_MODELS",
+    "rng_for_seed",
+    "SimulatedInterval",
+    "SimulationResult",
+    "Simulator",
+    "Scheduler",
+    "StaticReplayScheduler",
+    "GreedyEnergyScheduler",
+    "DeadlineSlackScheduler",
+    "BatteryReactiveScheduler",
+    "POLICIES",
+    "register_policy",
+    "policy_names",
+    "make_policy",
+]

@@ -1,0 +1,199 @@
+"""Results of one simulated execution: the realised timeline plus its cost.
+
+A :class:`SimulationResult` is to the runtime simulator what
+:class:`~repro.scheduling.evaluator.ScheduleEvaluation` is to the offline
+evaluator — except the timeline it describes is the one that *actually
+happened* under the policy and perturbations, including failed attempts
+(which drew real current) and jittered durations.  The final ``cost`` is
+computed by handing the realised duration/current arrays to the battery
+model's canonical ``schedule_charge`` path, so a deterministic replay of an
+offline schedule reproduces the offline sigma bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..battery import DischargeTrace, LoadProfile
+
+__all__ = ["SimulatedInterval", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulatedInterval:
+    """One executed attempt on the processing element (back-to-back slots)."""
+
+    task: str
+    column: int
+    start: float
+    duration: float
+    """Realised (possibly jittered) execution time of this attempt."""
+
+    current: float
+    attempt: int
+    """1-based attempt number for the task."""
+
+    failed: bool
+    """True when this attempt failed (its time and current were still spent)."""
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "column": self.column,
+            "start": self.start,
+            "duration": self.duration,
+            "current": self.current,
+            "attempt": self.attempt,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulatedInterval":
+        return cls(
+            task=str(data["task"]),
+            column=int(data["column"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            current=float(data["current"]),
+            attempt=int(data.get("attempt", 1)),
+            failed=bool(data.get("failed", False)),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one :meth:`~repro.sim.Simulator.run` call produced."""
+
+    policy: str
+    """Name of the scheduling policy that drove the run."""
+
+    cost: float
+    """sigma of the realised timeline at the evaluation point (mA·min)."""
+
+    makespan: float
+    """Virtual time at which the last task finished."""
+
+    rest: float
+    """Idle time between completion and the sigma evaluation point."""
+
+    feasible: bool
+    """True when the realised makespan met the problem deadline."""
+
+    deadline: float
+    sequence: Tuple[str, ...]
+    """Tasks in realised completion order (successful attempts only)."""
+
+    columns: Dict[str, int]
+    """Design-point column finally used per task."""
+
+    intervals: Tuple[SimulatedInterval, ...]
+    """Every executed attempt, in execution order (includes failures)."""
+
+    retries: int
+    """Total failed attempts across all tasks."""
+
+    events: int
+    """Events processed by the simulator's loop (throughput accounting)."""
+
+    evaluate_at: str = "completion"
+    depletion_time: Optional[float] = None
+    """First time sigma reached the battery capacity, when one was given."""
+
+    trace: Optional[DischargeTrace] = field(default=None, compare=False)
+    """Optional sampled battery trace of the realised profile."""
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_attempts(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_busy_time(self) -> float:
+        """Summed attempt durations (equals the makespan on the single PE)."""
+        return math.fsum(interval.duration for interval in self.intervals)
+
+    def assignment_columns(self) -> Dict[str, int]:
+        """Final per-task design-point columns (a copy)."""
+        return dict(self.columns)
+
+    def to_profile(self) -> LoadProfile:
+        """The realised discharge profile (one interval per attempt)."""
+        return LoadProfile.from_back_to_back(
+            durations=[interval.duration for interval in self.intervals],
+            currents=[interval.current for interval in self.intervals],
+            labels=[
+                f"{interval.task}#{interval.attempt}"
+                if interval.attempt > 1 or interval.failed
+                else interval.task
+                for interval in self.intervals
+            ],
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "ok" if self.feasible else "DEADLINE MISS"
+        tail = f", {self.retries} retries" if self.retries else ""
+        return (
+            f"{self.policy}: sigma={self.cost:.1f}, "
+            f"makespan={self.makespan:.1f} ({status}{tail})"
+        )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {
+            "policy": self.policy,
+            "cost": self.cost,
+            "makespan": self.makespan,
+            "rest": self.rest,
+            "feasible": self.feasible,
+            "deadline": self.deadline,
+            "sequence": list(self.sequence),
+            "columns": dict(self.columns),
+            "intervals": [interval.to_dict() for interval in self.intervals],
+            "retries": self.retries,
+            "events": self.events,
+            "evaluate_at": self.evaluate_at,
+            "depletion_time": self.depletion_time,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        trace = data.get("trace")
+        return cls(
+            policy=str(data["policy"]),
+            cost=float(data["cost"]),
+            makespan=float(data["makespan"]),
+            rest=float(data.get("rest", 0.0)),
+            feasible=bool(data["feasible"]),
+            deadline=float(data["deadline"]),
+            sequence=tuple(data["sequence"]),
+            columns={str(k): int(v) for k, v in data["columns"].items()},
+            intervals=tuple(
+                SimulatedInterval.from_dict(entry) for entry in data["intervals"]
+            ),
+            retries=int(data.get("retries", 0)),
+            events=int(data.get("events", 0)),
+            evaluate_at=str(data.get("evaluate_at", "completion")),
+            depletion_time=data.get("depletion_time"),
+            trace=DischargeTrace.from_dict(trace) if trace is not None else None,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.policy}, {len(self.sequence)} tasks, "
+            f"cost={self.cost:g}, makespan={self.makespan:g}, "
+            f"retries={self.retries})"
+        )

@@ -1,0 +1,417 @@
+"""The discrete-event simulator: a task graph executed forward in time.
+
+:class:`Simulator` runs one :class:`~repro.scheduling.SchedulingProblem`
+on the paper's single-processing-element platform under a pluggable
+:class:`~repro.sim.schedulers.Scheduler` policy and an optional
+:class:`~repro.sim.perturbation.PerturbationModel`.  The loop follows
+estee's shape — per-task runtime info, a ready set, and a scheduler
+*wakeup protocol* — on a plain event heap:
+
+1. whenever the processing element is idle and the scheduler's decision
+   queue is empty, the scheduler is woken with the tasks that became ready
+   and finished since the last wakeup, and returns ``(task, column)``
+   decisions (a static policy may return the whole run upfront; online
+   policies typically return one decision per wakeup);
+2. the next queued decision starts on the PE: the attempt's realised
+   duration is the modeled design-point time times a seeded jitter factor,
+   and a ``task-end`` :class:`~repro.sim.events.SimEvent` is pushed;
+3. popping the event advances the :class:`~repro.sim.events.VirtualClock`.
+   A successful attempt finishes the task and releases its successors; a
+   failed attempt (its time and current were still spent) is retried at
+   the front of the queue with the same design point and fresh draws.
+
+Bit-level conformance
+---------------------
+The realised timeline is reduced to its cost exactly the way the offline
+evaluator reduces a candidate: realised duration/current arrays into
+``model.schedule_charge`` with an fsum makespan and the same
+deadline-clamped rest rule.  With a zero perturbation and a
+:class:`~repro.sim.schedulers.StaticReplayScheduler`, the realised arrays
+*are* the offline arrays, so the simulated sigma equals the offline sigma
+bit for bit — for every chemistry.  The golden-fixture conformance tests
+pin exactly this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..battery import BatteryModel
+from ..errors import SimulationError
+from ..scheduling import SchedulingProblem
+from ..scheduling.evaluator import _resolve_rest
+from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
+from .perturbation import PerturbationModel, rng_for_seed
+from .result import SimulatedInterval, SimulationResult
+
+__all__ = ["Simulator"]
+
+#: Feasibility slack, matching the offline schedule/deadline comparisons.
+_EPS = 1e-9
+
+
+class Simulator:
+    """Event-driven execution of one problem under a scheduling policy.
+
+    Parameters
+    ----------
+    problem:
+        The scheduling problem (graph + deadline + battery).
+    scheduler:
+        Policy driving the run (see :mod:`repro.sim.schedulers`).
+    perturbation:
+        Runtime deviations; ``None`` (or a null model) makes the run
+        deterministic and draw-free.
+    rng:
+        Seed or :class:`numpy.random.Generator` for the perturbation
+        draws.  Required only when the perturbation actually draws.
+    model:
+        Battery model override (e.g. an engine
+        :class:`~repro.engine.CachedBatteryModel`); defaults to the
+        problem's own chemistry model.
+    clock:
+        Virtual clock override (testing/instrumentation hook).
+    evaluate_at:
+        Where sigma is evaluated — ``"completion"`` or ``"deadline"``,
+        with the offline stack's clamping semantics.
+    trace_samples:
+        When > 0, the result carries a sampled
+        :class:`~repro.battery.DischargeTrace` of the realised profile.
+    """
+
+    def __init__(
+        self,
+        problem: SchedulingProblem,
+        scheduler,
+        perturbation: Optional[PerturbationModel] = None,
+        rng: Union[None, int, np.random.Generator] = None,
+        model: Optional[BatteryModel] = None,
+        clock: Optional[VirtualClock] = None,
+        evaluate_at: str = "completion",
+        trace_samples: int = 0,
+    ) -> None:
+        _resolve_rest(0.0, problem.deadline, evaluate_at)  # validate the mode
+        self.problem = problem
+        self.graph = problem.graph
+        self.deadline = float(problem.deadline)
+        self.scheduler = scheduler
+        self.perturbation = perturbation or PerturbationModel()
+        self.model = model if model is not None else problem.model()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.evaluate_at = evaluate_at
+        self.trace_samples = int(trace_samples)
+        if isinstance(rng, np.random.Generator):
+            self.rng: Optional[np.random.Generator] = rng
+        elif rng is not None:
+            self.rng = rng_for_seed(int(rng))
+        else:
+            self.rng = None
+        if not self.perturbation.is_null and self.rng is None:
+            raise SimulationError(
+                "a stochastic perturbation needs an rng (seed or Generator)"
+            )
+        # Deterministic per-task tables and insertion-ordered successor lists.
+        names = self.graph.task_names()
+        self._rank = {name: index for index, name in enumerate(names)}
+        self._successors: Dict[str, Tuple[str, ...]] = {
+            name: tuple(
+                sorted(self.graph.successors(name), key=self._rank.__getitem__)
+            )
+            for name in names
+        }
+        self._min_times = {
+            name: self.graph.task(name).min_execution_time for name in names
+        }
+        # Run state (created fresh per run()).
+        self._infos: Dict[str, TaskRuntimeInfo] = {}
+        self._heap: List[SimEvent] = []
+        self._queue: List[Tuple[str, int]] = []
+        self._running: Optional[Tuple[str, int, float, bool, float]] = None
+        self._new_ready: List[str] = []
+        self._new_finished: List[str] = []
+        self._durations: List[float] = []
+        self._currents: List[float] = []
+        self._intervals: List[SimulatedInterval] = []
+        self._completion_order: List[str] = []
+        self._finished_count = 0
+        self._retries = 0
+        self._events = 0
+        self._seq = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # queries offered to scheduling policies (the "runtime info" surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    def info(self, name: str) -> TaskRuntimeInfo:
+        """Runtime info of one task (state, attempts, times)."""
+        return self._infos[name]
+
+    def ready_tasks(self) -> Tuple[str, ...]:
+        """All currently ready tasks, in graph insertion order."""
+        return tuple(
+            name
+            for name in self.graph.task_names()
+            if name in self._infos and self._infos[name].is_ready
+        )
+
+    def remaining_min_time(self) -> float:
+        """Lower bound on the time still needed: sum of unfinished tasks'
+        fastest design-point times (the running attempt counts in full —
+        on failure it must rerun, and the bound must stay a bound)."""
+        return math.fsum(
+            self._min_times[name]
+            for name, info in self._infos.items()
+            if not info.is_finished
+        )
+
+    def delivered_charge(self) -> float:
+        """Plain coulomb count of everything executed so far (mA·min)."""
+        return math.fsum(
+            duration * current
+            for duration, current in zip(self._durations, self._currents)
+        )
+
+    def apparent_charge(self) -> float:
+        """Live sigma of the executed timeline, evaluated at the current time.
+
+        Policies call this between attempts (the PE is idle at wakeup
+        time), when the executed intervals end exactly at ``now`` — so the
+        canonical back-to-back ``schedule_charge`` applies with zero rest.
+        """
+        if not self._durations:
+            return 0.0
+        return self.model.schedule_charge(self._durations, self._currents, 0.0)
+
+    def state_of_charge(self) -> Optional[float]:
+        """Remaining capacity fraction, or ``None`` on an unbounded battery."""
+        battery = self.problem.battery
+        if not battery.has_finite_capacity:
+            return None
+        return max(0.0, 1.0 - self.apparent_charge() / battery.capacity)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the whole graph and return the realised-timeline result.
+
+        A simulator instance is single-shot: the run mutates per-task
+        runtime state, so call sites wanting replications build one
+        simulator per run (they are cheap).
+        """
+        if self._ran:
+            raise SimulationError("a Simulator instance runs exactly once")
+        self._ran = True
+        for name in self.graph.task_names():
+            info = TaskRuntimeInfo(
+                unfinished_inputs=len(self.graph.predecessors(name))
+            )
+            self._infos[name] = info
+            if info.unfinished_inputs == 0:
+                info.state = TaskState.READY
+                info.ready_time = 0.0
+                self._new_ready.append(name)
+        self.scheduler.init(self)
+        total = self.graph.num_tasks
+        while self._finished_count < total:
+            if self._running is None:
+                if not self._queue:
+                    self._wakeup_scheduler()
+                self._start_next()
+            else:
+                self._process_next_event()
+        makespan = math.fsum(self._durations)
+        rest = _resolve_rest(makespan, self.deadline, self.evaluate_at)
+        cost = self.model.schedule_charge(self._durations, self._currents, rest)
+        depletion: Optional[float] = None
+        trace = None
+        battery = self.problem.battery
+        if battery.has_finite_capacity or self.trace_samples > 0:
+            profile = None
+            if battery.has_finite_capacity:
+                profile = self._profile()
+                depletion = self.model.lifetime(profile, battery.capacity)
+            if self.trace_samples > 0:
+                from ..battery import simulate_discharge
+
+                profile = profile if profile is not None else self._profile()
+                trace = simulate_discharge(
+                    self.model,
+                    profile,
+                    capacity=battery.capacity
+                    if battery.has_finite_capacity
+                    else None,
+                    num_samples=max(2, self.trace_samples),
+                )
+        return SimulationResult(
+            policy=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            cost=cost,
+            makespan=makespan,
+            rest=rest,
+            feasible=makespan <= self.deadline + _EPS,
+            deadline=self.deadline,
+            sequence=tuple(self._completion_order),
+            columns={
+                name: info.column
+                for name, info in self._infos.items()
+                if info.column is not None
+            },
+            intervals=tuple(self._intervals),
+            retries=self._retries,
+            events=self._events,
+            evaluate_at=self.evaluate_at,
+            depletion_time=depletion,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _profile(self):
+        from ..battery import LoadProfile
+
+        return LoadProfile.from_back_to_back(
+            durations=list(self._durations), currents=list(self._currents)
+        )
+
+    def _wakeup_scheduler(self) -> None:
+        new_ready = tuple(self._new_ready)
+        new_finished = tuple(self._new_finished)
+        self._new_ready = []
+        self._new_finished = []
+        self._events += 1
+        decisions = self.scheduler.schedule(new_ready, new_finished)
+        for decision in decisions or ():
+            self._enqueue(decision)
+        if not self._queue:
+            raise SimulationError(
+                f"scheduler {getattr(self.scheduler, 'name', '?')!r} stalled: "
+                f"no decision while {self.ready_tasks()} are ready"
+            )
+
+    def _enqueue(self, decision: Iterable) -> None:
+        try:
+            name, column = decision
+        except (TypeError, ValueError):
+            raise SimulationError(
+                f"scheduler decisions must be (task, column) pairs, got {decision!r}"
+            ) from None
+        if name not in self._infos:
+            raise SimulationError(f"scheduler assigned unknown task {name!r}")
+        info = self._infos[name]
+        if info.is_finished:
+            raise SimulationError(
+                f"scheduler tried to assign finished task {name!r}"
+            )
+        task = self.graph.task(name)
+        if not (0 <= int(column) < task.num_design_points):
+            raise SimulationError(
+                f"column {column!r} out of range for task {name!r} "
+                f"({task.num_design_points} design points)"
+            )
+        self._queue.append((name, int(column)))
+
+    def _start_next(self) -> None:
+        name, column = self._queue.pop(0)
+        info = self._infos[name]
+        if info.state is not TaskState.READY:
+            raise SimulationError(
+                f"task {name!r} started while {info.state.value} "
+                "(predecessors unfinished, or assigned twice)"
+            )
+        point = self.graph.task(name).ordered_design_points()[column]
+        factor = 1.0
+        failed = False
+        if not self.perturbation.is_null:
+            factor = self.perturbation.duration_factor(self.rng)
+            failed = self.perturbation.draw_failure(self.rng)
+        duration = point.execution_time * factor
+        info.state = TaskState.RUNNING
+        info.column = column
+        info.start_time = self.clock.now
+        info.attempts += 1
+        if failed and info.attempts > self.perturbation.max_retries:
+            raise SimulationError(
+                f"task {name!r} exhausted its retry budget "
+                f"({self.perturbation.max_retries} retries)"
+            )
+        self._running = (name, column, point.current, failed, duration)
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            SimEvent(
+                time=self.clock.now + duration,
+                seq=self._seq,
+                kind="task-end",
+                task=name,
+            ),
+        )
+
+    def _process_next_event(self) -> None:
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        self._events += 1
+        # The drawn duration is carried through (not recovered as
+        # ``event.time - start``): float subtraction would lose ulps, and the
+        # realised durations must reproduce the offline arrays bit for bit
+        # in the deterministic case.
+        name, column, current, failed, duration = self._running
+        if event.task != name:  # pragma: no cover - single-PE invariant
+            raise SimulationError(
+                f"event for {event.task!r} fired while {name!r} was running"
+            )
+        info = self._infos[name]
+        self._durations.append(duration)
+        self._currents.append(current)
+        self._intervals.append(
+            SimulatedInterval(
+                task=name,
+                column=column,
+                start=info.start_time,
+                duration=duration,
+                current=current,
+                attempt=info.attempts,
+                failed=failed,
+            )
+        )
+        self._running = None
+        if failed:
+            # The attempt's time and current are spent; the task re-enters
+            # the PE at the front of the queue with the same design point
+            # (fresh draws), preserving precedence order for every policy.
+            self._retries += 1
+            info.state = TaskState.READY
+            self._queue.insert(0, (name, column))
+            return
+        info.state = TaskState.FINISHED
+        info.end_time = event.time
+        self._finished_count += 1
+        self._completion_order.append(name)
+        self._new_finished.append(name)
+        for child in self._successors[name]:
+            child_info = self._infos[child]
+            child_info.unfinished_inputs -= 1
+            if child_info.unfinished_inputs == 0:
+                child_info.state = TaskState.READY
+                child_info.ready_time = event.time
+                self._new_ready.append(child)
+            elif child_info.unfinished_inputs < 0:  # pragma: no cover
+                raise SimulationError(
+                    f"task {child!r} finished more inputs than it has"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator({self.graph.name or 'graph'}: {self.graph.num_tasks} "
+            f"tasks, policy={getattr(self.scheduler, 'name', '?')!r}, "
+            f"now={self.clock.now:g})"
+        )

@@ -1,0 +1,387 @@
+"""Scheduling policies driving the runtime simulator.
+
+A :class:`Scheduler` receives wakeups from the
+:class:`~repro.sim.Simulator` — ``schedule(new_ready, new_finished)`` is
+called whenever the processing element is idle and no decision is queued —
+and answers with ``(task, design-point column)`` decisions.  Four policies
+ship with the library, spanning the offline/online axis the simulator
+exists to study:
+
+* :class:`StaticReplayScheduler` — replays a precomputed offline schedule
+  verbatim.  This is the bridge to every existing result: with zero
+  perturbation it reproduces the offline evaluator's sigma bitwise, and
+  under perturbation it shows how brittle the offline plan is.
+* :class:`GreedyEnergyScheduler` — an online list scheduler: the ready
+  task with the largest average energy first (the paper's
+  ``SequenceDecEnergy`` weight, shared with
+  :mod:`repro.scheduling.list_scheduler`), at the lowest-energy design
+  point the deadline guard allows.
+* :class:`DeadlineSlackScheduler` — orders ready tasks by downstream
+  min-time pressure and spends the *live* slack proportionally: each task
+  gets a slack share proportional to its fastest execution time and runs
+  at the slowest design point fitting that allowance.
+* :class:`BatteryReactiveScheduler` — queries the simulator's live
+  battery state (state-of-charge on bounded batteries, the
+  recoverable-charge ratio otherwise) and switches between low-current
+  recovery mode and low-energy cruise mode per decision.
+
+Policies are registered by name (:data:`POLICIES`) so
+:class:`~repro.engine.SimulationJob` and the CLI can name them as data;
+:func:`make_policy` builds instances, resolving ``static-replay``'s
+offline schedule through the engine's algorithm registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..scheduling import SchedulingProblem
+from ..taskgraph import validate_sequence
+
+__all__ = [
+    "Scheduler",
+    "StaticReplayScheduler",
+    "GreedyEnergyScheduler",
+    "DeadlineSlackScheduler",
+    "BatteryReactiveScheduler",
+    "POLICIES",
+    "register_policy",
+    "policy_names",
+    "make_policy",
+]
+
+#: Feasibility slack shared with the offline deadline comparisons.
+_EPS = 1e-9
+
+
+class Scheduler:
+    """Base class: the wakeup protocol plus shared deadline arithmetic."""
+
+    #: Registry/display name; instances may override per construction.
+    name: str = "scheduler"
+
+    def init(self, simulator) -> None:
+        """Bind to the simulator before the run starts (estee-style)."""
+        self.simulator = simulator
+
+    def schedule(
+        self, new_ready: Tuple[str, ...], new_finished: Tuple[str, ...]
+    ) -> Sequence[Tuple[str, int]]:
+        """Return decisions for the idle processing element.
+
+        ``new_ready``/``new_finished`` list the tasks that changed state
+        since the previous wakeup.  Returning an empty sequence while
+        tasks are ready is a protocol violation (the simulator raises).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers for online policies
+    # ------------------------------------------------------------------
+    def _deadline_allowance(self, name: str) -> float:
+        """Longest execution time ``name`` may take while the rest of the
+        graph can still finish by the deadline at full speed."""
+        sim = self.simulator
+        min_time = sim.graph.task(name).min_execution_time
+        others = sim.remaining_min_time() - min_time
+        return sim.deadline - sim.now - others
+
+    def _feasible_columns(self, name: str) -> List[int]:
+        """Design-point columns whose execution time fits the allowance.
+
+        Falls back to the fastest column when nothing fits (the deadline
+        is already compromised; run flat out and record the miss).
+        """
+        allowance = self._deadline_allowance(name)
+        times = self.simulator.graph.task(name).execution_times()
+        feasible = [
+            column
+            for column, time in enumerate(times)
+            if time <= allowance + _EPS
+        ]
+        return feasible or [0]
+
+
+class StaticReplayScheduler(Scheduler):
+    """Replay a precomputed (sequence, assignment) offline schedule.
+
+    The whole run is handed to the simulator at the first wakeup —
+    exactly how an offline plan is deployed on a device — so perturbations
+    change *when* things happen but never *what* runs where.
+    """
+
+    name = "static-replay"
+
+    def __init__(
+        self,
+        sequence: Sequence[str],
+        columns: Mapping[str, int],
+        name: Optional[str] = None,
+    ) -> None:
+        self.sequence = tuple(sequence)
+        missing = [task for task in self.sequence if task not in columns]
+        if missing:
+            raise ConfigurationError(
+                f"static replay is missing design-point columns for {missing}"
+            )
+        self.columns = {str(task): int(columns[task]) for task in self.sequence}
+        if name is not None:
+            self.name = name
+        self._dispatched = False
+
+    def init(self, simulator) -> None:
+        super().init(simulator)
+        validate_sequence(simulator.graph, self.sequence)
+        self._dispatched = False
+
+    def schedule(self, new_ready, new_finished):
+        if self._dispatched:  # only the first wakeup carries decisions
+            return ()
+        self._dispatched = True
+        return [(task, self.columns[task]) for task in self.sequence]
+
+
+class _OnlineScheduler(Scheduler):
+    """Shared machinery of the online policies: one decision per wakeup.
+
+    Maintains the ready pool from the wakeup deltas and picks the
+    highest-weight task (ties broken by graph insertion order, matching
+    :func:`repro.scheduling.list_scheduler.sequence_by_weights`), then
+    delegates the design-point choice to :meth:`choose_column`.
+    """
+
+    def init(self, simulator) -> None:
+        super().init(simulator)
+        self._ready: List[str] = []
+        self._rank = {
+            name: index for index, name in enumerate(simulator.graph.task_names())
+        }
+        self._weights = self.task_weights()
+
+    def task_weights(self) -> Dict[str, float]:
+        """Per-task priority (higher runs first); computed once at init."""
+        raise NotImplementedError
+
+    def choose_column(self, name: str) -> int:
+        """Design-point column for the chosen task (live-state dependent)."""
+        raise NotImplementedError
+
+    def schedule(self, new_ready, new_finished):
+        self._ready.extend(new_ready)
+        if not self._ready:
+            return ()
+        self._ready.sort(
+            key=lambda name: (-self._weights[name], self._rank[name])
+        )
+        chosen = self._ready.pop(0)
+        return [(chosen, self.choose_column(chosen))]
+
+
+class GreedyEnergyScheduler(_OnlineScheduler):
+    """Online greedy: biggest average energy first, cheapest feasible point.
+
+    The task order reuses the ``SequenceDecEnergy`` weight of the offline
+    list scheduler; the design point is the feasible column with the
+    lowest energy (ties to the slower implementation).
+    """
+
+    name = "greedy-energy"
+
+    def task_weights(self) -> Dict[str, float]:
+        return {
+            task.name: task.average_energy for task in self.simulator.graph
+        }
+
+    def choose_column(self, name: str) -> int:
+        energies = self.simulator.graph.task(name).energies()
+        return min(
+            self._feasible_columns(name),
+            key=lambda column: (energies[column], -column),
+        )
+
+
+class DeadlineSlackScheduler(_OnlineScheduler):
+    """Spend live slack proportionally to each task's share of the work.
+
+    Tasks are ordered by the min-time of the subgraph they root (critical
+    downstream pressure first).  The chosen task receives a slack share
+    proportional to its own fastest time relative to all remaining work,
+    and runs at the slowest design point fitting that allowance — a
+    self-correcting policy: jitter that eats slack automatically pushes
+    later tasks to faster design points.
+    """
+
+    name = "deadline-slack"
+
+    def task_weights(self) -> Dict[str, float]:
+        graph = self.simulator.graph
+        return {
+            task.name: math.fsum(
+                graph.task(member).min_execution_time
+                for member in graph.subgraph_rooted_at(task.name)
+            )
+            for task in graph
+        }
+
+    def choose_column(self, name: str) -> int:
+        sim = self.simulator
+        min_time = sim.graph.task(name).min_execution_time
+        remaining = sim.remaining_min_time()
+        slack = sim.deadline - sim.now - remaining
+        share = slack * (min_time / remaining) if remaining > 0 else 0.0
+        allowance = min_time + max(share, 0.0)
+        times = sim.graph.task(name).execution_times()
+        fitting = [
+            column
+            for column in self._feasible_columns(name)
+            if times[column] <= allowance + _EPS
+        ]
+        candidates = fitting or self._feasible_columns(name)
+        # Slowest fitting implementation (largest execution time wins).
+        return max(candidates, key=lambda column: (times[column], column))
+
+
+class BatteryReactiveScheduler(_OnlineScheduler):
+    """React to the live battery state when picking design points.
+
+    Between attempts the policy asks the simulator for the battery's
+    state of charge (bounded batteries) or the recoverable-charge ratio
+    ``(sigma - delivered) / delivered`` (the unbounded paper setting).
+    Under stress — state of charge below ``soc_reserve``, or recoverable
+    ratio above ``stress_threshold`` — it runs the chosen task at the
+    lowest-*current* feasible design point, giving the cell time to
+    recover (the rate-capacity lever the paper's offline heuristic pulls
+    statically); otherwise it sprints at the *fastest* feasible point,
+    banking slack while the battery is fresh so the recovery mode has
+    room to fire later.  Task order is energy-greedy, isolating the
+    battery reaction as the only difference from
+    :class:`GreedyEnergyScheduler`.
+    """
+
+    name = "battery-reactive"
+
+    def __init__(
+        self, stress_threshold: float = 0.25, soc_reserve: float = 0.25
+    ) -> None:
+        if stress_threshold < 0:
+            raise ConfigurationError(
+                f"stress_threshold must be >= 0, got {stress_threshold!r}"
+            )
+        if not (0.0 <= soc_reserve <= 1.0):
+            raise ConfigurationError(
+                f"soc_reserve must be within [0, 1], got {soc_reserve!r}"
+            )
+        self.stress_threshold = float(stress_threshold)
+        self.soc_reserve = float(soc_reserve)
+
+    def task_weights(self) -> Dict[str, float]:
+        return {
+            task.name: task.average_energy for task in self.simulator.graph
+        }
+
+    def _stressed(self) -> bool:
+        sim = self.simulator
+        soc = sim.state_of_charge()
+        if soc is not None:
+            return soc < self.soc_reserve
+        delivered = sim.delivered_charge()
+        if delivered <= 0.0:
+            return False
+        unavailable = sim.apparent_charge() - delivered
+        return unavailable / delivered > self.stress_threshold
+
+    def choose_column(self, name: str) -> int:
+        task = self.simulator.graph.task(name)
+        feasible = self._feasible_columns(name)
+        if self._stressed():
+            currents = task.currents()
+            return min(feasible, key=lambda column: (currents[column], -column))
+        times = task.execution_times()
+        return min(feasible, key=lambda column: (times[column], column))
+
+
+# ----------------------------------------------------------------------
+# the policy registry
+# ----------------------------------------------------------------------
+#: ``factory(problem, params, model) -> Scheduler`` — ``model`` is an
+#: optional battery-model override forwarded to offline runs.
+PolicyFactory = Callable[..., Scheduler]
+
+POLICIES: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a policy factory ``factory(problem, params) -> Scheduler``."""
+    POLICIES[name] = factory
+
+
+def policy_names() -> Tuple[str, ...]:
+    """All registered policy names, sorted."""
+    return tuple(sorted(POLICIES))
+
+
+def make_policy(
+    name: str,
+    problem: SchedulingProblem,
+    params: Optional[Mapping[str, Any]] = None,
+    model=None,
+) -> Scheduler:
+    """Build a policy instance by registry name.
+
+    ``static-replay`` needs an offline schedule: either an explicit
+    ``sequence``/``columns`` pair in ``params``, or the name of a
+    registered offline ``algorithm`` (default ``"iterative"``) that is run
+    on ``problem`` first — through the engine's algorithm registry, with
+    ``model`` (e.g. a battery-cost cache wrapper) forwarded to it.
+    """
+    if name not in POLICIES:
+        raise ConfigurationError(
+            f"unknown simulation policy {name!r}; choose from {list(policy_names())}"
+        )
+    return POLICIES[name](problem, dict(params or {}), model)
+
+
+def _make_static_replay(
+    problem: SchedulingProblem, params: Dict[str, Any], model=None
+) -> StaticReplayScheduler:
+    if "sequence" in params or "columns" in params:
+        if not ("sequence" in params and "columns" in params):
+            raise ConfigurationError(
+                "static-replay needs both 'sequence' and 'columns' when "
+                "either is given explicitly"
+            )
+        return StaticReplayScheduler(params["sequence"], params["columns"])
+    from ..engine.jobs import get_algorithm, resolve_algorithm_name
+
+    algorithm = resolve_algorithm_name(str(params.get("algorithm", "iterative")))
+    runner = get_algorithm(algorithm)
+    outcome = runner(problem, model, dict(params.get("algorithm_params", {})))
+    return StaticReplayScheduler(
+        outcome.sequence,
+        {task: int(column) for task, column in outcome.assignment.items()},
+    )
+
+
+def _simple_factory(cls: type, allowed: Tuple[str, ...] = ()) -> PolicyFactory:
+    def build(problem: SchedulingProblem, params: Dict[str, Any], model=None):
+        unknown = set(params) - set(allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"policy {cls.name!r} does not accept parameters {sorted(unknown)}"
+            )
+        return cls(**params)
+
+    return build
+
+
+register_policy("static-replay", _make_static_replay)
+register_policy("greedy-energy", _simple_factory(GreedyEnergyScheduler))
+register_policy("deadline-slack", _simple_factory(DeadlineSlackScheduler))
+register_policy(
+    "battery-reactive",
+    _simple_factory(
+        BatteryReactiveScheduler, allowed=("stress_threshold", "soc_reserve")
+    ),
+)

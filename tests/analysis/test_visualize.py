@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import current_profile_chart, gantt_chart
 from repro.battery import LoadProfile
 from repro.errors import ConfigurationError
-from repro.scheduling import DesignPointAssignment, Schedule
+from repro.scheduling import DesignPointAssignment, Schedule, SchedulingProblem
 
 
 @pytest.fixture
@@ -73,3 +73,46 @@ class TestCurrentProfileChart:
             current_profile_chart(profile, width=5)
         with pytest.raises(ConfigurationError):
             current_profile_chart(profile, height=1)
+
+
+class TestSmokeRenderDeterminism:
+    """Every figure smoke-renders to a file with deterministic content.
+
+    The charts feed generated docs and committed lab notes, so two renders
+    of the same fixed problem must be byte-identical — and writable to
+    disk without losing anything in the round trip.
+    """
+
+    @pytest.fixture
+    def fixed_problem(self, g3):
+        return SchedulingProblem(graph=g3, deadline=230.0, name="g3")
+
+    def _figures(self, problem):
+        graph = problem.graph
+        assignment = DesignPointAssignment.all_slowest(graph)
+        schedule = Schedule(graph, graph.topological_order(), assignment)
+        return {
+            "gantt.txt": gantt_chart(schedule, width=64, deadline=problem.deadline),
+            "profile.txt": current_profile_chart(
+                schedule.to_profile(), width=64, height=10
+            ),
+        }
+
+    def test_smoke_render_each_figure_to_file(self, tmp_path, fixed_problem):
+        for filename, content in self._figures(fixed_problem).items():
+            target = tmp_path / filename
+            target.write_text(content, encoding="utf-8")
+            assert target.exists() and target.stat().st_size > 0
+            assert target.read_text(encoding="utf-8") == content
+
+    def test_renders_are_deterministic(self, fixed_problem):
+        first = self._figures(fixed_problem)
+        second = self._figures(fixed_problem)
+        assert first == second
+
+    def test_gantt_pins_fixed_problem_shape(self, fixed_problem):
+        chart = self._figures(fixed_problem)["gantt.txt"]
+        lines = chart.splitlines()
+        # 15 task rows + axis + legend + deadline marker.
+        assert len(lines) == fixed_problem.graph.num_tasks + 3
+        assert lines[-1].startswith("deadline")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.battery import (
+    DischargeTrace,
     IdealBatteryModel,
     LoadProfile,
     RakhmatovVrudhulaModel,
@@ -90,3 +91,101 @@ class TestCapacityQueries:
         art = trace.ascii_plot(width=40, height=8)
         assert "*" in art
         assert "apparent charge" in art
+
+
+class TestSerialisation:
+    def test_round_trip(self, model, profile):
+        trace = simulate_discharge(model, profile, capacity=9000.0, num_samples=30)
+        rebuilt = DischargeTrace.from_dict(trace.to_dict())
+        assert rebuilt == trace
+        assert rebuilt.capacity == 9000.0
+
+    def test_round_trip_without_capacity(self, model, profile):
+        trace = simulate_discharge(model, profile, num_samples=10)
+        rebuilt = DischargeTrace.from_dict(trace.to_dict())
+        assert rebuilt == trace
+        assert rebuilt.capacity is None
+
+    def test_round_trip_survives_json(self, model, profile):
+        import json
+
+        trace = simulate_discharge(model, profile, capacity=9000.0, num_samples=12)
+        rebuilt = DischargeTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert rebuilt == trace
+
+    def test_mismatched_series_lengths_rejected(self):
+        with pytest.raises(BatteryModelError):
+            DischargeTrace.from_dict(
+                {
+                    "times": [0.0, 1.0],
+                    "apparent_charge": [0.0],
+                    "delivered_charge": [0.0, 1.0],
+                    "current": [0.0, 1.0],
+                }
+            )
+
+
+class TestEmptyTrace:
+    @pytest.fixture
+    def empty(self):
+        return DischargeTrace(
+            times=(), apparent_charge=(), delivered_charge=(), current=(),
+            capacity=100.0,
+        )
+
+    def test_round_trip(self, empty):
+        assert DischargeTrace.from_dict(empty.to_dict()) == empty
+        assert DischargeTrace.from_dict({}) == DischargeTrace(
+            times=(), apparent_charge=(), delivered_charge=(), current=(),
+        )
+
+    def test_queries_degrade_gracefully(self, empty):
+        assert empty.unavailable_charge == ()
+        assert empty.state_of_charge() == ()
+        assert empty.depletion_time() is None
+        assert empty.peak_unavailable_charge() == 0.0
+        assert empty.ascii_plot() == "(empty trace)"
+
+
+class TestDepletionBoundaries:
+    def test_depletion_exactly_on_segment_boundary(self):
+        # sigma hits the capacity *exactly* at the middle sample: the
+        # >= comparison must report that sample, not the one after it.
+        trace = DischargeTrace(
+            times=(0.0, 5.0, 10.0),
+            apparent_charge=(0.0, 50.0, 100.0),
+            delivered_charge=(0.0, 40.0, 80.0),
+            current=(8.0, 8.0, 0.0),
+            capacity=50.0,
+        )
+        assert trace.depletion_time() == 5.0
+
+    def test_depletion_at_first_sample(self):
+        trace = DischargeTrace(
+            times=(0.0, 1.0),
+            apparent_charge=(10.0, 20.0),
+            delivered_charge=(10.0, 20.0),
+            current=(1.0, 1.0),
+            capacity=10.0,
+        )
+        assert trace.depletion_time() == 0.0
+
+    def test_depletion_at_final_sample(self):
+        trace = DischargeTrace(
+            times=(0.0, 1.0, 2.0),
+            apparent_charge=(0.0, 5.0, 30.0),
+            delivered_charge=(0.0, 5.0, 30.0),
+            current=(5.0, 5.0, 5.0),
+            capacity=30.0,
+        )
+        assert trace.depletion_time() == 2.0
+
+    def test_capacity_never_reached(self):
+        trace = DischargeTrace(
+            times=(0.0, 1.0),
+            apparent_charge=(0.0, 5.0),
+            delivered_charge=(0.0, 5.0),
+            current=(5.0, 5.0),
+            capacity=5.000001,
+        )
+        assert trace.depletion_time() is None

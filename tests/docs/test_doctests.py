@@ -20,6 +20,10 @@ import repro.scenarios.registry
 import repro.scenarios.report
 import repro.scenarios.spec
 import repro.scheduling.evaluator
+import repro.sim
+import repro.sim.perturbation
+import repro.engine.simjobs
+import repro.experiments.simulate
 import repro.battery.parameters
 import repro.taskgraph.validation
 import repro.workloads.generators
@@ -37,6 +41,10 @@ DOCUMENTED_MODULES = [
     repro.scenarios.report,
     repro.scenarios.spec,
     repro.scheduling.evaluator,
+    repro.sim,
+    repro.sim.perturbation,
+    repro.engine.simjobs,
+    repro.experiments.simulate,
     repro.battery.parameters,
     repro.taskgraph.validation,
     repro.workloads.generators,

@@ -1,0 +1,173 @@
+"""Tests for simulation jobs: keys, execution, parallelism and resume."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import (
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    SimulationJob,
+    SimulationRecord,
+    execute_simulation_job,
+    run_simulation_jobs,
+)
+from repro.errors import ConfigurationError
+from repro.scenarios import ScenarioSpec, default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def stochastic_spec(registry):
+    return registry.get("g3-jitter10")
+
+
+def strip_timing(records):
+    """Record dicts minus wall-clock fields (the only non-deterministic part)."""
+    return [
+        {key: value for key, value in record.to_dict().items() if key != "elapsed_s"}
+        for record in records
+    ]
+
+
+class TestSimulationJob:
+    def test_unknown_policy_rejected(self, stochastic_spec):
+        with pytest.raises(ConfigurationError):
+            SimulationJob(spec=stochastic_spec, policy="fifo")
+
+    def test_key_is_stable_and_content_based(self, stochastic_spec):
+        job = SimulationJob(spec=stochastic_spec, policy="greedy-energy", seed=3)
+        same = SimulationJob(spec=stochastic_spec, policy="greedy-energy", seed=3)
+        assert job.key() == same.key()
+        assert job.key() != SimulationJob(
+            spec=stochastic_spec, policy="greedy-energy", seed=4
+        ).key()
+        assert job.key() != SimulationJob(
+            spec=stochastic_spec, policy="greedy-energy", seed=3, replication=1
+        ).key()
+        assert job.key() != SimulationJob(
+            spec=stochastic_spec, policy="deadline-slack", seed=3
+        ).key()
+
+    def test_key_ignores_presentational_fields(self, stochastic_spec):
+        renamed = dataclasses.replace(
+            stochastic_spec, name="other-name", description="different words"
+        )
+        assert (
+            SimulationJob(spec=stochastic_spec, policy="greedy-energy").key()
+            == SimulationJob(spec=renamed, policy="greedy-energy").key()
+        )
+
+    def test_key_covers_perturbation_tier(self, registry):
+        base = registry.get("g3-jitter10")
+        hotter = dataclasses.replace(base, jitter=0.3)
+        assert (
+            SimulationJob(spec=base, policy="greedy-energy").key()
+            != SimulationJob(spec=hotter, policy="greedy-energy").key()
+        )
+
+    def test_label(self, stochastic_spec):
+        job = SimulationJob(spec=stochastic_spec, policy="greedy-energy", replication=2)
+        assert job.label == "g3-jitter10/greedy-energy#2"
+
+
+class TestExecuteSimulationJob:
+    def test_successful_record(self, stochastic_spec):
+        record = execute_simulation_job(
+            SimulationJob(spec=stochastic_spec, policy="deadline-slack", seed=1)
+        )
+        assert record.ok
+        assert record.cost > 0 and record.makespan > 0
+        assert record.scenario == "g3-jitter10"
+        assert record.events > 0
+
+    def test_failure_captured_not_raised(self, stochastic_spec):
+        # An impossible retry budget forces a SimulationError inside the run.
+        doomed = dataclasses.replace(stochastic_spec, failure_rate=0.97)
+        record = execute_simulation_job(
+            SimulationJob(spec=doomed, policy="greedy-energy", seed=0)
+        )
+        assert not record.ok
+        assert "SimulationError" in record.error
+
+    def test_record_round_trip(self, stochastic_spec):
+        record = execute_simulation_job(
+            SimulationJob(spec=stochastic_spec, policy="static-replay", seed=2)
+        )
+        assert SimulationRecord.from_dict(record.to_dict()) == record
+
+    def test_deterministic_scenario_needs_no_seed_variation(self, registry):
+        spec = registry.get("g3")
+        records = [
+            execute_simulation_job(
+                SimulationJob(spec=spec, policy="greedy-energy", seed=seed)
+            )
+            for seed in (0, 99)
+        ]
+        # Null perturbation: the seed stream is never consulted.
+        assert records[0].cost == records[1].cost
+
+
+class TestRunSimulationJobs:
+    def make_jobs(self, registry, replications=2):
+        return [
+            SimulationJob(spec=registry.get(name), policy=policy, seed=7, replication=r)
+            for name in ("g3-jitter10", "g2-jitter10-uniform")
+            for policy in ("static-replay", "deadline-slack")
+            for r in range(replications)
+        ]
+
+    def test_serial_parallel_byte_identical(self, registry):
+        jobs = self.make_jobs(registry)
+        serial = run_simulation_jobs(jobs, executor=SerialExecutor())
+        parallel = run_simulation_jobs(jobs, executor=ParallelExecutor(max_workers=2))
+        assert strip_timing(serial.records) == strip_timing(parallel.records)
+        assert serial.ok
+
+    def test_resume_skips_and_reproduces(self, registry, tmp_path):
+        jobs = self.make_jobs(registry)
+        store = ResultStore(tmp_path / "sim.jsonl", record_type=SimulationRecord)
+        first = run_simulation_jobs(jobs[:4], store=store, resume=True)
+        assert (first.executed, first.skipped) == (4, 0)
+        second = run_simulation_jobs(jobs, store=store, resume=True)
+        assert (second.executed, second.skipped) == (len(jobs) - 4, 4)
+        fresh = run_simulation_jobs(jobs)
+        assert strip_timing(second.records) == strip_timing(fresh.records)
+
+    def test_resume_requires_store(self, registry):
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(self.make_jobs(registry), resume=True)
+
+    def test_store_record_type_enforced(self, registry, tmp_path):
+        store = ResultStore(tmp_path / "wrong.jsonl")  # JobResult store
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(self.make_jobs(registry), store=store)
+
+    def test_by_cell_groups_replications(self, registry):
+        run = run_simulation_jobs(self.make_jobs(registry))
+        cells = run.by_cell()
+        assert ("g3-jitter10", "static-replay") in cells
+        group = cells[("g3-jitter10", "static-replay")]
+        assert [record.replication for record in group] == [0, 1]
+
+    def test_failures_isolated(self, registry):
+        doomed = dataclasses.replace(
+            registry.get("g3-jitter10"), name="doomed", failure_rate=0.97
+        )
+        jobs = [
+            SimulationJob(spec=doomed, policy="greedy-energy"),
+            SimulationJob(spec=registry.get("g3"), policy="greedy-energy"),
+        ]
+        run = run_simulation_jobs(jobs)
+        assert not run.ok
+        assert len(run.failures()) == 1
+        assert run.records[1].ok
+
+    def test_summary_accounting(self, registry):
+        run = run_simulation_jobs(self.make_jobs(registry, replications=1))
+        assert "4 simulations (4 executed, 0 resumed), 0 failed" == run.summary()

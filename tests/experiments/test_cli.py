@@ -126,6 +126,88 @@ class TestSuiteCommand:
         assert "4 resumed" in resumed
 
 
+class TestSeedFlag:
+    def test_seed_accepted_by_batch_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["sweep", "--seed", "7"],
+            ["ablation", "--seed", "7"],
+            ["suite", "--seed", "7"],
+            ["simulate", "--seed", "7"],
+        ):
+            assert parser.parse_args(argv).seed == 7
+
+    def test_same_seed_suite_runs_byte_identical(self, capsys):
+        # The annealing baseline is the stochastic consumer of the seed.
+        argv = ["suite", "--run", "--scenarios", "g3",
+                "--algorithms", "annealing", "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_same_seed_sweep_runs_byte_identical(self, capsys):
+        argv = ["sweep", "--graph", "g2", "--points", "3", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_seed_enters_job_keys(self, tmp_path, capsys):
+        # Two different seeds through the same store must not collide:
+        # the second run executes fresh jobs instead of resuming the first.
+        store = ["--results-dir", str(tmp_path), "--resume"]
+        assert main(["suite", "--run", "--scenarios", "g3",
+                     "--algorithms", "annealing", "--seed", "1"] + store) == 0
+        capsys.readouterr()
+        assert main(["suite", "--run", "--scenarios", "g3",
+                     "--algorithms", "annealing", "--seed", "2"] + store) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 resumed" in out
+
+
+class TestSimulateCommand:
+    def test_simulate_small_run(self, capsys):
+        assert main([
+            "simulate", "--scenarios", "g3-jitter10",
+            "--policies", "static-replay", "deadline-slack",
+            "--replications", "2", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Simulated robustness" in out
+        assert "degradation leaderboard" in out
+        assert "g3-jitter10" in out
+        assert "0 failed" in out
+
+    def test_simulate_same_seed_byte_identical(self, capsys):
+        argv = ["simulate", "--scenarios", "g3-jitter10-fail5",
+                "--replications", "2", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_simulate_parallel_resume_byte_identical(self, tmp_path, capsys):
+        argv = ["simulate", "--scenarios", "g3-jitter10", "g2-jitter10-uniform",
+                "--replications", "2", "--seed", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        store = ["--results-dir", str(tmp_path), "--resume"]
+        assert main(argv + ["--jobs", "2"] + store) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + store) == 0
+        resumed = capsys.readouterr().out
+
+        def results_only(text):
+            return [line for line in text.splitlines() if "resumed)" not in line]
+
+        assert results_only(serial) == results_only(parallel)
+        assert results_only(serial) == results_only(resumed)
+        assert "16 executed" in parallel
+        assert "16 resumed" in resumed
+
+
 class TestDocsCommand:
     def test_docs_writes_and_checks(self, tmp_path, capsys):
         out_dir = tmp_path / "docs"

@@ -23,6 +23,23 @@ class TestRunSuite:
         result = run_suite(scenarios=["g3"])
         assert result.algorithms == DEFAULT_SUITE_ALGORITHMS
 
+    def test_default_selection_excludes_stochastic_twins(self):
+        # Stochastic-tier scenarios build offline problems identical to
+        # their deterministic twins; the default suite must not
+        # double-count those problems in the leaderboard.
+        from repro.scenarios import default_registry
+
+        result = run_suite(algorithms=["all-fastest"])
+        names = {spec.name for spec in result.specs}
+        registry = default_registry()
+        assert names == {
+            spec.name for spec in registry.select(stochastic=False)
+        }
+        assert "g3-jitter10" not in names
+        # Naming a stochastic scenario explicitly still runs it.
+        explicit = run_suite(scenarios=["g3-jitter10"], algorithms=["all-fastest"])
+        assert [spec.name for spec in explicit.specs] == ["g3-jitter10"]
+
     def test_unknown_scenario_raises(self):
         with pytest.raises(ConfigurationError, match="unknown scenario"):
             run_suite(scenarios=["no-such-scenario"])

@@ -220,3 +220,59 @@ class TestCrossProcessDeterminism:
             check=True,
         ).stdout.strip()
         assert output == spec.content_hash()
+
+
+class TestStochasticTier:
+    def test_defaults_are_deterministic(self):
+        spec = make_spec()
+        assert not spec.has_perturbation
+        assert spec.perturbation().is_null
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="jitter"):
+            make_spec(jitter=-0.1)
+        with pytest.raises(ConfigurationError, match="jitter model"):
+            make_spec(jitter=0.1, jitter_model="cauchy")
+        with pytest.raises(ConfigurationError, match="failure_rate"):
+            make_spec(failure_rate=1.0)
+        # Mirrors PerturbationModel's rule: the spec must fail at
+        # construction, not when the first simulation job runs.
+        with pytest.raises(ConfigurationError, match="uniform jitter"):
+            make_spec(jitter=1.5, jitter_model="uniform")
+        make_spec(jitter=1.5)  # lognormal jitter has no upper bound
+
+    def test_perturbation_builder(self):
+        spec = make_spec(jitter=0.2, jitter_model="uniform", failure_rate=0.05)
+        assert spec.has_perturbation
+        model = spec.perturbation()
+        assert model.jitter == 0.2
+        assert model.jitter_model == "uniform"
+        assert model.failure_rate == 0.05
+
+    def test_round_trip(self):
+        spec = make_spec(jitter=0.2, failure_rate=0.05)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_content_hash_stable_for_deterministic_specs(self):
+        # Adding the (all-default) stochastic fields must not move the
+        # hashes of pre-existing deterministic scenarios: this value was
+        # pinned before the stochastic tier existed.
+        from repro.scenarios import default_registry
+
+        assert default_registry().get("g3").content_hash() == "343b3ec8d083c10c"
+
+    def test_perturbation_enters_content_hash(self):
+        base = make_spec()
+        assert make_spec(jitter=0.1).content_hash() != base.content_hash()
+        assert make_spec(failure_rate=0.1).content_hash() != base.content_hash()
+        assert (
+            make_spec(jitter=0.1).content_hash()
+            != make_spec(jitter=0.1, jitter_model="uniform").content_hash()
+        )
+
+    def test_perturbation_does_not_change_offline_problem(self):
+        base = make_spec()
+        jittered = make_spec(jitter=0.25, failure_rate=0.1)
+        assert problem_fingerprint(base.build_problem()) == problem_fingerprint(
+            jittered.build_problem()
+        )

@@ -1,0 +1,1 @@
+"""Tests for the runtime-simulation subsystem (repro.sim)."""
