@@ -1,0 +1,196 @@
+"""Benchmark of the observability layer (policy query profiles + overhead).
+
+Measures, on the same jittery crossbar workload as ``bench_sim.py``:
+
+* **per-policy decision profiles** — events by type, scheduler decisions,
+  retries, and per-decision live battery-state query counts
+  (``apparent_charge`` / ``state_of_charge`` / ``remaining_min_time`` /
+  ``delivered_charge``), the data behind the online-policy cost analysis:
+  how much battery observability each policy actually buys its decisions
+  with; and
+* **instrumentation overhead** — wall-clock of the identical event loop
+  with the recorder disabled vs enabled, reporting the slowdown factor
+  (disabled must be indistinguishable from the pre-instrumentation loop:
+  every hot-path hook is a single attribute check).
+
+Counter totals (never wall times) are asserted bitwise-reproducible
+across repeated runs — the same determinism contract the test-suite
+enforces serial-vs-parallel.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full, writes BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # quick CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.obs import RECORDER, recording
+from repro.scenarios import ScenarioSpec
+from repro.sim import Simulator, make_policy, rng_for_seed
+
+POLICIES = ("static-replay", "greedy-energy", "deadline-slack", "battery-reactive")
+
+QUERY_KINDS = (
+    "apparent_charge",
+    "state_of_charge",
+    "remaining_min_time",
+    "delivered_charge",
+)
+
+
+def crossbar_spec(num_layers: int, layer_width: int) -> ScenarioSpec:
+    """The benchmark workload: same jittery crossbar as ``bench_sim.py``."""
+    return ScenarioSpec(
+        name=f"bench-crossbar-{num_layers}x{layer_width}",
+        family="crossbar",
+        seed=61,
+        family_params={"num_layers": num_layers, "layer_width": layer_width},
+        tightness=0.5,
+        jitter=0.10,
+        failure_rate=0.02,
+    )
+
+
+def simulate(spec: ScenarioSpec, policy: str, replications: int) -> float:
+    """Run the event loop ``replications`` times; returns the wall time."""
+    problem = spec.build_problem()
+    perturbation = spec.perturbation()
+    scheduler = make_policy(policy, problem)
+    started = time.perf_counter()
+    for replication in range(replications):
+        Simulator(
+            problem,
+            scheduler,
+            perturbation=perturbation,
+            rng=rng_for_seed(0, replication),
+        ).run()
+    return time.perf_counter() - started
+
+
+def profile_policy(spec: ScenarioSpec, policy: str, replications: int) -> Dict[str, Any]:
+    """Counter profile of one policy over seeded replications."""
+    with recording() as rec:
+        simulate(spec, policy, replications)
+        counters = rec.counters_snapshot()["counters"]
+    RECORDER.reset()
+
+    def total(name: str) -> int:
+        return counters.get(f"{name}[{policy}]", 0)
+
+    decisions = total("sim.decisions")
+    events = sum(
+        value
+        for key, value in counters.items()
+        if key.startswith("sim.event.")
+    )
+    queries = {kind: total(f"sim.query.{kind}") for kind in QUERY_KINDS}
+    return {
+        "replications": replications,
+        "events": events,
+        "wakeups": total("sim.event.wakeup"),
+        "decisions": decisions,
+        "retries": total("sim.retries"),
+        "queries": queries,
+        "queries_per_decision": {
+            kind: (count / decisions if decisions else 0.0)
+            for kind, count in queries.items()
+        },
+    }
+
+
+def bench_overhead(spec: ScenarioSpec, replications: int) -> Dict[str, float]:
+    """Same event loop, recorder disabled vs enabled (no sinks attached)."""
+    disabled_wall = simulate(spec, "battery-reactive", replications)
+    with recording():
+        enabled_wall = simulate(spec, "battery-reactive", replications)
+    RECORDER.reset()
+    return {
+        "replications": replications,
+        "disabled_wall_s": disabled_wall,
+        "enabled_wall_s": enabled_wall,
+        "overhead_factor": enabled_wall / disabled_wall if disabled_wall else float("inf"),
+    }
+
+
+def run(smoke: bool, output: str) -> int:
+    if smoke:
+        spec = crossbar_spec(num_layers=12, layer_width=5)  # 60 tasks
+        replications = 3
+    else:
+        spec = crossbar_spec(num_layers=40, layer_width=5)  # 200 tasks
+        replications = 10
+
+    report: Dict[str, Any] = {
+        "workload": spec.to_dict(),
+        "mode": "smoke" if smoke else "full",
+        "policies": {},
+        "overhead": {},
+    }
+    failures: List[str] = []
+
+    print(f"== per-policy decision profiles ({spec.name}, jitter 10% / fail 2%) ==")
+    for policy in POLICIES:
+        row = profile_policy(spec, policy, replications)
+        again = profile_policy(spec, policy, replications)
+        if row != again:
+            failures.append(f"[{policy}] counter profile not reproducible")
+        report["policies"][policy] = row
+        per_decision = ", ".join(
+            f"{kind}={rate:.2f}"
+            for kind, rate in row["queries_per_decision"].items()
+            if rate
+        ) or "none"
+        print(
+            f"  {policy:<18} {row['events']:6d} events  {row['decisions']:5d} decisions  "
+            f"{row['retries']:3d} retries   queries/decision: {per_decision}"
+        )
+
+    print("== instrumentation overhead (battery-reactive loop) ==")
+    overhead = bench_overhead(spec, replications)
+    report["overhead"] = overhead
+    print(
+        f"  disabled {overhead['disabled_wall_s'] * 1e3:8.2f}ms   "
+        f"enabled {overhead['enabled_wall_s'] * 1e3:8.2f}ms   "
+        f"factor {overhead['overhead_factor']:5.2f}x"
+    )
+
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick regression gate: smaller workload, no JSON by default",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_obs.json in full mode)",
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = "BENCH_obs.json"
+    return run(smoke=args.smoke, output=output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,9 @@ Subpackages
 ``repro.sim``
     Event-driven runtime simulation: online scheduling policies,
     seeded perturbations, bit-conformant replay of offline schedules.
+``repro.obs``
+    Tracing/metrics/profiling: a no-op-when-disabled recorder, JSONL
+    traces, Chrome-trace export (``--trace`` / ``repro stats``).
 ``repro.analysis``
     Metrics, text tables, algorithm comparisons and suite leaderboards.
 ``repro.experiments``

@@ -32,6 +32,12 @@ platforms x deadline tiers), and regenerate the docs pages from it::
     python -m repro.cli suite --run --scenarios g3 g3-kibam --algorithms iterative
     python -m repro.cli docs              # rewrite docs/scenarios.md
     python -m repro.cli docs --check      # fail if the committed page drifted
+
+Trace and profile a run (repro.obs), then inspect the trace::
+
+    python -m repro.cli suite --run --trace suite.jsonl --metrics
+    python -m repro.cli stats suite.jsonl
+    python -m repro.cli stats suite.jsonl --chrome suite-chrome.json --check
 """
 
 from __future__ import annotations
@@ -92,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="seed recorded in every engine job (stochastic algorithms "
                  "consume it; two same-seed runs are byte-identical)")
 
+    def add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
+        """Observability controls (repro.obs) for the batch commands."""
+        subparser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="record a JSONL event trace of the run (summarize or export "
+                 "it later with the stats subcommand)")
+        subparser.add_argument(
+            "--metrics", action="store_true",
+            help="print the recorded counter/timing summary after the run")
+
     subparsers.add_parser("table2", help="reproduce Table 2 (sequences per iteration)")
     subparsers.add_parser("table3", help="reproduce Table 3 (sigma/Delta per window)")
     table4 = subparsers.add_parser("table4", help="reproduce Table 4 (comparison with the [1]-style baseline)")
@@ -101,12 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = subparsers.add_parser("ablation", help="factor ablation over the Table 4 instances")
     add_engine_arguments(ablation)
     add_seed_argument(ablation)
+    add_obs_arguments(ablation)
 
     sweep = subparsers.add_parser("sweep", help="deadline sweep of ours vs. baselines")
     sweep.add_argument("--graph", choices=("g2", "g3"), default="g3")
     sweep.add_argument("--points", type=int, default=6)
     add_engine_arguments(sweep)
     add_seed_argument(sweep)
+    add_obs_arguments(sweep)
 
     suite = subparsers.add_parser(
         "suite", help="list or run the scenario catalogue (repro.scenarios)"
@@ -126,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithms to run (default: iterative + deterministic baselines)")
     add_engine_arguments(suite)
     add_seed_argument(suite)
+    add_obs_arguments(suite)
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -144,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: %(default)s)")
     add_engine_arguments(simulate)
     add_seed_argument(simulate)
+    add_obs_arguments(simulate)
 
     docs = subparsers.add_parser(
         "docs", help="regenerate docs/scenarios.md from the scenario registry"
@@ -154,6 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
     docs.add_argument(
         "--out", default="docs", metavar="DIR",
         help="docs directory to write to / check against (default: %(default)s)")
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize or export a JSONL trace recorded with --trace"
+    )
+    stats.add_argument("trace_file", metavar="TRACE",
+                       help="path to a JSONL trace written by --trace")
+    stats.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="also export the trace as Chrome-trace/Perfetto JSON "
+             "(open in chrome://tracing or ui.perfetto.dev)")
+    stats.add_argument(
+        "--check", action="store_true",
+        help="validate the trace file against the event schema "
+             "(nonzero exit on any malformed line)")
 
     schedule = subparsers.add_parser("schedule", help="schedule a task graph stored as JSON")
     schedule.add_argument("graph", help="path to a task-graph JSON file (see repro.taskgraph.io)")
@@ -192,10 +226,47 @@ def _engine_options(args: argparse.Namespace, record_type=None) -> dict:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``--trace``/``--metrics`` wrap the whole command in a
+    :func:`repro.obs.recording` session: spans and counters stream to the
+    JSONL sink while the run itself stays byte-identical (instrumentation
+    never reaches job keys or result stores).
+    """
     args = build_parser().parse_args(argv)
     out: List[str] = []
 
+    trace_path = getattr(args, "trace", None)
+    show_metrics = bool(getattr(args, "metrics", False))
+    session = None
+    if trace_path is not None or show_metrics:
+        from .obs import recording
+
+        session = recording(trace=trace_path)
+        session.__enter__()
+    try:
+        code = _dispatch(args, out)
+    except BaseException:
+        if session is not None:
+            session.__exit__(*sys.exc_info())
+        raise
+    if session is not None:
+        from .obs import RECORDER
+
+        if show_metrics and code == 0:
+            out.append("")
+            out.extend(RECORDER.summary_lines())
+        session.__exit__(None, None, None)
+        if trace_path is not None and code == 0:
+            out.append(f"wrote trace {trace_path}")
+    if code != 0:
+        return code
+    print("\n".join(out))
+    return 0
+
+
+def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
+    """Run one parsed command, appending its report lines to ``out``."""
     if args.command == "table2":
         out.append(run_table2().to_table().to_text())
     elif args.command == "table3":
@@ -300,6 +371,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 target.parent.mkdir(parents=True, exist_ok=True)
                 target.write_text(page, encoding="utf-8")
                 out.append(f"wrote {target}")
+    elif args.command == "stats":
+        from .obs import report
+
+        if args.check:
+            problems = report.validate_trace(args.trace_file)
+            if problems:
+                for problem in problems:
+                    print(f"trace check FAILED: {problem}", file=sys.stderr)
+                return 1
+            out.append(f"trace check OK: {args.trace_file}")
+        trace = report.load_trace(args.trace_file)
+        if args.chrome:
+            report.write_chrome_trace(trace, args.chrome)
+            out.append(f"wrote {args.chrome}")
+        out.extend(report.trace_summary_lines(trace))
     elif args.command == "schedule":
         graph = load_json(args.graph)
         problem = SchedulingProblem(
@@ -319,8 +405,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 out.append(gantt_chart(solution.schedule(), deadline=problem.deadline))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
-
-    print("\n".join(out))
     return 0
 
 

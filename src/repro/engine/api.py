@@ -51,6 +51,7 @@ from typing import (
 
 from ..analysis import TextTable
 from ..errors import ConfigurationError
+from ..obs import RECORDER as _OBS
 from ..scheduling import SchedulingProblem
 from .executors import ProgressCallback, SerialExecutor
 from .jobs import Job, JobResult
@@ -270,9 +271,12 @@ def run_jobs(
     else:
         pending, done = list(jobs), {}
 
+    if _OBS.enabled and done:
+        _OBS.count("engine.jobs.resumed", len(done))
     fresh = executor.run(pending, progress=progress) if pending else []
     if store is not None:
-        store.append_many(fresh)
+        with _OBS.span("engine.store.append", label=str(store.path.name)):
+            store.append_many(fresh)
 
     by_key: Dict[str, JobResult] = dict(done)
     for result in fresh:

@@ -88,6 +88,12 @@ class CacheStats:
             evictions=self.evictions - earlier.evictions,
         )
 
+    def add(self, other: "CacheStats") -> None:
+        """Fold another stats object in (aggregating per-worker counters)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
 
 def model_signature(model: BatteryModel) -> Tuple:
     """A hashable fingerprint of a battery model's cost function.

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import os
 import time
+import traceback as traceback_module
 from concurrent import futures
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
-from .cache import DEFAULT_CACHE_SIZE, BatteryCostCache, CachedBatteryModel
+from ..obs import RECORDER as _OBS
+from .cache import DEFAULT_CACHE_SIZE, BatteryCostCache, CacheStats, CachedBatteryModel
 from .jobs import Job, JobResult, get_algorithm
 
 __all__ = [
@@ -57,12 +59,14 @@ def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult
     """
     if cache is None:
         cache = _worker_cache()
+    obs_before = _OBS.counters_snapshot(include_volatile=True) if _OBS.enabled else None
     before = cache.stats.snapshot()
     model = CachedBatteryModel(job.problem.model(), cache)
     runner = get_algorithm(job.algorithm)
     started = time.perf_counter()
     try:
-        outcome = runner(job.problem, model, dict(job.params))
+        with _OBS.span("engine.job", label=job.label):
+            outcome = runner(job.problem, model, dict(job.params))
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         elapsed = time.perf_counter() - started
         used = cache.stats.delta(before)
@@ -71,9 +75,12 @@ def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult
             algorithm=job.algorithm,
             problem_name=job.problem.name or job.problem.graph.name or "",
             error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
             elapsed_s=elapsed,
             cache_hits=used.hits,
             cache_misses=used.misses,
+            cache_evictions=used.evictions,
+            metrics=_job_metrics(obs_before, used, failed=True),
         )
     elapsed = time.perf_counter() - started
     used = cache.stats.delta(before)
@@ -90,7 +97,28 @@ def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult
         elapsed_s=elapsed,
         cache_hits=used.hits,
         cache_misses=used.misses,
+        cache_evictions=used.evictions,
+        metrics=_job_metrics(obs_before, used),
     )
+
+
+def _job_metrics(obs_before, used: CacheStats, kind: str = "jobs", failed: bool = False):
+    """Close out one job's observability accounting; None while disabled.
+
+    Counts the job itself and its battery-cache traffic, then returns the
+    recorder delta since ``obs_before`` so the parallel executor can ship it
+    across the process boundary (see ``ParallelExecutor.run``).
+    """
+    if obs_before is None or not _OBS.enabled:
+        return None
+    _OBS.count(f"engine.{kind}.failed" if failed else f"engine.{kind}.executed")
+    if used.hits:
+        _OBS.count("rt.engine.cache.hits", used.hits)
+    if used.misses:
+        _OBS.count("rt.engine.cache.misses", used.misses)
+    if used.evictions:
+        _OBS.count("rt.engine.cache.evictions", used.evictions)
+    return _OBS.metrics_delta(obs_before)
 
 
 # ----------------------------------------------------------------------
@@ -100,11 +128,20 @@ _PROCESS_CACHE: Optional[BatteryCostCache] = None
 _PROCESS_CACHE_SIZE = DEFAULT_CACHE_SIZE
 
 
-def _init_worker(cache_size: int) -> None:
-    """Process-pool initializer: give this worker a fresh bounded cache."""
+def _init_worker(cache_size: int, obs_enabled: bool = False) -> None:
+    """Process-pool initializer: fresh bounded cache, fresh recorder state.
+
+    The recorder reset matters under ``fork``: the child would otherwise
+    inherit the parent's counter values *and* its open sink handles, and
+    worker writes would interleave garbage into the parent's trace file.
+    Workers record into memory only; per-job deltas travel back on the
+    result (``JobResult.metrics``) and are merged by the parent.
+    """
     global _PROCESS_CACHE, _PROCESS_CACHE_SIZE
     _PROCESS_CACHE_SIZE = cache_size
     _PROCESS_CACHE = BatteryCostCache(cache_size)
+    _OBS.reset()
+    _OBS.enabled = obs_enabled
 
 
 def _worker_cache() -> BatteryCostCache:
@@ -148,6 +185,11 @@ class SerialExecutor:
     def max_workers(self) -> int:
         return 1
 
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregate battery-cache counters across every job this executor ran."""
+        return self.cache.stats
+
     def run(
         self,
         jobs: Iterable[Job],
@@ -188,6 +230,21 @@ class ParallelExecutor:
         self.max_workers = max_workers or os.cpu_count() or 1
         self.cache_size = cache_size
         self._serial_fallback: Optional[SerialExecutor] = None
+        self._pool_stats = CacheStats()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Worker-local cache counters, merged back through the pool.
+
+        Per-worker ``CacheStats`` live in worker processes and die with the
+        pool; each job therefore reports its own cache delta on its result,
+        and ``run`` folds those deltas into this aggregate (plus whatever the
+        serial fallback executor accumulated).
+        """
+        total = self._pool_stats.snapshot()
+        if self._serial_fallback is not None:
+            total.add(self._serial_fallback.cache_stats)
+        return total
 
     def run(
         self,
@@ -208,11 +265,13 @@ class ParallelExecutor:
 
         results: List[Optional[JobResult]] = [None] * len(job_list)
         workers = min(self.max_workers, len(job_list))
+        pool_started = time.perf_counter()
         with futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.cache_size,),
+            initargs=(self.cache_size, _OBS.enabled),
         ) as pool:
+            submitted = time.perf_counter()
             pending = {
                 pool.submit(runner, job): index
                 for index, job in enumerate(job_list)
@@ -225,11 +284,42 @@ class ParallelExecutor:
                 except Exception as exc:  # pool/pickling failure, not the job
                     job = job_list[index]
                     result = _pool_failure_result(job, exc)
+                self._pool_stats.add(
+                    CacheStats(
+                        hits=getattr(result, "cache_hits", 0),
+                        misses=getattr(result, "cache_misses", 0),
+                        evictions=getattr(result, "cache_evictions", 0),
+                    )
+                )
+                if _OBS.enabled:
+                    self._record_remote_job(result, job_list[index], submitted)
                 results[index] = result
                 done += 1
                 if progress is not None:
                     progress(done, len(job_list), result)
+        if _OBS.enabled:
+            wall = time.perf_counter() - pool_started
+            busy = sum(getattr(r, "elapsed_s", 0.0) or 0.0 for r in results if r)
+            if wall > 0.0:
+                _OBS.gauge("rt.engine.pool.utilization", busy / (workers * wall))
         return [result for result in results if result is not None]
+
+    @staticmethod
+    def _record_remote_job(result, job, submitted: float) -> None:
+        """Mirror a worker-side job into the parent recorder.
+
+        Metric deltas merge exactly; spans cannot cross the process boundary
+        (the worker records into memory only), so the parent synthesizes the
+        execute span from the job's elapsed time and a queue span for the
+        submit-to-start wait.
+        """
+        _OBS.merge_metrics(getattr(result, "metrics", None))
+        completed = time.perf_counter()
+        elapsed = getattr(result, "elapsed_s", 0.0) or 0.0
+        label = getattr(job, "label", None)
+        _OBS.record_span("engine.job", label, completed - elapsed, elapsed)
+        queue_wait = max(0.0, (completed - submitted) - elapsed)
+        _OBS.record_span("engine.job.queue", label, submitted, queue_wait)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(max_workers={self.max_workers})"

@@ -158,6 +158,16 @@ class JobResult:
     elapsed_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    traceback: Optional[str] = None
+    #: Cache evictions during this job.  In-memory accounting only (the
+    #: executors aggregate it); excluded from :meth:`to_dict` because the
+    #: value depends on worker placement, and the stores must stay
+    #: byte-identical between serial and parallel runs.
+    cache_evictions: int = field(default=0, compare=False)
+    #: Per-job observability metrics delta (``repro.obs``), shipped back to
+    #: the parent through the process pool.  Never serialised: traced and
+    #: untraced runs must produce byte-identical result stores.
+    metrics: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -179,6 +189,7 @@ class JobResult:
             "elapsed_s": self.elapsed_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -201,6 +212,7 @@ class JobResult:
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
+            traceback=data.get("traceback"),
         )
 
     def summary(self) -> str:

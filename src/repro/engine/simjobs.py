@@ -30,10 +30,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import traceback as traceback_module
+
 from ..errors import ConfigurationError
+from ..obs import RECORDER as _OBS
 from ..scenarios import ScenarioSpec
 from .cache import BatteryCostCache, CachedBatteryModel
-from .executors import SerialExecutor, _worker_cache
+from .executors import SerialExecutor, _job_metrics, _worker_cache
 from .jobs import _canonical
 from .store import ResultStore
 
@@ -153,6 +156,17 @@ class SimulationRecord:
     depletion_time: Optional[float] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    traceback: Optional[str] = None
+    #: Battery-cache deltas for this job.  In-memory accounting only,
+    #: excluded from :meth:`to_dict`: per-job cache traffic depends on which
+    #: worker ran the job before, and the stores must stay byte-identical
+    #: between serial and parallel runs.
+    cache_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
+    cache_evictions: int = field(default=0, compare=False)
+    #: Per-job observability metrics delta (``repro.obs``), shipped back to
+    #: the parent through the process pool.  Never serialised.
+    metrics: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -175,6 +189,7 @@ class SimulationRecord:
             "depletion_time": self.depletion_time,
             "error": self.error,
             "elapsed_s": self.elapsed_s,
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -194,6 +209,7 @@ class SimulationRecord:
             depletion_time=data.get("depletion_time"),
             error=data.get("error"),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            traceback=data.get("traceback"),
         )
 
     def summary(self) -> str:
@@ -225,20 +241,24 @@ def execute_simulation_job(
 
     if cache is None:
         cache = _worker_cache()
+    obs_before = _OBS.counters_snapshot(include_volatile=True) if _OBS.enabled else None
+    before = cache.stats.snapshot()
     started = time.perf_counter()
     try:
-        problem = job.spec.build_problem()
-        model = CachedBatteryModel(problem.model(), cache)
-        scheduler = make_policy(job.policy, problem, job.params, model=model)
-        result = Simulator(
-            problem,
-            scheduler,
-            perturbation=job.spec.perturbation(),
-            rng=rng_for_seed(job.seed, job.replication),
-            model=model,
-            evaluate_at=job.evaluate_at,
-        ).run()
+        with _OBS.span("engine.job", label=job.label):
+            problem = job.spec.build_problem()
+            model = CachedBatteryModel(problem.model(), cache)
+            scheduler = make_policy(job.policy, problem, job.params, model=model)
+            result = Simulator(
+                problem,
+                scheduler,
+                perturbation=job.spec.perturbation(),
+                rng=rng_for_seed(job.seed, job.replication),
+                model=model,
+                evaluate_at=job.evaluate_at,
+            ).run()
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        used = cache.stats.delta(before)
         return SimulationRecord(
             key=job.key(),
             scenario=job.spec.name,
@@ -246,8 +266,14 @@ def execute_simulation_job(
             seed=job.seed,
             replication=job.replication,
             error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
             elapsed_s=time.perf_counter() - started,
+            cache_hits=used.hits,
+            cache_misses=used.misses,
+            cache_evictions=used.evictions,
+            metrics=_job_metrics(obs_before, used, kind="simjobs", failed=True),
         )
+    used = cache.stats.delta(before)
     return SimulationRecord(
         key=job.key(),
         scenario=job.spec.name,
@@ -261,6 +287,10 @@ def execute_simulation_job(
         events=result.events,
         depletion_time=result.depletion_time,
         elapsed_s=time.perf_counter() - started,
+        cache_hits=used.hits,
+        cache_misses=used.misses,
+        cache_evictions=used.evictions,
+        metrics=_job_metrics(obs_before, used, kind="simjobs"),
     )
 
 
@@ -284,6 +314,24 @@ class SimulationRun:
         """The records that captured an error."""
         return tuple(record for record in self.records if not record.ok)
 
+    @property
+    def cache_hits(self) -> int:
+        return sum(record.cache_hits for record in self.records)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(record.cache_misses for record in self.records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Battery-cost cache hit rate aggregated over every executed job.
+
+        Per-worker caches report through the per-record deltas (merged back
+        by the parallel executor), so the rate covers pool runs too.
+        """
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
     def by_cell(self) -> Dict[Tuple[str, str], List[SimulationRecord]]:
         """Records grouped per (scenario, policy) cell, replication order."""
         grouped: Dict[Tuple[str, str], List[SimulationRecord]] = {}
@@ -297,7 +345,8 @@ class SimulationRun:
         """One-line accounting summary."""
         return (
             f"{len(self.records)} simulations ({self.executed} executed, "
-            f"{self.skipped} resumed), {len(self.failures())} failed"
+            f"{self.skipped} resumed), {len(self.failures())} failed, "
+            f"cache hit rate {self.cache_hit_rate:.1%}"
         )
 
 
@@ -334,13 +383,16 @@ def run_simulation_jobs(
     else:
         pending, done = list(jobs), {}
 
+    if _OBS.enabled and done:
+        _OBS.count("engine.simjobs.resumed", len(done))
     fresh = (
         executor.run(pending, progress=progress, runner=execute_simulation_job)
         if pending
         else []
     )
     if store is not None:
-        store.append_many(fresh)
+        with _OBS.span("engine.store.append", label=str(store.path.name)):
+            store.append_many(fresh)
 
     by_key: Dict[str, SimulationRecord] = dict(done)
     for record in fresh:

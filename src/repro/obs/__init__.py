@@ -1,0 +1,53 @@
+"""repro.obs: tracing, metrics and profiling across engine, evaluator and simulator.
+
+The package is a strict no-op when disabled: a single module-level
+:data:`RECORDER` (never rebound) carries an ``enabled`` flag, and every
+instrumented hot path pays exactly one attribute check while recording is
+off.  Enable it for a block with :func:`recording`::
+
+    from repro import obs
+
+    with obs.recording(trace="run.jsonl") as rec:
+        ...  # run experiments; spans and counters stream to run.jsonl
+    snapshot = rec.counters_snapshot()  # deterministic metrics only
+
+Metric names starting with ``rt.`` are runtime-dependent (wall times, cache
+probe outcomes, pool utilization) and are excluded from deterministic
+snapshots; everything else is a pure function of (scenario, params, seed)
+and identical between serial and parallel execution.
+
+Submodules
+----------
+``core``
+    ``Counter`` / ``Histogram`` / ``Span`` / ``Recorder`` and the global
+    :data:`RECORDER`.
+``sinks``
+    ``MemorySink`` (tests) and ``JsonlSink`` (append-only trace file).
+``report``
+    Trace loading/validation, Chrome-trace export, summary tables
+    (the ``repro stats`` subcommand).
+"""
+
+from .core import (
+    RECORDER,
+    Counter,
+    Histogram,
+    Recorder,
+    Span,
+    is_volatile,
+    recording,
+)
+from .sinks import JsonlSink, MemorySink, TRACE_VERSION
+
+__all__ = [
+    "RECORDER",
+    "Counter",
+    "Histogram",
+    "Recorder",
+    "Span",
+    "is_volatile",
+    "recording",
+    "JsonlSink",
+    "MemorySink",
+    "TRACE_VERSION",
+]

@@ -1,0 +1,396 @@
+"""Instrumentation core: counters, histograms, spans, and the global recorder.
+
+The module exposes a single :data:`RECORDER` instance that is **never
+rebound** -- instrumented modules import the object once (``from ..obs import
+RECORDER``) and guard hot paths with a single attribute check
+(``RECORDER.enabled``).  When disabled (the default) every recording method is
+a no-op, so the instrumented code paths pay one boolean test and nothing else.
+
+Volatility convention
+---------------------
+Counter, histogram, and gauge *names* encode whether the metric is a
+deterministic function of (scenario, params, seed) or depends on wall-clock /
+process placement: names starting with ``rt.`` (runtime) are **volatile** and
+are excluded from deterministic snapshots.  Everything else must be identical
+between serial and parallel execution of the same jobs -- the test-suite
+enforces this.
+
+>>> from repro.obs import RECORDER, recording
+>>> RECORDER.count("eval.apply")  # disabled: silently dropped
+>>> with recording() as rec:
+...     rec.count("eval.apply")
+...     rec.count("eval.apply", 2)
+...     rec.observe("eval.recompute_window", 5)
+>>> rec.counters_snapshot()["counters"]["eval.apply"]
+3
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Recorder",
+    "Span",
+    "RECORDER",
+    "recording",
+    "is_volatile",
+]
+
+#: Prefix marking runtime-dependent (wall-clock / process-placement) metrics.
+VOLATILE_PREFIX = "rt."
+
+
+def is_volatile(name: str) -> bool:
+    """True when ``name`` denotes a runtime-dependent (non-deterministic) metric."""
+    return name.startswith(VOLATILE_PREFIX)
+
+
+def _metric_key(name: str, label: Optional[str]) -> str:
+    return name if label is None else f"{name}[{label}]"
+
+
+def _bucket_bound(value: float) -> float:
+    """Smallest power of two >= ``value`` (0.0 for non-positive values)."""
+    if value <= 0.0:
+        return 0.0
+    return 2.0 ** math.ceil(math.log2(value))
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A value distribution with power-of-two buckets.
+
+    ``count``/``total``/``buckets`` merge exactly across processes (the
+    parallel executor ships per-job deltas back through the pool); ``min`` and
+    ``max`` are process-local conveniences and are excluded from snapshots.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = _bucket_bound(value)
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def state(self) -> Dict[str, Any]:
+        """Mergeable snapshot (JSON-safe; excludes process-local min/max)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "buckets": {str(bound): n for bound, n in sorted(self.buckets.items())},
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        self.count += int(state.get("count", 0))
+        self.total += float(state.get("total", 0.0))
+        for key, n in state.get("buckets", {}).items():
+            bound = float(key)
+            self.buckets[bound] = self.buckets.get(bound, 0) + int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+
+
+def _delta_histogram_state(after: Mapping[str, Any], before: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    if before is None:
+        return dict(after, buckets=dict(after["buckets"]))
+    before_buckets = before.get("buckets", {})
+    buckets = {
+        key: n - before_buckets.get(key, 0)
+        for key, n in after["buckets"].items()
+        if n - before_buckets.get(key, 0)
+    }
+    return {
+        "count": after["count"] - before.get("count", 0),
+        "total": after["total"] - before.get("total", 0.0),
+        "buckets": buckets,
+    }
+
+
+class Span:
+    """A timed region; on exit it feeds a volatile timer and emits an event.
+
+    Nesting is expressed through timestamps: spans opened while another span
+    is active carry ``ts`` ranges contained in the parent's, which is how the
+    Chrome-trace viewer reconstructs the hierarchy.
+    """
+
+    __slots__ = ("_recorder", "name", "label", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, label: Optional[str]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        rec = self._recorder
+        if rec.enabled:
+            rec.record_span(self.name, self.label, self._start, time.perf_counter() - self._start)
+
+
+class _NullSpan:
+    """Shared no-op span returned while the recorder is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Process-aware metric registry with pluggable event sinks.
+
+    All recording methods are no-ops while :attr:`enabled` is False, so an
+    always-present recorder costs instrumented code one attribute check.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, float] = {}
+        self._sinks: List[Any] = []
+        self._t0 = time.perf_counter()
+        self.pid = os.getpid()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all metrics and sinks; re-anchor the span clock."""
+        self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
+        self._sinks = []
+        self._t0 = time.perf_counter()
+        self.pid = os.getpid()
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        self._sinks = [s for s in self._sinks if s is not sink]
+
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    # -- recording -----------------------------------------------------
+
+    def counter(self, name: str, label: Optional[str] = None) -> Counter:
+        key = _metric_key(name, label)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(key)
+        return counter
+
+    def count(self, name: str, n: int = 1, label: Optional[str] = None) -> None:
+        if self.enabled:
+            self.counter(name, label).inc(n)
+
+    def histogram(self, name: str, label: Optional[str] = None) -> Histogram:
+        key = _metric_key(name, label)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(key)
+        return hist
+
+    def observe(self, name: str, value: float, label: Optional[str] = None) -> None:
+        if self.enabled:
+            self.histogram(name, label).observe(value)
+
+    def gauge(self, name: str, value: float, label: Optional[str] = None) -> None:
+        if self.enabled:
+            key = _metric_key(name, label)
+            self._gauges[key] = value
+            self._emit({"type": "gauge", "name": key, "value": value, "pid": self.pid})
+
+    def span(self, name: str, label: Optional[str] = None):
+        """Context manager timing a region; no-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, label)
+
+    def record_span(self, name: str, label: Optional[str], start: float, duration: float) -> None:
+        """Record a completed span (used by Span.__exit__ and pool synthesis)."""
+        if not self.enabled:
+            return
+        self.histogram(f"{VOLATILE_PREFIX}span.{name}").observe(duration)
+        self._emit(
+            {
+                "type": "span",
+                "name": name,
+                "label": label,
+                "ts": start - self._t0,
+                "dur": duration,
+                "pid": self.pid,
+            }
+        )
+
+    def event(self, payload: Mapping[str, Any]) -> None:
+        """Forward an arbitrary event dict to the sinks."""
+        if self.enabled:
+            self._emit(dict(payload))
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        for sink in self._sinks:
+            sink.write(event)
+
+    # -- snapshots, deltas, merging ------------------------------------
+
+    def counters_snapshot(self, include_volatile: bool = False) -> Dict[str, Any]:
+        """Sorted, JSON-safe snapshot of counters and histogram states.
+
+        With ``include_volatile=False`` (the default) only deterministic
+        metrics are returned -- the object compared bitwise by the
+        determinism tests.
+        """
+        counters = {
+            key: counter.value
+            for key, counter in sorted(self._counters.items())
+            if include_volatile or not is_volatile(key)
+        }
+        histograms = {
+            key: hist.state()
+            for key, hist in sorted(self._histograms.items())
+            if include_volatile or not is_volatile(key)
+        }
+        return {"counters": counters, "histograms": histograms}
+
+    def metrics_delta(self, before: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Difference between the current state and a prior full snapshot.
+
+        Used by job runners to ship per-job metrics across the process pool;
+        includes volatile metrics (the snapshot layer filters later).
+        """
+        after = self.counters_snapshot(include_volatile=True)
+        before_counters = before.get("counters", {}) if before else {}
+        before_histograms = before.get("histograms", {}) if before else {}
+        counters = {
+            key: value - before_counters.get(key, 0)
+            for key, value in after["counters"].items()
+            if value - before_counters.get(key, 0)
+        }
+        histograms = {
+            key: state
+            for key, state in (
+                (key, _delta_histogram_state(state, before_histograms.get(key)))
+                for key, state in after["histograms"].items()
+            )
+            if state["count"]
+        }
+        return {"counters": counters, "histograms": histograms}
+
+    def merge_metrics(self, metrics: Optional[Mapping[str, Any]]) -> None:
+        """Fold a :meth:`metrics_delta` payload from another process back in."""
+        if not self.enabled or not metrics:
+            return
+        for key, value in metrics.get("counters", {}).items():
+            self._counters.setdefault(key, Counter(key)).inc(value)
+        for key, state in metrics.get("histograms", {}).items():
+            self._histograms.setdefault(key, Histogram(key)).merge_state(state)
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable metric summary (used by ``--metrics``)."""
+        from .report import recorder_summary_lines
+
+        return recorder_summary_lines(self)
+
+
+#: The process-wide recorder.  Never rebound -- toggle ``RECORDER.enabled``.
+RECORDER = Recorder()
+
+
+class recording:
+    """Context manager enabling :data:`RECORDER` for a block.
+
+    Resets the recorder on entry (fresh counters, fresh span clock), attaches
+    an optional JSONL trace sink, and on exit flushes counter/histogram
+    footers to the sink and disables recording again.
+    """
+
+    def __init__(self, trace: Optional[str] = None) -> None:
+        self._trace = trace
+        self._sink = None
+
+    def __enter__(self) -> Recorder:
+        RECORDER.reset()
+        if self._trace is not None:
+            from .sinks import JsonlSink
+
+            self._sink = JsonlSink(self._trace)
+            RECORDER.add_sink(self._sink)
+        RECORDER.enabled = True
+        return RECORDER
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            if self._sink is not None:
+                self._sink.write_footer(RECORDER)
+                RECORDER.remove_sink(self._sink)
+                self._sink.close()
+                self._sink = None
+        finally:
+            RECORDER.enabled = False

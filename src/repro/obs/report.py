@@ -1,0 +1,252 @@
+"""Trace loading, validation, Chrome-trace export and summary rendering.
+
+Consumes JSONL traces written by :class:`repro.obs.sinks.JsonlSink` and
+powers the ``repro stats`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .core import Recorder, is_volatile
+from .sinks import TRACE_VERSION
+
+__all__ = [
+    "TraceData",
+    "load_trace",
+    "validate_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_summary_lines",
+    "recorder_summary_lines",
+]
+
+_KNOWN_TYPES = ("meta", "span", "gauge", "counters", "histogram")
+_REQUIRED_FIELDS = {
+    "meta": ("version",),
+    "span": ("name", "ts", "dur"),
+    "gauge": ("name", "value"),
+    "counters": ("counts",),
+    "histogram": ("name", "count", "total", "buckets"),
+}
+
+
+@dataclass
+class TraceData:
+    """Parsed contents of a JSONL trace file."""
+
+    path: Optional[Path] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def load_trace(path: Union[str, Path]) -> TraceData:
+    """Parse a JSONL trace; raises ValueError on malformed lines."""
+    trace = TraceData(path=Path(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            kind = event.get("type")
+            if kind == "meta":
+                trace.meta = event
+            elif kind == "span":
+                trace.spans.append(event)
+            elif kind == "gauge":
+                trace.gauges[event["name"]] = event["value"]
+            elif kind == "counters":
+                trace.counters.update(event["counts"])
+            elif kind == "histogram":
+                trace.histograms.append(event)
+    return trace
+
+
+def validate_trace(path: Union[str, Path]) -> List[str]:
+    """Schema-check every line; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: cannot open: {exc}"]
+    with handle:
+        first_kind: Optional[str] = None
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                problems.append(f"line {lineno}: blank line")
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not valid JSON ({exc})")
+                continue
+            if not isinstance(event, dict):
+                problems.append(f"line {lineno}: not a JSON object")
+                continue
+            kind = event.get("type")
+            if first_kind is None:
+                first_kind = kind
+                if kind != "meta":
+                    problems.append(f"line {lineno}: first event must be meta, got {kind!r}")
+                elif event.get("version") != TRACE_VERSION:
+                    problems.append(
+                        f"line {lineno}: unsupported trace version {event.get('version')!r}"
+                    )
+            if kind not in _KNOWN_TYPES:
+                problems.append(f"line {lineno}: unknown event type {kind!r}")
+                continue
+            for field_name in _REQUIRED_FIELDS[kind]:
+                if field_name not in event:
+                    problems.append(f"line {lineno}: {kind} event missing {field_name!r}")
+        if first_kind is None:
+            problems.append("empty trace file")
+    return problems
+
+
+def chrome_trace(trace: TraceData) -> Dict[str, Any]:
+    """Convert a trace to the Chrome-trace / Perfetto JSON object format.
+
+    Spans become complete ("X") events with microsecond timestamps; final
+    counter values become counter ("C") samples so they show up in the UI.
+    """
+    events: List[Dict[str, Any]] = []
+    end_us = 0.0
+    for span in trace.spans:
+        ts_us = span["ts"] * 1e6
+        dur_us = span["dur"] * 1e6
+        end_us = max(end_us, ts_us + dur_us)
+        event = {
+            "ph": "X",
+            "name": span["name"],
+            "cat": span["name"].split(".", 1)[0],
+            "ts": ts_us,
+            "dur": dur_us,
+            "pid": span.get("pid", 0),
+            "tid": 0,
+        }
+        if span.get("label"):
+            event["args"] = {"label": span["label"]}
+        events.append(event)
+    pid = trace.meta.get("pid") or (trace.spans[0].get("pid", 0) if trace.spans else 0)
+    for name, value in sorted(trace.counters.items()):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": end_us,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: TraceData, path: Union[str, Path]) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(trace), handle, sort_keys=True)
+        handle.write("\n")
+
+
+def _counter_table(counters: Dict[str, int]) -> "Any":
+    from ..analysis.tables import TextTable
+
+    table = TextTable(
+        title="Counters (rt.* = runtime-dependent)", headers=("counter", "value")
+    )
+    for name, value in sorted(counters.items()):
+        table.add_row(name, value)
+    return table
+
+
+def _histogram_table(rows: List[Dict[str, Any]]) -> "Any":
+    from ..analysis.tables import TextTable
+
+    table = TextTable(
+        title="Distributions",
+        headers=("histogram", "count", "total", "mean"),
+        precision=4,
+    )
+    for row in sorted(rows, key=lambda r: r["name"]):
+        count = row["count"]
+        total = row["total"]
+        table.add_row(row["name"], count, total, total / count if count else 0.0)
+    return table
+
+
+def _span_table(spans: List[Dict[str, Any]]) -> "Any":
+    from ..analysis.tables import TextTable
+
+    aggregate: Dict[str, List[float]] = {}
+    for span in spans:
+        aggregate.setdefault(span["name"], []).append(span["dur"])
+    table = TextTable(
+        title="Spans",
+        headers=("span", "count", "total_s", "mean_s", "max_s"),
+        precision=4,
+    )
+    for name, durations in sorted(aggregate.items()):
+        table.add_row(
+            name,
+            len(durations),
+            sum(durations),
+            sum(durations) / len(durations),
+            max(durations),
+        )
+    return table
+
+
+def trace_summary_lines(trace: TraceData) -> List[str]:
+    """Render a loaded trace as human-readable summary tables."""
+    lines: List[str] = []
+    if trace.path is not None:
+        lines.append(f"trace: {trace.path}")
+    deterministic = sum(1 for name in trace.counters if not is_volatile(name))
+    lines.append(
+        f"{len(trace.spans)} spans, {len(trace.counters)} counters "
+        f"({deterministic} deterministic), {len(trace.histograms)} histograms"
+    )
+    if trace.spans:
+        lines.append("")
+        lines.append(_span_table(trace.spans).to_text())
+    if trace.counters:
+        lines.append("")
+        lines.append(_counter_table(trace.counters).to_text())
+    if trace.histograms:
+        lines.append("")
+        lines.append(_histogram_table(trace.histograms).to_text())
+    for name, value in sorted(trace.gauges.items()):
+        lines.append(f"gauge {name} = {value:.4g}")
+    return lines
+
+
+def recorder_summary_lines(recorder: Recorder) -> List[str]:
+    """Render a live recorder's metrics (the CLI ``--metrics`` report)."""
+    snapshot = recorder.counters_snapshot(include_volatile=True)
+    lines: List[str] = []
+    if snapshot["counters"]:
+        lines.append(_counter_table(snapshot["counters"]).to_text())
+    histogram_rows = [
+        {"name": name, **state} for name, state in snapshot["histograms"].items()
+    ]
+    if histogram_rows:
+        if lines:
+            lines.append("")
+        lines.append(_histogram_table(histogram_rows).to_text())
+    for name, value in sorted(recorder.gauges.items()):
+        lines.append(f"gauge {name} = {value:.4g}")
+    if not lines:
+        lines.append("no metrics recorded")
+    return lines

@@ -1,0 +1,75 @@
+"""Event sinks for the recorder: in-memory (tests) and append-only JSONL.
+
+Trace file schema (one JSON object per line):
+
+``{"type": "meta", "version": 1, "pid": ..., "started_unix": ...}``
+    First line of every trace.
+``{"type": "span", "name": ..., "label": ..., "ts": s, "dur": s, "pid": ...}``
+    A timed region; ``ts`` is seconds since the recorder was enabled.
+``{"type": "gauge", "name": ..., "value": ..., "pid": ...}``
+    A point-in-time measurement.
+``{"type": "counters", "counts": {name: int, ...}}``
+    Footer: final counter values (written when the recording session closes).
+``{"type": "histogram", "name": ..., "count": ..., "total": ..., "buckets": ...}``
+    Footer: one line per histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = ["MemorySink", "JsonlSink", "TRACE_VERSION"]
+
+TRACE_VERSION = 1
+
+
+class MemorySink:
+    """Collects events in a list; the test-suite's sink of choice."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def by_type(self, kind: str) -> List[Dict[str, Any]]:
+        return [event for event in self.events if event.get("type") == kind]
+
+
+class JsonlSink:
+    """Append-only JSONL event log with a meta header and metric footers."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._write_line(
+            {
+                "type": "meta",
+                "version": TRACE_VERSION,
+                "pid": None,
+                "started_unix": time.time(),
+            }
+        )
+
+    def _write_line(self, event: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self._write_line(event)
+
+    def write_footer(self, recorder: Any) -> None:
+        """Flush final counters, histograms and gauges as footer lines."""
+        snapshot = recorder.counters_snapshot(include_volatile=True)
+        self._write_line({"type": "counters", "counts": snapshot["counters"]})
+        for name, state in snapshot["histograms"].items():
+            self._write_line({"type": "histogram", "name": name, **state})
+        for name, value in sorted(recorder.gauges.items()):
+            self._write_line({"type": "gauge", "name": name, "value": value, "pid": recorder.pid})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()

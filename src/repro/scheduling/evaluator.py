@@ -93,6 +93,7 @@ import numpy as np
 
 from ..battery import BatteryModel, suffix_durations
 from ..errors import ConfigurationError, ScheduleError
+from ..obs import RECORDER as _OBS
 from ..taskgraph import TaskGraph, validate_sequence
 from .assignment import DesignPointAssignment
 
@@ -583,6 +584,11 @@ class IncrementalCostEvaluator:
             # The evaluation point moved (deadline mode): every interval's
             # time-to-evaluation changes, so nothing can be reused.
             recompute_hi = len(sequence) - 1
+        if _OBS.enabled:
+            # Window length observed before the cache probe: the histogram
+            # stays a deterministic function of the proposal stream.
+            _OBS.count(f"eval.propose.{kind}")
+            _OBS.observe("eval.recompute_window", recompute_hi - recompute_lo + 1)
         dur_key: Optional[Tuple[float, ...]] = None
         cur_key: Optional[Tuple[float, ...]] = None
         cached: Optional[float] = None
@@ -600,6 +606,8 @@ class IncrementalCostEvaluator:
                 + self._cur_key[hi + 1 :]
             )
             cached = self._schedule_cache.lookup_schedule((dur_key, cur_key, rest))
+            if _OBS.enabled:
+                _OBS.count("rt.eval.cache.hit" if cached is not None else "rt.eval.cache.miss")
         tail_head: Optional[np.ndarray] = None
         contrib_head: Optional[np.ndarray] = None
         if cached is not None:
@@ -774,6 +782,8 @@ class IncrementalCostEvaluator:
         if self._schedule_cache is not None:
             self._dur_key = proposal._dur_key
             self._cur_key = proposal._cur_key
+        if _OBS.enabled:
+            _OBS.count("eval.apply")
 
     def undo(self) -> None:
         """Revert the most recently applied proposal (one level deep)."""
@@ -804,6 +814,8 @@ class IncrementalCostEvaluator:
         self._cur_key = record.cur_key
         self._undo_record = None
         self._version += 1
+        if _OBS.enabled:
+            _OBS.count("eval.undo")
 
     # ------------------------------------------------------------------
     # construction

@@ -42,8 +42,11 @@ import numpy as np
 
 from ..battery import BatteryModel
 from ..errors import SimulationError
+from ..obs import RECORDER as _OBS
 from ..scheduling import SchedulingProblem
 from ..scheduling.evaluator import _resolve_rest
+import time as _time
+
 from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
 from .perturbation import PerturbationModel, rng_for_seed
 from .result import SimulatedInterval, SimulationResult
@@ -142,6 +145,9 @@ class Simulator:
         self._events = 0
         self._seq = 0
         self._ran = False
+        # Observability: per-policy labels keep the counter catalogue
+        # separable across the policies of one run (`sim.*[policy]`).
+        self._obs_label = getattr(scheduler, "name", type(scheduler).__name__)
 
     # ------------------------------------------------------------------
     # queries offered to scheduling policies (the "runtime info" surface)
@@ -167,6 +173,8 @@ class Simulator:
         """Lower bound on the time still needed: sum of unfinished tasks'
         fastest design-point times (the running attempt counts in full —
         on failure it must rerun, and the bound must stay a bound)."""
+        if _OBS.enabled:
+            _OBS.count("sim.query.remaining_min_time", label=self._obs_label)
         return math.fsum(
             self._min_times[name]
             for name, info in self._infos.items()
@@ -175,6 +183,8 @@ class Simulator:
 
     def delivered_charge(self) -> float:
         """Plain coulomb count of everything executed so far (mA·min)."""
+        if _OBS.enabled:
+            _OBS.count("sim.query.delivered_charge", label=self._obs_label)
         return math.fsum(
             duration * current
             for duration, current in zip(self._durations, self._currents)
@@ -187,12 +197,18 @@ class Simulator:
         time), when the executed intervals end exactly at ``now`` — so the
         canonical back-to-back ``schedule_charge`` applies with zero rest.
         """
+        if _OBS.enabled:
+            # Counted even via state_of_charge (which delegates here): the
+            # counter tracks sigma evaluations actually requested.
+            _OBS.count("sim.query.apparent_charge", label=self._obs_label)
         if not self._durations:
             return 0.0
         return self.model.schedule_charge(self._durations, self._currents, 0.0)
 
     def state_of_charge(self) -> Optional[float]:
         """Remaining capacity fraction, or ``None`` on an unbounded battery."""
+        if _OBS.enabled:
+            _OBS.count("sim.query.state_of_charge", label=self._obs_label)
         battery = self.problem.battery
         if not battery.has_finite_capacity:
             return None
@@ -289,7 +305,18 @@ class Simulator:
         self._new_ready = []
         self._new_finished = []
         self._events += 1
-        decisions = self.scheduler.schedule(new_ready, new_finished)
+        if _OBS.enabled:
+            _OBS.count("sim.event.wakeup", label=self._obs_label)
+            started = _time.perf_counter()
+            decisions = self.scheduler.schedule(new_ready, new_finished)
+            _OBS.observe(
+                "rt.sim.decision_s",
+                _time.perf_counter() - started,
+                label=self._obs_label,
+            )
+            _OBS.count("sim.decisions", len(decisions or ()), label=self._obs_label)
+        else:
+            decisions = self.scheduler.schedule(new_ready, new_finished)
         for decision in decisions or ():
             self._enqueue(decision)
         if not self._queue:
@@ -360,6 +387,8 @@ class Simulator:
         event = heapq.heappop(self._heap)
         self.clock.advance_to(event.time)
         self._events += 1
+        if _OBS.enabled:
+            _OBS.count(f"sim.event.{event.kind}", label=self._obs_label)
         # The drawn duration is carried through (not recovered as
         # ``event.time - start``): float subtraction would lose ulps, and the
         # realised durations must reproduce the offline arrays bit for bit
@@ -389,6 +418,8 @@ class Simulator:
             # the PE at the front of the queue with the same design point
             # (fresh draws), preserving precedence order for every policy.
             self._retries += 1
+            if _OBS.enabled:
+                _OBS.count("sim.retries", label=self._obs_label)
             info.state = TaskState.READY
             self._queue.insert(0, (name, column))
             return

@@ -29,6 +29,7 @@ import repro.taskgraph.validation
 import repro.workloads.generators
 import repro.analysis.leaderboard
 import repro.experiments.suite
+import repro.obs.core
 
 DOCUMENTED_MODULES = [
     repro,
@@ -50,6 +51,7 @@ DOCUMENTED_MODULES = [
     repro.workloads.generators,
     repro.analysis.leaderboard,
     repro.experiments.suite,
+    repro.obs.core,
 ]
 
 

@@ -170,4 +170,6 @@ class TestRunSimulationJobs:
 
     def test_summary_accounting(self, registry):
         run = run_simulation_jobs(self.make_jobs(registry, replications=1))
-        assert "4 simulations (4 executed, 0 resumed), 0 failed" == run.summary()
+        assert run.summary().startswith(
+            "4 simulations (4 executed, 0 resumed), 0 failed, cache hit rate "
+        )

@@ -1,0 +1,151 @@
+"""Tests for trace validation, Chrome-trace export, and summary rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import RECORDER, recording
+from repro.obs.report import (
+    chrome_trace,
+    load_trace,
+    recorder_summary_lines,
+    trace_summary_lines,
+    validate_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    RECORDER.enabled = False
+    RECORDER.reset()
+    yield
+    RECORDER.enabled = False
+    RECORDER.reset()
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A small but complete trace: spans, gauge, counters, histogram."""
+    path = tmp_path / "trace.jsonl"
+    with recording(trace=str(path)) as rec:
+        with rec.span("engine.job", label="g3/iterative"):
+            with rec.span("engine.store.append"):
+                pass
+        rec.count("eval.apply", 4)
+        rec.count("rt.eval.cache.hit", 2)
+        rec.observe("eval.recompute_window", 3)
+        rec.gauge("rt.engine.pool.utilization", 0.75)
+    return path
+
+
+class TestValidate:
+    def test_valid_trace_has_no_problems(self, trace_path):
+        assert validate_trace(trace_path) == []
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_trace(tmp_path / "absent.jsonl")
+        assert len(problems) == 1 and "cannot open" in problems[0]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert validate_trace(path) == ["empty trace file"]
+
+    def test_first_event_must_be_meta(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "name": "x", "ts": 0, "dur": 1}\n')
+        assert any("first event must be meta" in p for p in validate_trace(path))
+
+    def test_flags_corruption(self, trace_path):
+        text = trace_path.read_text()
+        trace_path.write_text(text + 'not json\n{"type": "mystery"}\n')
+        problems = validate_trace(trace_path)
+        assert any("not valid JSON" in p for p in problems)
+        assert any("unknown event type" in p for p in problems)
+
+    def test_flags_missing_required_field(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            '{"type": "meta", "version": 1}\n{"type": "span", "name": "x"}\n'
+        )
+        problems = validate_trace(path)
+        assert any("span event missing 'ts'" in p for p in problems)
+
+    def test_flags_wrong_version(self, tmp_path):
+        path = tmp_path / "vers.jsonl"
+        path.write_text('{"type": "meta", "version": 99}\n')
+        assert any("unsupported trace version" in p for p in validate_trace(path))
+
+
+class TestLoad:
+    def test_collects_all_sections(self, trace_path):
+        trace = load_trace(trace_path)
+        assert trace.meta["version"] == 1
+        assert [span["name"] for span in trace.spans] == [
+            "engine.store.append",  # inner span exits (and is emitted) first
+            "engine.job",
+        ]
+        assert trace.counters["eval.apply"] == 4
+        assert trace.counters["rt.eval.cache.hit"] == 2
+        names = {row["name"] for row in trace.histograms}
+        assert "eval.recompute_window" in names
+        assert trace.gauges["rt.engine.pool.utilization"] == 0.75
+
+    def test_raises_on_corrupt_line(self, trace_path):
+        trace_path.write_text(trace_path.read_text() + "not json\n")
+        with pytest.raises(ValueError):
+            load_trace(trace_path)
+
+
+class TestChromeTrace:
+    def test_span_nesting_and_units(self, trace_path):
+        data = chrome_trace(load_trace(trace_path))
+        assert data["displayTimeUnit"] == "ms"
+        spans = [event for event in data["traceEvents"] if event["ph"] == "X"]
+        by_name = {event["name"]: event for event in spans}
+        outer, inner = by_name["engine.job"], by_name["engine.store.append"]
+        assert outer["args"]["label"] == "g3/iterative"
+        # microsecond timestamps; inner span contained in outer
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_counters_become_counter_events(self, trace_path):
+        data = chrome_trace(load_trace(trace_path))
+        counter_events = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        values = {e["name"]: e["args"]["value"] for e in counter_events}
+        assert values["eval.apply"] == 4
+
+    def test_written_file_is_valid_json(self, trace_path, tmp_path):
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(load_trace(trace_path), out)
+        with open(out, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["traceEvents"]
+
+
+class TestSummaries:
+    def test_trace_summary_mentions_everything(self, trace_path):
+        text = "\n".join(trace_summary_lines(load_trace(trace_path)))
+        assert "2 spans" in text
+        assert "engine.job" in text
+        assert "eval.apply" in text
+        assert "eval.recompute_window" in text
+        assert "gauge rt.engine.pool.utilization" in text
+
+    def test_counts_deterministic_counters(self, trace_path):
+        text = "\n".join(trace_summary_lines(load_trace(trace_path)))
+        # eval.apply is deterministic; rt.eval.cache.hit is not
+        assert "2 counters (1 deterministic)" in text
+
+    def test_recorder_summary_empty(self):
+        RECORDER.reset()
+        assert recorder_summary_lines(RECORDER) == ["no metrics recorded"]
+
+    def test_recorder_summary_tables(self):
+        with recording() as rec:
+            rec.count("eval.apply", 2)
+            rec.observe("eval.recompute_window", 3)
+        text = "\n".join(recorder_summary_lines(RECORDER))
+        assert "eval.apply" in text
+        assert "eval.recompute_window" in text
