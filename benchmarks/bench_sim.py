@@ -4,7 +4,12 @@ Measures, on a crossbar scenario (complete inter-layer wiring — the
 densest wakeup pattern the generators produce):
 
 * **events/sec** of the event loop per policy — a 200-task crossbar under
-  10% jitter + 2% failures, replicated over seeds; and
+  10% jitter + 2% failures, replicated over seeds;
+* **batched replications/sec** — the same workload driven through
+  :class:`~repro.sim.BatchSimulator` in lockstep lanes, with every
+  lane's sigma asserted *bit-identical* to a freshly run scalar
+  simulator and the speedup reported against the scalar walls committed
+  before batching landed; and
 * **replay-vs-offline conformance timing** — simulating a
   ``StaticReplayScheduler`` with zero perturbation against the offline
   ``evaluate_schedule`` of the same candidate, asserting the sigmas are
@@ -44,6 +49,7 @@ from repro.scheduling import (
     sequence_by_decreasing_energy,
 )
 from repro.sim import (
+    BatchSimulator,
     PerturbationModel,
     Simulator,
     StaticReplayScheduler,
@@ -54,6 +60,26 @@ from repro.sim import (
 #: Minimum events/sec the smoke gate tolerates (the loop sustains well
 #: over 10x this on any recent machine; the margin absorbs noisy CI boxes).
 SMOKE_EVENTS_PER_SEC_FLOOR = 5_000.0
+
+#: Minimum batched replications/sec the smoke gate tolerates on the small
+#: smoke crossbar (same order-of-magnitude margin as the events/s floor).
+SMOKE_BATCH_REPS_PER_SEC_FLOOR = 10.0
+
+#: Per-replication scalar wall (ms) on bench-crossbar-40x5 as committed
+#: in BENCH_sim.json *before* the batched simulator landed — the fixed
+#: denominator of the 10x replications/sec acceptance gate, kept here so
+#: refreshing the JSON report does not move the goalposts.
+BASELINE_SCALAR_MS_PER_REP = {
+    "static-replay": 3.510,
+    "greedy-energy": 11.049,
+    "deadline-slack": 39.148,
+    "battery-reactive": 30.558,
+}
+
+#: Required best-policy speedup of the batch path over the committed
+#: scalar baseline (full mode only; the smoke workload is too small for
+#: the baseline to apply).
+FULL_BATCH_SPEEDUP_FLOOR = 10.0
 
 CHEMISTRY_MODELS = {
     "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
@@ -111,6 +137,76 @@ def bench_events_per_second(
     }
 
 
+def _batch_schedulers(policy: str, problem, lanes: int):
+    """One scheduler per lane; offline work for static-replay runs once."""
+    if policy == "static-replay":
+        base = make_policy(policy, problem)
+        return [base] + [
+            StaticReplayScheduler(base.sequence, base.columns)
+            for _ in range(lanes - 1)
+        ]
+    return [make_policy(policy, problem) for _ in range(lanes)]
+
+
+def bench_batch_replications(
+    spec: ScenarioSpec, policy: str, replications: int, baseline_ms=None, trials=5
+) -> Dict[str, float]:
+    """Wall-clock lockstep batch lanes and verify sigmas against scalar.
+
+    Every lane's sigma must be bit-identical to a scalar ``Simulator``
+    run on the same ``(seed, replication)`` stream — the batch path's
+    conformance contract — so the scalar pass doubles as both the
+    correctness oracle and an in-run speedup reference.  The batch wall
+    is the best of ``trials`` runs (single-run walls on shared boxes
+    carry multi-x scheduling noise).
+    """
+    problem = spec.build_problem()
+    perturbation = spec.perturbation()
+
+    # Lane schedulers rebind per run through ``init`` (and for
+    # static-replay, construction runs the whole offline algorithm), so
+    # the same lane list serves every trial; only the RNGs are stateful.
+    schedulers = _batch_schedulers(policy, problem, replications)
+    batch_wall = float("inf")
+    for _ in range(trials):
+        rngs = [rng_for_seed(0, replication) for replication in range(replications)]
+        started = time.perf_counter()
+        outcomes = BatchSimulator(
+            problem, schedulers, rngs=rngs, perturbation=perturbation
+        ).run()
+        batch_wall = min(batch_wall, time.perf_counter() - started)
+
+    # Scalar oracle: one scheduler, rebound per run through ``init`` (for
+    # static-replay, constructing fresh per replication would re-run the
+    # whole offline algorithm N times and dwarf the measurement).
+    scalar_scheduler = _batch_schedulers(policy, problem, 1)[0]
+    started = time.perf_counter()
+    bitwise_equal = True
+    for replication, outcome in enumerate(outcomes):
+        scalar = Simulator(
+            problem,
+            scalar_scheduler,
+            perturbation=perturbation,
+            rng=rng_for_seed(0, replication),
+        ).run()
+        if isinstance(outcome, Exception) or outcome.cost != scalar.cost:
+            bitwise_equal = False
+    scalar_wall = time.perf_counter() - started
+
+    batch_ms = batch_wall / replications * 1e3
+    return {
+        "replications": replications,
+        "wall_s": batch_wall,
+        "ms_per_replication": batch_ms,
+        "replications_per_sec": replications / batch_wall if batch_wall else float("inf"),
+        "scalar_wall_s": scalar_wall,
+        "sigma_bitwise_equal": bitwise_equal,
+        "speedup_vs_committed_baseline": (
+            baseline_ms / batch_ms if baseline_ms and batch_ms else None
+        ),
+    }
+
+
 def bench_replay_conformance(
     spec: ScenarioSpec, repeats: int
 ) -> Dict[str, Dict[str, float]]:
@@ -153,15 +249,16 @@ def bench_replay_conformance(
 def run(smoke: bool, output: str) -> int:
     if smoke:
         spec = crossbar_spec(num_layers=12, layer_width=5)  # 60 tasks
-        replications, repeats = 3, 5
+        replications, repeats, batch_replications = 3, 5, 20
     else:
         spec = crossbar_spec(num_layers=40, layer_width=5)  # 200 tasks
-        replications, repeats = 10, 20
+        replications, repeats, batch_replications = 10, 20, 100
 
     report = {
         "workload": spec.to_dict(),
         "mode": "smoke" if smoke else "full",
         "events": {},
+        "batch": {},
         "replay_conformance": {},
     }
 
@@ -172,6 +269,24 @@ def run(smoke: bool, output: str) -> int:
         print(
             f"  {policy:<18} {row['events']:6d} events in {row['wall_s']:6.2f}s   "
             f"{row['events_per_sec']:10.0f} events/s"
+        )
+
+    print(
+        f"== batched replications/sec ({batch_replications} lockstep lanes, "
+        "sigma verified vs scalar) =="
+    )
+    for policy in POLICIES:
+        baseline_ms = None if smoke else BASELINE_SCALAR_MS_PER_REP.get(policy)
+        row = bench_batch_replications(
+            spec, policy, batch_replications, baseline_ms=baseline_ms
+        )
+        report["batch"][policy] = row
+        speedup = row["speedup_vs_committed_baseline"]
+        print(
+            f"  {policy:<18} {row['ms_per_replication']:7.2f} ms/rep   "
+            f"{row['replications_per_sec']:8.1f} reps/s   "
+            f"bitwise: {row['sigma_bitwise_equal']}"
+            + (f"   {speedup:5.2f}x vs baseline" if speedup else "")
         )
 
     print("== replay-vs-offline conformance (zero perturbation) ==")
@@ -198,6 +313,29 @@ def run(smoke: bool, output: str) -> int:
                 f"[{policy}] event loop below the "
                 f"{SMOKE_EVENTS_PER_SEC_FLOOR:.0f} events/s floor "
                 f"({row['events_per_sec']:.0f})"
+            )
+    for policy, row in report["batch"].items():
+        if not row["sigma_bitwise_equal"]:
+            failures.append(
+                f"[{policy}] batched lane sigmas diverged from the scalar "
+                "simulator"
+            )
+        if row["replications_per_sec"] < SMOKE_BATCH_REPS_PER_SEC_FLOOR:
+            failures.append(
+                f"[{policy}] batch path below the "
+                f"{SMOKE_BATCH_REPS_PER_SEC_FLOOR:.0f} replications/s floor "
+                f"({row['replications_per_sec']:.1f})"
+            )
+    if not smoke:
+        best_speedup = max(
+            row["speedup_vs_committed_baseline"] or 0.0
+            for row in report["batch"].values()
+        )
+        if best_speedup < FULL_BATCH_SPEEDUP_FLOOR:
+            failures.append(
+                f"batch path best speedup {best_speedup:.2f}x is below the "
+                f"{FULL_BATCH_SPEEDUP_FLOOR:.0f}x acceptance floor vs the "
+                "committed scalar baseline"
             )
 
     if output:

@@ -1,0 +1,163 @@
+"""Opt-in compiled implementations of the chemistry schedule kernels.
+
+Every battery chemistry funnels its schedule evaluation through one
+elementwise kernel (``ScheduleKernelMixin._contributions``); this module
+holds the optional *compiled* implementations of those kernels and the
+backend-selection logic:
+
+* the default backend is ``"numpy"`` — the reference implementations in
+  the chemistry modules themselves;
+* setting the environment variable ``REPRO_KERNEL_BACKEND=numba`` (or a
+  model's ``kernel_backend`` attribute) requests the numba-compiled
+  kernels below.  When numba is not installed — it is an **optional**
+  dependency, never required — the request silently falls back to numpy,
+  so the same configuration runs everywhere;
+* the compiled kernels are conformance-gated against the numpy reference
+  (bitwise or <=1e-12 per element) by ``tests/battery/test_backends.py``,
+  which skips cleanly when numba is absent and runs in CI's
+  optional-dependency job when it is present.
+
+The kernels are registered by name (:data:`KERNEL_NAMES`); a chemistry
+advertises its kernel through ``KERNEL_NAME`` and passes its folded
+constants through ``_kernel_args()``.  Compilation is lazy and happens at
+most once per kernel per process (the first call pays the JIT cost; CI's
+numba job exists precisely to keep that path exercised).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_NAMES",
+    "available_backends",
+    "default_backend",
+    "numba_available",
+    "resolve_kernel",
+]
+
+#: Environment variable selecting the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Recognised backend names.  Anything else falls back to numpy (the
+#: selection is a performance hint, never a correctness switch).
+KERNEL_BACKENDS = ("numpy", "numba")
+
+#: Chemistry kernels with a compiled implementation.
+KERNEL_NAMES = ("rakhmatov", "kibam", "peukert", "ideal")
+
+_NUMBA_KERNELS: Optional[Dict[str, Callable]] = None
+_NUMBA_CHECKED = False
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency can be imported."""
+    try:
+        import numba  # noqa: F401
+    except Exception:  # pragma: no cover - exercised only without numba
+        return False
+    return True
+
+
+def available_backends() -> tuple:
+    """The backends usable in this process (numpy always; numba if importable)."""
+    return ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+def default_backend() -> str:
+    """The process-wide backend implied by :data:`BACKEND_ENV_VAR`."""
+    return os.environ.get(BACKEND_ENV_VAR, "numpy").strip().lower() or "numpy"
+
+
+def _build_numba_kernels() -> Dict[str, Callable]:
+    """Compile (lazily) the per-chemistry elementwise kernels.
+
+    Each kernel takes the three per-interval arrays plus the chemistry's
+    folded constants, and returns the per-interval contributions — the
+    exact contract of ``ScheduleKernelMixin._contributions``.  The loops
+    mirror the numpy reference expressions operation for operation, which
+    is what keeps them inside the <=1e-12 conformance envelope.
+    """
+    import numpy as np
+    from numba import njit
+
+    @njit(cache=True)
+    def _rakhmatov(durations, currents, time_to_end, beta2m2):
+        n = durations.shape[0]
+        modes = beta2m2.shape[0]
+        out = np.empty(n)
+        for i in range(n):
+            series = 0.0
+            for m in range(modes):
+                decay_end = np.exp(-beta2m2[m] * time_to_end[i])
+                decay_start = np.exp(-beta2m2[m] * (time_to_end[i] + durations[i]))
+                series += (decay_end - decay_start) / beta2m2[m]
+            out[i] = currents[i] * (durations[i] + 2.0 * series)
+        return out
+
+    @njit(cache=True)
+    def _kibam(durations, currents, time_to_end, neg_k_prime, stranded_scale):
+        n = durations.shape[0]
+        out = np.empty(n)
+        for i in range(n):
+            decay_end = np.exp(neg_k_prime * time_to_end[i])
+            decay_start = np.exp(neg_k_prime * (time_to_end[i] + durations[i]))
+            out[i] = currents[i] * durations[i] + (stranded_scale * currents[i]) * (
+                decay_end - decay_start
+            )
+        return out
+
+    @njit(cache=True)
+    def _peukert(durations, currents, time_to_end, reference_current, exponent):
+        n = durations.shape[0]
+        out = np.empty(n)
+        for i in range(n):
+            ratio = currents[i] / reference_current
+            out[i] = reference_current * durations[i] * ratio**exponent
+        return out
+
+    @njit(cache=True)
+    def _ideal(durations, currents, time_to_end):
+        n = durations.shape[0]
+        out = np.empty(n)
+        for i in range(n):
+            out[i] = currents[i] * durations[i]
+        return out
+
+    return {
+        "rakhmatov": _rakhmatov,
+        "kibam": _kibam,
+        "peukert": _peukert,
+        "ideal": _ideal,
+    }
+
+
+def _numba_kernels() -> Optional[Dict[str, Callable]]:
+    global _NUMBA_KERNELS, _NUMBA_CHECKED
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:
+            _NUMBA_KERNELS = _build_numba_kernels()
+        except Exception:  # numba missing (or broken): silent numpy fallback
+            _NUMBA_KERNELS = None
+    return _NUMBA_KERNELS
+
+
+def resolve_kernel(name: str, override: Optional[str] = None) -> Optional[Callable]:
+    """The compiled kernel for ``name`` under the active backend, or ``None``.
+
+    ``None`` means "use the numpy reference" — the caller's fallback path.
+    ``override`` (a model's ``kernel_backend`` attribute) wins over the
+    :data:`BACKEND_ENV_VAR` environment variable; any value other than
+    ``"numba"``, and any environment where numba is unavailable, resolves
+    to the numpy path without raising.
+    """
+    backend = (override or default_backend()).strip().lower()
+    if backend != "numba":
+        return None
+    kernels = _numba_kernels()
+    if kernels is None:
+        return None
+    return kernels.get(name)

@@ -41,7 +41,7 @@ Two class attributes describe the chemistry to the evaluator stack:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -87,6 +87,46 @@ class ScheduleKernelMixin:
     #: ``False`` lets the incremental evaluator reuse contributions on both
     #: sides of a move and ignore evaluation-point (rest) changes.
     TIME_SENSITIVE: bool = True
+
+    #: Registry name of this chemistry's elementwise kernel in
+    #: :mod:`repro.battery.backends`; ``None`` means the chemistry has no
+    #: compiled implementation and always evaluates through numpy.
+    KERNEL_NAME: Optional[str] = None
+
+    #: Per-instance backend override: ``None`` defers to the
+    #: ``REPRO_KERNEL_BACKEND`` environment variable, ``"numpy"`` forces the
+    #: reference path, ``"numba"`` requests the compiled path (silently
+    #: falling back to numpy when numba is unavailable).
+    kernel_backend: Optional[str] = None
+
+    def _kernel_args(self) -> tuple:
+        """Chemistry constants forwarded to the compiled kernel (if any)."""
+        return ()
+
+    def _contributions(
+        self,
+        durations: "np.ndarray",
+        currents: "np.ndarray",
+        time_to_end: "np.ndarray",
+    ) -> "np.ndarray":
+        """Backend-dispatched elementwise kernel (the single seam).
+
+        Every derived schedule path reduces the values this method returns;
+        the compiled backend therefore needs to match the numpy reference
+        only here (conformance-gated bitwise-or-<=1e-12 per chemistry).
+        """
+        if self.KERNEL_NAME is not None:
+            from .backends import resolve_kernel
+
+            kernel = resolve_kernel(self.KERNEL_NAME, self.kernel_backend)
+            if kernel is not None:
+                return kernel(
+                    np.ascontiguousarray(durations, dtype=float),
+                    np.ascontiguousarray(currents, dtype=float),
+                    np.ascontiguousarray(time_to_end, dtype=float),
+                    *self._kernel_args(),
+                )
+        return self.interval_contributions(durations, currents, time_to_end)
 
     def interval_contributions(
         self,
@@ -148,7 +188,7 @@ class ScheduleKernelMixin:
         if durations.shape != currents.shape:
             raise BatteryModelError("durations and currents must have the same shape")
         tail = suffix_durations(durations)
-        return self.interval_contributions(durations, currents, tail + rest)
+        return self._contributions(durations, currents, tail + rest)
 
     def schedule_charge(
         self,
@@ -168,7 +208,7 @@ class ScheduleKernelMixin:
         self,
         durations: Sequence[Sequence[float]],
         currents: Sequence[Sequence[float]],
-        rest: float = 0.0,
+        rest: Union[float, Sequence[float]] = 0.0,
     ) -> "np.ndarray":
         """sigma of many equal-length back-to-back schedules at once.
 
@@ -177,23 +217,39 @@ class ScheduleKernelMixin:
         :meth:`schedule_charge` per row: the per-row suffix sums accumulate
         back-to-front exactly like the 1-D chain, and the elementwise kernel
         sees the same values whatever the array shape.
+
+        ``rest`` may be a scalar (shared by every profile) or a length-
+        ``profiles`` vector giving each row its own post-completion rest —
+        the batch simulator's final costing evaluates many realised
+        timelines whose makespans (and hence deadline-clamped rests)
+        differ.  ``tail + rest[row]`` is the same scalar addition the 1-D
+        path performs, so per-row rests keep the bit-identity guarantee.
         """
-        if rest < 0:
-            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
         durations = np.asarray(durations, dtype=float)
         currents = np.asarray(currents, dtype=float)
         if durations.ndim != 2 or durations.shape != currents.shape:
             raise BatteryModelError(
                 "durations and currents must be 2-D arrays of identical shape"
             )
+        rest_arr = np.asarray(rest, dtype=float)
+        if rest_arr.ndim == 0:
+            offset = rest_arr[()]
+        elif rest_arr.shape == (durations.shape[0],):
+            offset = rest_arr[:, None]
+        else:
+            raise BatteryModelError(
+                "rest must be a scalar or a vector with one entry per profile"
+            )
+        if np.any(rest_arr < 0):
+            raise BatteryModelError(f"rest must be >= 0, got {rest!r}")
         if durations.shape[1] == 0:
             return np.zeros(durations.shape[0])
         reverse = np.cumsum(durations[:, ::-1], axis=1)
         tail = np.concatenate(
             (reverse[:, ::-1][:, 1:], np.zeros((durations.shape[0], 1))), axis=1
         )
-        contributions = self.interval_contributions(
-            durations.ravel(), currents.ravel(), (tail + rest).ravel()
+        contributions = self._contributions(
+            durations.ravel(), currents.ravel(), (tail + offset).ravel()
         ).reshape(durations.shape)
         # fsum over plain floats (tolist) — bit-identical, and much faster
         # than iterating the boxed numpy elements row by row.

@@ -161,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replications", type=int, default=3, metavar="N",
         help="seeded perturbation replications per scenario/policy cell "
              "(default: %(default)s)")
+    simulate.add_argument(
+        "--no-batch", action="store_true",
+        help="run replications one job at a time instead of batching each "
+             "cell into lockstep simulator lanes (results are bit-identical "
+             "either way)")
     add_engine_arguments(simulate)
     add_seed_argument(simulate)
     add_obs_arguments(simulate)
@@ -340,6 +345,7 @@ def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
             policies=args.policies,
             replications=args.replications,
             seed=seed,
+            batch=False if args.no_batch else "auto",
             **options,
         )
         out.append(simulation.robustness_table().to_text())

@@ -50,18 +50,24 @@ from .jobs import (
     scheduler_config_params,
 )
 from .simjobs import (
+    SimulationBatch,
+    SimulationBatchResult,
     SimulationJob,
     SimulationRecord,
     SimulationRun,
+    execute_simulation_batch,
     execute_simulation_job,
     run_simulation_jobs,
 )
 from .store import ResultStore
 
 __all__ = [
+    "SimulationBatch",
+    "SimulationBatchResult",
     "SimulationJob",
     "SimulationRecord",
     "SimulationRun",
+    "execute_simulation_batch",
     "execute_simulation_job",
     "run_simulation_jobs",
     "Job",

@@ -317,9 +317,12 @@ class ParallelExecutor:
         completed = time.perf_counter()
         elapsed = getattr(result, "elapsed_s", 0.0) or 0.0
         label = getattr(job, "label", None)
-        _OBS.record_span("engine.job", label, completed - elapsed, elapsed)
+        # Batched items (SimulationBatch) carry their own span name, so
+        # serial and parallel runs emit the same span vocabulary.
+        span_name = getattr(job, "SPAN_NAME", "engine.job")
+        _OBS.record_span(span_name, label, completed - elapsed, elapsed)
         queue_wait = max(0.0, (completed - submitted) - elapsed)
-        _OBS.record_span("engine.job.queue", label, submitted, queue_wait)
+        _OBS.record_span(span_name + ".queue", label, submitted, queue_wait)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(max_workers={self.max_workers})"

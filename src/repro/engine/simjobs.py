@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import traceback as traceback_module
@@ -43,10 +43,18 @@ from .store import ResultStore
 __all__ = [
     "SimulationJob",
     "SimulationRecord",
+    "SimulationBatch",
+    "SimulationBatchResult",
     "SimulationRun",
     "execute_simulation_job",
+    "execute_simulation_batch",
     "run_simulation_jobs",
 ]
+
+#: Replication lanes per batch work item (``batch="auto"``).  Caps the
+#: per-item memory footprint (one live simulator per lane) and keeps one
+#: huge cell splittable across pool workers.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,24 @@ class SimulationJob:
             payload = json.dumps(self.job_spec(), sort_keys=True, separators=(",", ":"))
             cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
             object.__setattr__(self, "_key", cached)
+        return cached
+
+    def cell_key(self) -> str:
+        """Content hash of everything but the replication index.
+
+        Jobs sharing a cell key are replications of one Monte Carlo cell:
+        same scenario, policy, parameters, seed and evaluation point.
+        Exactly these may run as lockstep lanes of one
+        :class:`SimulationBatch` (the perturbation stream is the only
+        per-replication input, and each lane owns its own).
+        """
+        cached = self.__dict__.get("_cell_key")
+        if cached is None:
+            spec = self.job_spec()
+            spec.pop("replication", None)
+            payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+            object.__setattr__(self, "_cell_key", cached)
         return cached
 
     @property
@@ -295,6 +321,240 @@ def execute_simulation_job(
 
 
 @dataclass(frozen=True)
+class SimulationBatch:
+    """Same-cell simulation jobs shipped to a worker as one work item.
+
+    All member jobs must share a :meth:`SimulationJob.cell_key` — same
+    scenario, policy, params, seed and evaluation point, differing only in
+    the replication index — so the worker can build the problem and the
+    policy context once and run every replication as a lockstep lane of a
+    :class:`~repro.sim.BatchSimulator`.  Pure data (like the jobs it
+    wraps), so the parallel executor pickles it to workers unchanged.
+    """
+
+    #: Span name the parallel executor synthesizes for this work item
+    #: (serial runs record the same name inside the batch runner).
+    SPAN_NAME = "engine.batch"
+
+    jobs: Tuple[SimulationJob, ...]
+
+    def __post_init__(self) -> None:
+        jobs = tuple(self.jobs)
+        object.__setattr__(self, "jobs", jobs)
+        if not jobs:
+            raise ConfigurationError("a simulation batch needs at least one job")
+        cell = jobs[0].cell_key()
+        for job in jobs[1:]:
+            if job.cell_key() != cell:
+                raise ConfigurationError(
+                    f"batch members must share one cell; {jobs[0].label} and "
+                    f"{job.label} differ beyond the replication index"
+                )
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``scenario/policy xN`` tag."""
+        first = self.jobs[0]
+        return f"{first.spec.name}/{first.policy} x{len(self.jobs)}"
+
+    def failure_result(self, error: str) -> "SimulationBatchResult":
+        """The record shape for a batch the *pool* lost (transport errors)."""
+        return SimulationBatchResult(
+            records=tuple(job.failure_result(error) for job in self.jobs)
+        )
+
+    def __repr__(self) -> str:
+        return f"SimulationBatch({self.label})"
+
+
+@dataclass(frozen=True)
+class SimulationBatchResult:
+    """Outcome of one :class:`SimulationBatch`: a record per member job.
+
+    Carries the same executor-facing accounting surface as a single
+    record (``cache_*``, ``elapsed_s``, ``metrics``), aggregated over the
+    whole batch, so both executors account batches exactly like jobs.
+    """
+
+    records: Tuple[SimulationRecord, ...]
+    elapsed_s: float = 0.0
+    cache_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
+    cache_evictions: int = field(default=0, compare=False)
+    metrics: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when every replication in the batch completed."""
+        return all(record.ok for record in self.records)
+
+
+def _batch_metrics(obs_before, used, executed: int, failed: int):
+    """Close out one batch's observability accounting; None while disabled.
+
+    The per-job counters advance by the member counts, so a batched run's
+    ``engine.simjobs.*`` totals match the scalar path's.
+    """
+    if obs_before is None or not _OBS.enabled:
+        return None
+    if executed:
+        _OBS.count("engine.simjobs.executed", executed)
+    if failed:
+        _OBS.count("engine.simjobs.failed", failed)
+    _OBS.count("engine.simjobs.batches")
+    if used.hits:
+        _OBS.count("rt.engine.cache.hits", used.hits)
+    if used.misses:
+        _OBS.count("rt.engine.cache.misses", used.misses)
+    if used.evictions:
+        _OBS.count("rt.engine.cache.evictions", used.evictions)
+    return _OBS.metrics_delta(obs_before)
+
+
+def _attribute_cache(records: List[SimulationRecord], used) -> Tuple[SimulationRecord, ...]:
+    """Park the batch's cache delta on its first record.
+
+    Cache traffic is a batch-level quantity — the schedule lookups are
+    shared across lanes — but :class:`SimulationRun` totals sum the
+    per-record counters, so the whole delta rides on one record.  The
+    counters compare as equal regardless (``compare=False``) and never
+    reach the store, so lane records stay interchangeable with the
+    scalar runner's.
+    """
+    if records:
+        records[0] = replace(
+            records[0],
+            cache_hits=used.hits,
+            cache_misses=used.misses,
+            cache_evictions=used.evictions,
+        )
+    return tuple(records)
+
+
+def _lane_failure(job: SimulationJob, error: Exception, elapsed_s: float, traceback: str) -> SimulationRecord:
+    return SimulationRecord(
+        key=job.key(),
+        scenario=job.spec.name,
+        policy=job.policy,
+        seed=job.seed,
+        replication=job.replication,
+        error=f"{type(error).__name__}: {error}",
+        traceback=traceback,
+        elapsed_s=elapsed_s,
+    )
+
+
+def execute_simulation_batch(
+    batch: SimulationBatch, cache: Optional[BatteryCostCache] = None
+) -> SimulationBatchResult:
+    """Run one batch of same-cell replications through the lockstep driver.
+
+    The worker-side counterpart of :func:`execute_simulation_job` for
+    batches (module-level so pools import it by name): problem, battery
+    model wrapper and — for ``static-replay`` — the offline schedule are
+    resolved **once**, then every replication runs as a
+    :class:`~repro.sim.BatchSimulator` lane.  Per-lane outcomes are
+    bit-identical to the scalar runner's, so batched and scalar stores
+    hold the same rows; errors stay isolated per lane (a replication that
+    exhausts its retry budget fails alone), while a setup failure —
+    unresolvable scenario, unknown policy parameters — fails every member
+    with the same error, since none of them could have run.
+    """
+    from ..sim.batch import BatchSimulator
+    from ..sim.perturbation import rng_for_seed
+    from ..sim.schedulers import StaticReplayScheduler, make_policy
+
+    if cache is None:
+        cache = _worker_cache()
+    obs_before = _OBS.counters_snapshot(include_volatile=True) if _OBS.enabled else None
+    before = cache.stats.snapshot()
+    started = time.perf_counter()
+    jobs = batch.jobs
+    first = jobs[0]
+    try:
+        with _OBS.span("engine.batch", label=batch.label):
+            problem = first.spec.build_problem()
+            model = CachedBatteryModel(problem.model(), cache)
+            if first.policy == "static-replay":
+                # Resolve the offline schedule once for the whole cell;
+                # sibling lanes replay it through cheap clones.
+                base = make_policy(first.policy, problem, first.params, model=model)
+                schedulers = [base] + [
+                    StaticReplayScheduler(base.sequence, base.columns)
+                    for _ in jobs[1:]
+                ]
+            else:
+                schedulers = [
+                    make_policy(job.policy, problem, job.params, model=model)
+                    for job in jobs
+                ]
+            outcomes = BatchSimulator(
+                problem,
+                schedulers,
+                rngs=[rng_for_seed(job.seed, job.replication) for job in jobs],
+                perturbation=first.spec.perturbation(),
+                model=model,
+                evaluate_at=first.evaluate_at,
+            ).run()
+    except Exception as exc:  # noqa: BLE001 - batch-level isolation
+        elapsed = time.perf_counter() - started
+        used = cache.stats.delta(before)
+        share = elapsed / len(jobs)
+        trace = traceback_module.format_exc()
+        return SimulationBatchResult(
+            records=_attribute_cache(
+                [_lane_failure(job, exc, share, trace) for job in jobs], used
+            ),
+            elapsed_s=elapsed,
+            cache_hits=used.hits,
+            cache_misses=used.misses,
+            cache_evictions=used.evictions,
+            metrics=_batch_metrics(obs_before, used, executed=0, failed=len(jobs)),
+        )
+    elapsed = time.perf_counter() - started
+    used = cache.stats.delta(before)
+    share = elapsed / len(jobs)
+    records: List[SimulationRecord] = []
+    failed = 0
+    for job, outcome in zip(jobs, outcomes):
+        if isinstance(outcome, Exception):
+            failed += 1
+            trace = "".join(
+                traceback_module.format_exception(
+                    type(outcome), outcome, outcome.__traceback__
+                )
+            )
+            records.append(_lane_failure(job, outcome, share, trace))
+            continue
+        records.append(
+            SimulationRecord(
+                key=job.key(),
+                scenario=job.spec.name,
+                policy=job.policy,
+                seed=job.seed,
+                replication=job.replication,
+                cost=outcome.cost,
+                makespan=outcome.makespan,
+                feasible=outcome.feasible,
+                retries=outcome.retries,
+                events=outcome.events,
+                depletion_time=outcome.depletion_time,
+                elapsed_s=share,
+            )
+        )
+    return SimulationBatchResult(
+        records=_attribute_cache(records, used),
+        elapsed_s=elapsed,
+        cache_hits=used.hits,
+        cache_misses=used.misses,
+        cache_evictions=used.evictions,
+        metrics=_batch_metrics(
+            obs_before, used, executed=len(records) - failed, failed=failed
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class SimulationRun:
     """Everything produced by one :func:`run_simulation_jobs` call."""
 
@@ -350,12 +610,63 @@ class SimulationRun:
         )
 
 
+def _resolve_batch_size(batch) -> Optional[int]:
+    """Lanes per work item implied by the ``batch`` argument, None = off."""
+    if batch in (False, None, 0, "off", "none"):
+        return None
+    if batch in (True, "auto"):
+        return DEFAULT_BATCH_SIZE
+    if isinstance(batch, int) and not isinstance(batch, bool):
+        if batch < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {batch!r}")
+        return batch
+    raise ConfigurationError(
+        f"batch must be 'auto', False, or a positive lane count, got {batch!r}"
+    )
+
+
+def _batched_records(
+    pending: Sequence[SimulationJob], executor, progress, batch_size: int
+) -> List[SimulationRecord]:
+    """Run pending jobs as per-cell lockstep batches; records in job order.
+
+    Jobs are grouped by :meth:`SimulationJob.cell_key` (preserving first-seen
+    order), chunked to ``batch_size`` lanes, executed through
+    :func:`execute_simulation_batch`, and the per-lane records are scattered
+    back to their jobs' original positions — so the returned list (and the
+    store rows appended from it) is ordered exactly like the scalar path's.
+    Note ``progress`` fires once per *batch* with the
+    :class:`SimulationBatchResult` when batching is on.
+    """
+    cells: Dict[str, List[int]] = {}
+    for index, job in enumerate(pending):
+        cells.setdefault(job.cell_key(), []).append(index)
+    batches: List[SimulationBatch] = []
+    index_chunks: List[List[int]] = []
+    for indices in cells.values():
+        for start in range(0, len(indices), batch_size):
+            chunk = indices[start : start + batch_size]
+            index_chunks.append(chunk)
+            batches.append(
+                SimulationBatch(jobs=tuple(pending[i] for i in chunk))
+            )
+    outcomes = executor.run(
+        batches, progress=progress, runner=execute_simulation_batch
+    )
+    fresh: List[Optional[SimulationRecord]] = [None] * len(pending)
+    for chunk, outcome in zip(index_chunks, outcomes):
+        for position, record in zip(chunk, outcome.records):
+            fresh[position] = record
+    return [record for record in fresh if record is not None]
+
+
 def run_simulation_jobs(
     jobs: Sequence[SimulationJob],
     executor=None,
     store: Optional[ResultStore] = None,
     resume: bool = False,
     progress=None,
+    batch="auto",
 ) -> SimulationRun:
     """Run simulation jobs through an executor — the sim analogue of
     :func:`repro.engine.run_jobs`.
@@ -367,6 +678,14 @@ def run_simulation_jobs(
     executor must accept the full contract
     ``run(jobs, progress=..., runner=...)`` (simulation jobs are executed
     through :func:`execute_simulation_job`, passed as ``runner``).
+
+    ``batch`` controls Monte Carlo batching: with ``"auto"`` (the default)
+    replications of one (scenario, policy, params, seed) cell are grouped
+    into :class:`SimulationBatch` work items of up to
+    :data:`DEFAULT_BATCH_SIZE` lanes and run through the lockstep
+    :class:`~repro.sim.BatchSimulator` — bit-identical records, fewer
+    kernel calls.  Pass ``False`` to force the scalar per-job path, or a
+    positive int to override the lanes-per-batch cap.
     """
     if resume and store is None:
         raise ConfigurationError("resume=True requires a result store")
@@ -375,6 +694,7 @@ def run_simulation_jobs(
             "simulation runs need a ResultStore(record_type=SimulationRecord); "
             f"this store holds {store.record_type.__name__}"
         )
+    batch_size = _resolve_batch_size(batch)
     jobs = list(jobs)
     executor = executor if executor is not None else SerialExecutor()
 
@@ -385,11 +705,14 @@ def run_simulation_jobs(
 
     if _OBS.enabled and done:
         _OBS.count("engine.simjobs.resumed", len(done))
-    fresh = (
-        executor.run(pending, progress=progress, runner=execute_simulation_job)
-        if pending
-        else []
-    )
+    if not pending:
+        fresh: List[SimulationRecord] = []
+    elif batch_size is not None:
+        fresh = _batched_records(pending, executor, progress, batch_size)
+    else:
+        fresh = executor.run(
+            pending, progress=progress, runner=execute_simulation_job
+        )
     if store is not None:
         with _OBS.span("engine.store.append", label=str(store.path.name)):
             store.append_many(fresh)

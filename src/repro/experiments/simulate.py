@@ -96,6 +96,7 @@ def run_simulation_suite(
     progress=None,
     registry: Optional[ScenarioRegistry] = None,
     offline_algorithm: str = "iterative",
+    batch="auto",
 ) -> SimulationSuiteResult:
     """Simulate policies over scenarios through the engine.
 
@@ -113,10 +114,12 @@ def run_simulation_suite(
         Base seed; replication ``r`` draws from the independent
         ``(seed, r)`` stream, so the whole suite is a pure function of
         its arguments.
-    executor, store, resume, progress:
-        Engine fan-out and resume controls, as in
+    executor, store, resume, progress, batch:
+        Engine fan-out, resume and Monte Carlo batching controls, as in
         :func:`repro.engine.run_simulation_jobs` (the store must carry
-        ``record_type=SimulationRecord``).
+        ``record_type=SimulationRecord``; ``batch="auto"`` runs each
+        cell's replications as lockstep :class:`~repro.sim.BatchSimulator`
+        lanes, bit-identical to the scalar path).
     registry:
         Scenario registry to select from (default: the standard catalogue).
     offline_algorithm:
@@ -177,7 +180,12 @@ def run_simulation_suite(
         for replication in range(replications)
     ]
     run = run_simulation_jobs(
-        jobs, executor=executor, store=store, resume=resume, progress=progress
+        jobs,
+        executor=executor,
+        store=store,
+        resume=resume,
+        progress=progress,
+        batch=batch,
     )
     return SimulationSuiteResult(
         specs=tuple(specs),

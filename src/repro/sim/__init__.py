@@ -47,6 +47,7 @@ resumable) and :mod:`repro.experiments.simulate`
 True
 """
 
+from .batch import BatchSimulator, LaneOutcome
 from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
 from .perturbation import JITTER_MODELS, PerturbationModel, rng_for_seed
 from .result import SimulatedInterval, SimulationResult
@@ -74,6 +75,8 @@ __all__ = [
     "SimulatedInterval",
     "SimulationResult",
     "Simulator",
+    "BatchSimulator",
+    "LaneOutcome",
     "Scheduler",
     "StaticReplayScheduler",
     "GreedyEnergyScheduler",

@@ -1,0 +1,285 @@
+"""Lockstep batched Monte Carlo simulation: many replications, one driver.
+
+Monte Carlo studies replicate one (scenario, policy) cell over seeded
+perturbation streams.  Run scalar, every replication pays the whole stack
+alone — and for policies that query live battery state, the dominant cost
+is per-wakeup chemistry-kernel evaluations on *tiny* arrays, where numpy's
+fixed per-call overhead (and the Rakhmatov mode-matrix setup) dwarfs the
+arithmetic.
+
+:class:`BatchSimulator` turns the replication loop inside out.  Each
+replication lane **is** a scalar :class:`~repro.sim.Simulator` — the batch
+driver never reimplements the event loop; it calls the exact same
+``_wakeup_scheduler`` / ``_start_next`` / ``_process_next_event`` methods
+``Simulator.run`` calls, one round per lane in lockstep.  Lockstep buys two
+vectorization points:
+
+* **Batched live sigma.**  Within one round, every lane's timeline is
+  frozen while policies decide (timeline mutations happen strictly in the
+  process phase).  The first lane whose sigma query misses its live-state
+  memo triggers one *batched* evaluation: every active lane's realised
+  timeline becomes a row of a zero-padded matrix costed by
+  ``schedule_charge_batch``, and each lane's memo is primed with its row.
+  Zero-padding at the row end is exact — padded intervals contribute
+  ``0.0`` for every chemistry and extra zeros never change an ``fsum`` —
+  so each primed value is **bit-identical** to the scalar kernel call it
+  replaces.
+* **Batched final costing.**  Finished lanes' timelines are costed in one
+  ``schedule_charge_batch`` call with a per-row rest vector (the same
+  deadline-clamped rest rule as the scalar path), again bit-identical per
+  row.
+
+Per-replication randomness is untouched: each lane owns its
+``rng_for_seed(seed, replication)`` generator and draws in the scalar
+event order, so a batch lane's :class:`~repro.sim.SimulationResult` equals
+the scalar simulator's **bitwise** — sigma, makespan, intervals, retries,
+events, everything.  The conformance suite pins exactly this across every
+chemistry and policy.
+
+Lanes fail independently: a replication that stalls or exhausts its retry
+budget yields its exception in place of a result, and its batch siblings
+run to completion — mirroring the per-job error isolation of the engine,
+which is where batches are built (:class:`repro.engine.SimulationBatch`).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..battery import BatteryModel
+from ..errors import SimulationError
+from ..obs import RECORDER as _OBS
+from ..scheduling import SchedulingProblem
+from ..scheduling.evaluator import _resolve_rest
+from .perturbation import PerturbationModel
+from .result import SimulationResult
+from .runtime import Simulator
+
+__all__ = ["BatchSimulator", "LaneOutcome"]
+
+#: One lane's outcome: its result, or the exception that aborted it.
+LaneOutcome = Union[SimulationResult, Exception]
+
+
+class BatchSimulator:
+    """Run many replications of one problem/policy cell in lockstep.
+
+    Parameters
+    ----------
+    problem:
+        The shared scheduling problem (graph + deadline + battery).
+    schedulers:
+        One policy instance **per replication** — lanes run concurrently,
+        and policy instances carry per-run state, so they cannot be
+        shared.  (For ``static-replay``, resolve the offline schedule once
+        and construct one cheap replayer per lane from it; the engine's
+        batch executor does exactly that.)
+    rngs:
+        One seed or :class:`numpy.random.Generator` per replication —
+        the scalar path's ``rng_for_seed(seed, replication)`` streams.
+        ``None`` entries (or a ``None`` sequence) are only valid with a
+        null perturbation.
+    perturbation, model, evaluate_at, trace_samples:
+        As on :class:`~repro.sim.Simulator`, shared by every lane.
+
+    :meth:`run` returns one :data:`LaneOutcome` per replication, in order:
+    the lane's :class:`~repro.sim.SimulationResult`, or the exception that
+    aborted that lane (per-lane isolation — one failed replication never
+    poisons its siblings).
+    """
+
+    def __init__(
+        self,
+        problem: SchedulingProblem,
+        schedulers: Sequence,
+        rngs: Optional[Sequence] = None,
+        perturbation: Optional[PerturbationModel] = None,
+        model: Optional[BatteryModel] = None,
+        evaluate_at: str = "completion",
+        trace_samples: int = 0,
+    ) -> None:
+        schedulers = list(schedulers)
+        if not schedulers:
+            raise SimulationError("a batch needs at least one replication")
+        if len(set(map(id, schedulers))) != len(schedulers):
+            raise SimulationError(
+                "batch lanes cannot share scheduler instances (policies carry "
+                "per-run state); build one per replication"
+            )
+        if rngs is None:
+            rngs = [None] * len(schedulers)
+        rngs = list(rngs)
+        if len(rngs) != len(schedulers):
+            raise SimulationError(
+                f"got {len(schedulers)} schedulers but {len(rngs)} rngs; "
+                "each replication lane needs its own stream"
+            )
+        self.problem = problem
+        self.model = model if model is not None else problem.model()
+        self._lanes: List[Simulator] = [
+            Simulator(
+                problem,
+                scheduler,
+                perturbation=perturbation,
+                rng=rng,
+                model=self.model,
+                evaluate_at=evaluate_at,
+                trace_samples=trace_samples,
+            )
+            for scheduler, rng in zip(schedulers, rngs)
+        ]
+        self._errors: List[Optional[Exception]] = [None] * len(self._lanes)
+        #: Lanes still running, as (lane index, lane) pairs.
+        self._active: List[Tuple[int, Simulator]] = []
+        self._ran = False
+        self._obs_label = getattr(
+            schedulers[0], "name", type(schedulers[0]).__name__
+        )
+
+    def __len__(self) -> int:
+        return len(self._lanes)
+
+    # ------------------------------------------------------------------
+    # the lockstep loop
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[LaneOutcome, ...]:
+        """Step every lane to completion and return the per-lane outcomes."""
+        if self._ran:
+            raise SimulationError("a BatchSimulator instance runs exactly once")
+        self._ran = True
+        started = _time.perf_counter()
+        lanes = self._lanes
+        for index, lane in enumerate(lanes):
+            lane._sigma_batch = self._prime_sigma_memos
+            try:
+                lane._begin()
+            except Exception as exc:  # noqa: BLE001 - per-lane isolation
+                self._errors[index] = exc
+        self._active = [
+            (index, lane)
+            for index, lane in enumerate(lanes)
+            if self._errors[index] is None and not lane._finished
+        ]
+        errors = self._errors
+        rounds = 0
+        while self._active:
+            rounds += 1
+            # Decide phase: wakeups, decisions and attempt starts.  No lane
+            # timeline mutates here, which is what makes one batched sigma
+            # evaluation valid for every active lane (see _prime_sigma_memos).
+            for index, lane in self._active:
+                if lane._running is None:
+                    try:
+                        if not lane._queue:
+                            lane._wakeup_scheduler()
+                        lane._start_next()
+                    except Exception as exc:  # noqa: BLE001 - lane isolation
+                        errors[index] = exc
+            # Process phase: every started attempt completes its event.
+            still_active: List[Tuple[int, Simulator]] = []
+            for index, lane in self._active:
+                if errors[index] is not None:
+                    continue
+                try:
+                    lane._process_next_event()
+                except Exception as exc:  # noqa: BLE001 - lane isolation
+                    errors[index] = exc
+                    continue
+                if not lane._finished:
+                    still_active.append((index, lane))
+            self._active = still_active
+        outcomes = self._finalize()
+        if _OBS.enabled:
+            _OBS.count("sim.batch.lanes", len(lanes), label=self._obs_label)
+            _OBS.count("sim.batch.rounds", rounds, label=self._obs_label)
+            _OBS.observe(
+                "rt.sim.batch.run_s",
+                _time.perf_counter() - started,
+                label=self._obs_label,
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # the vectorization points
+    # ------------------------------------------------------------------
+    def _prime_sigma_memos(self) -> None:
+        """Answer every active lane's next sigma query in one kernel call.
+
+        Called (through ``Simulator._sigma_batch``) when a policy's sigma
+        query misses its lane's live-state memo during the decide phase.
+        All active lanes' timelines are frozen until the process phase, so
+        one zero-padded ``schedule_charge_batch`` evaluation at zero rest
+        answers the round's queries for every lane at once; each row is
+        bit-identical to the scalar ``schedule_charge`` call it replaces.
+        """
+        pending = [
+            lane
+            for _, lane in self._active
+            if lane._durations
+            and lane._live.needs_sigma_kernel
+            and lane._live.sigma_memo_key
+            != (len(lane._durations), lane.clock.now)
+        ]
+        if not pending:
+            return
+        width = max(len(lane._durations) for lane in pending)
+        durations = np.zeros((len(pending), width))
+        currents = np.zeros((len(pending), width))
+        for row, lane in enumerate(pending):
+            timeline = len(lane._durations)
+            durations[row, :timeline] = lane._durations
+            currents[row, :timeline] = lane._currents
+        sigmas = self.model.schedule_charge_batch(durations, currents, 0.0)
+        for lane, sigma in zip(pending, sigmas):
+            lane._live.prime_sigma(
+                (len(lane._durations), lane.clock.now), float(sigma)
+            )
+        if _OBS.enabled:
+            _OBS.count("sim.batch.sigma_batches", label=self._obs_label)
+            _OBS.count(
+                "sim.batch.sigma_rows", len(pending), label=self._obs_label
+            )
+
+    def _finalize(self) -> Tuple[LaneOutcome, ...]:
+        """Cost every completed lane in one batched evaluation."""
+        completed = [
+            (index, lane)
+            for index, lane in enumerate(self._lanes)
+            if self._errors[index] is None
+        ]
+        costs: dict = {}
+        if completed:
+            width = max(len(lane._durations) for _, lane in completed)
+            durations = np.zeros((len(completed), width))
+            currents = np.zeros((len(completed), width))
+            rests = np.zeros(len(completed))
+            for row, (_, lane) in enumerate(completed):
+                timeline = len(lane._durations)
+                durations[row, :timeline] = lane._durations
+                currents[row, :timeline] = lane._currents
+                rests[row] = _resolve_rest(
+                    math.fsum(lane._durations), lane.deadline, lane.evaluate_at
+                )
+            sigmas = self.model.schedule_charge_batch(durations, currents, rests)
+            costs = {index: float(sigma) for (index, _), sigma in zip(completed, sigmas)}
+        outcomes: List[LaneOutcome] = []
+        for index, lane in enumerate(self._lanes):
+            error = self._errors[index]
+            if error is not None:
+                outcomes.append(error)
+                continue
+            try:
+                outcomes.append(lane._finalize(cost=costs[index]))
+            except Exception as exc:  # noqa: BLE001 - e.g. depletion/trace
+                outcomes.append(exc)
+        return tuple(outcomes)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSimulator({len(self._lanes)} lanes, "
+            f"policy={self._obs_label!r})"
+        )

@@ -14,7 +14,8 @@ estee's shape — per-task runtime info, a ready set, and a scheduler
    policies typically return one decision per wakeup);
 2. the next queued decision starts on the PE: the attempt's realised
    duration is the modeled design-point time times a seeded jitter factor,
-   and a ``task-end`` :class:`~repro.sim.events.SimEvent` is pushed;
+   and a ``task-end`` event is scheduled (the single-PE platform holds at
+   most one in-flight event, so a plain slot replaces the event heap);
 3. popping the event advances the :class:`~repro.sim.events.VirtualClock`.
    A successful attempt finishes the task and releases its successors; a
    failed attempt (its time and current were still spent) is retried at
@@ -34,9 +35,10 @@ pin exactly this.
 
 from __future__ import annotations
 
-import heapq
+import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -47,7 +49,8 @@ from ..scheduling import SchedulingProblem
 from ..scheduling.evaluator import _resolve_rest
 import time as _time
 
-from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
+from .events import TaskRuntimeInfo, TaskState, VirtualClock
+from .livestate import ExactSum, LiveRuntimeState
 from .perturbation import PerturbationModel, rng_for_seed
 from .result import SimulatedInterval, SimulationResult
 
@@ -55,6 +58,78 @@ __all__ = ["Simulator"]
 
 #: Feasibility slack, matching the offline schedule/deadline comparisons.
 _EPS = 1e-9
+
+
+class _GraphTables:
+    """Per-graph lookup tables every simulator over that graph shares.
+
+    All of these are pure functions of the (immutable-in-practice) task
+    graph, yet used to be rebuilt in every ``Simulator.__init__`` — a cost
+    replication loops and batch lanes pay per run for identical answers.
+    """
+
+    __slots__ = (
+        "num_tasks",
+        "rank",
+        "successors",
+        "min_times",
+        "points",
+        "attempt_rows",
+        "num_inputs",
+        "initial_ready",
+        "remaining_partials",
+    )
+
+    def __init__(self, graph) -> None:
+        names = graph.task_names()
+        self.num_tasks = graph.num_tasks
+        self.rank = {name: index for index, name in enumerate(names)}
+        self.successors: Dict[str, Tuple[str, ...]] = {
+            name: tuple(sorted(graph.successors(name), key=self.rank.__getitem__))
+            for name in names
+        }
+        self.min_times = {
+            name: graph.task(name).min_execution_time for name in names
+        }
+        self.points: Dict[str, Tuple] = {
+            name: graph.task(name).ordered_design_points() for name in names
+        }
+        #: ``points`` flattened to (execution time, current) rows — the two
+        #: fields the attempt hot path reads, without attribute dispatch.
+        self.attempt_rows: Dict[str, Tuple[Tuple[float, float], ...]] = {
+            name: tuple(
+                (point.execution_time, point.current) for point in points
+            )
+            for name, points in self.points.items()
+        }
+        self.num_inputs = {
+            name: len(graph.predecessors(name)) for name in names
+        }
+        self.initial_ready = tuple(
+            name for name in names if self.num_inputs[name] == 0
+        )
+        #: Exact partials of summing every min-time — the starting state of
+        #: the remaining-min-time accumulator (see ``ExactSum.from_partials``).
+        self.remaining_partials = ExactSum(self.min_times.values()).partials
+
+
+_GRAPH_TABLES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _graph_tables(graph) -> _GraphTables:
+    try:
+        tables = _GRAPH_TABLES.get(graph)
+    except TypeError:  # unhashable/unweakrefable graph stand-in: no memo
+        return _GraphTables(graph)
+    # ``num_tasks`` guards against a graph mutated after memoisation, the
+    # same defence the schedulers' sequence-validation memo uses.
+    if tables is None or tables.num_tasks != graph.num_tasks:
+        tables = _GraphTables(graph)
+        try:
+            _GRAPH_TABLES[graph] = tables
+        except TypeError:  # pragma: no cover - get() above already filtered
+            pass
+    return tables
 
 
 class Simulator:
@@ -113,29 +188,39 @@ class Simulator:
             self.rng = rng_for_seed(int(rng))
         else:
             self.rng = None
-        if not self.perturbation.is_null and self.rng is None:
+        #: Resolved once: ``is_null`` is a property, and the loop asks per attempt.
+        self._perturb_active = not self.perturbation.is_null
+        if self._perturb_active and self.rng is None:
             raise SimulationError(
                 "a stochastic perturbation needs an rng (seed or Generator)"
             )
-        # Deterministic per-task tables and insertion-ordered successor lists.
-        names = self.graph.task_names()
-        self._rank = {name: index for index, name in enumerate(names)}
-        self._successors: Dict[str, Tuple[str, ...]] = {
-            name: tuple(
-                sorted(self.graph.successors(name), key=self._rank.__getitem__)
-            )
-            for name in names
-        }
-        self._min_times = {
-            name: self.graph.task(name).min_execution_time for name in names
-        }
+        # Deterministic per-task tables and insertion-ordered successor
+        # lists — pure functions of the graph, shared through a per-graph
+        # memo across replications and batch lanes.
+        tables = _graph_tables(self.graph)
+        self._tables = tables
+        self._rank = tables.rank
+        self._successors = tables.successors
+        self._min_times = tables.min_times
+        #: Public per-task min-time table (policies consult it per decision).
+        self.min_times = self._min_times
+        # Canonical design-point rows, resolved once: the event loop and the
+        # online policies index these every attempt/decision.
+        self._points = tables.points
+        self._attempt_rows = tables.attempt_rows
         # Run state (created fresh per run()).
         self._infos: Dict[str, TaskRuntimeInfo] = {}
-        self._heap: List[SimEvent] = []
+        #: The one in-flight task-end event as ``(time, task)`` (the
+        #: single-PE platform never holds more than one, so a heap of event
+        #: objects would be pure overhead).
+        self._pending_event: Optional[Tuple[float, str]] = None
         self._queue: List[Tuple[str, int]] = []
         self._running: Optional[Tuple[str, int, float, bool, float]] = None
         self._new_ready: List[str] = []
         self._new_finished: List[str] = []
+        #: Ready tasks as (graph rank, name), kept sorted — ready_tasks()
+        #: reads it directly instead of scanning every task in the graph.
+        self._ready_set: List[Tuple[int, str]] = []
         self._durations: List[float] = []
         self._currents: List[float] = []
         self._intervals: List[SimulatedInterval] = []
@@ -143,8 +228,16 @@ class Simulator:
         self._finished_count = 0
         self._retries = 0
         self._events = 0
-        self._seq = 0
         self._ran = False
+        #: Incremental live-state totals backing the policy queries.
+        self._live = LiveRuntimeState(
+            self.model, self._min_times, tables.remaining_partials
+        )
+        #: Batch-driver hook: when set, a sigma query that would run the
+        #: chemistry kernel first calls this (the driver answers it for every
+        #: lane of the batch in one vectorized evaluation — see
+        #: :class:`repro.sim.BatchSimulator`).
+        self._sigma_batch: Optional[Callable[[], None]] = None
         # Observability: per-policy labels keep the counter catalogue
         # separable across the policies of one run (`sim.*[policy]`).
         self._obs_label = getattr(scheduler, "name", type(scheduler).__name__)
@@ -162,33 +255,33 @@ class Simulator:
         return self._infos[name]
 
     def ready_tasks(self) -> Tuple[str, ...]:
-        """All currently ready tasks, in graph insertion order."""
-        return tuple(
-            name
-            for name in self.graph.task_names()
-            if name in self._infos and self._infos[name].is_ready
-        )
+        """All currently ready tasks, in graph insertion order.
+
+        Served from the insertion-ordered ready set maintained on state
+        transitions (tasks enter on becoming READY, leave on starting), so
+        the query costs O(ready) instead of scanning every task in the
+        graph.  The order is pinned by a regression test against the
+        original full-scan implementation.
+        """
+        return tuple(name for _, name in self._ready_set)
 
     def remaining_min_time(self) -> float:
         """Lower bound on the time still needed: sum of unfinished tasks'
         fastest design-point times (the running attempt counts in full —
-        on failure it must rerun, and the bound must stay a bound)."""
+        on failure it must rerun, and the bound must stay a bound).
+
+        Answered from an exact running total (bit-identical to the fsum
+        over unfinished tasks it replaces — see
+        :mod:`repro.sim.livestate`)."""
         if _OBS.enabled:
             _OBS.count("sim.query.remaining_min_time", label=self._obs_label)
-        return math.fsum(
-            self._min_times[name]
-            for name, info in self._infos.items()
-            if not info.is_finished
-        )
+        return self._live.remaining_min_time()
 
     def delivered_charge(self) -> float:
         """Plain coulomb count of everything executed so far (mA·min)."""
         if _OBS.enabled:
             _OBS.count("sim.query.delivered_charge", label=self._obs_label)
-        return math.fsum(
-            duration * current
-            for duration, current in zip(self._durations, self._currents)
-        )
+        return self._live.delivered_charge()
 
     def apparent_charge(self) -> float:
         """Live sigma of the executed timeline, evaluated at the current time.
@@ -196,14 +289,24 @@ class Simulator:
         Policies call this between attempts (the PE is idle at wakeup
         time), when the executed intervals end exactly at ``now`` — so the
         canonical back-to-back ``schedule_charge`` applies with zero rest.
+        Time-insensitive chemistries answer from an exact running total;
+        time-sensitive ones evaluate the vectorized kernel once per
+        distinct ``(timeline length, now)`` state (the repeated queries of
+        one decision hit the memo).
         """
         if _OBS.enabled:
             # Counted even via state_of_charge (which delegates here): the
             # counter tracks sigma evaluations actually requested.
             _OBS.count("sim.query.apparent_charge", label=self._obs_label)
-        if not self._durations:
-            return 0.0
-        return self.model.schedule_charge(self._durations, self._currents, 0.0)
+        live = self._live
+        if (
+            self._sigma_batch is not None
+            and live.needs_sigma_kernel
+            and self._durations
+            and live.sigma_memo_key != (len(self._durations), self.clock.now)
+        ):
+            self._sigma_batch()
+        return live.apparent_charge(self.clock.now, self._durations, self._currents)
 
     def state_of_charge(self) -> Optional[float]:
         """Remaining capacity fraction, or ``None`` on an unbounded battery."""
@@ -224,19 +327,7 @@ class Simulator:
         runtime state, so call sites wanting replications build one
         simulator per run (they are cheap).
         """
-        if self._ran:
-            raise SimulationError("a Simulator instance runs exactly once")
-        self._ran = True
-        for name in self.graph.task_names():
-            info = TaskRuntimeInfo(
-                unfinished_inputs=len(self.graph.predecessors(name))
-            )
-            self._infos[name] = info
-            if info.unfinished_inputs == 0:
-                info.state = TaskState.READY
-                info.ready_time = 0.0
-                self._new_ready.append(name)
-        self.scheduler.init(self)
+        self._begin()
         total = self.graph.num_tasks
         while self._finished_count < total:
             if self._running is None:
@@ -245,9 +336,48 @@ class Simulator:
                 self._start_next()
             else:
                 self._process_next_event()
+        return self._finalize()
+
+    def _begin(self) -> None:
+        """Install the initial runtime state and bind the scheduler.
+
+        Split out of :meth:`run` so the batch driver can set lanes up and
+        then step them in lockstep with :meth:`_start_next` /
+        :meth:`_process_next_event` — the exact loop body :meth:`run`
+        executes, which is what keeps batch results bit-identical.
+        """
+        if self._ran:
+            raise SimulationError("a Simulator instance runs exactly once")
+        self._ran = True
+        tables = self._tables
+        for name in self.graph.task_names():
+            self._infos[name] = TaskRuntimeInfo(
+                unfinished_inputs=tables.num_inputs[name]
+            )
+        for name in tables.initial_ready:
+            info = self._infos[name]
+            info.state = TaskState.READY
+            info.ready_time = 0.0
+            self._new_ready.append(name)
+            self._ready_set.append((self._rank[name], name))
+        self.scheduler.init(self)
+
+    @property
+    def _finished(self) -> bool:
+        """True when every task has completed (the loop's exit condition)."""
+        return self._finished_count >= self.graph.num_tasks
+
+    def _finalize(self, cost: Optional[float] = None) -> SimulationResult:
+        """Reduce the realised timeline to its :class:`SimulationResult`.
+
+        ``cost`` lets the batch driver hand in this lane's row of one
+        vectorized ``schedule_charge_batch`` evaluation (bit-identical per
+        row to the scalar path below); scalar runs compute it here.
+        """
         makespan = math.fsum(self._durations)
         rest = _resolve_rest(makespan, self.deadline, self.evaluate_at)
-        cost = self.model.schedule_charge(self._durations, self._currents, rest)
+        if cost is None:
+            cost = self.model.schedule_charge(self._durations, self._currents, rest)
         depletion: Optional[float] = None
         trace = None
         battery = self.problem.battery
@@ -332,18 +462,18 @@ class Simulator:
             raise SimulationError(
                 f"scheduler decisions must be (task, column) pairs, got {decision!r}"
             ) from None
-        if name not in self._infos:
+        info = self._infos.get(name)
+        if info is None:
             raise SimulationError(f"scheduler assigned unknown task {name!r}")
-        info = self._infos[name]
-        if info.is_finished:
+        if info.state is TaskState.FINISHED:
             raise SimulationError(
                 f"scheduler tried to assign finished task {name!r}"
             )
-        task = self.graph.task(name)
-        if not (0 <= int(column) < task.num_design_points):
+        points = self._points[name]
+        if not (0 <= int(column) < len(points)):
             raise SimulationError(
                 f"column {column!r} out of range for task {name!r} "
-                f"({task.num_design_points} design points)"
+                f"({len(points)} design points)"
             )
         self._queue.append((name, int(column)))
 
@@ -355,14 +485,15 @@ class Simulator:
                 f"task {name!r} started while {info.state.value} "
                 "(predecessors unfinished, or assigned twice)"
             )
-        point = self.graph.task(name).ordered_design_points()[column]
+        execution_time, current = self._attempt_rows[name][column]
         factor = 1.0
         failed = False
-        if not self.perturbation.is_null:
+        if self._perturb_active:
             factor = self.perturbation.duration_factor(self.rng)
             failed = self.perturbation.draw_failure(self.rng)
-        duration = point.execution_time * factor
+        duration = execution_time * factor
         info.state = TaskState.RUNNING
+        self._ready_set.remove((self._rank[name], name))
         info.column = column
         info.start_time = self.clock.now
         info.attempts += 1
@@ -371,36 +502,29 @@ class Simulator:
                 f"task {name!r} exhausted its retry budget "
                 f"({self.perturbation.max_retries} retries)"
             )
-        self._running = (name, column, point.current, failed, duration)
-        self._seq += 1
-        heapq.heappush(
-            self._heap,
-            SimEvent(
-                time=self.clock.now + duration,
-                seq=self._seq,
-                kind="task-end",
-                task=name,
-            ),
-        )
+        self._running = (name, column, current, failed, duration)
+        self._pending_event = (self.clock.now + duration, name)
 
     def _process_next_event(self) -> None:
-        event = heapq.heappop(self._heap)
-        self.clock.advance_to(event.time)
+        event_time, event_task = self._pending_event
+        self._pending_event = None
+        self.clock.advance_to(event_time)
         self._events += 1
         if _OBS.enabled:
-            _OBS.count(f"sim.event.{event.kind}", label=self._obs_label)
+            _OBS.count("sim.event.task-end", label=self._obs_label)
         # The drawn duration is carried through (not recovered as
-        # ``event.time - start``): float subtraction would lose ulps, and the
+        # ``event time - start``): float subtraction would lose ulps, and the
         # realised durations must reproduce the offline arrays bit for bit
         # in the deterministic case.
         name, column, current, failed, duration = self._running
-        if event.task != name:  # pragma: no cover - single-PE invariant
+        if event_task != name:  # pragma: no cover - single-PE invariant
             raise SimulationError(
-                f"event for {event.task!r} fired while {name!r} was running"
+                f"event for {event_task!r} fired while {name!r} was running"
             )
         info = self._infos[name]
         self._durations.append(duration)
         self._currents.append(current)
+        self._live.record_interval(duration, current)
         self._intervals.append(
             SimulatedInterval(
                 task=name,
@@ -421,11 +545,13 @@ class Simulator:
             if _OBS.enabled:
                 _OBS.count("sim.retries", label=self._obs_label)
             info.state = TaskState.READY
+            bisect.insort(self._ready_set, (self._rank[name], name))
             self._queue.insert(0, (name, column))
             return
         info.state = TaskState.FINISHED
-        info.end_time = event.time
+        info.end_time = event_time
         self._finished_count += 1
+        self._live.finish_task(name)
         self._completion_order.append(name)
         self._new_finished.append(name)
         for child in self._successors[name]:
@@ -433,8 +559,9 @@ class Simulator:
             child_info.unfinished_inputs -= 1
             if child_info.unfinished_inputs == 0:
                 child_info.state = TaskState.READY
-                child_info.ready_time = event.time
+                child_info.ready_time = event_time
                 self._new_ready.append(child)
+                bisect.insort(self._ready_set, (self._rank[child], child))
             elif child_info.unfinished_inputs < 0:  # pragma: no cover
                 raise SimulationError(
                     f"task {child!r} finished more inputs than it has"

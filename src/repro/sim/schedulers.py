@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from ..errors import ConfigurationError, SimulationError
 from ..scheduling import SchedulingProblem
@@ -80,28 +81,67 @@ class Scheduler:
     # ------------------------------------------------------------------
     # shared helpers for online policies
     # ------------------------------------------------------------------
-    def _deadline_allowance(self, name: str) -> float:
+    def _deadline_allowance(
+        self, name: str, remaining: Optional[float] = None
+    ) -> float:
         """Longest execution time ``name`` may take while the rest of the
-        graph can still finish by the deadline at full speed."""
+        graph can still finish by the deadline at full speed.
+
+        ``remaining`` lets a caller that already queried
+        ``remaining_min_time()`` this decision pass the value through —
+        the state cannot change between queries of one decision, so the
+        reuse is bit-identical to asking again.
+        """
         sim = self.simulator
-        min_time = sim.graph.task(name).min_execution_time
-        others = sim.remaining_min_time() - min_time
+        min_time = sim.min_times[name]
+        if remaining is None:
+            remaining = sim.remaining_min_time()
+        others = remaining - min_time
         return sim.deadline - sim.now - others
 
-    def _feasible_columns(self, name: str) -> List[int]:
+    def _feasible_columns(
+        self,
+        name: str,
+        times: Optional[Sequence[float]] = None,
+        remaining: Optional[float] = None,
+    ) -> List[int]:
         """Design-point columns whose execution time fits the allowance.
 
         Falls back to the fastest column when nothing fits (the deadline
         is already compromised; run flat out and record the miss).
+        ``times``/``remaining`` are pass-throughs for values the caller
+        already holds (same floats, fewer lookups per decision).
         """
-        allowance = self._deadline_allowance(name)
-        times = self.simulator.graph.task(name).execution_times()
+        allowance = self._deadline_allowance(name, remaining)
+        if times is None:
+            times = self.simulator.graph.task(name).execution_times()
         feasible = [
             column
             for column, time in enumerate(times)
             if time <= allowance + _EPS
         ]
         return feasible or [0]
+
+
+#: Graph -> set of (num_tasks, sequence) pairs already validated.  Replaying
+#: the same schedule on the same graph across replications (the batch
+#: simulator's entire workload, and any replication loop) re-validates a
+#: pure function of unchanged inputs; this memo makes the repeat binds O(1).
+#: Weakly keyed so graphs die normally; ``num_tasks`` in the entry guards
+#: against a graph growing after validation.
+_VALIDATED_SEQUENCES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _validate_sequence_once(graph, sequence: Tuple[str, ...]) -> None:
+    try:
+        seen = _VALIDATED_SEQUENCES.setdefault(graph, set())
+    except TypeError:  # unhashable/unweakrefable graph stand-in: no memo
+        validate_sequence(graph, sequence)
+        return
+    entry = (graph.num_tasks, sequence)
+    if entry not in seen:
+        validate_sequence(graph, sequence)
+        seen.add(entry)
 
 
 class StaticReplayScheduler(Scheduler):
@@ -133,7 +173,7 @@ class StaticReplayScheduler(Scheduler):
 
     def init(self, simulator) -> None:
         super().init(simulator)
-        validate_sequence(simulator.graph, self.sequence)
+        _validate_sequence_once(simulator.graph, self.sequence)
         self._dispatched = False
 
     def schedule(self, new_ready, new_finished):
@@ -141,6 +181,18 @@ class StaticReplayScheduler(Scheduler):
             return ()
         self._dispatched = True
         return [(task, self.columns[task]) for task in self.sequence]
+
+
+#: Graph -> {policy class name: (weights, sort order)} for policies whose
+#: weights are a pure function of the graph.  Replications (and every
+#: batch-simulator lane) re-bind fresh policy instances to the same graph;
+#: without the memo each bind recomputes an O(graph) — for deadline-slack
+#: O(graph^2) — priority table that never changes.
+_WEIGHTS_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: Graph -> {task name: execution-time tuple}.  Policy-independent and
+#: read-only, so every bind on the same graph shares one dict.
+_TIMES_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
 
 
 class _OnlineScheduler(Scheduler):
@@ -152,13 +204,64 @@ class _OnlineScheduler(Scheduler):
     delegates the design-point choice to :meth:`choose_column`.
     """
 
+    #: Whether :meth:`task_weights` depends only on the graph (True for all
+    #: built-in policies), making the per-graph weights memo safe.
+    #: Subclasses whose weights read instance parameters or live simulator
+    #: state must leave this False.
+    WEIGHTS_GRAPH_PURE = False
+
     def init(self, simulator) -> None:
         super().init(simulator)
         self._ready: List[str] = []
-        self._rank = {
-            name: index for index, name in enumerate(simulator.graph.task_names())
-        }
-        self._weights = self.task_weights()
+        rank = getattr(simulator, "_rank", None)
+        self._rank = (
+            rank
+            if rank is not None
+            else {
+                name: index
+                for index, name in enumerate(simulator.graph.task_names())
+            }
+        )
+        #: ``self._order`` is the precomputed sort key per task —
+        #: ``sort(key=self._order.__getitem__)`` orders exactly like
+        #: sorting on ``(-weight, rank)`` tuples built per wakeup, without
+        #: rebuilding them.  Memoised with the weights (both are shared
+        #: read-only across binds to the same graph).
+        self._weights, self._order = self._resolve_weights()
+        #: Per-task design-point rows, shared per graph across binds.
+        graph = simulator.graph
+        try:
+            times = _TIMES_MEMO.get(graph)
+        except TypeError:  # unweakrefable graph stand-in: no memo
+            times = None
+        if times is None:
+            times = {task.name: task.execution_times() for task in graph}
+            try:
+                _TIMES_MEMO[graph] = times
+            except TypeError:
+                pass
+        self._times = times
+
+    def _build_order(self, weights: Dict[str, float]) -> Dict[str, tuple]:
+        rank = self._rank
+        return {name: (-weight, rank[name]) for name, weight in weights.items()}
+
+    def _resolve_weights(self):
+        if not self.WEIGHTS_GRAPH_PURE:
+            weights = self.task_weights()
+            return weights, self._build_order(weights)
+        graph = self.simulator.graph
+        try:
+            per_graph = _WEIGHTS_MEMO.setdefault(graph, {})
+        except TypeError:  # unweakrefable graph stand-in: no memo
+            weights = self.task_weights()
+            return weights, self._build_order(weights)
+        key = type(self).__qualname__
+        entry = per_graph.get(key)
+        if entry is None:
+            weights = self.task_weights()
+            entry = per_graph[key] = (weights, self._build_order(weights))
+        return entry
 
     def task_weights(self) -> Dict[str, float]:
         """Per-task priority (higher runs first); computed once at init."""
@@ -169,13 +272,13 @@ class _OnlineScheduler(Scheduler):
         raise NotImplementedError
 
     def schedule(self, new_ready, new_finished):
-        self._ready.extend(new_ready)
-        if not self._ready:
+        ready = self._ready
+        ready.extend(new_ready)
+        if not ready:
             return ()
-        self._ready.sort(
-            key=lambda name: (-self._weights[name], self._rank[name])
-        )
-        chosen = self._ready.pop(0)
+        if len(ready) > 1:
+            ready.sort(key=self._order.__getitem__)
+        chosen = ready.pop(0)
         return [(chosen, self.choose_column(chosen))]
 
 
@@ -188,6 +291,7 @@ class GreedyEnergyScheduler(_OnlineScheduler):
     """
 
     name = "greedy-energy"
+    WEIGHTS_GRAPH_PURE = True
 
     def task_weights(self) -> Dict[str, float]:
         return {
@@ -197,7 +301,7 @@ class GreedyEnergyScheduler(_OnlineScheduler):
     def choose_column(self, name: str) -> int:
         energies = self.simulator.graph.task(name).energies()
         return min(
-            self._feasible_columns(name),
+            self._feasible_columns(name, times=self._times[name]),
             key=lambda column: (energies[column], -column),
         )
 
@@ -214,6 +318,7 @@ class DeadlineSlackScheduler(_OnlineScheduler):
     """
 
     name = "deadline-slack"
+    WEIGHTS_GRAPH_PURE = True
 
     def task_weights(self) -> Dict[str, float]:
         graph = self.simulator.graph
@@ -227,20 +332,38 @@ class DeadlineSlackScheduler(_OnlineScheduler):
 
     def choose_column(self, name: str) -> int:
         sim = self.simulator
-        min_time = sim.graph.task(name).min_execution_time
+        min_time = sim.min_times[name]
         remaining = sim.remaining_min_time()
-        slack = sim.deadline - sim.now - remaining
+        now = sim.now
+        deadline = sim.deadline
+        slack = deadline - now - remaining
         share = slack * (min_time / remaining) if remaining > 0 else 0.0
-        allowance = min_time + max(share, 0.0)
-        times = sim.graph.task(name).execution_times()
-        fitting = [
-            column
-            for column in self._feasible_columns(name)
-            if times[column] <= allowance + _EPS
-        ]
-        candidates = fitting or self._feasible_columns(name)
-        # Slowest fitting implementation (largest execution time wins).
-        return max(candidates, key=lambda column: (times[column], column))
+        # One fused pass over the design points, replacing the
+        # _feasible_columns + fitting-filter + max(key=...) pipeline: the
+        # limits are the same floats the helper would compare against, and
+        # ">=" on the running maxima reproduces the (time, column)
+        # tie-break (later equal column wins).  Slowest fitting
+        # implementation (largest execution time) wins; without a fitting
+        # column, the slowest feasible one; without a feasible column, the
+        # fastest point (the deadline is already compromised).
+        share_limit = min_time + max(share, 0.0) + _EPS
+        deadline_limit = deadline - now - (remaining - min_time) + _EPS
+        times = self._times[name]
+        best_feasible = -1
+        best_feasible_time = -1.0
+        best_fitting = -1
+        best_fitting_time = -1.0
+        for column, time in enumerate(times):
+            if time <= deadline_limit:
+                if time >= best_feasible_time:
+                    best_feasible, best_feasible_time = column, time
+                if time <= share_limit and time >= best_fitting_time:
+                    best_fitting, best_fitting_time = column, time
+        if best_fitting >= 0:
+            return best_fitting
+        if best_feasible >= 0:
+            return best_feasible
+        return 0
 
 
 class BatteryReactiveScheduler(_OnlineScheduler):
@@ -261,6 +384,7 @@ class BatteryReactiveScheduler(_OnlineScheduler):
     """
 
     name = "battery-reactive"
+    WEIGHTS_GRAPH_PURE = True
 
     def __init__(
         self, stress_threshold: float = 0.25, soc_reserve: float = 0.25
@@ -293,12 +417,11 @@ class BatteryReactiveScheduler(_OnlineScheduler):
         return unavailable / delivered > self.stress_threshold
 
     def choose_column(self, name: str) -> int:
-        task = self.simulator.graph.task(name)
-        feasible = self._feasible_columns(name)
+        times = self._times[name]
+        feasible = self._feasible_columns(name, times=times)
         if self._stressed():
-            currents = task.currents()
+            currents = self.simulator.graph.task(name).currents()
             return min(feasible, key=lambda column: (currents[column], -column))
-        times = task.execution_times()
         return min(feasible, key=lambda column: (times[column], column))
 
 

@@ -87,22 +87,45 @@ class Task:
         paper's ``D`` and ``I`` matrices: column 1 is the fastest and most
         power-hungry implementation, column *m* the slowest and least
         power-hungry one.
+
+        The ordering (and the derived ``D``/``I``/energy rows below) is
+        computed once and cached: tasks are immutable, and the runtime
+        simulator's policies consult these rows on every decision.
         """
-        return tuple(
-            sorted(self.design_points, key=lambda dp: (dp.execution_time, -dp.current))
-        )
+        cached = self.__dict__.get("_ordered_points")
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    self.design_points,
+                    key=lambda dp: (dp.execution_time, -dp.current),
+                )
+            )
+            object.__setattr__(self, "_ordered_points", cached)
+        return cached
 
     def execution_times(self) -> Tuple[float, ...]:
         """Execution times in canonical (ascending) order — one row of ``D``."""
-        return tuple(dp.execution_time for dp in self.ordered_design_points())
+        cached = self.__dict__.get("_execution_times")
+        if cached is None:
+            cached = tuple(dp.execution_time for dp in self.ordered_design_points())
+            object.__setattr__(self, "_execution_times", cached)
+        return cached
 
     def currents(self) -> Tuple[float, ...]:
         """Currents in canonical order (descending for monotone DPs) — one row of ``I``."""
-        return tuple(dp.current for dp in self.ordered_design_points())
+        cached = self.__dict__.get("_currents")
+        if cached is None:
+            cached = tuple(dp.current for dp in self.ordered_design_points())
+            object.__setattr__(self, "_currents", cached)
+        return cached
 
     def energies(self) -> Tuple[float, ...]:
         """Per-design-point energies in canonical order."""
-        return tuple(dp.energy for dp in self.ordered_design_points())
+        cached = self.__dict__.get("_energies")
+        if cached is None:
+            cached = tuple(dp.energy for dp in self.ordered_design_points())
+            object.__setattr__(self, "_energies", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # aggregate statistics used as scheduling priorities

@@ -1,0 +1,118 @@
+"""Kernel-backend selection and compiled-kernel conformance.
+
+The compiled (numba) kernels are an **optional** acceleration: selection
+must silently fall back to the numpy reference whenever numba is missing
+or the backend name is unrecognised, and — when numba is present — every
+compiled kernel must match the numpy reference bitwise or to <= 1e-12 per
+element on representative schedules of all four chemistries.  CI runs the
+numba half in a dedicated optional-dependency job; everywhere else those
+tests skip cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.battery import (
+    KERNEL_BACKENDS,
+    IdealBatteryModel,
+    KineticBatteryModel,
+    PeukertModel,
+    RakhmatovVrudhulaModel,
+    available_backends,
+    default_backend,
+    numba_available,
+)
+from repro.battery.backends import BACKEND_ENV_VAR, KERNEL_NAMES, resolve_kernel
+
+CHEMISTRY_MODELS = {
+    "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
+    "peukert": lambda: PeukertModel(exponent=1.3),
+    "kibam": lambda: KineticBatteryModel(c=0.625, k=0.05),
+    "ideal": lambda: IdealBatteryModel(),
+}
+
+
+def _schedule_arrays(seed: int = 0, n: int = 40):
+    rng = np.random.default_rng(seed)
+    durations = rng.uniform(0.5, 30.0, size=n)
+    currents = rng.uniform(5.0, 120.0, size=n)
+    return durations, currents
+
+
+class TestBackendSelection:
+    def test_numpy_is_always_available(self):
+        assert "numpy" in available_backends()
+        assert set(available_backends()) <= set(KERNEL_BACKENDS)
+
+    def test_default_backend_reads_environment(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "NUMBA ")
+        assert default_backend() == "numba"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert default_backend() == "numpy"
+
+    def test_numpy_backend_resolves_to_reference_path(self):
+        for name in KERNEL_NAMES:
+            assert resolve_kernel(name, "numpy") is None
+
+    def test_unknown_backend_falls_back_without_raising(self):
+        assert resolve_kernel("rakhmatov", "tpu") is None
+
+    def test_numba_request_never_raises_when_numba_missing(self, monkeypatch):
+        # The request is a performance hint: with numba absent it must
+        # resolve to the numpy path; with numba present, to a callable.
+        kernel = resolve_kernel("rakhmatov", "numba")
+        if numba_available():
+            assert callable(kernel)
+        else:
+            assert kernel is None
+
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_MODELS))
+    def test_numba_request_on_model_is_safe_everywhere(self, chemistry):
+        """kernel_backend='numba' must work with or without numba installed."""
+        durations, currents = _schedule_arrays(3)
+        reference = CHEMISTRY_MODELS[chemistry]()
+        requested = CHEMISTRY_MODELS[chemistry]()
+        requested.kernel_backend = "numba"
+        expected = reference.schedule_charge(durations, currents, 12.5)
+        actual = requested.schedule_charge(durations, currents, 12.5)
+        if numba_available():
+            assert actual == pytest.approx(expected, abs=1e-12, rel=1e-12)
+        else:
+            # Silent numpy fallback: bit-identical, no errors, no warnings.
+            assert actual == expected
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestCompiledKernelConformance:
+    """Bitwise-or-<=1e-12 agreement of every compiled kernel (numba only)."""
+
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_MODELS))
+    def test_interval_contributions_match(self, chemistry):
+        model = CHEMISTRY_MODELS[chemistry]()
+        assert model.KERNEL_NAME is not None
+        kernel = resolve_kernel(model.KERNEL_NAME, "numba")
+        assert kernel is not None
+        durations, currents = _schedule_arrays(17, n=64)
+        time_to_end = np.concatenate(
+            [np.zeros(4), np.cumsum(durations[::-1])[::-1][:-4]]
+        )
+        reference = model.interval_contributions(durations, currents, time_to_end)
+        compiled = kernel(
+            np.ascontiguousarray(durations),
+            np.ascontiguousarray(currents),
+            np.ascontiguousarray(time_to_end),
+            *model._kernel_args(),
+        )
+        np.testing.assert_allclose(compiled, reference, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_MODELS))
+    def test_schedule_charge_matches_through_model(self, chemistry):
+        durations, currents = _schedule_arrays(29)
+        reference = CHEMISTRY_MODELS[chemistry]()
+        compiled = CHEMISTRY_MODELS[chemistry]()
+        compiled.kernel_backend = "numba"
+        expected = reference.schedule_charge(durations, currents, 0.0)
+        actual = compiled.schedule_charge(durations, currents, 0.0)
+        assert actual == pytest.approx(expected, abs=1e-12, rel=1e-12)

@@ -8,8 +8,10 @@ from repro.engine import (
     ParallelExecutor,
     ResultStore,
     SerialExecutor,
+    SimulationBatch,
     SimulationJob,
     SimulationRecord,
+    execute_simulation_batch,
     execute_simulation_job,
     run_simulation_jobs,
 )
@@ -173,3 +175,131 @@ class TestRunSimulationJobs:
         assert run.summary().startswith(
             "4 simulations (4 executed, 0 resumed), 0 failed, cache hit rate "
         )
+
+
+class TestSimulationBatching:
+    """Monte Carlo batching: lockstep cells, bit-identical to scalar."""
+
+    def make_jobs(self, registry, replications=3):
+        return [
+            SimulationJob(spec=registry.get(name), policy=policy, seed=7, replication=r)
+            for name in ("g3-jitter10", "g3-jitter10-fail5")
+            for policy in ("static-replay", "greedy-energy", "battery-reactive")
+            for r in range(replications)
+        ]
+
+    def test_cell_key_groups_replications_only(self, registry):
+        spec = registry.get("g3-jitter10")
+        a = SimulationJob(spec=spec, policy="greedy-energy", seed=1, replication=0)
+        b = SimulationJob(spec=spec, policy="greedy-energy", seed=1, replication=5)
+        assert a.cell_key() == b.cell_key()
+        assert a.key() != b.key()
+        assert a.cell_key() != SimulationJob(
+            spec=spec, policy="greedy-energy", seed=2
+        ).cell_key()
+        assert a.cell_key() != SimulationJob(
+            spec=spec, policy="deadline-slack", seed=1
+        ).cell_key()
+
+    def test_batch_requires_one_cell(self, registry):
+        spec = registry.get("g3-jitter10")
+        replications = SimulationBatch(
+            jobs=(
+                SimulationJob(spec=spec, policy="greedy-energy", replication=0),
+                SimulationJob(spec=spec, policy="greedy-energy", replication=1),
+            )
+        )
+        assert len(replications.jobs) == 2
+        with pytest.raises(ConfigurationError):
+            SimulationBatch(jobs=())
+        with pytest.raises(ConfigurationError):
+            SimulationBatch(
+                jobs=(
+                    SimulationJob(spec=spec, policy="greedy-energy"),
+                    SimulationJob(spec=spec, policy="deadline-slack"),
+                )
+            )
+
+    def test_batched_records_equal_scalar_records(self, registry):
+        jobs = self.make_jobs(registry)
+        scalar = run_simulation_jobs(jobs, batch=False)
+        batched = run_simulation_jobs(jobs, batch="auto")
+        assert strip_timing(batched.records) == strip_timing(scalar.records)
+        assert batched.ok
+
+    def test_execute_simulation_batch_directly(self, registry):
+        spec = registry.get("g3-jitter10")
+        jobs = tuple(
+            SimulationJob(spec=spec, policy="deadline-slack", replication=r)
+            for r in range(3)
+        )
+        outcome = execute_simulation_batch(SimulationBatch(jobs=jobs))
+        assert outcome.ok
+        assert [record.replication for record in outcome.records] == [0, 1, 2]
+        scalar = [execute_simulation_job(job) for job in jobs]
+        assert strip_timing(outcome.records) == strip_timing(scalar)
+
+    def test_chunked_batches_preserve_order(self, registry):
+        jobs = self.make_jobs(registry, replications=5)
+        scalar = run_simulation_jobs(jobs, batch=False)
+        chunked = run_simulation_jobs(jobs, batch=2)
+        assert strip_timing(chunked.records) == strip_timing(scalar.records)
+
+    def test_parallel_batched_identical_to_serial_batched(self, registry):
+        jobs = self.make_jobs(registry)
+        serial = run_simulation_jobs(jobs, executor=SerialExecutor(), batch="auto")
+        parallel = run_simulation_jobs(
+            jobs, executor=ParallelExecutor(max_workers=2), batch="auto"
+        )
+        assert strip_timing(serial.records) == strip_timing(parallel.records)
+
+    def test_resume_mixes_store_hits_with_batched_fresh(self, registry, tmp_path):
+        jobs = self.make_jobs(registry)
+        store = ResultStore(tmp_path / "sim.jsonl", record_type=SimulationRecord)
+        first = run_simulation_jobs(jobs[:5], store=store, resume=True, batch="auto")
+        assert first.executed == 5
+        second = run_simulation_jobs(jobs, store=store, resume=True, batch="auto")
+        assert second.skipped == 5
+        assert second.executed == len(jobs) - 5
+        scalar = run_simulation_jobs(jobs, batch=False)
+        assert strip_timing(second.records) == strip_timing(scalar.records)
+
+    def test_lane_failures_stay_isolated_in_batches(self, registry):
+        # 0.8 per-attempt failure: some seeded lanes exhaust the retry
+        # budget while others complete (the split is seed-deterministic).
+        doomed = dataclasses.replace(
+            registry.get("g3-jitter10"), name="doomed", failure_rate=0.8
+        )
+        jobs = [
+            SimulationJob(spec=doomed, policy="greedy-energy", replication=r)
+            for r in range(8)
+        ]
+        scalar = run_simulation_jobs(jobs, batch=False)
+        batched = run_simulation_jobs(jobs, batch="auto")
+        assert [r.ok for r in batched.records] == [r.ok for r in scalar.records]
+        assert [r.error for r in batched.records] == [r.error for r in scalar.records]
+        assert any(not record.ok for record in batched.records)
+        assert any(record.ok for record in batched.records)
+
+    def test_setup_failure_fails_every_member(self, registry):
+        spec = registry.get("g3-jitter10")
+        jobs = tuple(
+            SimulationJob(
+                spec=spec,
+                policy="battery-reactive",
+                params={"soc_reserve": 5.0},  # invalid: must be within [0, 1]
+                replication=r,
+            )
+            for r in range(3)
+        )
+        outcome = execute_simulation_batch(SimulationBatch(jobs=jobs))
+        assert not outcome.ok
+        assert all(not record.ok for record in outcome.records)
+        assert len({record.error for record in outcome.records}) == 1
+
+    def test_invalid_batch_argument_rejected(self, registry):
+        jobs = self.make_jobs(registry, replications=1)
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(jobs, batch=-2)
+        with pytest.raises(ConfigurationError):
+            run_simulation_jobs(jobs, batch="bogus")

@@ -83,10 +83,24 @@ class TestSimulatorCounters:
 class TestEngineCounters:
     def test_serial_run_counts_jobs_and_emits_spans(self, registry):
         jobs = make_jobs(registry)
+        cells = len({job.cell_key() for job in jobs})
         with recording() as rec:
             sink = MemorySink()
             rec.add_sink(sink)
             run_simulation_jobs(jobs, executor=SerialExecutor())
+        counters = rec.counters_snapshot()["counters"]
+        assert counters["engine.simjobs.executed"] == len(jobs)
+        # replications batch per cell by default: one span per batch
+        assert counters["engine.simjobs.batches"] == cells
+        span_names = [span["name"] for span in sink.by_type("span")]
+        assert span_names.count("engine.batch") == cells
+
+    def test_serial_scalar_path_emits_per_job_spans(self, registry):
+        jobs = make_jobs(registry)
+        with recording() as rec:
+            sink = MemorySink()
+            rec.add_sink(sink)
+            run_simulation_jobs(jobs, executor=SerialExecutor(), batch=False)
         counters = rec.counters_snapshot()["counters"]
         assert counters["engine.simjobs.executed"] == len(jobs)
         span_names = [span["name"] for span in sink.by_type("span")]
@@ -94,6 +108,7 @@ class TestEngineCounters:
 
     def test_parallel_pool_ships_metrics_and_synthesizes_spans(self, registry):
         jobs = make_jobs(registry)
+        cells = len({job.cell_key() for job in jobs})
         with recording() as rec:
             sink = MemorySink()
             rec.add_sink(sink)
@@ -101,9 +116,10 @@ class TestEngineCounters:
         counters = rec.counters_snapshot()["counters"]
         assert counters["engine.simjobs.executed"] == len(jobs)
         span_names = [span["name"] for span in sink.by_type("span")]
-        # parent synthesizes per-job execution and queue-wait spans
-        assert span_names.count("engine.job") == len(jobs)
-        assert span_names.count("engine.job.queue") == len(jobs)
+        # parent synthesizes per-batch execution and queue-wait spans,
+        # matching the serial span vocabulary
+        assert span_names.count("engine.batch") == cells
+        assert span_names.count("engine.batch.queue") == cells
         assert rec.gauges.get("rt.engine.pool.utilization", 0.0) > 0.0
 
     def test_serial_vs_parallel_snapshots_bitwise_identical(self, registry):

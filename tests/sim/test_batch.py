@@ -1,0 +1,198 @@
+"""Lockstep batch simulation == scalar simulation, bitwise, everywhere.
+
+:class:`~repro.sim.BatchSimulator` promises that every lane's
+:class:`~repro.sim.SimulationResult` equals the scalar
+:class:`~repro.sim.Simulator`'s for the same ``(seed, replication)``
+stream — full dataclass equality, which covers sigma, makespan, rest,
+feasibility, sequence, columns, every interval, retries and events.  This
+suite pins that across every chemistry, every policy, jitter, failures
+with retries, and depletion accounting on finite batteries, plus the
+per-lane error isolation contract.
+"""
+
+import math
+
+import pytest
+
+from repro.battery import BatterySpec
+from repro.errors import SimulationError
+from repro.scheduling import SchedulingProblem
+from repro.sim import (
+    BatchSimulator,
+    PerturbationModel,
+    Simulator,
+    StaticReplayScheduler,
+    make_policy,
+    rng_for_seed,
+)
+from repro.taskgraph import build_g3
+
+CHEMISTRY_SPECS = {
+    "rakhmatov": BatterySpec(beta=0.273),
+    "peukert": BatterySpec(chemistry="peukert", chemistry_params={"exponent": 1.3}),
+    "kibam": BatterySpec(chemistry="kibam", chemistry_params={"c": 0.625, "k": 0.05}),
+    "ideal": BatterySpec(chemistry="ideal"),
+}
+
+POLICY_NAMES = (
+    "static-replay",
+    "greedy-energy",
+    "deadline-slack",
+    "battery-reactive",
+)
+
+PERTURBATIONS = {
+    "jitter": PerturbationModel(jitter=0.10),
+    "failures": PerturbationModel(jitter=0.15, failure_rate=0.08),
+}
+
+
+def _problem(chemistry: str, capacity: float = math.inf) -> SchedulingProblem:
+    spec = CHEMISTRY_SPECS[chemistry]
+    battery = BatterySpec(
+        beta=spec.beta,
+        capacity=capacity,
+        chemistry=spec.chemistry,
+        chemistry_params=dict(spec.chemistry_params),
+    )
+    return SchedulingProblem(graph=build_g3(), deadline=260.0, battery=battery)
+
+
+def _make_scheduler(policy: str, problem: SchedulingProblem):
+    if policy == "static-replay":
+        graph = problem.graph
+        m = graph.uniform_design_point_count()
+        sequence = graph.topological_order()
+        columns = {name: index % m for index, name in enumerate(sequence)}
+        return StaticReplayScheduler(sequence, columns)
+    return make_policy(policy, problem)
+
+
+def _scalar_outcomes(problem, policy, perturbation, seed, lanes, **kwargs):
+    """Reference outcomes: one scalar simulator per replication stream."""
+    outcomes = []
+    for replication in range(lanes):
+        simulator = Simulator(
+            problem,
+            _make_scheduler(policy, problem),
+            perturbation=perturbation,
+            rng=rng_for_seed(seed, replication),
+            **kwargs,
+        )
+        try:
+            outcomes.append(simulator.run())
+        except SimulationError as error:
+            outcomes.append(error)
+    return outcomes
+
+
+def _batch_outcomes(problem, policy, perturbation, seed, lanes, **kwargs):
+    batch = BatchSimulator(
+        problem,
+        [_make_scheduler(policy, problem) for _ in range(lanes)],
+        rngs=[rng_for_seed(seed, replication) for replication in range(lanes)],
+        perturbation=perturbation,
+        **kwargs,
+    )
+    return batch.run()
+
+
+def _assert_matching(batch_outcomes, scalar_outcomes):
+    assert len(batch_outcomes) == len(scalar_outcomes)
+    for lane, (batched, scalar) in enumerate(zip(batch_outcomes, scalar_outcomes)):
+        if isinstance(scalar, Exception):
+            assert isinstance(batched, SimulationError), f"lane {lane}"
+            assert str(batched) == str(scalar), f"lane {lane}"
+        else:
+            # Full dataclass equality: bitwise cost/makespan/rest plus the
+            # whole realised timeline, retries and event counts.
+            assert batched == scalar, f"lane {lane}"
+
+
+class TestBatchMatchesScalarBitwise:
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_SPECS))
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize("tier", sorted(PERTURBATIONS))
+    def test_all_chemistries_policies_perturbations(self, chemistry, policy, tier):
+        problem = _problem(chemistry)
+        perturbation = PERTURBATIONS[tier]
+        lanes = 6
+        _assert_matching(
+            _batch_outcomes(problem, policy, perturbation, 7, lanes),
+            _scalar_outcomes(problem, policy, perturbation, 7, lanes),
+        )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_depletion_accounting_on_finite_battery(self, policy):
+        # A finite capacity takes the depletion_time branch of _finalize;
+        # the lifetime root-find must agree between the paths too.
+        problem = _problem("rakhmatov", capacity=2500.0)
+        perturbation = PerturbationModel(jitter=0.10)
+        lanes = 4
+        scalar = _scalar_outcomes(problem, policy, perturbation, 3, lanes)
+        batched = _batch_outcomes(problem, policy, perturbation, 3, lanes)
+        _assert_matching(batched, scalar)
+        assert any(
+            outcome.depletion_time is not None
+            for outcome in scalar
+            if not isinstance(outcome, Exception)
+        )
+
+    def test_null_perturbation_lanes_are_identical_and_draw_free(self):
+        problem = _problem("rakhmatov")
+        lanes = 3
+        outcomes = _batch_outcomes(problem, "deadline-slack", None, 0, lanes)
+        scalar = Simulator(
+            problem, _make_scheduler("deadline-slack", problem)
+        ).run()
+        for outcome in outcomes:
+            assert outcome == scalar
+
+    def test_retry_budget_exhaustion_is_isolated_per_lane(self):
+        problem = _problem("ideal")
+        # Zero retry budget + a high failure rate: whichever lanes draw an
+        # early failure die with SimulationError while siblings complete.
+        perturbation = PerturbationModel(jitter=0.05, failure_rate=0.3, max_retries=0)
+        lanes = 12
+        scalar = _scalar_outcomes(problem, "greedy-energy", perturbation, 11, lanes)
+        batched = _batch_outcomes(problem, "greedy-energy", perturbation, 11, lanes)
+        _assert_matching(batched, scalar)
+        failed = [o for o in scalar if isinstance(o, Exception)]
+        completed = [o for o in scalar if not isinstance(o, Exception)]
+        assert failed, "expected at least one lane to exhaust its retry budget"
+        assert completed, "expected at least one lane to survive"
+
+
+class TestBatchConstruction:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(SimulationError):
+            BatchSimulator(_problem("ideal"), [])
+
+    def test_rejects_shared_scheduler_instances(self):
+        problem = _problem("ideal")
+        scheduler = _make_scheduler("greedy-energy", problem)
+        with pytest.raises(SimulationError):
+            BatchSimulator(problem, [scheduler, scheduler])
+
+    def test_rejects_mismatched_rng_count(self):
+        problem = _problem("ideal")
+        schedulers = [_make_scheduler("greedy-energy", problem) for _ in range(3)]
+        with pytest.raises(SimulationError):
+            BatchSimulator(problem, schedulers, rngs=[rng_for_seed(0, 0)])
+
+    def test_runs_exactly_once(self):
+        problem = _problem("ideal")
+        batch = BatchSimulator(
+            problem, [_make_scheduler("greedy-energy", problem)]
+        )
+        batch.run()
+        with pytest.raises(SimulationError):
+            batch.run()
+
+    def test_len_counts_lanes(self):
+        problem = _problem("ideal")
+        batch = BatchSimulator(
+            problem,
+            [_make_scheduler("greedy-energy", problem) for _ in range(4)],
+        )
+        assert len(batch) == 4

@@ -1,0 +1,132 @@
+"""Incremental live-state bookkeeping == full recomputation, bitwise.
+
+Two layers of pinning:
+
+* :class:`~repro.sim.livestate.ExactSum` must agree with ``math.fsum``
+  over the same multiset — including removals (added negations) and
+  pathological cancellation — because the simulator's running totals
+  replaced per-query ``fsum`` passes and the replacement must be invisible
+  at the bit level.
+* A probing scheduler re-derives every policy-visible quantity
+  (``remaining_min_time``, ``delivered_charge``, ``apparent_charge``)
+  from scratch at every wakeup of a live run and requires bit equality
+  with the incremental answers, across time-sensitive and
+  time-insensitive chemistries.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.battery import BatterySpec
+from repro.scheduling import SchedulingProblem
+from repro.sim import PerturbationModel, Simulator, rng_for_seed
+from repro.sim.livestate import ExactSum
+from repro.sim.schedulers import GreedyEnergyScheduler
+from repro.taskgraph import build_g3
+
+
+class TestExactSum:
+    def test_matches_fsum_on_random_values(self):
+        rng = np.random.default_rng(5)
+        values = list(rng.normal(scale=1e6, size=200)) + list(
+            rng.normal(scale=1e-6, size=200)
+        )
+        running = ExactSum()
+        for value in values:
+            running.add(value)
+        assert running.value() == math.fsum(values)
+
+    def test_matches_fsum_under_cancellation(self):
+        values = [1e16, 1.0, -1e16, 1e-8, 3.14159, -1.0]
+        running = ExactSum(values)
+        assert running.value() == math.fsum(values)
+
+    def test_removal_is_adding_the_negation(self):
+        rng = np.random.default_rng(11)
+        values = list(rng.lognormal(mean=2.0, sigma=3.0, size=64))
+        running = ExactSum(values)
+        removed = values[::3]
+        for value in removed:
+            running.add(-value)
+        expected = math.fsum(values + [-value for value in removed])
+        assert running.value() == expected
+        # The partials represent the exact sum, so the running difference
+        # also equals the fsum over the values that are still "in".
+        kept = [value for index, value in enumerate(values) if index % 3]
+        assert running.value() == math.fsum(kept)
+
+    def test_from_partials_clones_independent_state(self):
+        base = ExactSum([0.1, 0.2, 0.3, 1e-17])
+        clone = ExactSum.from_partials(base.partials)
+        assert clone.value() == base.value()
+        clone.add(7.0)
+        assert clone.value() != base.value()
+        assert base.value() == math.fsum([0.1, 0.2, 0.3, 1e-17])
+
+    def test_empty_sum_is_zero(self):
+        assert ExactSum().value() == 0.0
+
+
+class _ProbingScheduler(GreedyEnergyScheduler):
+    """Greedy policy that audits every live query against a recomputation."""
+
+    name = "probing-greedy"
+
+    def __init__(self):
+        self.probes = 0
+
+    def schedule(self, new_ready, new_finished):
+        self._audit()
+        return super().schedule(new_ready, new_finished)
+
+    def _audit(self):
+        sim = self.simulator
+        from repro.sim.events import TaskState
+
+        unfinished = [
+            sim.min_times[name]
+            for name in sim.graph.task_names()
+            if sim.info(name).state is not TaskState.FINISHED
+        ]
+        assert sim.remaining_min_time() == math.fsum(unfinished)
+        assert sim.delivered_charge() == math.fsum(
+            duration * current
+            for duration, current in zip(sim._durations, sim._currents)
+        )
+        expected_sigma = (
+            sim.model.schedule_charge(sim._durations, sim._currents, 0.0)
+            if sim._durations
+            else 0.0
+        )
+        assert sim.apparent_charge() == expected_sigma
+        self.probes += 1
+
+
+CHEMISTRY_SPECS = {
+    "rakhmatov": BatterySpec(beta=0.273),
+    "peukert": BatterySpec(chemistry="peukert", chemistry_params={"exponent": 1.3}),
+    "kibam": BatterySpec(chemistry="kibam", chemistry_params={"c": 0.625, "k": 0.05}),
+    "ideal": BatterySpec(chemistry="ideal"),
+}
+
+
+class TestLiveStateMatchesRecomputation:
+    @pytest.mark.parametrize("chemistry", sorted(CHEMISTRY_SPECS))
+    def test_incremental_queries_bitwise_match_recomputed(self, chemistry):
+        problem = SchedulingProblem(
+            graph=build_g3(),
+            deadline=260.0,
+            battery=CHEMISTRY_SPECS[chemistry],
+        )
+        scheduler = _ProbingScheduler()
+        result = Simulator(
+            problem,
+            scheduler,
+            perturbation=PerturbationModel(jitter=0.15, failure_rate=0.05),
+            rng=rng_for_seed(13, 0),
+        ).run()
+        assert result.events > 0
+        # One audit per wakeup, covering empty, partial and full timelines.
+        assert scheduler.probes >= problem.graph.num_tasks

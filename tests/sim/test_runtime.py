@@ -270,3 +270,65 @@ class TestBatteryQueries:
         simulator.run()
         assert socs[0] == 1.0
         assert simulator.state_of_charge() < 1.0
+
+
+class TestReadyTasksOrder:
+    """Regression: the maintained ready set == the original full scan.
+
+    ``ready_tasks()`` used to scan every task in the graph per query and
+    filter on ``state is READY``; it is now served from an
+    insertion-ordered ready set updated on state transitions.  The probe
+    re-derives the original scan at every wakeup and pins the exact
+    (graph-insertion-ordered) tuple, including after failed attempts
+    re-enter the ready pool.
+    """
+
+    class _Probe(Scheduler):
+        name = "ready-order-probe"
+
+        def __init__(self):
+            self.audits = 0
+
+        def init(self, simulator):
+            super().init(simulator)
+            self._pool = []
+
+        def schedule(self, new_ready, new_finished):
+            sim = self.simulator
+            full_scan = tuple(
+                name
+                for name in sim.graph.task_names()
+                if sim.info(name).state is TaskState.READY
+            )
+            assert sim.ready_tasks() == full_scan
+            self.audits += 1
+            self._pool.extend(new_ready)
+            if not self._pool:
+                return ()
+            return [(self._pool.pop(), 0)]
+
+    def test_matches_original_full_scan(self, diamond_problem):
+        probe = self._Probe()
+        Simulator(diamond_problem, probe).run()
+        assert probe.audits == diamond_problem.graph.num_tasks
+
+    def test_matches_full_scan_under_retries(self, diamond_problem):
+        probe = self._Probe()
+        Simulator(
+            diamond_problem,
+            probe,
+            perturbation=PerturbationModel(jitter=0.2, failure_rate=0.4),
+            rng=rng_for_seed(3),
+        ).run()
+        assert probe.audits >= diamond_problem.graph.num_tasks
+
+    def test_ready_tasks_before_run_and_after_start(self, diamond_problem):
+        simulator = Simulator(diamond_problem, replay_all_fastest(diamond_problem))
+        assert simulator.ready_tasks() == ()
+        simulator._begin()
+        sources = tuple(
+            name
+            for name in diamond_problem.graph.task_names()
+            if not diamond_problem.graph.predecessors(name)
+        )
+        assert simulator.ready_tasks() == sources
