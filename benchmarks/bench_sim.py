@@ -10,6 +10,11 @@ densest wakeup pattern the generators produce):
   lane's sigma asserted *bit-identical* to a freshly run scalar
   simulator and the speedup reported against the scalar walls committed
   before batching landed; and
+* **per-imode decision overhead** — the same crossbar per policy under
+  each information mode (:mod:`repro.sim.imode`): ``exact`` must be
+  bitwise-identical to the imode-free simulator and is gated (full mode)
+  to <= 1.05x of its wall pooled over the policies; the belief modes'
+  per-replication walls are reported alongside; and
 * **replay-vs-offline conformance timing** — simulating a
   ``StaticReplayScheduler`` with zero perturbation against the offline
   ``evaluate_schedule`` of the same candidate, asserting the sigmas are
@@ -50,6 +55,7 @@ from repro.scheduling import (
 )
 from repro.sim import (
     BatchSimulator,
+    InformationMode,
     PerturbationModel,
     Simulator,
     StaticReplayScheduler,
@@ -80,6 +86,22 @@ BASELINE_SCALAR_MS_PER_REP = {
 #: scalar baseline (full mode only; the smoke workload is too small for
 #: the baseline to apply).
 FULL_BATCH_SPEEDUP_FLOOR = 10.0
+
+#: Ceiling on the exact-information-mode wall relative to the imode-free
+#: simulator, measured in the same run (full mode only).  Exact mode is
+#: the literal pre-imode code path behind a ``beliefs is None`` check, so
+#: anything beyond measurement noise means the plumbing leaked into the
+#: hot loop.  The ratio pools every policy (sum of best-of-trials walls):
+#: per-policy ratios are reported but carry too much scheduler noise to
+#: gate at 5%.
+IMODE_EXACT_OVERHEAD_CEILING = 1.05
+
+#: The belief modes timed (and reported) next to the exact control.
+IMODE_BELIEF_MODES = {
+    "blind": InformationMode.blind(),
+    "mean": InformationMode.mean(),
+    "noisy": InformationMode.noisy(0.3, seed=101),
+}
 
 CHEMISTRY_MODELS = {
     "rakhmatov": lambda: RakhmatovVrudhulaModel(beta=0.273),
@@ -207,6 +229,58 @@ def bench_batch_replications(
     }
 
 
+def bench_imode_overhead(
+    spec: ScenarioSpec, policy: str, replications: int, trials=3
+) -> Dict[str, float]:
+    """Per-information-mode decision overhead for one policy.
+
+    Times the scalar simulator under no information mode, under
+    ``exact`` (which must be bitwise-identical *and* free — it is the
+    same code path), and under each belief mode (which legitimately pay
+    for belief-table lookups).  Walls are best-of-``trials``; the exact
+    run's sigmas are asserted equal to the imode-free run's.
+    """
+    problem = spec.build_problem()
+    perturbation = spec.perturbation()
+    scheduler = make_policy(policy, problem)
+
+    def timed(imode, n_trials):
+        best = float("inf")
+        costs: List[float] = []
+        for _ in range(n_trials):
+            started = time.perf_counter()
+            costs = []
+            for replication in range(replications):
+                result = Simulator(
+                    problem,
+                    scheduler,
+                    perturbation=perturbation,
+                    rng=rng_for_seed(0, replication),
+                    imode=imode,
+                ).run()
+                costs.append(result.cost)
+            best = min(best, time.perf_counter() - started)
+        return best, costs
+
+    unset_wall, unset_costs = timed(None, trials)
+    exact_wall, exact_costs = timed(InformationMode.exact(), trials)
+    row: Dict[str, float] = {
+        "replications": replications,
+        "unset_ms_per_rep": unset_wall / replications * 1e3,
+        "exact_ms_per_rep": exact_wall / replications * 1e3,
+        "unset_wall_s": unset_wall,
+        "exact_wall_s": exact_wall,
+        "exact_overhead_vs_unset": (
+            exact_wall / unset_wall if unset_wall else float("inf")
+        ),
+        "exact_bitwise_equal": exact_costs == unset_costs,
+    }
+    for name, mode in sorted(IMODE_BELIEF_MODES.items()):
+        wall, _ = timed(mode, 1)
+        row[f"{name}_ms_per_rep"] = wall / replications * 1e3
+    return row
+
+
 def bench_replay_conformance(
     spec: ScenarioSpec, repeats: int
 ) -> Dict[str, Dict[str, float]]:
@@ -259,6 +333,7 @@ def run(smoke: bool, output: str) -> int:
         "mode": "smoke" if smoke else "full",
         "events": {},
         "batch": {},
+        "imode": {},
         "replay_conformance": {},
     }
 
@@ -287,6 +362,23 @@ def run(smoke: bool, output: str) -> int:
             f"{row['replications_per_sec']:8.1f} reps/s   "
             f"bitwise: {row['sigma_bitwise_equal']}"
             + (f"   {speedup:5.2f}x vs baseline" if speedup else "")
+        )
+
+    print(
+        "== per-imode decision overhead (exact must be bitwise-equal "
+        "and free) =="
+    )
+    for policy in POLICIES:
+        row = bench_imode_overhead(spec, policy, replications)
+        report["imode"][policy] = row
+        print(
+            f"  {policy:<18} unset {row['unset_ms_per_rep']:7.2f} ms/rep   "
+            f"exact {row['exact_ms_per_rep']:7.2f} "
+            f"({row['exact_overhead_vs_unset']:4.2f}x, "
+            f"bitwise: {row['exact_bitwise_equal']})   "
+            f"blind {row['blind_ms_per_rep']:7.2f}   "
+            f"mean {row['mean_ms_per_rep']:7.2f}   "
+            f"noisy {row['noisy_ms_per_rep']:7.2f}"
         )
 
     print("== replay-vs-offline conformance (zero perturbation) ==")
@@ -325,6 +417,22 @@ def run(smoke: bool, output: str) -> int:
                 f"[{policy}] batch path below the "
                 f"{SMOKE_BATCH_REPS_PER_SEC_FLOOR:.0f} replications/s floor "
                 f"({row['replications_per_sec']:.1f})"
+            )
+    for policy, row in report["imode"].items():
+        if not row["exact_bitwise_equal"]:
+            failures.append(
+                f"[{policy}] exact-imode sigmas diverged from the "
+                "imode-free simulator"
+            )
+    if not smoke:
+        pooled_unset = sum(row["unset_wall_s"] for row in report["imode"].values())
+        pooled_exact = sum(row["exact_wall_s"] for row in report["imode"].values())
+        pooled_ratio = pooled_exact / pooled_unset if pooled_unset else float("inf")
+        if pooled_ratio > IMODE_EXACT_OVERHEAD_CEILING:
+            failures.append(
+                f"exact-imode pooled overhead {pooled_ratio:.3f}x exceeds "
+                f"the {IMODE_EXACT_OVERHEAD_CEILING}x ceiling vs the "
+                "imode-free simulator"
             )
     if not smoke:
         best_speedup = max(

@@ -28,6 +28,14 @@ from .metrics import (
     percent_saving,
     schedule_metrics,
 )
+from .tournament import (
+    TournamentRow,
+    TournamentStanding,
+    compute_tournament,
+    tournament_leaderboard,
+    tournament_standings_table,
+    tournament_table,
+)
 from .tables import TextTable, format_value
 from .visualize import current_profile_chart, gantt_chart
 
@@ -51,6 +59,12 @@ __all__ = [
     "robustness_table",
     "degradation_leaderboard",
     "degradation_table",
+    "TournamentRow",
+    "TournamentStanding",
+    "compute_tournament",
+    "tournament_table",
+    "tournament_leaderboard",
+    "tournament_standings_table",
     "gantt_chart",
     "current_profile_chart",
     "table_to_csv",

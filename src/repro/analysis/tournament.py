@@ -1,0 +1,240 @@
+"""Tournament analysis: policy robustness across information modes.
+
+The robustness module reduces simulation records per (scenario, policy)
+cell against the offline anchor; the tournament adds the axes the
+``tour-*`` catalogue grid varies — DAG family, battery chemistry, jitter
+level and, centrally, the **information mode** (what the policy believed
+about durations, :mod:`repro.sim.imode`) — and ranks every policy's sigma
+degradation *per mode*:
+
+* :func:`compute_tournament` — :class:`TournamentRow` per cell: the
+  robustness statistics annotated with the scenario's tournament axes;
+* :func:`tournament_leaderboard` — one :class:`TournamentStanding` per
+  (information mode, policy), ranked within each mode by mean degradation
+  vs. the offline anchor (how much does taking a policy's duration
+  information away actually cost?);
+* table renderers for both, timing-free and fsum-reduced like the rest of
+  the analysis layer, so a tournament report is a pure function of the
+  records that feed it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .robustness import RobustnessRow, compute_robustness
+from .tables import TextTable
+
+__all__ = [
+    "TournamentRow",
+    "TournamentStanding",
+    "compute_tournament",
+    "tournament_table",
+    "tournament_leaderboard",
+    "tournament_standings_table",
+]
+
+#: Presentation order of the information-mode kinds: decreasing knowledge.
+_MODE_ORDER: Dict[str, int] = {"exact": 0, "noisy": 1, "mean": 2, "blind": 3}
+
+
+def _mode_rank(label: str) -> Tuple[int, str]:
+    """Sort key of a mode label (``noisy(0.3,101)`` sorts under ``noisy``)."""
+    kind = label.split("(", 1)[0]
+    return (_MODE_ORDER.get(kind, len(_MODE_ORDER)), label)
+
+
+@dataclass(frozen=True)
+class TournamentRow(RobustnessRow):
+    """One (scenario, policy) cell annotated with its tournament axes."""
+
+    family: str
+    chemistry: str
+    jitter: float
+    imode: str
+    """The information-mode label (``exact`` / ``blind`` / ``mean`` /
+    ``noisy(rel_error,seed)``)."""
+
+    @property
+    def imode_kind(self) -> str:
+        """The bare mode kind (``noisy(0.3,101)`` -> ``noisy``)."""
+        return self.imode.split("(", 1)[0]
+
+
+@dataclass(frozen=True)
+class TournamentStanding:
+    """One policy's aggregate standing under one information mode."""
+
+    imode: str
+    policy: str
+    cells: int
+    """Cells with an offline anchor that fed the degradation statistics."""
+
+    mean_degradation_percent: float
+    worst_degradation_percent: float
+    feasible_rate: float
+    """Deadline-hit rate pooled over every replication in the group."""
+
+
+def _spec_label(spec) -> str:
+    """The spec's information-mode label (duck-typed on ScenarioSpec)."""
+    if spec.imode == "noisy":
+        return f"noisy({spec.imode_rel_error:g},{spec.imode_seed})"
+    return spec.imode
+
+
+def compute_tournament(
+    records: Iterable,
+    specs: Mapping[str, object],
+    offline_costs: Mapping[str, float],
+) -> List[TournamentRow]:
+    """Reduce simulation records into axis-annotated tournament rows.
+
+    ``records`` and ``offline_costs`` are as in
+    :func:`~repro.analysis.compute_robustness`; ``specs`` maps each
+    scenario name to its :class:`~repro.scenarios.ScenarioSpec` (cells
+    whose scenario is absent are dropped — they are not tournament
+    entrants).  Rows come back ordered by (mode, scenario, policy), mode
+    in decreasing-knowledge order, so reports are reproducible.
+    """
+    rows: List[TournamentRow] = []
+    for row in compute_robustness(records, offline_costs):
+        spec = specs.get(row.scenario)
+        if spec is None:
+            continue
+        rows.append(
+            TournamentRow(
+                scenario=row.scenario,
+                policy=row.policy,
+                offline_cost=row.offline_cost,
+                replications=row.replications,
+                mean_cost=row.mean_cost,
+                std_cost=row.std_cost,
+                min_cost=row.min_cost,
+                max_cost=row.max_cost,
+                feasible_rate=row.feasible_rate,
+                mean_retries=row.mean_retries,
+                family=spec.family,
+                chemistry=spec.chemistry,
+                jitter=spec.jitter,
+                imode=_spec_label(spec),
+            )
+        )
+    rows.sort(key=lambda row: (_mode_rank(row.imode), row.scenario, row.policy))
+    return rows
+
+
+def tournament_table(rows: Sequence[TournamentRow]) -> TextTable:
+    """Per-cell tournament table (mode-major, scenario/policy-minor)."""
+    table = TextTable(
+        title="Information-mode tournament (realised sigma vs. offline anchor)",
+        headers=(
+            "imode",
+            "scenario",
+            "policy",
+            "chemistry",
+            "jitter",
+            "offline",
+            "mean",
+            "degr %",
+            "feas %",
+        ),
+        precision=2,
+    )
+    for row in rows:
+        table.add_row(
+            row.imode,
+            row.scenario,
+            row.policy,
+            row.chemistry,
+            row.jitter,
+            row.offline_cost if row.offline_cost is not None else "-",
+            row.mean_cost,
+            row.degradation_percent if row.degradation_percent is not None else "-",
+            row.feasible_rate * 100.0,
+        )
+    return table
+
+
+def tournament_leaderboard(
+    rows: Sequence[TournamentRow],
+) -> List[TournamentStanding]:
+    """Policies ranked per information mode by mean degradation.
+
+    Within each mode the ranking mirrors
+    :func:`~repro.analysis.degradation_leaderboard`: cells without an
+    offline anchor are excluded from the statistics and the cell count,
+    ties break by pooled deadline-hit rate then policy name, so the
+    ordering is total and the leaderboard reproducible.  Modes appear in
+    decreasing-knowledge order (exact, noisy, mean, blind).
+    """
+    groups: Dict[Tuple[str, str], List[TournamentRow]] = {}
+    for row in rows:
+        groups.setdefault((row.imode, row.policy), []).append(row)
+    standings: List[TournamentStanding] = []
+    for (imode, policy), group in groups.items():
+        anchored = [row for row in group if row.degradation_percent is not None]
+        if not anchored:
+            continue
+        degradations = [row.degradation_percent for row in anchored]
+        total_reps = sum(row.replications for row in anchored)
+        feasible = math.fsum(
+            row.feasible_rate * row.replications for row in anchored
+        )
+        standings.append(
+            TournamentStanding(
+                imode=imode,
+                policy=policy,
+                cells=len(anchored),
+                mean_degradation_percent=math.fsum(degradations) / len(degradations),
+                worst_degradation_percent=max(degradations),
+                feasible_rate=feasible / total_reps if total_reps else 0.0,
+            )
+        )
+    standings.sort(
+        key=lambda standing: (
+            _mode_rank(standing.imode),
+            standing.mean_degradation_percent,
+            -standing.feasible_rate,
+            standing.policy,
+        )
+    )
+    return standings
+
+
+def tournament_standings_table(
+    standings: Sequence[TournamentStanding],
+) -> TextTable:
+    """The per-mode leaderboard as a report table (rank resets per mode)."""
+    table = TextTable(
+        title="Tournament leaderboard per information mode (lower is better)",
+        headers=(
+            "imode",
+            "rank",
+            "policy",
+            "cells",
+            "mean degr %",
+            "worst degr %",
+            "feas %",
+        ),
+        precision=2,
+    )
+    rank = 0
+    current = None
+    for standing in standings:
+        if standing.imode != current:
+            current = standing.imode
+            rank = 0
+        rank += 1
+        table.add_row(
+            standing.imode,
+            rank,
+            standing.policy,
+            standing.cells,
+            standing.mean_degradation_percent,
+            standing.worst_degradation_percent,
+            standing.feasible_rate * 100.0,
+        )
+    return table

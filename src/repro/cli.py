@@ -33,6 +33,12 @@ platforms x deadline tiers), and regenerate the docs pages from it::
     python -m repro.cli docs              # rewrite docs/scenarios.md
     python -m repro.cli docs --check      # fail if the committed page drifted
 
+Run the information-mode robustness tournament (what online policies
+believe about durations vs. what the simulator draws)::
+
+    python -m repro.cli tournament --report       # full grid + docs/tournament.md
+    python -m repro.cli tournament --smoke        # exact-mode conformance gate
+
 Trace and profile a run (repro.obs), then inspect the trace::
 
     python -m repro.cli suite --run --trace suite.jsonl --metrics
@@ -170,6 +176,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_seed_argument(simulate)
     add_obs_arguments(simulate)
 
+    tournament = subparsers.add_parser(
+        "tournament",
+        help="information-mode robustness tournament over the tour-* grid",
+    )
+    tournament.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="catalogue scenarios to enter (default: the whole tour-* grid)")
+    tournament.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="simulation policies (default: static-replay + the online "
+             "schedulers)")
+    tournament.add_argument(
+        "--replications", type=int, default=3, metavar="N",
+        help="seeded perturbation replications per scenario/policy cell "
+             "(default: %(default)s)")
+    tournament.add_argument(
+        "--no-batch", action="store_true",
+        help="run replications one job at a time instead of batching each "
+             "cell into lockstep simulator lanes (results are bit-identical "
+             "either way)")
+    tournament.add_argument(
+        "--smoke", action="store_true",
+        help="conformance gate instead of a full run: simulate the "
+             "exact-mode control cells scalar, batched and with the "
+             "information-mode plumbing bypassed, and fail unless all "
+             "three agree bitwise (ignores the engine/store flags)")
+    tournament.add_argument(
+        "--report", nargs="?", const="docs/tournament.md", default=None,
+        metavar="FILE",
+        help="also write the markdown tournament report "
+             "(default target: %(const)s)")
+    add_engine_arguments(tournament)
+    add_seed_argument(tournament)
+    add_obs_arguments(tournament)
+
     docs = subparsers.add_parser(
         "docs", help="regenerate docs/scenarios.md from the scenario registry"
     )
@@ -205,6 +246,85 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print an ASCII Gantt chart of the schedule")
 
     return parser
+
+
+def _tournament_smoke(args: argparse.Namespace, out: List[str]) -> int:
+    """The exact-mode conformance gate behind ``tournament --smoke``.
+
+    Three runs of the tournament grid's exact-mode control cells must
+    agree **bitwise**: the scalar engine path, the lockstep batched path,
+    and — per replication-0 cell — a direct simulator run with the
+    information-mode plumbing bypassed entirely (no ``imode`` argument).
+    Any divergence means the imode layer perturbed the conformance
+    anchor, and the command exits nonzero for CI.
+    """
+    from .experiments import run_tournament
+    from .scenarios import default_registry
+    from .sim import Simulator, make_policy, rng_for_seed
+
+    registry = default_registry()
+    exact_names = [
+        name for name in registry.names()
+        if name.startswith("tour-") and name.endswith("-exact")
+    ]
+    seed = args.seed if getattr(args, "seed", None) is not None else 0
+    replications = min(args.replications, 2)
+    scalar = run_tournament(
+        scenarios=exact_names, policies=args.policies,
+        replications=replications, seed=seed, batch=False,
+    )
+    batched = run_tournament(
+        scenarios=exact_names, policies=args.policies,
+        replications=replications, seed=seed, batch="auto",
+    )
+    def _deterministic(record) -> dict:
+        # Everything that is a pure function of the job: drop wall-clock
+        # timing and tracebacks, keep every simulated quantity bitwise.
+        row = record.to_dict()
+        row.pop("elapsed_s", None)
+        row.pop("traceback", None)
+        return row
+
+    scalar_rows = [_deterministic(record) for record in scalar.run.records]
+    batched_rows = [_deterministic(record) for record in batched.run.records]
+    if scalar_rows != batched_rows:
+        diverged = sum(1 for a, b in zip(scalar_rows, batched_rows) if a != b)
+        print(
+            f"tournament smoke FAILED: {diverged} of {len(scalar_rows)} "
+            "exact-mode records differ between the scalar and batched paths",
+            file=sys.stderr,
+        )
+        return 1
+    mismatches = 0
+    checked = 0
+    for job, record in zip(batched.run.jobs, batched.run.records):
+        if job.replication != 0 or not record.ok:
+            continue
+        checked += 1
+        problem = job.spec.build_problem()
+        bare = Simulator(
+            problem,
+            make_policy(job.policy, problem, job.params),
+            perturbation=job.spec.perturbation(),
+            rng=rng_for_seed(job.seed, job.replication),
+            evaluate_at=job.evaluate_at,
+        ).run()
+        if bare.cost != record.cost or bare.makespan != record.makespan:
+            mismatches += 1
+            print(
+                f"tournament smoke FAILED: {job.label} diverges from the "
+                f"imode-free simulator (cost {record.cost!r} vs "
+                f"{bare.cost!r})",
+                file=sys.stderr,
+            )
+    if mismatches:
+        return 1
+    out.append(
+        f"tournament smoke OK: {len(scalar_rows)} exact-mode records "
+        f"bitwise-equal scalar vs. batched; {checked} cells bitwise-equal "
+        "to the imode-free simulator"
+    )
+    return 0
 
 
 def _engine_options(args: argparse.Namespace, record_type=None) -> dict:
@@ -353,6 +473,32 @@ def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
         out.append(simulation.leaderboard_table().to_text())
         out.append("")
         out.append(simulation.summary())
+    elif args.command == "tournament":
+        from .engine import SimulationRecord
+        from .experiments import run_tournament, tournament_markdown
+
+        if args.smoke:
+            return _tournament_smoke(args, out)
+        options = _engine_options(args, record_type=SimulationRecord)
+        seed = options.pop("seed", 0)
+        tournament_result = run_tournament(
+            scenarios=args.scenarios,
+            policies=args.policies,
+            replications=args.replications,
+            seed=seed,
+            batch=False if args.no_batch else "auto",
+            **options,
+        )
+        out.append(tournament_result.standings_table().to_text())
+        out.append("")
+        out.append(tournament_result.summary())
+        if args.report:
+            target = Path(args.report)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                tournament_markdown(tournament_result), encoding="utf-8"
+            )
+            out.append(f"wrote {target}")
     elif args.command == "docs":
         from .scenarios import catalogue_markdown, leaderboard_markdown
 

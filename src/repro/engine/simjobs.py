@@ -282,6 +282,7 @@ def execute_simulation_job(
                 rng=rng_for_seed(job.seed, job.replication),
                 model=model,
                 evaluate_at=job.evaluate_at,
+                imode=job.spec.information_mode(),
             ).run()
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         used = cache.stats.delta(before)
@@ -495,6 +496,7 @@ def execute_simulation_batch(
                 perturbation=first.spec.perturbation(),
                 model=model,
                 evaluate_at=first.evaluate_at,
+                imode=first.spec.information_mode(),
             ).run()
     except Exception as exc:  # noqa: BLE001 - batch-level isolation
         elapsed = time.perf_counter() - started
@@ -673,7 +675,14 @@ def run_simulation_jobs(
 
     Records come back in job order whatever the executor, so downstream
     reports are byte-reproducible; with ``resume=True`` the store answers
-    jobs whose key already holds a completed record.  The store must have
+    jobs whose key already holds a completed record.  Deduplication is
+    by :meth:`SimulationJob.key` throughout: resume hits dedupe against
+    the store whatever ``batch`` setting wrote it (a ``--no-batch`` store
+    resumed with ``batch="auto"`` recomputes nothing, and vice versa),
+    and duplicate-key jobs *within* one call — e.g. two differently named
+    specs describing the same work, since names are excluded from keys —
+    are simulated and stored once, with the one record fanned back to
+    every duplicate's position.  The store must have
     been built with ``record_type=SimulationRecord``, and a custom
     executor must accept the full contract
     ``run(jobs, progress=..., runner=...)`` (simulation jobs are executed
@@ -703,8 +712,19 @@ def run_simulation_jobs(
     else:
         pending, done = list(jobs), {}
 
+    # In-call dedupe: duplicate-key pending jobs run (and hit the store)
+    # once; the by_key merge below fans the single record back to every
+    # duplicate's position in the returned tuple.
+    unique: Dict[str, SimulationJob] = {}
+    for job in pending:
+        unique.setdefault(job.key(), job)
+    duplicates = len(pending) - len(unique)
+    pending = list(unique.values())
+
     if _OBS.enabled and done:
         _OBS.count("engine.simjobs.resumed", len(done))
+    if _OBS.enabled and duplicates:
+        _OBS.count("engine.simjobs.deduped", duplicates)
     if not pending:
         fresh: List[SimulationRecord] = []
     elif batch_size is not None:

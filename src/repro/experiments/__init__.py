@@ -28,6 +28,7 @@ from .simulate import (
     run_simulation_suite,
 )
 from .suite import DEFAULT_SUITE_ALGORITHMS, SuiteRunResult, run_suite
+from .tournament import TournamentResult, run_tournament, tournament_markdown
 from .sweep import (
     SWEEP_ALGORITHMS,
     SweepPoint,
@@ -71,6 +72,9 @@ __all__ = [
     "run_simulation_suite",
     "SimulationSuiteResult",
     "DEFAULT_SIM_POLICIES",
+    "run_tournament",
+    "TournamentResult",
+    "tournament_markdown",
     "deadline_sweep",
     "beta_sweep",
     "default_algorithms",

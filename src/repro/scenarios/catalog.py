@@ -20,7 +20,12 @@ The catalogue is organised in blocks:
 * **stochastic** — scenarios carrying the optional perturbation tier
   (duration jitter x failure rate) consumed by the runtime simulator
   (``repro.sim`` / ``python -m repro.cli simulate``); their *offline*
-  problems are identical to the corresponding deterministic entries.
+  problems are identical to the corresponding deterministic entries;
+* **tournament** — the robustness-tournament grid (``tour-*``): three
+  representative families x two chemistries x two jitter levels x four
+  information modes (exact / blind / mean / noisy — what the online
+  policies *believe* about durations, see :mod:`repro.sim.imode`),
+  consumed by ``python -m repro.cli tournament``.
 
 Regenerate the committed ``docs/scenarios.md`` from this module with
 ``python -m repro.cli docs`` (CI fails when the two drift apart).
@@ -62,6 +67,9 @@ def _spec(
     jitter: float = 0.0,
     jitter_model: str = "lognormal",
     failure_rate: float = 0.0,
+    imode: str = "exact",
+    imode_rel_error: float = 0.0,
+    imode_seed: int = 0,
     description: str = "",
 ) -> ScenarioSpec:
     return ScenarioSpec(
@@ -77,6 +85,9 @@ def _spec(
         jitter=jitter,
         jitter_model=jitter_model,
         failure_rate=failure_rate,
+        imode=imode,
+        imode_rel_error=imode_rel_error,
+        imode_seed=imode_seed,
         description=description,
     )
 
@@ -268,5 +279,39 @@ def build_catalog() -> ScenarioRegistry:
               failure_rate=0.05,
               family_params={"num_tasks": 18, "edge_probability": 0.25},
               description="erdos-18 with 25% jitter and 5% failures"))
+
+    # ------------------------------------------------------------------
+    # tournament: family x chemistry x jitter x information mode
+    # ------------------------------------------------------------------
+    tournament_bases = (
+        ("g3", "g3", 0, None),
+        ("layered-4x3", "layered", 31,
+         {"num_layers": 4, "layer_width": 3, "edge_probability": 0.5}),
+        ("erdos-18", "erdos", 91,
+         {"num_tasks": 18, "edge_probability": 0.25}),
+    )
+    tournament_imodes = (
+        ("exact", 0.0, 0),
+        ("blind", 0.0, 0),
+        ("mean", 0.0, 0),
+        ("noisy", 0.3, 101),
+    )
+    for base, family, seed, family_params in tournament_bases:
+        for chemistry in ("rakhmatov", "kibam"):
+            for jitter in (0.10, 0.25):
+                for imode, rel_error, belief_seed in tournament_imodes:
+                    label = (
+                        f"noisy({rel_error:g},{belief_seed}) beliefs"
+                        if imode == "noisy" else f"{imode} beliefs"
+                    )
+                    add(_spec(
+                        f"tour-{base}-{chemistry}-j{round(jitter * 100)}-{imode}",
+                        family, seed=seed, family_params=family_params,
+                        chemistry=chemistry, jitter=jitter,
+                        imode=imode, imode_rel_error=rel_error,
+                        imode_seed=belief_seed,
+                        description=(f"tournament: {base} on {chemistry}, "
+                                     f"{jitter:.0%} jitter, {label}"),
+                    ))
 
     return registry

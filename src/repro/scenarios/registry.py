@@ -87,6 +87,7 @@ class ScenarioRegistry:
         chemistry: Optional[str] = None,
         platform: Optional[str] = None,
         stochastic: Optional[bool] = None,
+        imode: Optional[object] = None,
     ) -> Tuple[ScenarioSpec, ...]:
         """Specs filtered by name list and/or attribute values.
 
@@ -94,6 +95,9 @@ class ScenarioRegistry:
         rejects unknown names; the attribute filters compose with it.
         ``stochastic`` filters on whether the spec carries a perturbation
         tier (``True``: only stochastic, ``False``: only deterministic).
+        ``imode`` filters the information tier: ``True`` keeps only
+        non-exact modes, ``False`` only exact ones, and a mode-kind string
+        (e.g. ``"blind"``) keeps exactly that kind.
         """
         if names is not None:
             wanted = set(names)
@@ -117,6 +121,12 @@ class ScenarioRegistry:
                 continue
             if stochastic is not None and spec.has_perturbation != stochastic:
                 continue
+            if imode is not None:
+                if isinstance(imode, bool):
+                    if spec.has_information_mode != imode:
+                        continue
+                elif spec.imode != imode:
+                    continue
             selected.append(spec)
         return tuple(selected)
 
@@ -140,6 +150,10 @@ class ScenarioRegistry:
     def platforms(self) -> Tuple[str, ...]:
         """Distinct platform models present, sorted."""
         return tuple(sorted({spec.platform for spec in self}))
+
+    def information_modes(self) -> Tuple[str, ...]:
+        """Distinct information-mode kinds present, sorted."""
+        return tuple(sorted({spec.imode for spec in self}))
 
     # ------------------------------------------------------------------
     # serialisation

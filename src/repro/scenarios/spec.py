@@ -147,6 +147,15 @@ class ScenarioSpec:
         (:mod:`repro.sim`).  All-default values mean a deterministic
         scenario; the offline problem built by :meth:`build_problem` is
         unaffected either way.
+    imode, imode_rel_error, imode_seed:
+        The optional **information mode** of the stochastic tier: what the
+        online policies *believe* about task durations (``"exact"``,
+        ``"blind"``, ``"mean"`` or ``"noisy"`` — see
+        :mod:`repro.sim.imode`).  ``imode_rel_error``/``imode_seed``
+        parameterise the ``noisy`` mode's seeded belief factors and must
+        stay at their defaults otherwise.  The default ``"exact"`` mode is
+        today's behaviour and stays out of :meth:`content_hash`, so all
+        pre-imode hashes, stores and job keys are untouched.
     description:
         One-line human description for the catalogue (presentational; not
         part of the content hash).
@@ -165,6 +174,9 @@ class ScenarioSpec:
     jitter: float = 0.0
     jitter_model: str = "lognormal"
     failure_rate: float = 0.0
+    imode: str = "exact"
+    imode_rel_error: float = 0.0
+    imode_seed: int = 0
     description: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -206,6 +218,30 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"failure_rate must be within [0, 1), got {self.failure_rate!r}"
             )
+        if self.imode not in ("exact", "blind", "mean", "noisy"):
+            # Kept in sync with repro.sim.imode.INFORMATION_MODES (not
+            # imported here: scenarios sit below the sim layer).
+            raise ConfigurationError(
+                f"unknown information mode {self.imode!r}; "
+                "choose from ('exact', 'blind', 'mean', 'noisy')"
+            )
+        if self.imode == "noisy":
+            if not self.imode_rel_error > 0:
+                raise ConfigurationError(
+                    "a noisy information mode needs imode_rel_error > 0, "
+                    f"got {self.imode_rel_error!r}"
+                )
+        else:
+            if self.imode_rel_error != 0.0:
+                raise ConfigurationError(
+                    "imode_rel_error only applies to the noisy information "
+                    f"mode, not {self.imode!r}"
+                )
+            if self.imode_seed != 0:
+                raise ConfigurationError(
+                    "imode_seed only applies to the noisy information "
+                    f"mode, not {self.imode!r}"
+                )
         if not FAMILIES[self.family].uses_synthesis:
             # Paper-graph families carry published design points; a platform
             # or seed on such a spec would describe an experiment different
@@ -276,6 +312,11 @@ class ScenarioSpec:
         """True when the spec carries a non-trivial stochastic tier."""
         return self.jitter != 0.0 or self.failure_rate != 0.0
 
+    @property
+    def has_information_mode(self) -> bool:
+        """True when policies see anything other than the exact durations."""
+        return self.imode != "exact"
+
     def perturbation(self):
         """The stochastic tier as a :class:`repro.sim.PerturbationModel`.
 
@@ -291,6 +332,20 @@ class ScenarioSpec:
             failure_rate=self.failure_rate,
         )
 
+    def information_mode(self):
+        """The information tier as a :class:`repro.sim.InformationMode`.
+
+        Like :meth:`perturbation`, always returns a mode — the exact one
+        for full-information scenarios — so simulation call sites need no
+        branching.  (The simulator treats an exact mode and no mode
+        identically, bitwise.)
+        """
+        from ..sim.imode import InformationMode
+
+        if self.imode == "noisy":
+            return InformationMode.noisy(self.imode_rel_error, seed=self.imode_seed)
+        return InformationMode(kind=self.imode)
+
     # ------------------------------------------------------------------
     # identity and serialisation
     # ------------------------------------------------------------------
@@ -302,9 +357,9 @@ class ScenarioSpec:
         Excludes the presentational ``name``/``description`` fields: two
         differently named specs with equal content hash produce identical
         problems (up to the problem's display name).  The perturbation
-        fields enter the payload only when non-default, so the hashes of
-        all deterministic scenarios are unchanged from before the
-        stochastic tier existed.
+        and information-mode fields enter the payload only when
+        non-default, so the hashes of all deterministic / exact-mode
+        scenarios are unchanged from before those tiers existed.
         """
         payload = {
             "family": self.family,
@@ -323,11 +378,22 @@ class ScenarioSpec:
                 "jitter_model": self.jitter_model,
                 "failure_rate": self.failure_rate,
             }
+        if self.has_information_mode:
+            payload["imode"] = {
+                "kind": self.imode,
+                "rel_error": self.imode_rel_error,
+                "seed": self.imode_seed,
+            }
         return _digest(canonical_json(payload))
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-friendly representation (inverse of :meth:`from_dict`).
+
+        The information-mode keys are emitted only when set — exact-mode
+        dicts are byte-identical to pre-imode ones, which keeps every
+        stored engine job key (hashed from this dict) stable.
+        """
+        data = {
             "name": self.name,
             "family": self.family,
             "family_params": _jsonable(_thaw_params(self.family_params)),
@@ -343,6 +409,11 @@ class ScenarioSpec:
             "failure_rate": self.failure_rate,
             "description": self.description,
         }
+        if self.has_information_mode:
+            data["imode"] = self.imode
+            data["imode_rel_error"] = self.imode_rel_error
+            data["imode_seed"] = self.imode_seed
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -361,6 +432,9 @@ class ScenarioSpec:
             jitter=float(data.get("jitter", 0.0)),
             jitter_model=str(data.get("jitter_model", "lognormal")),
             failure_rate=float(data.get("failure_rate", 0.0)),
+            imode=str(data.get("imode", "exact")),
+            imode_rel_error=float(data.get("imode_rel_error", 0.0)),
+            imode_seed=int(data.get("imode_seed", 0)),
             description=str(data.get("description", "")),
         )
 
@@ -376,11 +450,18 @@ class ScenarioSpec:
             f"{self.name}: {self.family} family, {self.platform} platform, "
             f"{self.chemistry} chemistry, tightness {self.tightness:.2f}"
         )
-        if self.has_perturbation:
+        if self.has_perturbation or self.has_information_mode:
             parts = []
             if self.jitter:
                 parts.append(f"{self.jitter_model} jitter {self.jitter:g}")
             if self.failure_rate:
                 parts.append(f"failure rate {self.failure_rate:g}")
+            if self.has_information_mode:
+                if self.imode == "noisy":
+                    parts.append(
+                        f"imode noisy({self.imode_rel_error:g},{self.imode_seed})"
+                    )
+                else:
+                    parts.append(f"imode {self.imode}")
             line += f" ({', '.join(parts)})"
         return line

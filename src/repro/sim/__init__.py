@@ -49,6 +49,12 @@ True
 
 from .batch import BatchSimulator, LaneOutcome
 from .events import SimEvent, TaskRuntimeInfo, TaskState, VirtualClock
+from .imode import (
+    INFORMATION_MODES,
+    GraphBeliefs,
+    InformationMode,
+    resolve_beliefs,
+)
 from .perturbation import JITTER_MODELS, PerturbationModel, rng_for_seed
 from .result import SimulatedInterval, SimulationResult
 from .runtime import Simulator
@@ -72,6 +78,10 @@ __all__ = [
     "PerturbationModel",
     "JITTER_MODELS",
     "rng_for_seed",
+    "INFORMATION_MODES",
+    "InformationMode",
+    "GraphBeliefs",
+    "resolve_beliefs",
     "SimulatedInterval",
     "SimulationResult",
     "Simulator",

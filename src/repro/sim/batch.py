@@ -83,8 +83,10 @@ class BatchSimulator:
         the scalar path's ``rng_for_seed(seed, replication)`` streams.
         ``None`` entries (or a ``None`` sequence) are only valid with a
         null perturbation.
-    perturbation, model, evaluate_at, trace_samples:
-        As on :class:`~repro.sim.Simulator`, shared by every lane.
+    perturbation, model, evaluate_at, trace_samples, imode:
+        As on :class:`~repro.sim.Simulator`, shared by every lane (the
+        belief tables of an information mode are per-graph, so all lanes
+        share one resolved :class:`~repro.sim.imode.GraphBeliefs`).
 
     :meth:`run` returns one :data:`LaneOutcome` per replication, in order:
     the lane's :class:`~repro.sim.SimulationResult`, or the exception that
@@ -101,6 +103,7 @@ class BatchSimulator:
         model: Optional[BatteryModel] = None,
         evaluate_at: str = "completion",
         trace_samples: int = 0,
+        imode=None,
     ) -> None:
         schedulers = list(schedulers)
         if not schedulers:
@@ -129,6 +132,7 @@ class BatchSimulator:
                 model=self.model,
                 evaluate_at=evaluate_at,
                 trace_samples=trace_samples,
+                imode=imode,
             )
             for scheduler, rng in zip(schedulers, rngs)
         ]

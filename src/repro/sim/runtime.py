@@ -50,6 +50,7 @@ from ..scheduling.evaluator import _resolve_rest
 import time as _time
 
 from .events import TaskRuntimeInfo, TaskState, VirtualClock
+from .imode import InformationMode, resolve_beliefs
 from .livestate import ExactSum, LiveRuntimeState
 from .perturbation import PerturbationModel, rng_for_seed
 from .result import SimulatedInterval, SimulationResult
@@ -159,6 +160,14 @@ class Simulator:
     trace_samples:
         When > 0, the result carries a sampled
         :class:`~repro.battery.DischargeTrace` of the realised profile.
+    imode:
+        The :class:`~repro.sim.InformationMode` mediating every duration
+        estimate the policy sees (``None`` and ``exact`` are equivalent:
+        policies observe the modeled times, through the literal pre-imode
+        code paths — the bitwise conformance anchor).  Belief tables are
+        resolved once per (graph, mode) and shared across replications;
+        the realised timeline always draws from the *modeled* times, so
+        beliefs change decisions, never physics.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class Simulator:
         clock: Optional[VirtualClock] = None,
         evaluate_at: str = "completion",
         trace_samples: int = 0,
+        imode: Optional[InformationMode] = None,
     ) -> None:
         _resolve_rest(0.0, problem.deadline, evaluate_at)  # validate the mode
         self.problem = problem
@@ -202,8 +212,17 @@ class Simulator:
         self._rank = tables.rank
         self._successors = tables.successors
         self._min_times = tables.min_times
+        #: Believed-duration tables (None for exact/unset: policies then
+        #: observe the modeled values through the original code paths).
+        self.imode = imode
+        self.beliefs = resolve_beliefs(self.graph, imode)
         #: Public per-task min-time table (policies consult it per decision).
-        self.min_times = self._min_times
+        #: Under an information mode this is the *believed* table; the event
+        #: loop itself always runs on the modeled times.
+        if self.beliefs is None:
+            self.min_times = self._min_times
+        else:
+            self.min_times = self.beliefs.min_times
         # Canonical design-point rows, resolved once: the event loop and the
         # online policies index these every attempt/decision.
         self._points = tables.points
@@ -229,10 +248,20 @@ class Simulator:
         self._retries = 0
         self._events = 0
         self._ran = False
-        #: Incremental live-state totals backing the policy queries.
-        self._live = LiveRuntimeState(
-            self.model, self._min_times, tables.remaining_partials
-        )
+        #: Incremental live-state totals backing the policy queries.  The
+        #: charge side is always *measured* (realised durations/currents);
+        #: only the remaining-min-time bound follows the beliefs: believed
+        #: min-times for mean/noisy, the modeled table for exact, and a
+        #: flat ``inf`` answer for blind (see :meth:`remaining_min_time`).
+        beliefs = self.beliefs
+        if beliefs is None or beliefs.remaining_partials is None:
+            self._live = LiveRuntimeState(
+                self.model, self._min_times, tables.remaining_partials
+            )
+        else:
+            self._live = LiveRuntimeState(
+                self.model, beliefs.min_times, beliefs.remaining_partials
+            )
         #: Batch-driver hook: when set, a sigma query that would run the
         #: chemistry kernel first calls this (the driver answers it for every
         #: lane of the batch in one vectorized evaluation — see
@@ -272,9 +301,15 @@ class Simulator:
 
         Answered from an exact running total (bit-identical to the fsum
         over unfinished tasks it replaces — see
-        :mod:`repro.sim.livestate`)."""
+        :mod:`repro.sim.livestate`).  Under a non-exact information mode
+        the bound is computed over the *believed* min-times; under
+        ``blind`` it is ``inf`` (no duration information exists, and the
+        exact accumulator cannot hold infinities)."""
         if _OBS.enabled:
             _OBS.count("sim.query.remaining_min_time", label=self._obs_label)
+        beliefs = self.beliefs
+        if beliefs is not None and beliefs.blind:
+            return math.inf
         return self._live.remaining_min_time()
 
     def delivered_charge(self) -> float:
@@ -445,6 +480,15 @@ class Simulator:
                 label=self._obs_label,
             )
             _OBS.count("sim.decisions", len(decisions or ()), label=self._obs_label)
+            if self.beliefs is not None:
+                # Per-mode decision accounting.  Only belief modes add the
+                # counter: the exact-mode counter catalogue must stay
+                # byte-identical to the pre-imode one.
+                _OBS.count(
+                    "sim.imode.decisions",
+                    len(decisions or ()),
+                    label=f"{self._obs_label}|{self.beliefs.mode.label}",
+                )
         else:
             decisions = self.scheduler.schedule(new_ready, new_finished)
         for decision in decisions or ():

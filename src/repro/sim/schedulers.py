@@ -29,6 +29,15 @@ Policies are registered by name (:data:`POLICIES`) so
 :class:`~repro.engine.SimulationJob` and the CLI can name them as data;
 :func:`make_policy` builds instances, resolving ``static-replay``'s
 offline schedule through the engine's algorithm registry.
+
+Every duration estimate the online policies consult — ``sim.min_times``,
+``remaining_min_time()``, the per-task execution-time rows, the energy
+priorities — flows through the simulator's information mode
+(:mod:`repro.sim.imode`): under ``exact`` (or no mode) the literal
+pre-imode code paths run, under ``blind``/``mean``/``noisy`` the believed
+tables replace them.  ``static-replay`` is imode-invariant by
+construction: its offline plan is computed from the modeled times before
+the run starts, exactly like a plan deployed to a device.
 """
 
 from __future__ import annotations
@@ -90,12 +99,17 @@ class Scheduler:
         ``remaining`` lets a caller that already queried
         ``remaining_min_time()`` this decision pass the value through —
         the state cannot change between queries of one decision, so the
-        reuse is bit-identical to asking again.
+        reuse is bit-identical to asking again.  Under a ``blind``
+        information mode the believed bound is infinite, and so is the
+        allowance: with no duration information, no column can be ruled
+        out (``inf - inf`` must never reach the arithmetic below).
         """
         sim = self.simulator
         min_time = sim.min_times[name]
         if remaining is None:
             remaining = sim.remaining_min_time()
+        if not (math.isfinite(remaining) and math.isfinite(min_time)):
+            return math.inf
         others = remaining - min_time
         return sim.deadline - sim.now - others
 
@@ -222,12 +236,19 @@ class _OnlineScheduler(Scheduler):
                 for index, name in enumerate(simulator.graph.task_names())
             }
         )
+        #: Believed-duration tables (``None`` for exact/unset — the
+        #: original modeled-times code paths below then run unchanged).
+        self._beliefs = getattr(simulator, "beliefs", None)
         #: ``self._order`` is the precomputed sort key per task —
         #: ``sort(key=self._order.__getitem__)`` orders exactly like
         #: sorting on ``(-weight, rank)`` tuples built per wakeup, without
         #: rebuilding them.  Memoised with the weights (both are shared
         #: read-only across binds to the same graph).
         self._weights, self._order = self._resolve_weights()
+        if self._beliefs is not None:
+            #: Every execution-time row a policy consults is believed.
+            self._times = self._beliefs.times
+            return
         #: Per-task design-point rows, shared per graph across binds.
         graph = simulator.graph
         try:
@@ -256,7 +277,12 @@ class _OnlineScheduler(Scheduler):
         except TypeError:  # unweakrefable graph stand-in: no memo
             weights = self.task_weights()
             return weights, self._build_order(weights)
+        # Belief-mode weights are a pure function of (graph, mode), so the
+        # memo key grows the mode token; the exact-mode key stays the bare
+        # qualname, preserving (and sharing) every pre-imode entry.
         key = type(self).__qualname__
+        if self._beliefs is not None:
+            key = (key, self._beliefs.mode.token)
         entry = per_graph.get(key)
         if entry is None:
             weights = self.task_weights()
@@ -294,12 +320,18 @@ class GreedyEnergyScheduler(_OnlineScheduler):
     WEIGHTS_GRAPH_PURE = True
 
     def task_weights(self) -> Dict[str, float]:
+        if self._beliefs is not None:
+            return self._beliefs.average_energy
         return {
             task.name: task.average_energy for task in self.simulator.graph
         }
 
     def choose_column(self, name: str) -> int:
-        energies = self.simulator.graph.task(name).energies()
+        beliefs = self._beliefs
+        if beliefs is not None:
+            energies = beliefs.energies[name]
+        else:
+            energies = self.simulator.graph.task(name).energies()
         return min(
             self._feasible_columns(name, times=self._times[name]),
             key=lambda column: (energies[column], -column),
@@ -322,6 +354,15 @@ class DeadlineSlackScheduler(_OnlineScheduler):
 
     def task_weights(self) -> Dict[str, float]:
         graph = self.simulator.graph
+        if self._beliefs is not None:
+            min_times = self._beliefs.min_times
+            return {
+                task.name: math.fsum(
+                    min_times[member]
+                    for member in graph.subgraph_rooted_at(task.name)
+                )
+                for task in graph
+            }
         return {
             task.name: math.fsum(
                 graph.task(member).min_execution_time
@@ -334,6 +375,10 @@ class DeadlineSlackScheduler(_OnlineScheduler):
         sim = self.simulator
         min_time = sim.min_times[name]
         remaining = sim.remaining_min_time()
+        if not (math.isfinite(remaining) and math.isfinite(min_time)):
+            # Blind: no believed durations to apportion slack over — run
+            # the fastest point, and never observe a finite time estimate.
+            return 0
         now = sim.now
         deadline = sim.deadline
         slack = deadline - now - remaining
@@ -386,6 +431,10 @@ class BatteryReactiveScheduler(_OnlineScheduler):
     name = "battery-reactive"
     WEIGHTS_GRAPH_PURE = True
 
+    #: Battery telemetry (state of charge, delivered/apparent charge) is
+    #: *measured*, never believed: an information mode degrades the
+    #: policy's duration estimates while its stress sensing stays real.
+
     def __init__(
         self, stress_threshold: float = 0.25, soc_reserve: float = 0.25
     ) -> None:
@@ -401,6 +450,8 @@ class BatteryReactiveScheduler(_OnlineScheduler):
         self.soc_reserve = float(soc_reserve)
 
     def task_weights(self) -> Dict[str, float]:
+        if self._beliefs is not None:
+            return self._beliefs.average_energy
         return {
             task.name: task.average_energy for task in self.simulator.graph
         }

@@ -1,0 +1,126 @@
+"""Tournament analysis: axis annotation, mode ordering, per-mode ranking."""
+
+from types import SimpleNamespace
+
+from repro.analysis import (
+    compute_tournament,
+    tournament_leaderboard,
+    tournament_standings_table,
+    tournament_table,
+)
+
+
+def record(scenario, policy, cost, feasible=True, retries=0, ok=True):
+    return SimpleNamespace(
+        scenario=scenario,
+        policy=policy,
+        cost=cost,
+        feasible=feasible,
+        retries=retries,
+        ok=ok,
+    )
+
+
+def spec(imode="exact", rel_error=0.0, seed=0, family="g3",
+         chemistry="rakhmatov", jitter=0.1):
+    return SimpleNamespace(
+        family=family,
+        chemistry=chemistry,
+        jitter=jitter,
+        imode=imode,
+        imode_rel_error=rel_error,
+        imode_seed=seed,
+    )
+
+
+SPECS = {
+    "s-exact": spec(),
+    "s-blind": spec(imode="blind"),
+    "s-noisy": spec(imode="noisy", rel_error=0.3, seed=101, chemistry="kibam"),
+}
+
+OFFLINE = {"s-exact": 100.0, "s-blind": 100.0, "s-noisy": 100.0}
+
+RECORDS = [
+    record("s-exact", "greedy", 110.0),
+    record("s-exact", "greedy", 90.0),
+    record("s-exact", "slack", 120.0),
+    record("s-blind", "greedy", 150.0, feasible=False),
+    record("s-blind", "slack", 130.0),
+    record("s-noisy", "greedy", 105.0),
+    record("not-a-tournament-cell", "greedy", 1.0),
+    record("s-exact", "greedy", 999.0, ok=False),  # failed: excluded
+]
+
+
+class TestComputeTournament:
+    def test_rows_annotated_and_mode_major_ordered(self):
+        rows = compute_tournament(RECORDS, SPECS, OFFLINE)
+        # Non-tournament scenarios are dropped, not crashed on.
+        assert {row.scenario for row in rows} == set(SPECS)
+        # Decreasing-knowledge mode order: exact, noisy(...), blind.
+        assert [row.imode for row in rows] == [
+            "exact", "exact", "noisy(0.3,101)", "blind", "blind",
+        ]
+        noisy = next(row for row in rows if row.scenario == "s-noisy")
+        assert noisy.chemistry == "kibam"
+        assert noisy.imode_kind == "noisy"
+
+    def test_failed_records_excluded_from_statistics(self):
+        rows = compute_tournament(RECORDS, SPECS, OFFLINE)
+        greedy_exact = next(
+            row
+            for row in rows
+            if row.scenario == "s-exact" and row.policy == "greedy"
+        )
+        assert greedy_exact.replications == 2  # the ok=False record is out
+        assert greedy_exact.mean_cost == 100.0
+        assert greedy_exact.degradation_percent == 0.0
+
+    def test_table_has_one_line_per_row(self):
+        rows = compute_tournament(RECORDS, SPECS, OFFLINE)
+        text = tournament_table(rows).to_text()
+        for row in rows:
+            assert row.scenario in text
+        assert "imode" in text
+
+
+class TestTournamentLeaderboard:
+    def test_ranks_reset_per_mode(self):
+        rows = compute_tournament(RECORDS, SPECS, OFFLINE)
+        standings = tournament_leaderboard(rows)
+        # Each (mode, policy) pair with an anchor appears exactly once.
+        assert [(s.imode, s.policy) for s in standings] == [
+            ("exact", "greedy"),
+            ("exact", "slack"),
+            ("noisy(0.3,101)", "greedy"),
+            ("blind", "slack"),
+            ("blind", "greedy"),
+        ]
+        # Within a mode, lower mean degradation ranks first.
+        blind = [s for s in standings if s.imode == "blind"]
+        assert blind[0].mean_degradation_percent < blind[1].mean_degradation_percent
+        text = tournament_standings_table(standings).to_text()
+        lines = [line for line in text.splitlines() if "blind" in line]
+        assert any(" 1 " in line for line in lines)  # rank restarted at 1
+
+    def test_feasible_rate_pools_replications(self):
+        rows = compute_tournament(RECORDS, SPECS, OFFLINE)
+        standings = tournament_leaderboard(rows)
+        blind_greedy = next(
+            s for s in standings if (s.imode, s.policy) == ("blind", "greedy")
+        )
+        assert blind_greedy.feasible_rate == 0.0
+        exact_greedy = next(
+            s for s in standings if (s.imode, s.policy) == ("exact", "greedy")
+        )
+        assert exact_greedy.feasible_rate == 1.0
+
+    def test_unanchored_cells_excluded(self):
+        rows = compute_tournament(RECORDS, SPECS, {"s-exact": 100.0})
+        standings = tournament_leaderboard(rows)
+        assert {s.imode for s in standings} == {"exact"}
+
+    def test_empty_records(self):
+        assert compute_tournament([], SPECS, OFFLINE) == []
+        assert tournament_leaderboard([]) == []

@@ -177,6 +177,93 @@ class TestRunSimulationJobs:
         )
 
 
+class TestJobKeyDedupe:
+    """Key-based dedupe: across batch settings on resume, and in-call."""
+
+    def make_jobs(self, registry, replications=3):
+        return [
+            SimulationJob(spec=registry.get(name), policy=policy, seed=7, replication=r)
+            for name in ("g3-jitter10", "g3-jitter10-fail5")
+            for policy in ("static-replay", "greedy-energy")
+            for r in range(replications)
+        ]
+
+    @pytest.mark.parametrize(
+        "write_batch,resume_batch", [(False, "auto"), ("auto", False)]
+    )
+    def test_opposite_batch_resume_recomputes_nothing(
+        self, registry, tmp_path, write_batch, resume_batch
+    ):
+        # Resume dedupes on job *keys*, which never encode how a record
+        # was computed: a scalar-written store resumed with batching (and
+        # vice versa) skips every job and appends no duplicate rows.
+        jobs = self.make_jobs(registry)
+        path = tmp_path / "sim.jsonl"
+        store = ResultStore(path, record_type=SimulationRecord)
+        first = run_simulation_jobs(jobs, store=store, resume=True, batch=write_batch)
+        assert (first.executed, first.skipped) == (len(jobs), 0)
+        rows_after_first = len(path.read_text().splitlines())
+        second = run_simulation_jobs(jobs, store=store, resume=True, batch=resume_batch)
+        assert (second.executed, second.skipped) == (0, len(jobs))
+        assert len(path.read_text().splitlines()) == rows_after_first
+        assert strip_timing(second.records) == strip_timing(first.records)
+
+    def test_duplicate_key_jobs_execute_once_and_fan_back(self, registry, tmp_path):
+        # Two differently named specs describing identical work share a
+        # key (names are presentational): the work runs once, the store
+        # gains one row, and the record is fanned back to both positions.
+        spec = registry.get("g3-jitter10")
+        alias = dataclasses.replace(
+            spec, name="same-work-alias", description="different words"
+        )
+        jobs = [
+            SimulationJob(spec=spec, policy="greedy-energy", seed=7),
+            SimulationJob(spec=alias, policy="greedy-energy", seed=7),
+            SimulationJob(spec=spec, policy="deadline-slack", seed=7),
+        ]
+        path = tmp_path / "sim.jsonl"
+        store = ResultStore(path, record_type=SimulationRecord)
+        run = run_simulation_jobs(jobs, store=store, resume=True)
+        assert run.executed == 2  # one per unique key
+        assert len(run.records) == len(jobs)
+        assert run.records[0] == run.records[1]
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_duplicate_key_jobs_dedupe_in_batched_mode_too(self, registry):
+        spec = registry.get("g3-jitter10")
+        alias = dataclasses.replace(spec, name="same-work-alias")
+        jobs = [
+            SimulationJob(spec=spec, policy="greedy-energy", replication=r)
+            for r in range(3)
+        ] + [
+            SimulationJob(spec=alias, policy="greedy-energy", replication=r)
+            for r in range(3)
+        ]
+        run = run_simulation_jobs(jobs, batch="auto")
+        assert run.executed == 3
+        assert strip_timing(run.records[:3]) == strip_timing(run.records[3:])
+
+    def test_information_mode_enters_job_key(self, registry):
+        # The exact-mode tournament twin of a base scenario is the *same
+        # work* (exact mode is bitwise-invisible), so it shares the job
+        # key; any belief mode is different work and must not.
+        base = registry.get("g3-jitter10")
+        exact_twin = registry.get("tour-g3-rakhmatov-j10-exact")
+        blind_twin = registry.get("tour-g3-rakhmatov-j10-blind")
+        key = SimulationJob(spec=base, policy="greedy-energy", seed=7).key()
+        assert SimulationJob(
+            spec=exact_twin, policy="greedy-energy", seed=7
+        ).key() == key
+        assert SimulationJob(
+            spec=blind_twin, policy="greedy-energy", seed=7
+        ).key() != key
+        noisy = registry.get("tour-g3-rakhmatov-j10-noisy")
+        reseeded = dataclasses.replace(noisy, imode_seed=noisy.imode_seed + 1)
+        assert SimulationJob(spec=noisy, policy="greedy-energy").key() != SimulationJob(
+            spec=reseeded, policy="greedy-energy"
+        ).key()
+
+
 class TestSimulationBatching:
     """Monte Carlo batching: lockstep cells, bit-identical to scalar."""
 

@@ -276,3 +276,96 @@ class TestStochasticTier:
         assert problem_fingerprint(base.build_problem()) == problem_fingerprint(
             jittered.build_problem()
         )
+
+
+class TestInformationModeTier:
+    def test_defaults_are_exact(self):
+        spec = make_spec()
+        assert spec.imode == "exact"
+        assert not spec.has_information_mode
+        assert spec.information_mode().is_exact
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="information mode"):
+            make_spec(imode="psychic")
+        with pytest.raises(ConfigurationError, match="rel_error"):
+            make_spec(imode="noisy")
+        with pytest.raises(ConfigurationError, match="rel_error"):
+            make_spec(imode="noisy", imode_rel_error=-0.1)
+        # Noise parameters are meaningless outside noisy mode and must
+        # not silently vanish from the identity.
+        with pytest.raises(ConfigurationError):
+            make_spec(imode="blind", imode_rel_error=0.2)
+        with pytest.raises(ConfigurationError):
+            make_spec(imode="mean", imode_seed=3)
+        with pytest.raises(ConfigurationError):
+            make_spec(imode_seed=3)
+
+    def test_information_mode_builder(self):
+        from repro.sim import InformationMode
+
+        blind = make_spec(imode="blind")
+        assert blind.has_information_mode
+        assert blind.information_mode() == InformationMode.blind()
+        noisy = make_spec(imode="noisy", imode_rel_error=0.3, imode_seed=101)
+        assert noisy.information_mode() == InformationMode.noisy(0.3, seed=101)
+
+    def test_round_trip(self):
+        for spec in (
+            make_spec(imode="blind"),
+            make_spec(imode="mean", jitter=0.2),
+            make_spec(imode="noisy", imode_rel_error=0.3, imode_seed=101),
+        ):
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert (
+                ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+                == spec
+            )
+
+    def test_exact_spec_serializes_without_imode_keys(self):
+        # The wire format of every pre-imode spec is unchanged: the keys
+        # appear only when an information mode is actually set.
+        payload = make_spec().to_dict()
+        assert "imode" not in payload
+        assert "imode_rel_error" not in payload
+        assert "imode_seed" not in payload
+        assert "imode" in make_spec(imode="blind").to_dict()
+
+    def test_exact_content_hash_unchanged(self):
+        # imode="exact" is the default spelled out: same identity, and
+        # the pre-imode pinned hashes stay valid.
+        assert make_spec(imode="exact").content_hash() == make_spec().content_hash()
+        from repro.scenarios import default_registry
+
+        assert default_registry().get("g3").content_hash() == "343b3ec8d083c10c"
+
+    def test_belief_modes_enter_content_hash(self):
+        base = make_spec().content_hash()
+        blind = make_spec(imode="blind").content_hash()
+        mean = make_spec(imode="mean").content_hash()
+        noisy = make_spec(
+            imode="noisy", imode_rel_error=0.3, imode_seed=101
+        ).content_hash()
+        assert len({base, blind, mean, noisy}) == 4
+        assert (
+            make_spec(imode="noisy", imode_rel_error=0.4, imode_seed=101).content_hash()
+            != noisy
+        )
+        assert (
+            make_spec(imode="noisy", imode_rel_error=0.3, imode_seed=102).content_hash()
+            != noisy
+        )
+
+    def test_imode_does_not_change_offline_problem(self):
+        # Beliefs are a runtime overlay; the offline problem (graph,
+        # deadline, battery) is identical whatever the policy believes.
+        assert problem_fingerprint(
+            make_spec(imode="blind").build_problem()
+        ) == problem_fingerprint(make_spec().build_problem())
+
+    def test_summary_labels_belief_modes_only(self):
+        assert "imode" not in make_spec().summary()
+        assert "imode blind" in make_spec(imode="blind").summary()
+        assert "imode noisy(0.3,101)" in make_spec(
+            imode="noisy", imode_rel_error=0.3, imode_seed=101
+        ).summary()

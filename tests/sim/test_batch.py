@@ -20,6 +20,7 @@ from repro.scheduling import SchedulingProblem
 from repro.sim import (
     BatchSimulator,
     PerturbationModel,
+    Scheduler,
     Simulator,
     StaticReplayScheduler,
     make_policy,
@@ -163,10 +164,133 @@ class TestBatchMatchesScalarBitwise:
         assert completed, "expected at least one lane to survive"
 
 
+class _FailsAfterScheduler(Scheduler):
+    """Delegates to greedy-energy but raises after a decision budget.
+
+    A fault probe for the per-lane isolation contract: the raise happens
+    *mid-batch* — after the lane has already made progress in lockstep
+    with its siblings — not at construction or at the first wakeup.
+    """
+
+    name = "fails-after"
+
+    def __init__(self, problem: SchedulingProblem, after: int):
+        self._inner = make_policy("greedy-energy", problem)
+        self._after = after
+        self._made = 0
+
+    def init(self, simulator) -> None:
+        super().init(simulator)
+        self._inner.init(simulator)
+
+    def schedule(self, new_ready, new_finished):
+        decisions = self._inner.schedule(new_ready, new_finished)
+        self._made += len(decisions)
+        if self._made > self._after:
+            raise RuntimeError("injected scheduler fault")
+        return decisions
+
+
+class _ReadyOrderProbe(Scheduler):
+    """Records every ``ready_tasks()`` snapshot while delegating decisions."""
+
+    name = "ready-order-probe"
+
+    def __init__(self, problem: SchedulingProblem):
+        self._inner = make_policy("greedy-energy", problem)
+        self.snapshots = []
+
+    def init(self, simulator) -> None:
+        super().init(simulator)
+        self._inner.init(simulator)
+
+    def schedule(self, new_ready, new_finished):
+        self.snapshots.append(self.simulator.ready_tasks())
+        return self._inner.schedule(new_ready, new_finished)
+
+
+class TestBatchEdgeCases:
+    @pytest.mark.parametrize("tier", sorted(PERTURBATIONS))
+    def test_single_lane_equals_scalar(self, tier):
+        # The degenerate batch: one lane must still be bitwise-equal to
+        # the scalar simulator on the same stream, through jitter and
+        # failure/retry alike.
+        problem = _problem("kibam")
+        perturbation = PERTURBATIONS[tier]
+        _assert_matching(
+            _batch_outcomes(problem, "battery-reactive", perturbation, 13, 1),
+            _scalar_outcomes(problem, "battery-reactive", perturbation, 13, 1),
+        )
+
+    def test_mid_batch_scheduler_fault_is_isolated(self):
+        # Lane 1's scheduler raises after three decisions, mid-run.  Its
+        # outcome is that exception; lanes 0 and 2 finish bitwise-equal
+        # to their scalar references as if the faulty sibling never ran.
+        problem = _problem("rakhmatov")
+        perturbation = PerturbationModel(jitter=0.10)
+        schedulers = [
+            _make_scheduler("greedy-energy", problem),
+            _FailsAfterScheduler(problem, after=3),
+            _make_scheduler("greedy-energy", problem),
+        ]
+        outcomes = BatchSimulator(
+            problem,
+            schedulers,
+            rngs=[rng_for_seed(7, replication) for replication in range(3)],
+            perturbation=perturbation,
+        ).run()
+        scalar = _scalar_outcomes(problem, "greedy-energy", perturbation, 7, 3)
+        assert isinstance(outcomes[1], RuntimeError)
+        assert "injected scheduler fault" in str(outcomes[1])
+        assert outcomes[0] == scalar[0]
+        assert outcomes[2] == scalar[2]
+
+    def test_ready_tasks_order_survives_retry_requeues(self):
+        # A failed task re-enters the ready set via bisect.insort on its
+        # graph rank: ready_tasks() stays in graph insertion order even
+        # after failure -> retry re-queues (not append-at-the-end order).
+        problem = _problem("ideal")
+        probe = _ReadyOrderProbe(problem)
+        result = Simulator(
+            problem,
+            probe,
+            perturbation=PerturbationModel(jitter=0.05, failure_rate=0.35),
+            rng=rng_for_seed(2, 0),
+        ).run()
+        assert result.retries > 0, "perturbation never forced a retry"
+        order = {name: rank for rank, name in enumerate(problem.graph.task_names())}
+        for snapshot in probe.snapshots:
+            assert list(snapshot) == sorted(snapshot, key=order.__getitem__)
+
+    def test_retry_reruns_same_task_and_column_immediately(self):
+        # The retry contract behind the re-queue: a failed attempt goes to
+        # the *front* of the PE queue with the same design point, so the
+        # very next interval is the same task, same column, attempt + 1 —
+        # the scheduler is never re-consulted for a retry.
+        problem = _problem("ideal")
+        result = Simulator(
+            problem,
+            _make_scheduler("greedy-energy", problem),
+            perturbation=PerturbationModel(jitter=0.05, failure_rate=0.35),
+            rng=rng_for_seed(2, 0),
+        ).run()
+        assert result.retries > 0, "perturbation never forced a retry"
+        intervals = result.intervals
+        for failed, following in zip(intervals, intervals[1:]):
+            if failed.failed:
+                assert following.task == failed.task
+                assert following.column == failed.column
+                assert following.attempt == failed.attempt + 1
+
+
 class TestBatchConstruction:
     def test_rejects_empty_batch(self):
         with pytest.raises(SimulationError):
             BatchSimulator(_problem("ideal"), [])
+
+    def test_zero_lanes_rejected_before_any_lane_state_exists(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            BatchSimulator(_problem("ideal"), [], rngs=[])
 
     def test_rejects_shared_scheduler_instances(self):
         problem = _problem("ideal")
