@@ -1,0 +1,204 @@
+"""Benchmark of the task-graph hot paths and the optimize-pass conformance.
+
+Measures, on large synthetic DAGs:
+
+* **graph-core speedups** — wall-clock of ``TaskGraph.topological_order()``
+  and ``TaskGraph.edges()`` against the pre-optimization quadratic
+  reference implementations (``key=self._order.index`` sorts and
+  ``ready.pop(0)`` queues), asserting the committed speedup floors *and*
+  byte-identical output — the regression gate for the position-map/heap
+  rewrite; and
+* **optimize conformance slice** — one fusable catalogue scenario per
+  battery chemistry: the canonical cost of a fused schedule must equal its
+  unfused translation's cost **bitwise** (the canonical evaluator expands
+  compound tasks into their recorded member segments).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_graph.py            # full, writes BENCH_graph.json
+    PYTHONPATH=src python benchmarks/bench_graph.py --smoke    # quick CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Dict, List
+
+from repro.scenarios import default_registry
+from repro.scheduling import DesignPointAssignment, evaluate_schedule
+from repro.taskgraph import TaskGraph
+from repro.workloads import erdos_graph
+
+#: Committed floors: the rewritten hot paths must beat the quadratic
+#: reference by at least this factor on the benchmark graphs (the ISSUE
+#: acceptance criterion is 10x; the rewrite lands orders of magnitude
+#: above it, so regressions have a wide margin to trip the gate).
+SPEEDUP_FLOORS = {"topological_order": 10.0, "edges": 10.0}
+
+#: Fusable catalogue scenarios, one per chemistry (the conformance slice).
+CONFORMANCE_SCENARIOS = ("g2", "g3-peukert", "g3-kibam", "g3-ideal")
+
+
+# ----------------------------------------------------------------------
+# reference (pre-rewrite) implementations — the regression oracles
+# ----------------------------------------------------------------------
+def reference_edges(graph: TaskGraph):
+    """The old O(V*E) ``edges()``: every sort keyed on ``list.index``."""
+    result = []
+    for parent in graph._order:
+        for child in sorted(graph._successors[parent], key=graph._order.index):
+            result.append((parent, child))
+    return tuple(result)
+
+
+def reference_topological_order(graph: TaskGraph):
+    """The old quadratic Kahn loop: ``pop(0)`` + re-sorting the ready list."""
+    indegree = {name: len(graph._predecessors[name]) for name in graph._order}
+    ready = [name for name in graph._order if indegree[name] == 0]
+    result = []
+    while ready:
+        node = ready.pop(0)
+        result.append(node)
+        for child in sorted(graph._successors[node], key=graph._order.index):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+        ready.sort(key=graph._order.index)
+    return tuple(result)
+
+
+def bench_hot_path(graph: TaskGraph, name: str, fast, slow, failures: List[str]) -> Dict[str, Any]:
+    """Time the rewritten path against its reference oracle."""
+    started = time.perf_counter()
+    fast_result = fast(graph)
+    fast_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    slow_result = slow(graph)
+    slow_wall = time.perf_counter() - started
+    speedup = slow_wall / fast_wall if fast_wall else float("inf")
+    if fast_result != slow_result:
+        failures.append(f"[{name}] output differs from the reference implementation")
+    if speedup < SPEEDUP_FLOORS[name]:
+        failures.append(
+            f"[{name}] speedup {speedup:.1f}x below the {SPEEDUP_FLOORS[name]:.0f}x floor"
+        )
+    return {
+        "fast_wall_s": fast_wall,
+        "reference_wall_s": slow_wall,
+        "speedup": speedup,
+        "identical_output": fast_result == slow_result,
+    }
+
+
+def bench_conformance(failures: List[str]) -> Dict[str, Any]:
+    """Fused-vs-unfused canonical sigma, bitwise, one scenario per chemistry."""
+    registry = default_registry()
+    slice_report: Dict[str, Any] = {}
+    for scenario in CONFORMANCE_SCENARIOS:
+        spec = registry.get(scenario)
+        problem = spec.build_problem()
+        optimized = replace(spec, optimize="cull+fuse").optimization()
+        order = optimized.graph.topological_order()
+        columns = {task: 0 for task in order}
+        sequence, assignment = optimized.expand(order, columns)
+        model = problem.model()
+        fused = evaluate_schedule(
+            optimized.graph, order, DesignPointAssignment(columns), model,
+            deadline=problem.deadline, evaluate_at="deadline",
+        )
+        unfused = evaluate_schedule(
+            problem.graph, sequence, DesignPointAssignment(assignment), model,
+            deadline=problem.deadline, evaluate_at="deadline",
+        )
+        bitwise = fused.cost == unfused.cost and fused.makespan == unfused.makespan
+        if not bitwise:
+            failures.append(
+                f"[{scenario}] fused sigma {fused.cost!r} != unfused {unfused.cost!r}"
+            )
+        slice_report[scenario] = {
+            "chemistry": spec.chemistry,
+            "compounds": len(optimized.chains),
+            "fused_tasks": optimized.graph.num_tasks,
+            "original_tasks": problem.graph.num_tasks,
+            "sigma": fused.cost,
+            "bitwise": bitwise,
+        }
+    return slice_report
+
+
+def run(smoke: bool, output: str) -> int:
+    # The reference edges() pays an O(V) list.index per edge comparison, so
+    # its gate margin grows with node count — smoke keeps enough tasks that
+    # both floors sit well clear of timer noise.
+    num_tasks, edge_probability = (1200, 0.004) if smoke else (2000, 0.002)
+    graph = erdos_graph(num_tasks=num_tasks, edge_probability=edge_probability, seed=1)
+
+    report: Dict[str, Any] = {
+        "mode": "smoke" if smoke else "full",
+        "graph": {"num_tasks": graph.num_tasks, "num_edges": graph.num_edges},
+        "hot_paths": {},
+        "conformance": {},
+    }
+    failures: List[str] = []
+
+    print(f"== graph-core hot paths ({num_tasks}-task erdos, {graph.num_edges} edges) ==")
+    for name, fast, slow in (
+        ("topological_order", lambda g: g.topological_order(), reference_topological_order),
+        ("edges", lambda g: g.edges(), reference_edges),
+    ):
+        row = bench_hot_path(graph, name, fast, slow, failures)
+        report["hot_paths"][name] = row
+        print(
+            f"  {name:<18} {row['fast_wall_s'] * 1e3:8.2f}ms   "
+            f"reference {row['reference_wall_s'] * 1e3:8.2f}ms   "
+            f"speedup {row['speedup']:8.1f}x  (floor {SPEEDUP_FLOORS[name]:.0f}x)"
+        )
+
+    print("== optimize conformance slice (fused vs unfused canonical sigma) ==")
+    conformance = bench_conformance(failures)
+    report["conformance"] = conformance
+    for scenario, row in conformance.items():
+        print(
+            f"  {scenario:<12} {row['chemistry']:<10} "
+            f"{row['original_tasks']:3d} -> {row['fused_tasks']:3d} tasks "
+            f"({row['compounds']} compounds)   sigma {row['sigma']:.6f}   "
+            f"{'bitwise' if row['bitwise'] else 'MISMATCH'}"
+        )
+
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick regression gate: smaller graph, no JSON by default",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_graph.json in full mode)",
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = "BENCH_graph.json"
+    return run(smoke=args.smoke, output=output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

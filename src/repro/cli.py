@@ -148,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--algorithms", nargs="+", default=None, metavar="ALGO",
         help="algorithms to run (default: iterative + deterministic baselines)")
+    suite.add_argument(
+        "--optimize", default="", metavar="PASSES",
+        help="apply the sigma-preserving optimize passes (e.g. fuse or "
+             "cull+fuse; see repro.taskgraph.optimize) to every selected "
+             "scenario before scheduling — job keys grow the pass list, so "
+             "optimized and plain results never collide in a store")
+    suite.add_argument(
+        "--dedupe", action="store_true",
+        help="execute one representative per group of structurally-"
+             "isomorphic jobs and translate its result to the rest")
     add_engine_arguments(suite)
     add_seed_argument(suite)
     add_obs_arguments(suite)
@@ -210,6 +220,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arguments(tournament)
     add_seed_argument(tournament)
     add_obs_arguments(tournament)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="apply task-graph rewrite passes (cull/fuse) to a graph "
+             "and report what they changed",
+    )
+    optimize_source = optimize.add_mutually_exclusive_group(required=True)
+    optimize_source.add_argument(
+        "--graph", metavar="FILE",
+        help="task-graph JSON file (see repro.taskgraph.io)")
+    optimize_source.add_argument(
+        "--scenario", metavar="NAME",
+        help="catalogue scenario whose graph to build and optimize")
+    optimize.add_argument(
+        "--passes", default="cull+fuse", metavar="PASSES",
+        help="pass list to apply, in order (default: %(default)s)")
+    optimize.add_argument(
+        "--sinks", nargs="+", default=None, metavar="TASK",
+        help="sinks the cull pass keeps (default: every exit task)")
+    optimize.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the optimized graph as JSON")
+    optimize.add_argument(
+        "--dot", default=None, metavar="FILE",
+        help="write the optimized graph as Graphviz DOT")
 
     docs = subparsers.add_parser(
         "docs", help="regenerate docs/scenarios.md from the scenario registry"
@@ -432,6 +467,8 @@ def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
             suite_result = run_suite(
                 scenarios=args.scenarios,
                 algorithms=args.algorithms,
+                optimize=args.optimize,
+                dedupe=args.dedupe,
                 **_engine_options(args),
             )
             out.append(suite_result.to_table().to_text())
@@ -499,6 +536,35 @@ def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
                 tournament_markdown(tournament_result), encoding="utf-8"
             )
             out.append(f"wrote {target}")
+    elif args.command == "optimize":
+        from .taskgraph import graph_signature, optimize_graph, parse_passes
+        from .taskgraph.io import save_json, to_dot
+
+        if args.scenario:
+            from .scenarios import default_registry
+
+            graph = default_registry().get(args.scenario).build_graph()
+        else:
+            graph = load_json(args.graph)
+        result = optimize_graph(graph, parse_passes(args.passes), sinks=args.sinks)
+        optimized = result.graph
+        out.append(
+            f"passes {'+'.join(result.passes) or '(none)'}: "
+            f"{graph.num_tasks} tasks / {graph.num_edges} edges -> "
+            f"{optimized.num_tasks} tasks / {optimized.num_edges} edges"
+        )
+        if result.removed:
+            out.append(f"culled {len(result.removed)}: {', '.join(result.removed)}")
+        for compound, members in result.chains.items():
+            out.append(f"fused {compound} <- {', '.join(members)}")
+        out.append(f"signature before: {graph_signature(graph)}")
+        out.append(f"signature after:  {graph_signature(optimized)}")
+        if args.out:
+            save_json(optimized, args.out)
+            out.append(f"wrote {args.out}")
+        if args.dot:
+            Path(args.dot).write_text(to_dot(optimized), encoding="utf-8")
+            out.append(f"wrote {args.dot}")
     elif args.command == "docs":
         from .scenarios import catalogue_markdown, leaderboard_markdown
 

@@ -120,6 +120,8 @@ class ExperimentRun:
     """Jobs actually run in this call."""
     skipped: int
     """Jobs answered from the result store (resume hits)."""
+    deduped: int = 0
+    """Jobs answered by translating a structurally-isomorphic job's result."""
 
     # ------------------------------------------------------------------
     # accounting
@@ -187,9 +189,10 @@ class ExperimentRun:
 
     def summary(self) -> str:
         """One-line accounting summary."""
+        deduped = f", {self.deduped} deduped" if self.deduped else ""
         return (
             f"{len(self.results)} jobs ({self.executed} executed, "
-            f"{self.skipped} resumed), {len(self.failures())} failed, "
+            f"{self.skipped} resumed{deduped}), {len(self.failures())} failed, "
             f"cache hit rate {self.cache_hit_rate:.1%}"
         )
 
@@ -202,6 +205,7 @@ def run_experiments(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     params: Optional[Mapping[str, Any]] = None,
+    dedupe: bool = False,
 ) -> ExperimentRun:
     """Run every algorithm on every problem through an executor.
 
@@ -234,9 +238,69 @@ def run_experiments(
         Optional ``(done, total, result)`` callback for newly executed jobs.
     params:
         Extra parameters merged into every job (see :func:`build_jobs`).
+    dedupe:
+        When true, run one representative per group of
+        structurally-isomorphic jobs and translate its result to the rest
+        (see :func:`run_jobs`).
     """
     jobs = build_jobs(problems, algorithms, params=params)
-    return run_jobs(jobs, executor=executor, store=store, resume=resume, progress=progress)
+    return run_jobs(
+        jobs,
+        executor=executor,
+        store=store,
+        resume=resume,
+        progress=progress,
+        dedupe=dedupe,
+    )
+
+
+def _translate_dedup_result(
+    rep_job: Job, rep_result: JobResult, job: Job
+) -> Optional[JobResult]:
+    """Re-express a representative's result on an isomorphic job's graph.
+
+    Both graphs canonicalise to the same form (equal structural keys), so
+    composing ``representative name -> canonical name -> member name``
+    carries the schedule across; costs and makespans transfer verbatim
+    because sigma only sees the (identical) design-point values.  Returns
+    ``None`` when the translation cannot be trusted — a failed
+    representative, or a translated sequence the member graph rejects
+    (possible only for graphs whose refinement signatures leave
+    non-automorphic tasks tied) — in which case the caller executes the
+    member job for real.
+    """
+    from ..taskgraph.optimize import canonical_form
+
+    if not rep_result.ok or rep_result.sequence is None:
+        return None
+    rep_to_canon = canonical_form(rep_job.problem.graph).mapping
+    canon_to_member = canonical_form(job.problem.graph).inverse
+    try:
+        sequence = tuple(
+            canon_to_member[rep_to_canon[name]] for name in rep_result.sequence
+        )
+        assignment = (
+            {
+                canon_to_member[rep_to_canon[name]]: int(column)
+                for name, column in rep_result.assignment.items()
+            }
+            if rep_result.assignment is not None
+            else None
+        )
+    except KeyError:
+        return None
+    if not job.problem.graph.is_valid_sequence(sequence):
+        return None
+    return JobResult(
+        key=job.key(),
+        algorithm=job.algorithm,
+        problem_name=job.problem.name or job.problem.graph.name or "",
+        cost=rep_result.cost,
+        makespan=rep_result.makespan,
+        feasible=rep_result.feasible,
+        sequence=sequence,
+        assignment=assignment,
+    )
 
 
 def run_jobs(
@@ -245,6 +309,7 @@ def run_jobs(
     store: Optional[ResultStore] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    dedupe: bool = False,
 ) -> ExperimentRun:
     """Run an explicit job list (the layer below :func:`run_experiments`).
 
@@ -252,6 +317,15 @@ def run_jobs(
     (e.g. the ablation, which varies per-job parameters) build their job
     lists by hand and come in here.  Ordering, store and resume semantics
     are identical to :func:`run_experiments`.
+
+    With ``dedupe=True`` the pending jobs are grouped by
+    :meth:`Job.structural_key` before dispatch: one representative per
+    group of structurally-isomorphic jobs is executed, and the remaining
+    members receive the representative's result translated through the
+    graphs' canonical forms (see :func:`_translate_dedup_result`).
+    Translated results carry the member's own key and are appended to the
+    store like executed ones; ``run.deduped`` counts them.  The default is
+    off, leaving dispatch byte-identical to previous releases.
 
     >>> from repro.engine import Job, run_jobs
     >>> from repro.taskgraph import build_g3
@@ -273,7 +347,29 @@ def run_jobs(
 
     if _OBS.enabled and done:
         _OBS.count("engine.jobs.resumed", len(done))
-    fresh = executor.run(pending, progress=progress) if pending else []
+    deduped = 0
+    if dedupe and pending:
+        groups: Dict[str, List[Job]] = {}
+        for job in pending:
+            groups.setdefault(job.structural_key(), []).append(job)
+        representatives = [group[0] for group in groups.values()]
+        with _OBS.span("engine.dedupe", label=f"{len(pending)}->{len(representatives)}"):
+            fresh = list(executor.run(representatives, progress=progress))
+        retry: List[Job] = []
+        for group, rep_result in zip(groups.values(), list(fresh)):
+            for member in group[1:]:
+                translated = _translate_dedup_result(group[0], rep_result, member)
+                if translated is None:
+                    retry.append(member)
+                else:
+                    fresh.append(translated)
+                    deduped += 1
+        if retry:
+            fresh.extend(executor.run(retry, progress=progress))
+        if _OBS.enabled and deduped:
+            _OBS.count("engine.jobs.deduped", deduped)
+    else:
+        fresh = executor.run(pending, progress=progress) if pending else []
     if store is not None:
         with _OBS.span("engine.store.append", label=str(store.path.name)):
             store.append_many(fresh)
@@ -285,6 +381,7 @@ def run_jobs(
     return ExperimentRun(
         jobs=tuple(jobs),
         results=ordered,
-        executed=len(fresh),
+        executed=len(fresh) - deduped,
         skipped=len(done),
+        deduped=deduped,
     )

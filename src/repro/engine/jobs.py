@@ -122,6 +122,27 @@ class Job:
             object.__setattr__(self, "_key", cached)
         return cached
 
+    def structural_key(self) -> str:
+        """Content hash identifying this job *up to graph isomorphism*.
+
+        Like :meth:`key`, but the graph enters through its canonical-form
+        signature (:func:`repro.taskgraph.graph_signature`) instead of its
+        verbatim serialisation, so two jobs whose graphs differ only in
+        task naming / insertion order collide deliberately.  This is the
+        grouping key of the engine's opt-in structural dedup
+        (``run_jobs(..., dedupe=True)``).  Memoised like :meth:`key`.
+        """
+        cached = self.__dict__.get("_structural_key")
+        if cached is None:
+            from ..taskgraph.optimize import graph_signature
+
+            spec = self.spec()
+            spec["graph"] = graph_signature(self.problem.graph)
+            payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+            object.__setattr__(self, "_structural_key", cached)
+        return cached
+
     @property
     def label(self) -> str:
         """Human-readable ``problem/algorithm`` tag used in progress output."""

@@ -102,6 +102,8 @@ def run_suite(
     progress=None,
     registry: Optional[ScenarioRegistry] = None,
     seed: Optional[int] = None,
+    optimize: str = "",
+    dedupe: bool = False,
 ) -> SuiteRunResult:
     """Run algorithms over scenario-catalogue problems through the engine.
 
@@ -128,8 +130,20 @@ def run_suite(
         Merged into every job's parameters; stochastic algorithms (the
         annealing baseline) consume it, so two same-seed suite runs are
         byte-identical, and it enters every job key either way.
+    optimize:
+        Optional optimize-pass list (e.g. ``"fuse"`` or ``"cull+fuse"``)
+        applied to every selected spec via
+        :meth:`~repro.scenarios.ScenarioRegistry.optimized` — problems are
+        built on rewritten graphs and job keys grow the pass list, so
+        optimized and unoptimized results never collide in a store.
+    dedupe:
+        Run one representative per group of structurally-isomorphic jobs
+        and translate its result to the rest (see
+        :func:`repro.engine.run_jobs`).
     """
     registry = registry if registry is not None else default_registry()
+    if optimize:
+        registry = registry.optimized(optimize)
     if scenarios is None:
         specs = registry.select(stochastic=False)
     else:
@@ -146,6 +160,7 @@ def run_suite(
         resume=resume,
         progress=progress,
         params={"seed": int(seed)} if seed is not None else None,
+        dedupe=dedupe,
     )
     # Iterating a mapping yields its keys, so both spec shapes reduce to names.
     return SuiteRunResult(

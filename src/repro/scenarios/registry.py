@@ -21,6 +21,7 @@ True
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -135,6 +136,21 @@ class ScenarioRegistry:
     ) -> List[SchedulingProblem]:
         """Build the problem instances of the selected (default: all) scenarios."""
         return [spec.build_problem() for spec in self.select(names=names)]
+
+    def optimized(
+        self, passes: str, names: Optional[Iterable[str]] = None
+    ) -> "ScenarioRegistry":
+        """A registry view with an optimize-pass list applied to every spec.
+
+        Each selected spec is copied with its ``optimize`` field set to
+        ``passes`` (e.g. ``"fuse"`` or ``"cull+fuse"`` — validated by the
+        spec constructor), so the view's problems are built on rewritten
+        graphs while the original registry stays untouched.  Scenario
+        names are unchanged; content hashes grow the pass list.
+        """
+        return ScenarioRegistry(
+            replace(spec, optimize=passes) for spec in self.select(names=names)
+        )
 
     # ------------------------------------------------------------------
     # aggregate views

@@ -156,6 +156,14 @@ class ScenarioSpec:
         stay at their defaults otherwise.  The default ``"exact"`` mode is
         today's behaviour and stays out of :meth:`content_hash`, so all
         pre-imode hashes, stores and job keys are untouched.
+    optimize:
+        Optional **optimize-pass list** (e.g. ``"fuse"`` or ``"cull+fuse"``
+        — see :mod:`repro.taskgraph.optimize`) applied to the built graph
+        by :meth:`build_problem`.  Only the sigma-preserving passes are
+        accepted.  The default empty string means no rewriting — today's
+        behaviour — and stays out of :meth:`content_hash`, mirroring the
+        imode pattern so pre-existing hashes, stores and job keys never
+        move.
     description:
         One-line human description for the catalogue (presentational; not
         part of the content hash).
@@ -177,6 +185,7 @@ class ScenarioSpec:
     imode: str = "exact"
     imode_rel_error: float = 0.0
     imode_seed: int = 0
+    optimize: str = ""
     description: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -242,6 +251,10 @@ class ScenarioSpec:
                     "imode_seed only applies to the noisy information "
                     f"mode, not {self.imode!r}"
                 )
+        if self.optimize:
+            from ..taskgraph.optimize import parse_passes
+
+            parse_passes(self.optimize)  # raises ConfigurationError on junk
         if not FAMILIES[self.family].uses_synthesis:
             # Paper-graph families carry published design points; a platform
             # or seed on such a spec would describe an experiment different
@@ -300,8 +313,11 @@ class ScenarioSpec:
         """
         from ..workloads.suite import problem_with_tightness
 
+        graph = self.build_graph()
+        if self.has_optimize:
+            graph = self.optimization().graph
         return problem_with_tightness(
-            self.build_graph(),
+            graph,
             self.tightness,
             battery=self.battery_spec(),
             name=self.name,
@@ -316,6 +332,25 @@ class ScenarioSpec:
     def has_information_mode(self) -> bool:
         """True when policies see anything other than the exact durations."""
         return self.imode != "exact"
+
+    @property
+    def has_optimize(self) -> bool:
+        """True when the spec carries a non-empty optimize-pass list."""
+        return bool(self.optimize)
+
+    def optimization(self):
+        """The optimize-pass result for this spec's graph.
+
+        Returns the :class:`~repro.taskgraph.OptimizedGraph` whose
+        ``graph`` is what :meth:`build_problem` schedules and whose
+        ``expand`` methods translate the final schedule back onto the
+        unoptimized graph; ``None`` when no passes are set.
+        """
+        if not self.has_optimize:
+            return None
+        from ..taskgraph.optimize import optimize_graph, parse_passes
+
+        return optimize_graph(self.build_graph(), parse_passes(self.optimize))
 
     def perturbation(self):
         """The stochastic tier as a :class:`repro.sim.PerturbationModel`.
@@ -384,6 +419,8 @@ class ScenarioSpec:
                 "rel_error": self.imode_rel_error,
                 "seed": self.imode_seed,
             }
+        if self.has_optimize:
+            payload["optimize"] = self.optimize
         return _digest(canonical_json(payload))
 
     def to_dict(self) -> Dict[str, Any]:
@@ -413,6 +450,8 @@ class ScenarioSpec:
             data["imode"] = self.imode
             data["imode_rel_error"] = self.imode_rel_error
             data["imode_seed"] = self.imode_seed
+        if self.has_optimize:
+            data["optimize"] = self.optimize
         return data
 
     @classmethod
@@ -435,6 +474,7 @@ class ScenarioSpec:
             imode=str(data.get("imode", "exact")),
             imode_rel_error=float(data.get("imode_rel_error", 0.0)),
             imode_seed=int(data.get("imode_seed", 0)),
+            optimize=str(data.get("optimize", "")),
             description=str(data.get("description", "")),
         )
 
@@ -450,7 +490,7 @@ class ScenarioSpec:
             f"{self.name}: {self.family} family, {self.platform} platform, "
             f"{self.chemistry} chemistry, tightness {self.tightness:.2f}"
         )
-        if self.has_perturbation or self.has_information_mode:
+        if self.has_perturbation or self.has_information_mode or self.has_optimize:
             parts = []
             if self.jitter:
                 parts.append(f"{self.jitter_model} jitter {self.jitter:g}")
@@ -463,5 +503,7 @@ class ScenarioSpec:
                     )
                 else:
                     parts.append(f"imode {self.imode}")
+            if self.has_optimize:
+                parts.append(f"optimize {self.optimize}")
             line += f" ({', '.join(parts)})"
         return line

@@ -166,6 +166,10 @@ def evaluate_schedule(
     tables and hands them to the model's vectorized schedule path; no
     :class:`Schedule` or :class:`~repro.battery.LoadProfile` objects are
     created.  Returns bit-identical costs to the incremental evaluator.
+    Compound tasks produced by :func:`repro.taskgraph.fuse` are expanded
+    into their recorded member segments, so a fused schedule's canonical
+    cost equals its unfused translation's cost bitwise (the compound's
+    single averaged design point is only the search-time proxy).
 
     >>> from repro.battery import RakhmatovVrudhulaModel
     >>> from repro.scheduling import DesignPointAssignment
@@ -181,12 +185,26 @@ def evaluate_schedule(
     if validate:
         validate_sequence(graph, sequence)
         assignment.validate(graph)
-    durations = np.empty(len(sequence))
-    currents = np.empty(len(sequence))
-    for index, name in enumerate(sequence):
-        point = graph.task(name).ordered_design_points()[assignment[name]]
-        durations[index] = point.execution_time
-        currents[index] = point.current
+    interval_durations: List[float] = []
+    interval_currents: List[float] = []
+    for name in sequence:
+        task = graph.task(name)
+        column = assignment[name]
+        # Compound tasks (taskgraph.optimize.fuse) carry their members'
+        # exact per-column (duration, current) rows; expanding them here
+        # makes the canonical cost of a fused schedule bitwise equal to the
+        # cost of its unfused translation, for every chemistry.
+        segments = task.metadata.get("fused_segments")
+        if segments is None:
+            point = task.ordered_design_points()[column]
+            interval_durations.append(point.execution_time)
+            interval_currents.append(point.current)
+        else:
+            for duration, current in segments[column]:
+                interval_durations.append(duration)
+                interval_currents.append(current)
+    durations = np.asarray(interval_durations, dtype=float)
+    currents = np.asarray(interval_currents, dtype=float)
     makespan = math.fsum(durations)
     rest = _resolve_rest(makespan, deadline, evaluate_at)
     cost = model.schedule_charge(durations, currents, rest)

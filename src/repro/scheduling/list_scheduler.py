@@ -21,6 +21,7 @@ algorithm, and Equation 5 with the baselines.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ScheduleError
@@ -82,20 +83,25 @@ def sequence_by_weights(
     remaining_preds: Dict[str, int] = {
         name: len(graph.predecessors(name)) for name in names
     }
-    ready: List[str] = [name for name in names if remaining_preds[name] == 0]
     sequence: List[str] = []
 
     sign = -1.0 if higher_first else 1.0
-    sort_key = lambda name: (sign * float(weights[name]), insertion_rank[name])
+    # (signed weight, insertion rank) is a unique total order over tasks,
+    # so popping the heap minimum selects exactly the task the previous
+    # sort-then-pop(0) loop chose — identical sequences, O(log n) a step.
+    sort_key = lambda name: (sign * float(weights[name]), insertion_rank[name], name)
+    ready: List[Tuple[float, int, str]] = [
+        sort_key(name) for name in names if remaining_preds[name] == 0
+    ]
+    heapq.heapify(ready)
 
     while ready:
-        ready.sort(key=sort_key)
-        chosen = ready.pop(0)
+        chosen = heapq.heappop(ready)[2]
         sequence.append(chosen)
         for child in graph.successors(chosen):
             remaining_preds[child] -= 1
             if remaining_preds[child] == 0:
-                ready.append(child)
+                heapq.heappush(ready, sort_key(child))
 
     if len(sequence) != len(names):
         raise ScheduleError(

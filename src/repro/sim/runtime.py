@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
 import numpy as np
@@ -233,7 +234,11 @@ class Simulator:
         #: single-PE platform never holds more than one, so a heap of event
         #: objects would be pure overhead).
         self._pending_event: Optional[Tuple[float, str]] = None
-        self._queue: List[Tuple[str, int]] = []
+        # Decision FIFO: popleft/appendleft are O(1) where the previous
+        # list-based pop(0)/insert(0) shifted the whole queue (the static
+        # replay policy enqueues every decision up front, so a plain list
+        # made each task start O(n)).  Same elements, same order.
+        self._queue: Deque[Tuple[str, int]] = deque()
         self._running: Optional[Tuple[str, int, float, bool, float]] = None
         self._new_ready: List[str] = []
         self._new_finished: List[str] = []
@@ -522,7 +527,7 @@ class Simulator:
         self._queue.append((name, int(column)))
 
     def _start_next(self) -> None:
-        name, column = self._queue.pop(0)
+        name, column = self._queue.popleft()
         info = self._infos[name]
         if info.state is not TaskState.READY:
             raise SimulationError(
@@ -590,7 +595,7 @@ class Simulator:
                 _OBS.count("sim.retries", label=self._obs_label)
             info.state = TaskState.READY
             bisect.insort(self._ready_set, (self._rank[name], name))
-            self._queue.insert(0, (name, column))
+            self._queue.appendleft((name, column))
             return
         info.state = TaskState.FINISHED
         info.end_time = event_time

@@ -42,6 +42,7 @@ the run starts, exactly like a plan deployed to a device.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
@@ -226,7 +227,8 @@ class _OnlineScheduler(Scheduler):
 
     def init(self, simulator) -> None:
         super().init(simulator)
-        self._ready: List[str] = []
+        #: Min-heap of ``self._order`` sort keys for the ready tasks.
+        self._ready: List[tuple] = []
         rank = getattr(simulator, "_rank", None)
         self._rank = (
             rank
@@ -236,6 +238,8 @@ class _OnlineScheduler(Scheduler):
                 for index, name in enumerate(simulator.graph.task_names())
             }
         )
+        #: rank -> name, to translate popped heap keys back to tasks.
+        self._rank_name = {index: name for name, index in self._rank.items()}
         #: Believed-duration tables (``None`` for exact/unset — the
         #: original modeled-times code paths below then run unchanged).
         self._beliefs = getattr(simulator, "beliefs", None)
@@ -298,13 +302,17 @@ class _OnlineScheduler(Scheduler):
         raise NotImplementedError
 
     def schedule(self, new_ready, new_finished):
+        # ``self._ready`` is a min-heap of ``(-weight, rank)`` sort keys
+        # (``rank`` is unique, so the key is a total order and the heap
+        # minimum equals the head of the old sort-then-pop(0) list —
+        # identical decisions, without the O(n log n) re-sort per wakeup).
         ready = self._ready
-        ready.extend(new_ready)
+        order = self._order
+        for name in new_ready:
+            heapq.heappush(ready, order[name])
         if not ready:
             return ()
-        if len(ready) > 1:
-            ready.sort(key=self._order.__getitem__)
-        chosen = ready.pop(0)
+        chosen = self._rank_name[heapq.heappop(ready)[1]]
         return [(chosen, self.choose_column(chosen))]
 
 

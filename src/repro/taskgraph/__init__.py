@@ -25,6 +25,22 @@ from .library import (
     regenerate_g2_design_points,
     regenerate_g3_design_points,
 )
+from .optimize import (
+    FUSE_SEPARATOR,
+    OPTIMIZE_PASSES,
+    CanonicalForm,
+    CullResult,
+    FuseResult,
+    InlineResult,
+    OptimizedGraph,
+    canonical_form,
+    cull,
+    fuse,
+    graph_signature,
+    inline,
+    optimize_graph,
+    parse_passes,
+)
 from .scaling import (
     G2_SCALING_FACTORS,
     G3_SCALING_FACTORS,
@@ -66,6 +82,20 @@ __all__ = [
     "cubic_current",
     "scaled_design_points",
     "scaled_task_rows",
+    "OPTIMIZE_PASSES",
+    "FUSE_SEPARATOR",
+    "parse_passes",
+    "cull",
+    "fuse",
+    "inline",
+    "canonical_form",
+    "graph_signature",
+    "optimize_graph",
+    "CullResult",
+    "FuseResult",
+    "InlineResult",
+    "CanonicalForm",
+    "OptimizedGraph",
     "validate_sequence",
     "sequence_positions",
     "require_connected_sinks",

@@ -18,6 +18,16 @@ __all__ = ["save_json", "load_json", "dumps", "loads", "to_dot"]
 _PathLike = Union[str, Path]
 
 
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT string literal.
+
+    DOT quoted strings treat ``\\`` as an escape introducer and ``"`` as the
+    terminator, so both must be escaped (backslash first, or the escapes
+    themselves would be re-escaped).
+    """
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
 def dumps(graph: TaskGraph, indent: int = 2) -> str:
     """Serialise a task graph to a JSON string."""
     return json.dumps(graph.to_dict(), indent=indent, sort_keys=False)
@@ -50,18 +60,19 @@ def to_dot(graph: TaskGraph, include_design_points: bool = False) -> str:
         ``current@duration`` pairs, which is handy for small graphs such as
         G2 but unwieldy for large synthetic ones.
     """
-    lines = [f'digraph "{graph.name or "taskgraph"}" {{', "  rankdir=TB;"]
+    lines = [f'digraph "{_dot_escape(graph.name or "taskgraph")}" {{', "  rankdir=TB;"]
     for task in graph:
         if include_design_points:
             points = "\\n".join(
-                f"{dp.name or i + 1}: {dp.current:g}mA @ {dp.execution_time:g}"
+                f"{_dot_escape(dp.name) or i + 1}: "
+                f"{dp.current:g}mA @ {dp.execution_time:g}"
                 for i, dp in enumerate(task.ordered_design_points())
             )
-            label = f"{task.name}\\n{points}"
+            label = f"{_dot_escape(task.name)}\\n{points}"
         else:
-            label = task.name
-        lines.append(f'  "{task.name}" [label="{label}"];')
+            label = _dot_escape(task.name)
+        lines.append(f'  "{_dot_escape(task.name)}" [label="{label}"];')
     for parent, child in graph.edges():
-        lines.append(f'  "{parent}" -> "{child}";')
+        lines.append(f'  "{_dot_escape(parent)}" -> "{_dot_escape(child)}";')
     lines.append("}")
     return "\n".join(lines)

@@ -115,6 +115,89 @@ class TestRunExperiments:
         assert problems[0].name in text
 
 
+def _relabeled_clone(graph, prefix):
+    """Structurally identical graph with different task names."""
+    from repro.taskgraph import Task, TaskGraph
+
+    mapping = {name: f"{prefix}{index}" for index, name in enumerate(graph.task_names())}
+    clone = TaskGraph(name=f"{graph.name}-{prefix}")
+    for task in graph:
+        clone.add_task(Task(name=mapping[task.name], design_points=task.design_points))
+    for parent, child in graph.edges():
+        clone.add_edge(mapping[parent], mapping[child])
+    return clone
+
+
+@pytest.fixture(scope="module")
+def isomorphic_problems():
+    from repro.workloads import erdos_graph
+    from repro.workloads.suite import problem_with_tightness
+
+    graph = erdos_graph(num_tasks=10, edge_probability=0.3, seed=4, name="iso")
+    twin = _relabeled_clone(graph, "n")
+    return [
+        problem_with_tightness(graph, 0.5, name="iso-a"),
+        problem_with_tightness(twin, 0.5, name="iso-b"),
+    ]
+
+
+class TestStructuralDedup:
+    def test_isomorphic_jobs_share_a_structural_key(self, isomorphic_problems):
+        jobs = build_jobs(isomorphic_problems, ["iterative"])
+        assert jobs[0].structural_key() == jobs[1].structural_key()
+        assert jobs[0].key() != jobs[1].key()
+
+    def test_different_structures_do_not_collide(self, problems):
+        jobs = build_jobs(problems, ["iterative"])
+        assert len({job.structural_key() for job in jobs}) == len(jobs)
+
+    def test_dedupe_executes_one_representative_per_group(self, isomorphic_problems):
+        run = run_experiments(isomorphic_problems, ALGORITHMS, dedupe=True)
+        assert run.deduped == len(ALGORITHMS)
+        assert run.executed == len(ALGORITHMS)
+        assert run.ok
+
+    def test_dedupe_results_match_full_execution(self, isomorphic_problems):
+        full = run_experiments(isomorphic_problems, ALGORITHMS)
+        deduped = run_experiments(isomorphic_problems, ALGORITHMS, dedupe=True)
+        assert [r.key for r in deduped.results] == [r.key for r in full.results]
+        for a, b in zip(full.results, deduped.results):
+            assert b.cost == a.cost  # bitwise: same structure, same numbers
+            assert b.makespan == a.makespan
+            assert b.feasible == a.feasible
+            assert b.problem_name == a.problem_name
+
+    def test_translated_schedules_are_valid_on_the_member_graph(
+        self, isomorphic_problems
+    ):
+        run = run_experiments(isomorphic_problems, ["iterative"], dedupe=True)
+        for problem, result in zip(isomorphic_problems, run.results):
+            assert result.sequence is not None
+            assert problem.graph.is_valid_sequence(result.sequence)
+            assert set(result.assignment) == set(problem.graph.task_names())
+
+    def test_dedupe_off_by_default(self, isomorphic_problems):
+        run = run_experiments(isomorphic_problems, ["all-fastest"])
+        assert run.deduped == 0
+        assert run.executed == len(run.jobs)
+
+    def test_summary_mentions_dedup_only_when_active(self, isomorphic_problems):
+        plain = run_experiments(isomorphic_problems, ["all-fastest"])
+        assert "deduped" not in plain.summary()
+        deduped = run_experiments(isomorphic_problems, ["all-fastest"], dedupe=True)
+        assert "1 deduped" in deduped.summary()
+
+    def test_dedupe_with_parallel_executor(self, isomorphic_problems):
+        serial = run_experiments(isomorphic_problems, ALGORITHMS, dedupe=True)
+        parallel = run_experiments(
+            isomorphic_problems,
+            ALGORITHMS,
+            dedupe=True,
+            executor=ParallelExecutor(max_workers=2),
+        )
+        assert _comparable(parallel.results) == _comparable(serial.results)
+
+
 class TestDriverIntegration:
     """The rewired experiment drivers stay consistent with their legacy paths."""
 

@@ -66,6 +66,29 @@ class TestRegistry:
         assert len(problems) == 1
         assert problems[0].name == "a"
 
+    def test_optimized_view(self):
+        registry = small_registry()
+        view = registry.optimized("fuse")
+        assert view.names() == registry.names()
+        assert all(spec.optimize == "fuse" for spec in view)
+        # The original registry is untouched and hashes diverge.
+        assert all(spec.optimize == "" for spec in registry)
+        for name in registry.names():
+            assert view.get(name).content_hash() != registry.get(name).content_hash()
+
+    def test_optimized_view_selects_names(self):
+        view = small_registry().optimized("cull+fuse", names=["b"])
+        assert view.names() == ("b",)
+
+    def test_optimized_rejects_unknown_passes(self):
+        with pytest.raises(ConfigurationError, match="unknown optimize pass"):
+            small_registry().optimized("nope")
+
+    def test_optimized_problems_are_rewritten(self):
+        view = small_registry().optimized("fuse", names=["a"])
+        # "a" is a 3-task chain: it fuses to a single compound task.
+        assert view.build_problems()[0].graph.num_tasks == 1
+
 
 class TestDefaultCatalogue:
     """The ISSUE's acceptance dimensions for the shipped catalogue."""

@@ -329,6 +329,73 @@ class TestInformationModeTier:
         assert "imode" not in payload
         assert "imode_rel_error" not in payload
         assert "imode_seed" not in payload
+
+
+class TestOptimizeTier:
+    def test_defaults_are_unoptimized(self):
+        spec = make_spec()
+        assert spec.optimize == ""
+        assert not spec.has_optimize
+        assert spec.optimization() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown optimize pass"):
+            make_spec(optimize="inline")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            make_spec(optimize="fuse+fuse")
+
+    def test_optimization_builder(self):
+        spec = make_spec(
+            family="chain", family_params={"num_tasks": 5}, optimize="cull+fuse"
+        )
+        assert spec.has_optimize
+        optimized = spec.optimization()
+        assert optimized.passes == ("cull", "fuse")
+        assert optimized.graph.num_tasks == 1  # the whole chain fuses
+
+    def test_build_problem_uses_the_rewritten_graph(self):
+        plain = make_spec(family="chain", family_params={"num_tasks": 5})
+        fused = make_spec(
+            family="chain", family_params={"num_tasks": 5}, optimize="fuse"
+        )
+        assert plain.build_problem().graph.num_tasks == 5
+        assert fused.build_problem().graph.num_tasks == 1
+        # The fused problem's deadline tier is computed on the same
+        # makespan range, so feasibility is unchanged.
+        assert fused.build_problem().deadline == pytest.approx(
+            plain.build_problem().deadline
+        )
+
+    def test_round_trip(self):
+        for spec in (make_spec(optimize="fuse"), make_spec(optimize="cull+fuse")):
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert (
+                ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+                == spec
+            )
+
+    def test_unoptimized_spec_serializes_without_optimize_key(self):
+        assert "optimize" not in make_spec().to_dict()
+        assert make_spec(optimize="fuse").to_dict()["optimize"] == "fuse"
+
+    def test_optimize_enters_content_hash_only_when_set(self):
+        base = make_spec()
+        assert make_spec(optimize="fuse").content_hash() != base.content_hash()
+        assert (
+            make_spec(optimize="fuse").content_hash()
+            != make_spec(optimize="cull+fuse").content_hash()
+        )
+
+    def test_pre_existing_hashes_unchanged(self):
+        # The optimize field must not move any pre-existing identity:
+        # this value was pinned before the optimize tier existed.
+        from repro.scenarios import default_registry
+
+        assert default_registry().get("g3").content_hash() == "343b3ec8d083c10c"
+
+    def test_summary_mentions_passes(self):
+        assert "optimize" in make_spec(optimize="fuse").summary()
+        assert "optimize" not in make_spec().summary()
         assert "imode" in make_spec(imode="blind").to_dict()
 
     def test_exact_content_hash_unchanged(self):

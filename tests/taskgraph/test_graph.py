@@ -1,5 +1,7 @@
 """Unit tests for repro.taskgraph.graph."""
 
+import time
+
 import pytest
 
 from repro.errors import CyclicGraphError, TaskGraphError, UnknownTaskError
@@ -165,6 +167,77 @@ class TestAggregates:
     def test_uniform_count_rejects_empty(self):
         with pytest.raises(TaskGraphError):
             TaskGraph().uniform_design_point_count()
+
+
+def _reference_edges(graph):
+    """The pre-optimization O(V*E) implementation, kept as the oracle."""
+    result = []
+    for parent in graph._order:
+        for child in sorted(graph._successors[parent], key=graph._order.index):
+            result.append((parent, child))
+    return tuple(result)
+
+
+def _reference_topological_order(graph):
+    """The pre-optimization sort-the-ready-list implementation."""
+    indegree = {name: len(graph._predecessors[name]) for name in graph._order}
+    ready = [name for name in graph._order if indegree[name] == 0]
+    result = []
+    while ready:
+        node = ready.pop(0)
+        result.append(node)
+        for child in sorted(graph._successors[node], key=graph._order.index):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+        ready.sort(key=graph._order.index)
+    if len(result) != len(graph._order):
+        raise CyclicGraphError("task graph contains a cycle")
+    return tuple(result)
+
+
+class TestQuadraticHotPathRegression:
+    """The heap/position-map rewrites must be byte-identical to the old code."""
+
+    def test_edges_matches_reference_on_catalogue(self):
+        from repro.scenarios import default_registry
+
+        for spec in default_registry():
+            graph = spec.build_graph()
+            assert graph.edges() == _reference_edges(graph), spec.name
+
+    def test_topological_order_matches_reference_on_catalogue(self):
+        from repro.scenarios import default_registry
+
+        for spec in default_registry():
+            graph = spec.build_graph()
+            assert graph.topological_order() == _reference_topological_order(
+                graph
+            ), spec.name
+
+    def test_matches_reference_on_random_erdos_graphs(self):
+        from repro.workloads import erdos_graph
+
+        for seed in range(5):
+            graph = erdos_graph(num_tasks=40, edge_probability=0.2, seed=seed)
+            assert graph.edges() == _reference_edges(graph)
+            assert graph.topological_order() == _reference_topological_order(graph)
+
+    def test_topological_order_2000_tasks_at_least_10x_faster(self):
+        from repro.workloads import erdos_graph
+
+        graph = erdos_graph(num_tasks=2000, edge_probability=0.002, seed=1)
+        start = time.perf_counter()
+        fast = graph.topological_order()
+        fast_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        slow = _reference_topological_order(graph)
+        slow_elapsed = time.perf_counter() - start
+        assert fast == slow
+        assert slow_elapsed >= 10 * fast_elapsed, (
+            f"expected >=10x speedup, got {slow_elapsed / fast_elapsed:.1f}x "
+            f"({slow_elapsed:.3f}s vs {fast_elapsed:.3f}s)"
+        )
 
 
 class TestValidationAndConversion:

@@ -63,3 +63,51 @@ class TestDot:
         dot = to_dot(g3)
         for name in g3.task_names():
             assert f'"{name}"' in dot
+
+
+class TestDotEscaping:
+    def hostile_graph(self):
+        graph = TaskGraph(name='quo"te\\slash')
+        graph.add_task(make_simple_task('say "hi"'))
+        graph.add_task(make_simple_task("back\\slash"))
+        graph.add_edge('say "hi"', "back\\slash")
+        return graph
+
+    def test_quotes_and_backslashes_escaped(self):
+        dot = to_dot(self.hostile_graph())
+        assert '"say \\"hi\\""' in dot
+        assert '"back\\\\slash"' in dot
+        assert '"say \\"hi\\"" -> "back\\\\slash";' in dot
+        assert dot.startswith('digraph "quo\\"te\\\\slash" {')
+
+    def test_no_unescaped_quote_terminates_a_literal(self):
+        # Every quoted DOT literal must contain no bare " once escapes are
+        # decoded pairwise: strip \\ and \" and the remainder is quote-free.
+        for line in to_dot(self.hostile_graph()).splitlines():
+            stripped = line.replace("\\\\", "").replace('\\"', "")
+            assert stripped.count('"') % 2 == 0, line
+
+    def test_design_point_name_escaped(self):
+        from repro.taskgraph import DesignPoint, Task
+
+        graph = TaskGraph(name="dp")
+        graph.add_task(
+            Task("A", [DesignPoint(1.0, 10.0, name='dp "fast"')])
+        )
+        dot = to_dot(graph, include_design_points=True)
+        assert 'dp \\"fast\\"' in dot
+
+    def test_unnamed_design_point_falls_back_to_index(self):
+        from repro.taskgraph import DesignPoint, Task
+
+        graph = TaskGraph(name="dp")
+        graph.add_task(Task("A", [DesignPoint(1.0, 10.0)]))
+        dot = to_dot(graph, include_design_points=True)
+        assert "1: 10mA @ 1" in dot
+
+    def test_hostile_names_survive_json_round_trip(self):
+        graph = self.hostile_graph()
+        restored = loads(dumps(graph))
+        assert restored.task_names() == graph.task_names()
+        assert restored.edges() == graph.edges()
+        assert restored.name == graph.name

@@ -1,0 +1,350 @@
+"""Unit tests for repro.taskgraph.optimize (cull / fuse / inline / canonical)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownTaskError
+from repro.taskgraph import (
+    DesignPoint,
+    Task,
+    TaskGraph,
+    canonical_form,
+    cull,
+    fuse,
+    graph_signature,
+    inline,
+    optimize_graph,
+)
+from repro.taskgraph.optimize import OPTIMIZE_PASSES, parse_passes
+from repro.workloads import chain_graph, erdos_graph, fork_join_graph
+
+from ..conftest import make_simple_task
+
+
+def diamond_with_tail():
+    """A -> {B, C} -> D -> E -> F plus a dead side branch X -> Y."""
+    graph = TaskGraph(name="dwt")
+    for name in ("A", "B", "C", "D", "E", "F", "X", "Y"):
+        graph.add_task(make_simple_task(name))
+    for parent, child in (
+        ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"),
+        ("D", "E"), ("E", "F"), ("X", "Y"),
+    ):
+        graph.add_edge(parent, child)
+    return graph
+
+
+class TestParsePasses:
+    def test_plus_and_comma_separators(self):
+        assert parse_passes("cull+fuse") == ("cull", "fuse")
+        assert parse_passes("cull,fuse") == ("cull", "fuse")
+
+    def test_order_preserved(self):
+        assert parse_passes("fuse+cull") == ("fuse", "cull")
+
+    def test_empty_means_no_passes(self):
+        assert parse_passes("") == ()
+        assert parse_passes("  ") == ()
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown optimize pass"):
+            parse_passes("cull+inline")
+
+    def test_duplicate_pass_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_passes("fuse+fuse")
+
+
+class TestCull:
+    def test_default_sinks_remove_nothing(self):
+        graph = diamond_with_tail()
+        result = cull(graph)
+        assert result.removed == ()
+        assert result.graph.task_names() == graph.task_names()
+        assert result.graph.edges() == graph.edges()
+
+    def test_subset_sink_keeps_ancestor_closure(self):
+        result = cull(diamond_with_tail(), sinks=["F"])
+        assert set(result.graph.task_names()) == {"A", "B", "C", "D", "E", "F"}
+        assert result.removed == ("X", "Y")
+
+    def test_interior_sink(self):
+        result = cull(diamond_with_tail(), sinks=["D"])
+        assert set(result.graph.task_names()) == {"A", "B", "C", "D"}
+        assert result.removed == ("E", "F", "X", "Y")
+
+    def test_insertion_order_preserved(self):
+        graph = diamond_with_tail()
+        result = cull(graph, sinks=["F"])
+        kept = [name for name in graph.task_names() if name not in ("X", "Y")]
+        assert list(result.graph.task_names()) == kept
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(UnknownTaskError):
+            cull(diamond_with_tail(), sinks=["nope"])
+
+    def test_empty_sink_list_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one sink"):
+            cull(diamond_with_tail(), sinks=[])
+
+    def test_original_untouched(self):
+        graph = diamond_with_tail()
+        cull(graph, sinks=["D"])
+        assert graph.num_tasks == 8
+
+
+class TestFuse:
+    def test_pure_chain_fuses_to_one_compound(self):
+        graph = chain_graph(5, seed=3)
+        result = fuse(graph)
+        assert result.graph.num_tasks == 1
+        (compound,) = result.graph.task_names()
+        assert result.chains[compound] == graph.task_names()
+
+    def test_compound_columns_sum_durations_and_charges(self):
+        graph = chain_graph(4, seed=7)
+        result = fuse(graph)
+        compound = result.graph.task(result.graph.task_names()[0])
+        members = [graph.task(name) for name in graph.task_names()]
+        for j, point in enumerate(compound.ordered_design_points()):
+            duration = math.fsum(t.execution_times()[j] for t in members)
+            charge = math.fsum(
+                t.execution_times()[j] * t.currents()[j] for t in members
+            )
+            assert point.execution_time == duration
+            assert point.execution_time * point.current == pytest.approx(
+                charge, rel=1e-15
+            )
+
+    def test_diamond_tail_fuses_only_the_tail(self):
+        graph = diamond_with_tail()
+        result = fuse(graph)
+        # D -> E -> F: D has two predecessors, so only the D..F tail links
+        # where fanin/fanout are 1 fuse: E -> F joins D (D has 1 succ, E has
+        # 1 pred -> D+E+F is the maximal chain starting at D? D has preds B,C
+        # but chain-head just needs its parent to have >1 succ or >1 pred).
+        assert "D+E+F" in result.graph
+        assert result.chains["D+E+F"] == ("D", "E", "F")
+        assert "X+Y" in result.graph
+        assert result.graph.num_tasks == 5  # A, B, C, D+E+F, X+Y
+
+    def test_fused_edges_remapped(self):
+        result = fuse(diamond_with_tail())
+        assert ("B", "D+E+F") in result.graph.edges()
+        assert ("C", "D+E+F") in result.graph.edges()
+
+    def test_fork_join_keeps_branches(self):
+        graph = fork_join_graph(num_stages=1, branches_per_stage=3, seed=2)
+        result = fuse(graph)
+        # Branch tasks have single pred and single succ but their parent
+        # forks and their child joins, so each 1-task "chain" stays alone.
+        for name, members in result.chains.items():
+            assert len(members) >= 2
+
+    def test_expand_sequence_and_assignment(self):
+        graph = chain_graph(3, seed=1)
+        result = fuse(graph)
+        (compound,) = result.graph.task_names()
+        sequence, assignment = result.expand([compound], {compound: 2})
+        assert sequence == graph.task_names()
+        assert assignment == {name: 2 for name in graph.task_names()}
+
+    def test_expand_passes_through_unfused_names(self):
+        result = fuse(diamond_with_tail())
+        assert result.expand_sequence(["A", "B"]) == ("A", "B")
+
+    def test_compound_name_collision_gets_suffix(self):
+        graph = TaskGraph(name="clash")
+        graph.add_task(make_simple_task("A"))
+        graph.add_task(make_simple_task("B"))
+        graph.add_task(make_simple_task("A+B"))  # unrelated task with the name
+        graph.add_edge("A", "B")
+        result = fuse(graph)
+        assert "A+B~" in result.graph
+        assert result.chains["A+B~"] == ("A", "B")
+
+    def test_nonuniform_design_point_counts_left_unfused(self):
+        graph = TaskGraph(name="mixed")
+        graph.add_task(make_simple_task("A", m=3))
+        graph.add_task(Task("B", [DesignPoint(1.0, 10.0)]))
+        graph.add_edge("A", "B")
+        result = fuse(graph)
+        assert result.chains == {}
+        assert result.graph.task_names() == ("A", "B")
+
+    def test_fused_metadata_records_members(self):
+        graph = chain_graph(3, seed=4)
+        result = fuse(graph)
+        compound = result.graph.task(result.graph.task_names()[0])
+        assert tuple(compound.metadata["fused"]) == graph.task_names()
+
+    def test_fused_graph_validates(self):
+        result = fuse(diamond_with_tail())
+        result.graph.validate()
+
+
+class TestInline:
+    def inline_graph(self):
+        graph = TaskGraph(name="inl")
+        graph.add_task(Task("const", [DesignPoint(1.0, 10.0)]))
+        graph.add_task(make_simple_task("a"))
+        graph.add_task(make_simple_task("b"))
+        graph.add_task(make_simple_task("join"))
+        graph.add_edge("const", "a")
+        graph.add_edge("const", "b")
+        graph.add_edge("a", "join")
+        graph.add_edge("b", "join")
+        return graph
+
+    def test_default_predicate_inlines_single_point_sources(self):
+        result = inline(self.inline_graph())
+        assert "const" not in result.graph
+        assert "const@a" in result.graph and "const@b" in result.graph
+        assert result.inlined == {"const": ("a", "b")}
+
+    def test_copies_feed_only_their_consumer(self):
+        result = inline(self.inline_graph())
+        assert result.graph.successors("const@a") == {"a"}
+        assert result.graph.successors("const@b") == {"b"}
+
+    def test_copy_metadata_records_source(self):
+        result = inline(self.inline_graph())
+        assert result.graph.task("const@a").metadata["inlined_from"] == "const"
+
+    def test_custom_predicate(self):
+        result = inline(self.inline_graph(), predicate=lambda task: False)
+        assert result.inlined == {}
+        assert result.graph.task_names() == self.inline_graph().task_names()
+
+    def test_isolated_source_not_inlined(self):
+        graph = self.inline_graph()
+        graph.add_task(Task("lonely", [DesignPoint(1.0, 5.0)]))
+        result = inline(graph)
+        assert "lonely" in result.graph
+
+    def test_rewritten_graph_validates(self):
+        inline(self.inline_graph()).graph.validate()
+
+
+class TestCanonicalForm:
+    def relabel(self, graph, prefix="z"):
+        """Same structure, different names, reversed insertion order."""
+        mapping = {name: f"{prefix}_{name}" for name in graph.task_names()}
+        relabeled = TaskGraph(name="other")
+        for task in reversed(list(graph)):
+            relabeled.add_task(
+                Task(
+                    name=mapping[task.name],
+                    design_points=list(reversed(task.ordered_design_points())),
+                )
+            )
+        for parent, child in graph.edges():
+            relabeled.add_edge(mapping[parent], mapping[child])
+        return relabeled
+
+    def test_canonical_names_are_v_indexed(self):
+        canon = canonical_form(erdos_graph(num_tasks=8, seed=3)).graph
+        assert canon.task_names() == tuple(f"v{i}" for i in range(8))
+
+    def test_relabel_invariance(self):
+        graph = erdos_graph(num_tasks=10, seed=5)
+        a = canonical_form(graph).graph
+        b = canonical_form(self.relabel(graph)).graph
+        assert a.to_dict() == b.to_dict()
+
+    def test_idempotent(self):
+        graph = erdos_graph(num_tasks=9, seed=8)
+        once = canonical_form(graph).graph
+        twice = canonical_form(once).graph
+        assert once.to_dict() == twice.to_dict()
+
+    def test_mapping_is_an_isomorphism(self):
+        graph = erdos_graph(num_tasks=8, seed=2)
+        result = canonical_form(graph)
+        mapped_edges = sorted(
+            (result.mapping[p], result.mapping[c]) for p, c in graph.edges()
+        )
+        assert mapped_edges == sorted(result.graph.edges())
+        assert result.inverse[result.mapping["T1"]] == "T1"
+
+    def test_canonical_topological(self):
+        graph = erdos_graph(num_tasks=12, seed=11)
+        canon = canonical_form(graph).graph
+        canon.validate()
+        assert canon.is_valid_sequence(canon.task_names())
+
+    def test_metadata_and_dp_names_stripped(self):
+        graph = TaskGraph(name="meta")
+        graph.add_task(
+            Task(
+                "A",
+                [DesignPoint(1.0, 10.0, name="fancy")],
+                metadata={"k": "v"},
+            )
+        )
+        canon = canonical_form(graph).graph
+        task = canon.task("v0")
+        assert task.metadata == {}
+        assert task.ordered_design_points()[0].name == ""
+
+
+class TestGraphSignature:
+    def test_equal_for_isomorphic_graphs(self):
+        graph = erdos_graph(num_tasks=10, seed=7)
+        other = TestCanonicalForm().relabel(graph)
+        assert graph_signature(graph) == graph_signature(other)
+
+    def test_name_and_metadata_free(self):
+        graph = chain_graph(4, seed=1)
+        clone = TaskGraph.from_dict(graph.to_dict())
+        clone.name = "renamed"
+        assert graph_signature(graph) == graph_signature(clone)
+
+    def test_differs_on_structure(self):
+        a = chain_graph(4, seed=1)
+        b = chain_graph(5, seed=1)
+        assert graph_signature(a) != graph_signature(b)
+
+    def test_differs_on_design_point_values(self):
+        a = chain_graph(4, seed=1)
+        b = chain_graph(4, seed=2)
+        assert graph_signature(a) != graph_signature(b)
+
+
+class TestOptimizeGraph:
+    def test_default_passes(self):
+        result = optimize_graph(diamond_with_tail())
+        assert result.passes == OPTIMIZE_PASSES
+        assert result.removed == ()
+        assert "D+E+F" in result.graph
+
+    def test_cull_then_fuse_with_sinks(self):
+        result = optimize_graph(diamond_with_tail(), sinks=["F"])
+        assert result.removed == ("X", "Y")
+        assert "X+Y" not in result.graph
+        assert "D+E+F" in result.graph
+
+    def test_expand_round_trip(self):
+        graph = diamond_with_tail()
+        result = optimize_graph(graph, passes=("fuse",))
+        order = result.graph.topological_order()
+        sequence, assignment = result.expand(
+            order, {name: 0 for name in order}
+        )
+        assert graph.is_valid_sequence(sequence)
+        assert set(assignment) == set(graph.task_names())
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown optimize pass"):
+            optimize_graph(diamond_with_tail(), passes=("nope",))
+
+    def test_duplicate_pass_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            optimize_graph(diamond_with_tail(), passes=("fuse", "fuse"))
+
+    def test_no_passes_is_identity(self):
+        graph = diamond_with_tail()
+        result = optimize_graph(graph, passes=())
+        assert result.graph.to_dict() == graph.to_dict()
+        assert result.passes == ()
