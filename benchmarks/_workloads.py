@@ -1,0 +1,67 @@
+"""Shared workload specs and CLI boilerplate for the ``bench_*.py`` drivers.
+
+Every driver exposes the same contract the observatory (``repro bench``,
+:mod:`repro.obs.bench`) relies on:
+
+* ``run(smoke: bool, output: Optional[str]) -> int`` — the benchmark body;
+  non-zero means a driver-internal regression gate fired; ``output`` (when
+  given) receives the JSON report.
+* ``main() -> int`` — argparse front-end; built here by :func:`bench_main`
+  so the ``--smoke`` / ``--output`` surface cannot drift between drivers.
+
+The crossbar workload is defined once here: ``bench_sim.py`` and
+``bench_obs.py`` must measure the *same* scenario (their reports share the
+``workload`` header, and the obs overhead factor is only meaningful against
+the sim throughput numbers if the event loops are identical).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Callable, Dict, Optional
+
+from repro.scenarios import ScenarioSpec
+
+__all__ = ["crossbar_spec", "workload_header", "bench_main"]
+
+
+def crossbar_spec(num_layers: int, layer_width: int) -> ScenarioSpec:
+    """The benchmark workload: a jittery crossbar scenario."""
+    return ScenarioSpec(
+        name=f"bench-crossbar-{num_layers}x{layer_width}",
+        family="crossbar",
+        seed=61,
+        family_params={"num_layers": num_layers, "layer_width": layer_width},
+        tightness=0.5,
+        jitter=0.10,
+        failure_rate=0.02,
+    )
+
+
+def workload_header(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The ``workload`` section every scenario-driven report leads with."""
+    return spec.to_dict()
+
+
+def bench_main(
+    run: Callable[..., int], default_output: str, description: str
+) -> int:
+    """The shared ``main()``: ``--smoke`` / ``--output`` argparse front-end.
+
+    Full mode defaults ``output`` to the driver's committed report name;
+    smoke mode writes no JSON unless ``--output`` is passed explicitly.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick regression gate: smaller workload, no JSON by default",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help=f"path of the JSON report (default: {default_output} in full mode)",
+    )
+    args = parser.parse_args()
+    output: Optional[str] = args.output
+    if output is None and not args.smoke:
+        output = default_output
+    return run(smoke=args.smoke, output=output)

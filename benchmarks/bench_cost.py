@@ -42,7 +42,6 @@ chemistry.
 
 from __future__ import annotations
 
-import argparse
 import json
 import math
 import random
@@ -67,6 +66,8 @@ from repro.scheduling import (
     sequence_by_decreasing_energy,
 )
 from repro.workloads.generators import layered_graph
+
+from _workloads import bench_main
 
 
 # ----------------------------------------------------------------------
@@ -453,20 +454,7 @@ def run(smoke: bool, output: Optional[str]) -> int:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="quick regression gate: smaller sizes/iterations, no JSON by default",
-    )
-    parser.add_argument(
-        "--output", default=None,
-        help="path of the JSON report (default: BENCH_cost.json in full mode)",
-    )
-    args = parser.parse_args()
-    output = args.output
-    if output is None and not args.smoke:
-        output = "BENCH_cost.json"
-    return run(smoke=args.smoke, output=output)
+    return bench_main(run, "BENCH_cost.json", __doc__.splitlines()[0])
 
 
 if __name__ == "__main__":

@@ -21,7 +21,6 @@ Run as a script::
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 import time
@@ -32,6 +31,8 @@ from repro.scenarios import default_registry
 from repro.scheduling import DesignPointAssignment, evaluate_schedule
 from repro.taskgraph import TaskGraph
 from repro.workloads import erdos_graph
+
+from _workloads import bench_main
 
 #: Committed floors: the rewritten hot paths must beat the quadratic
 #: reference by at least this factor on the benchmark graphs (the ISSUE
@@ -184,20 +185,7 @@ def run(smoke: bool, output: str) -> int:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="quick regression gate: smaller graph, no JSON by default",
-    )
-    parser.add_argument(
-        "--output", default=None,
-        help="path of the JSON report (default: BENCH_graph.json in full mode)",
-    )
-    args = parser.parse_args()
-    output = args.output
-    if output is None and not args.smoke:
-        output = "BENCH_graph.json"
-    return run(smoke=args.smoke, output=output)
+    return bench_main(run, "BENCH_graph.json", __doc__.splitlines()[0])
 
 
 if __name__ == "__main__":

@@ -25,7 +25,6 @@ Run as a script::
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 import time
@@ -35,6 +34,8 @@ from repro.obs import RECORDER, recording
 from repro.scenarios import ScenarioSpec
 from repro.sim import Simulator, make_policy, rng_for_seed
 
+from _workloads import bench_main, crossbar_spec, workload_header
+
 POLICIES = ("static-replay", "greedy-energy", "deadline-slack", "battery-reactive")
 
 QUERY_KINDS = (
@@ -43,19 +44,6 @@ QUERY_KINDS = (
     "remaining_min_time",
     "delivered_charge",
 )
-
-
-def crossbar_spec(num_layers: int, layer_width: int) -> ScenarioSpec:
-    """The benchmark workload: same jittery crossbar as ``bench_sim.py``."""
-    return ScenarioSpec(
-        name=f"bench-crossbar-{num_layers}x{layer_width}",
-        family="crossbar",
-        seed=61,
-        family_params={"num_layers": num_layers, "layer_width": layer_width},
-        tightness=0.5,
-        jitter=0.10,
-        failure_rate=0.02,
-    )
 
 
 def simulate(spec: ScenarioSpec, policy: str, replications: int) -> float:
@@ -128,7 +116,7 @@ def run(smoke: bool, output: str) -> int:
         replications = 10
 
     report: Dict[str, Any] = {
-        "workload": spec.to_dict(),
+        "workload": workload_header(spec),
         "mode": "smoke" if smoke else "full",
         "policies": {},
         "overhead": {},
@@ -176,20 +164,7 @@ def run(smoke: bool, output: str) -> int:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="quick regression gate: smaller workload, no JSON by default",
-    )
-    parser.add_argument(
-        "--output", default=None,
-        help="path of the JSON report (default: BENCH_obs.json in full mode)",
-    )
-    args = parser.parse_args()
-    output = args.output
-    if output is None and not args.smoke:
-        output = "BENCH_obs.json"
-    return run(smoke=args.smoke, output=output)
+    return bench_main(run, "BENCH_obs.json", __doc__.splitlines()[0])
 
 
 if __name__ == "__main__":

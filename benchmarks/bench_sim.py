@@ -35,7 +35,6 @@ below what the pure-Python loop sustains so machine noise cannot trip it.
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 import time
@@ -62,6 +61,8 @@ from repro.sim import (
     make_policy,
     rng_for_seed,
 )
+
+from _workloads import bench_main, crossbar_spec, workload_header
 
 #: Minimum events/sec the smoke gate tolerates (the loop sustains well
 #: over 10x this on any recent machine; the margin absorbs noisy CI boxes).
@@ -111,19 +112,6 @@ CHEMISTRY_MODELS = {
 }
 
 POLICIES = ("static-replay", "greedy-energy", "deadline-slack", "battery-reactive")
-
-
-def crossbar_spec(num_layers: int, layer_width: int) -> ScenarioSpec:
-    """The benchmark workload: a jittery crossbar scenario."""
-    return ScenarioSpec(
-        name=f"bench-crossbar-{num_layers}x{layer_width}",
-        family="crossbar",
-        seed=61,
-        family_params={"num_layers": num_layers, "layer_width": layer_width},
-        tightness=0.5,
-        jitter=0.10,
-        failure_rate=0.02,
-    )
 
 
 def bench_events_per_second(
@@ -329,7 +317,7 @@ def run(smoke: bool, output: str) -> int:
         replications, repeats, batch_replications = 10, 20, 100
 
     report = {
-        "workload": spec.to_dict(),
+        "workload": workload_header(spec),
         "mode": "smoke" if smoke else "full",
         "events": {},
         "batch": {},
@@ -461,20 +449,7 @@ def run(smoke: bool, output: str) -> int:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="quick regression gate: smaller workload, no JSON by default",
-    )
-    parser.add_argument(
-        "--output", default=None,
-        help="path of the JSON report (default: BENCH_sim.json in full mode)",
-    )
-    args = parser.parse_args()
-    output = args.output
-    if output is None and not args.smoke:
-        output = "BENCH_sim.json"
-    return run(smoke=args.smoke, output=output)
+    return bench_main(run, "BENCH_sim.json", __doc__.splitlines()[0])
 
 
 if __name__ == "__main__":

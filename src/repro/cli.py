@@ -44,6 +44,15 @@ Trace and profile a run (repro.obs), then inspect the trace::
     python -m repro.cli suite --run --trace suite.jsonl --metrics
     python -m repro.cli stats suite.jsonl
     python -m repro.cli stats suite.jsonl --chrome suite-chrome.json --check
+
+Diff two traces (determinism/overhead evidence) and drive the benchmark
+observatory (run/check `benchmarks/bench_*.py` against committed baselines,
+appending every run to BENCH_history.jsonl)::
+
+    python -m repro.cli obs diff serial.jsonl parallel.jsonl --strict
+    python -m repro.cli bench --list
+    python -m repro.cli bench --run --smoke --check
+    python -m repro.cli bench --run --check --render-docs
 """
 
 from __future__ import annotations
@@ -110,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace", default=None, metavar="FILE",
             help="record a JSONL event trace of the run (summarize or export "
                  "it later with the stats subcommand)")
+        subparser.add_argument(
+            "--trace-sync", action="store_true",
+            help="fsync the trace after every line so a crashed run leaves a "
+                 "salvageable file (see stats --salvage); slower")
         subparser.add_argument(
             "--metrics", action="store_true",
             help="print the recorded counter/timing summary after the run")
@@ -269,6 +282,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="validate the trace file against the event schema "
              "(nonzero exit on any malformed line)")
+    stats.add_argument(
+        "--salvage", action="store_true",
+        help="tolerate a truncated/corrupt tail (e.g. from a crashed run): "
+             "summarize everything up to the first bad line")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="the benchmark observatory: run/check the registered "
+             "benchmarks/bench_*.py drivers against committed baselines",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="enumerate the registered benches and their gated metrics")
+    bench.add_argument(
+        "--run", action="store_true", dest="run_benches",
+        help="run the selected benches (fresh reports go to --reports-dir; "
+             "every run is appended to the history file)")
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="smoke mode: small workloads, driver-internal gates only "
+             "(fresh reports are not numerically compared to full baselines)")
+    bench.add_argument(
+        "--check", action="store_true",
+        help="gate the reports in --reports-dir against the committed "
+             "BENCH_*.json baselines; nonzero exit on any regression")
+    bench.add_argument(
+        "--only", nargs="+", default=None, metavar="NAME",
+        help="restrict to these registered benches (default: all)")
+    bench.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="observatory history file (default: BENCH_history.jsonl at the "
+             "repo root)")
+    bench.add_argument(
+        "--reports-dir", default=None, metavar="DIR",
+        help="where fresh reports are written/read (default: the repo root "
+             "for --check alone; <root>/reports when running without "
+             "--update-baselines)")
+    bench.add_argument(
+        "--update-baselines", action="store_true",
+        help="write fresh full-mode reports over the committed BENCH_*.json "
+             "baselines")
+    bench.add_argument(
+        "--render-docs", nargs="?", const="docs/benchmarks.md", default=None,
+        metavar="FILE",
+        help="render the history as the benchmark-trajectory page "
+             "(default target: %(const)s)")
+
+    obs = subparsers.add_parser(
+        "obs", help="trace tooling beyond stats (currently: diff)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two JSONL traces: counter drift, histogram "
+                     "shifts, span aggregates")
+    obs_diff.add_argument("trace_a", metavar="A", help="baseline trace")
+    obs_diff.add_argument("trace_b", metavar="B", help="candidate trace")
+    obs_diff.add_argument(
+        "--all", action="store_true", dest="show_all",
+        help="show unchanged counters/histograms too")
+    obs_diff.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any deterministic (non-rt.) counter drifts")
+    obs_diff.add_argument(
+        "--salvage", action="store_true",
+        help="tolerate truncated/corrupt trace tails on either side")
 
     schedule = subparsers.add_parser("schedule", help="schedule a task graph stored as JSON")
     schedule.add_argument("graph", help="path to a task-graph JSON file (see repro.taskgraph.io)")
@@ -402,7 +480,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if trace_path is not None or show_metrics:
         from .obs import recording
 
-        session = recording(trace=trace_path)
+        session = recording(
+            trace=trace_path, fsync=bool(getattr(args, "trace_sync", False))
+        )
         session.__enter__()
     try:
         code = _dispatch(args, out)
@@ -599,11 +679,53 @@ def _dispatch(args: argparse.Namespace, out: List[str]) -> int:
                     print(f"trace check FAILED: {problem}", file=sys.stderr)
                 return 1
             out.append(f"trace check OK: {args.trace_file}")
-        trace = report.load_trace(args.trace_file)
+        trace = report.load_trace(args.trace_file, salvage=args.salvage)
         if args.chrome:
             report.write_chrome_trace(trace, args.chrome)
             out.append(f"wrote {args.chrome}")
         out.extend(report.trace_summary_lines(trace))
+    elif args.command == "bench":
+        from .obs import bench as obs_bench
+
+        if args.list_benches or not (args.run_benches or args.check
+                                     or args.render_docs):
+            for spec in obs_bench.REGISTRY:
+                out.append(f"{spec.name:<8} {spec.description}")
+                out.append(f"{'':<8} script {spec.script}  baseline {spec.report}")
+                for gate in spec.gates:
+                    direction = "higher" if gate.higher_is_better else "lower"
+                    out.append(
+                        f"{'':<8} gate {gate.path} ({direction} is better, "
+                        f"tolerance -{gate.threshold:.0%})"
+                    )
+            return 0
+        return obs_bench.run_observatory(
+            names=args.only,
+            smoke=args.smoke,
+            run=args.run_benches,
+            check=args.check,
+            history=args.history,
+            reports_dir=args.reports_dir,
+            update_baselines=args.update_baselines,
+            render_docs=args.render_docs,
+        )
+    elif args.command == "obs":
+        from .obs import report
+        from .obs.diff import diff_summary_lines, diff_traces
+
+        trace_a = report.load_trace(args.trace_a, salvage=args.salvage)
+        trace_b = report.load_trace(args.trace_b, salvage=args.salvage)
+        diff = diff_traces(
+            trace_a, trace_b, a_label=args.trace_a, b_label=args.trace_b
+        )
+        out.extend(diff_summary_lines(diff, changed_only=not args.show_all))
+        if args.strict and not diff.deterministic_match:
+            print(
+                f"obs diff FAILED: {len(diff.drift)} deterministic counter(s) "
+                "drifted between the two traces",
+                file=sys.stderr,
+            )
+            return 1
     elif args.command == "schedule":
         graph = load_json(args.graph)
         problem = SchedulingProblem(

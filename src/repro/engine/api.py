@@ -340,39 +340,44 @@ def run_jobs(
     jobs = list(jobs)
     executor = executor if executor is not None else SerialExecutor()
 
-    if resume and store is not None:
-        pending, done = store.split_pending(jobs)
-    else:
-        pending, done = list(jobs), {}
+    # The run-level root span: everything below — dedupe, dispatch, store
+    # append, and (via the TraceContext the parallel executor ships) the
+    # worker-side job spans — parents onto it, giving traces one tree per
+    # engine entry instead of a forest of loose jobs.
+    with _OBS.span("engine.run", label=f"{len(jobs)} jobs"):
+        if resume and store is not None:
+            pending, done = store.split_pending(jobs)
+        else:
+            pending, done = list(jobs), {}
 
-    if _OBS.enabled and done:
-        _OBS.count("engine.jobs.resumed", len(done))
-    deduped = 0
-    if dedupe and pending:
-        groups: Dict[str, List[Job]] = {}
-        for job in pending:
-            groups.setdefault(job.structural_key(), []).append(job)
-        representatives = [group[0] for group in groups.values()]
-        with _OBS.span("engine.dedupe", label=f"{len(pending)}->{len(representatives)}"):
-            fresh = list(executor.run(representatives, progress=progress))
-        retry: List[Job] = []
-        for group, rep_result in zip(groups.values(), list(fresh)):
-            for member in group[1:]:
-                translated = _translate_dedup_result(group[0], rep_result, member)
-                if translated is None:
-                    retry.append(member)
-                else:
-                    fresh.append(translated)
-                    deduped += 1
-        if retry:
-            fresh.extend(executor.run(retry, progress=progress))
-        if _OBS.enabled and deduped:
-            _OBS.count("engine.jobs.deduped", deduped)
-    else:
-        fresh = executor.run(pending, progress=progress) if pending else []
-    if store is not None:
-        with _OBS.span("engine.store.append", label=str(store.path.name)):
-            store.append_many(fresh)
+        if _OBS.enabled and done:
+            _OBS.count("engine.jobs.resumed", len(done))
+        deduped = 0
+        if dedupe and pending:
+            groups: Dict[str, List[Job]] = {}
+            for job in pending:
+                groups.setdefault(job.structural_key(), []).append(job)
+            representatives = [group[0] for group in groups.values()]
+            with _OBS.span("engine.dedupe", label=f"{len(pending)}->{len(representatives)}"):
+                fresh = list(executor.run(representatives, progress=progress))
+            retry: List[Job] = []
+            for group, rep_result in zip(groups.values(), list(fresh)):
+                for member in group[1:]:
+                    translated = _translate_dedup_result(group[0], rep_result, member)
+                    if translated is None:
+                        retry.append(member)
+                    else:
+                        fresh.append(translated)
+                        deduped += 1
+            if retry:
+                fresh.extend(executor.run(retry, progress=progress))
+            if _OBS.enabled and deduped:
+                _OBS.count("engine.jobs.deduped", deduped)
+        else:
+            fresh = executor.run(pending, progress=progress) if pending else []
+        if store is not None:
+            with _OBS.span("engine.store.append", label=str(store.path.name)):
+                store.append_many(fresh)
 
     by_key: Dict[str, JobResult] = dict(done)
     for result in fresh:

@@ -27,7 +27,7 @@ from concurrent import futures
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
-from ..obs import RECORDER as _OBS
+from ..obs import RECORDER as _OBS, TraceContext
 from .cache import DEFAULT_CACHE_SIZE, BatteryCostCache, CacheStats, CachedBatteryModel
 from .jobs import Job, JobResult, get_algorithm
 
@@ -66,7 +66,8 @@ def execute_job(job: Job, cache: Optional[BatteryCostCache] = None) -> JobResult
     started = time.perf_counter()
     try:
         with _OBS.span("engine.job", label=job.label):
-            outcome = runner(job.problem, model, dict(job.params))
+            with _OBS.span("engine.algorithm", label=job.algorithm):
+                outcome = runner(job.problem, model, dict(job.params))
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         elapsed = time.perf_counter() - started
         used = cache.stats.delta(before)
@@ -149,6 +150,30 @@ def _worker_cache() -> BatteryCostCache:
     if _PROCESS_CACHE is None:
         _PROCESS_CACHE = BatteryCostCache(_PROCESS_CACHE_SIZE)
     return _PROCESS_CACHE
+
+
+def _run_with_context(runner: JobRunner, job, ctx: Optional[TraceContext]):
+    """Worker-side shim: run a job inside a shipped :class:`TraceContext`.
+
+    Module-level so the pool pickles it by reference.  While the context is
+    active the worker's recorder buffers span events (with true parent ids)
+    instead of emitting them; the buffer travels back to the parent on the
+    result's ``metrics`` payload under the ``"spans"`` key, alongside
+    ``"ctx_elapsed"`` — the worker wall-clock the parent uses to anchor the
+    timestamps onto its own clock.  ``merge_metrics`` ignores both keys.
+    """
+    if ctx is None or not _OBS.enabled:
+        return runner(job)
+    _OBS.activate_context(ctx)
+    try:
+        result = runner(job)
+    finally:
+        spans, ctx_elapsed = _OBS.deactivate_context()
+    metrics = getattr(result, "metrics", None)
+    if isinstance(metrics, dict):
+        metrics["spans"] = spans
+        metrics["ctx_elapsed"] = ctx_elapsed
+    return result
 
 
 def _pool_failure_result(job, exc: Exception):
@@ -273,7 +298,7 @@ class ParallelExecutor:
         ) as pool:
             submitted = time.perf_counter()
             pending = {
-                pool.submit(runner, job): index
+                pool.submit(_run_with_context, runner, job, self._job_context()): index
                 for index, job in enumerate(job_list)
             }
             done = 0
@@ -305,22 +330,50 @@ class ParallelExecutor:
         return [result for result in results if result is not None]
 
     @staticmethod
+    def _job_context() -> Optional[TraceContext]:
+        """Allocate the :class:`TraceContext` shipped with one submitted job.
+
+        ``ctx_id`` comes from the parent's span-id allocator, so every job's
+        worker-side span ids live in a namespace no other job (or recycled
+        pid) can collide with; ``parent_id`` is whatever span is active at
+        submission time (the ``engine.run`` root), which is what the worker's
+        ``engine.job`` span will parent onto.
+        """
+        if not _OBS.enabled:
+            return None
+        return TraceContext(
+            trace_id=_OBS.trace_id,
+            parent_id=_OBS.current_span_id(),
+            ctx_id=_OBS.new_span_id(),
+        )
+
+    @staticmethod
     def _record_remote_job(result, job, submitted: float) -> None:
         """Mirror a worker-side job into the parent recorder.
 
-        Metric deltas merge exactly; spans cannot cross the process boundary
-        (the worker records into memory only), so the parent synthesizes the
-        execute span from the job's elapsed time and a queue span for the
-        submit-to-start wait.
+        Metric deltas merge exactly.  Spans recorded inside the worker come
+        back buffered on ``result.metrics["spans"]`` with true parent linkage
+        (see :func:`_run_with_context`); the parent re-emits them anchored at
+        ``completion - ctx_elapsed`` on its own clock and only synthesizes
+        the queue span (submit-to-start wait), which exists nowhere else.
+        When no worker spans arrived — obs raced off, or a transport failure
+        produced a bare result — it falls back to synthesizing the execute
+        span from the job's elapsed time, as before span propagation.
         """
-        _OBS.merge_metrics(getattr(result, "metrics", None))
+        metrics = getattr(result, "metrics", None)
+        _OBS.merge_metrics(metrics)
         completed = time.perf_counter()
         elapsed = getattr(result, "elapsed_s", 0.0) or 0.0
         label = getattr(job, "label", None)
         # Batched items (SimulationBatch) carry their own span name, so
         # serial and parallel runs emit the same span vocabulary.
         span_name = getattr(job, "SPAN_NAME", "engine.job")
-        _OBS.record_span(span_name, label, completed - elapsed, elapsed)
+        spans = metrics.get("spans") if isinstance(metrics, dict) else None
+        if spans:
+            ctx_elapsed = float(metrics.get("ctx_elapsed", 0.0))
+            _OBS.emit_remote_spans(spans, completed - ctx_elapsed)
+        else:
+            _OBS.record_span(span_name, label, completed - elapsed, elapsed)
         queue_wait = max(0.0, (completed - submitted) - elapsed)
         _OBS.record_span(span_name + ".queue", label, submitted, queue_wait)
 

@@ -707,35 +707,38 @@ def run_simulation_jobs(
     jobs = list(jobs)
     executor = executor if executor is not None else SerialExecutor()
 
-    if resume and store is not None:
-        pending, done = store.split_pending(jobs)
-    else:
-        pending, done = list(jobs), {}
+    # Run-level root span, mirroring run_jobs: worker-side engine.job /
+    # engine.batch spans parent onto it through the shipped TraceContext.
+    with _OBS.span("engine.run", label=f"{len(jobs)} simjobs"):
+        if resume and store is not None:
+            pending, done = store.split_pending(jobs)
+        else:
+            pending, done = list(jobs), {}
 
-    # In-call dedupe: duplicate-key pending jobs run (and hit the store)
-    # once; the by_key merge below fans the single record back to every
-    # duplicate's position in the returned tuple.
-    unique: Dict[str, SimulationJob] = {}
-    for job in pending:
-        unique.setdefault(job.key(), job)
-    duplicates = len(pending) - len(unique)
-    pending = list(unique.values())
+        # In-call dedupe: duplicate-key pending jobs run (and hit the store)
+        # once; the by_key merge below fans the single record back to every
+        # duplicate's position in the returned tuple.
+        unique: Dict[str, SimulationJob] = {}
+        for job in pending:
+            unique.setdefault(job.key(), job)
+        duplicates = len(pending) - len(unique)
+        pending = list(unique.values())
 
-    if _OBS.enabled and done:
-        _OBS.count("engine.simjobs.resumed", len(done))
-    if _OBS.enabled and duplicates:
-        _OBS.count("engine.simjobs.deduped", duplicates)
-    if not pending:
-        fresh: List[SimulationRecord] = []
-    elif batch_size is not None:
-        fresh = _batched_records(pending, executor, progress, batch_size)
-    else:
-        fresh = executor.run(
-            pending, progress=progress, runner=execute_simulation_job
-        )
-    if store is not None:
-        with _OBS.span("engine.store.append", label=str(store.path.name)):
-            store.append_many(fresh)
+        if _OBS.enabled and done:
+            _OBS.count("engine.simjobs.resumed", len(done))
+        if _OBS.enabled and duplicates:
+            _OBS.count("engine.simjobs.deduped", duplicates)
+        if not pending:
+            fresh: List[SimulationRecord] = []
+        elif batch_size is not None:
+            fresh = _batched_records(pending, executor, progress, batch_size)
+        else:
+            fresh = executor.run(
+                pending, progress=progress, runner=execute_simulation_job
+            )
+        if store is not None:
+            with _OBS.span("engine.store.append", label=str(store.path.name)):
+                store.append_many(fresh)
 
     by_key: Dict[str, SimulationRecord] = dict(done)
     for record in fresh:

@@ -21,13 +21,26 @@ Submodules
 ``core``
     ``Counter`` / ``Histogram`` / ``Span`` / ``Recorder`` and the global
     :data:`RECORDER`.
+``context``
+    :class:`TraceContext` — the capsule the engine ships to pool workers so
+    worker-side spans carry true cross-process parent linkage.
 ``sinks``
-    ``MemorySink`` (tests) and ``JsonlSink`` (append-only trace file).
+    ``MemorySink`` (tests) and ``JsonlSink`` (append-only trace file, with an
+    opt-in per-event fsync knob for crash-safe traces).
 ``report``
-    Trace loading/validation, Chrome-trace export, summary tables
+    Trace loading/validation (including salvage of crashed-run traces),
+    Chrome-trace export, per-span self-time and critical-path summaries
     (the ``repro stats`` subcommand).
+``diff``
+    Trace-vs-trace comparison: counter deltas, bucket-wise histogram
+    comparison, span aggregates (the ``repro obs diff`` subcommand).
+``bench``
+    The benchmark observatory: a registry over ``benchmarks/bench_*.py``
+    with history, baseline deltas and regression verdicts (the
+    ``repro bench`` subcommand).
 """
 
+from .context import TraceContext
 from .core import (
     RECORDER,
     Counter,
@@ -37,7 +50,7 @@ from .core import (
     is_volatile,
     recording,
 )
-from .sinks import JsonlSink, MemorySink, TRACE_VERSION
+from .sinks import SUPPORTED_TRACE_VERSIONS, JsonlSink, MemorySink, TRACE_VERSION
 
 __all__ = [
     "RECORDER",
@@ -45,9 +58,11 @@ __all__ = [
     "Histogram",
     "Recorder",
     "Span",
+    "TraceContext",
     "is_volatile",
     "recording",
     "JsonlSink",
     "MemorySink",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
 ]

@@ -1,0 +1,58 @@
+"""Trace-context propagation across process boundaries.
+
+A :class:`TraceContext` is the tiny, picklable capsule the engine ships to
+pool workers alongside each job so that spans recorded *inside* the worker
+carry true causal linkage back to the parent process:
+
+``trace_id``
+    Identity of the whole recording session (one per :func:`repro.obs.recording`
+    block); every span of a trace carries it.
+``parent_id``
+    The parent-side span that logically encloses the worker's work — the
+    worker's root span (``engine.job`` / ``engine.batch``) records it as its
+    ``parent_id``, which is how the Perfetto export nests a worker subtree
+    under the parent's timeline.
+``ctx_id``
+    A parent-allocated namespace for the worker's span ids.  Worker-side span
+    ids are ``"<ctx_id>/<n>"``, which keeps ids globally unique across the
+    pool without coordination (two workers can never share a ``ctx_id``, and
+    a recycled pid cannot alias an id).
+
+Workers buffer their span events instead of writing to sinks (they have
+none: the parent owns the trace file) with timestamps relative to context
+activation; the buffered spans travel back on the job result's ``metrics``
+payload and the parent re-emits them onto its own clock.  See
+:meth:`repro.obs.core.Recorder.activate_context`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["TraceContext"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal linkage shipped from a parent recorder to a worker process."""
+
+    trace_id: str
+    parent_id: Optional[str] = None
+    ctx_id: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the dataclass itself also pickles fine)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "ctx_id": self.ctx_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            parent_id=data.get("parent_id"),
+            ctx_id=str(data.get("ctx_id", "")),
+        )

@@ -30,7 +30,8 @@ from __future__ import annotations
 import math
 import os
 import time
-from typing import Any, Dict, List, Mapping, Optional
+import uuid
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -148,27 +149,47 @@ def _delta_histogram_state(after: Mapping[str, Any], before: Optional[Mapping[st
 class Span:
     """A timed region; on exit it feeds a volatile timer and emits an event.
 
-    Nesting is expressed through timestamps: spans opened while another span
-    is active carry ``ts`` ranges contained in the parent's, which is how the
-    Chrome-trace viewer reconstructs the hierarchy.
+    Every span carries a recorder-allocated ``span_id`` and the id of the
+    span that was active when it opened (``parent_id``), so the event stream
+    encodes the genuine call tree — including across process boundaries,
+    where a worker's root span parents onto the id shipped in via
+    :class:`~repro.obs.context.TraceContext`.  Timestamp containment still
+    holds (children open and close inside their parent), but the viewer no
+    longer has to infer the hierarchy from it.
     """
 
-    __slots__ = ("_recorder", "name", "label", "_start")
+    __slots__ = ("_recorder", "name", "label", "_start", "span_id", "parent_id")
 
     def __init__(self, recorder: "Recorder", name: str, label: Optional[str]) -> None:
         self._recorder = recorder
         self.name = name
         self.label = label
         self._start = 0.0
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
+        rec = self._recorder
+        if rec.enabled:
+            self.parent_id = rec.current_span_id()
+            self.span_id = rec.new_span_id()
+            rec._span_stack.append(self.span_id)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         rec = self._recorder
         if rec.enabled:
-            rec.record_span(self.name, self.label, self._start, time.perf_counter() - self._start)
+            if self.span_id is not None and rec._span_stack and rec._span_stack[-1] == self.span_id:
+                rec._span_stack.pop()
+            rec.record_span(
+                self.name,
+                self.label,
+                self._start,
+                time.perf_counter() - self._start,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
 
 
 class _NullSpan:
@@ -201,6 +222,12 @@ class Recorder:
         self._sinks: List[Any] = []
         self._t0 = time.perf_counter()
         self.pid = os.getpid()
+        self.trace_id = uuid.uuid4().hex[:16]
+        self._span_stack: List[str] = []
+        self._span_seq = 0
+        self._ctx_prefix: Optional[str] = None
+        self._ctx_t0 = 0.0
+        self._span_buffer: Optional[List[Dict[str, Any]]] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -212,6 +239,12 @@ class Recorder:
         self._sinks = []
         self._t0 = time.perf_counter()
         self.pid = os.getpid()
+        self.trace_id = uuid.uuid4().hex[:16]
+        self._span_stack = []
+        self._span_seq = 0
+        self._ctx_prefix = None
+        self._ctx_t0 = 0.0
+        self._span_buffer = None
 
     def add_sink(self, sink: Any) -> None:
         self._sinks.append(sink)
@@ -259,21 +292,118 @@ class Recorder:
             return _NULL_SPAN
         return Span(self, name, label)
 
-    def record_span(self, name: str, label: Optional[str], start: float, duration: float) -> None:
-        """Record a completed span (used by Span.__exit__ and pool synthesis)."""
+    # -- span identity and cross-process context -----------------------
+
+    def new_span_id(self) -> str:
+        """Allocate a span id, unique across the whole trace.
+
+        Inside an activated :class:`~repro.obs.context.TraceContext` the ids
+        live in the parent-allocated ``ctx_id`` namespace; otherwise they are
+        namespaced by pid, which is unique among concurrently live processes.
+        """
+        self._span_seq += 1
+        prefix = self._ctx_prefix if self._ctx_prefix is not None else f"{self.pid:x}"
+        return f"{prefix}/{self._span_seq:x}"
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost active span (the parent of a span opened now)."""
+        return self._span_stack[-1] if self._span_stack else None
+
+    def activate_context(self, ctx) -> None:
+        """Enter a shipped :class:`~repro.obs.context.TraceContext` (worker side).
+
+        Adopts the parent's ``trace_id``, seeds the active-span stack with the
+        parent-side enclosing span (so the first span opened here — the job's
+        root — parents onto it), switches span-id allocation into the
+        context's namespace, and starts *buffering* span events instead of
+        emitting them: workers have no sinks, so buffered spans travel back on
+        the job result and the parent re-emits them (see
+        :meth:`emit_remote_spans`).  Buffered timestamps are relative to this
+        activation, which the parent maps onto its own clock.
+        """
+        if not self.enabled:
+            return
+        self.trace_id = ctx.trace_id
+        self._span_stack = [ctx.parent_id] if ctx.parent_id else []
+        self._ctx_prefix = ctx.ctx_id or None
+        self._span_seq = 0
+        self._span_buffer = []
+        self._ctx_t0 = time.perf_counter()
+
+    def deactivate_context(self) -> Tuple[List[Dict[str, Any]], float]:
+        """Leave the active context; returns ``(buffered spans, wall seconds)``.
+
+        The wall time covers activation to deactivation and therefore bounds
+        every buffered span's ``ts + dur`` — the parent uses it to anchor the
+        remap of worker timestamps onto its own clock.
+        """
+        spans = self._span_buffer or []
+        elapsed = time.perf_counter() - self._ctx_t0 if self._span_buffer is not None else 0.0
+        self._span_buffer = None
+        self._span_stack = []
+        self._ctx_prefix = None
+        return spans, elapsed
+
+    def emit_remote_spans(self, spans: List[Dict[str, Any]], anchor: float) -> None:
+        """Re-emit spans buffered in another process onto this trace.
+
+        ``anchor`` is the absolute ``time.perf_counter()`` moment (on *this*
+        process's clock) at which the remote context's t=0 is taken to fall;
+        each buffered event's relative ``ts`` is shifted onto the span clock
+        accordingly.  Counters were already merged through
+        :meth:`merge_metrics` (including the ``rt.span.*`` timers the worker
+        observed), so this only forwards the events to the sinks — no double
+        counting.
+        """
+        if not self.enabled:
+            return
+        offset = anchor - self._t0
+        for event in spans:
+            shifted = dict(event)
+            shifted["ts"] = event["ts"] + offset
+            self._emit(shifted)
+
+    def record_span(
+        self,
+        name: str,
+        label: Optional[str],
+        start: float,
+        duration: float,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Record a completed span (used by Span.__exit__ and pool synthesis).
+
+        ``start`` is an absolute ``time.perf_counter()`` value; the emitted
+        event carries it relative to the span clock (recorder start, or
+        context activation while a context is active).  Callers that already
+        hold ids (``Span``) pass them; synthesized spans — e.g. the queue
+        waits the parallel executor records — get a fresh id and parent onto
+        the currently active span.
+        """
         if not self.enabled:
             return
         self.histogram(f"{VOLATILE_PREFIX}span.{name}").observe(duration)
-        self._emit(
-            {
-                "type": "span",
-                "name": name,
-                "label": label,
-                "ts": start - self._t0,
-                "dur": duration,
-                "pid": self.pid,
-            }
-        )
+        if span_id is None:
+            span_id = self.new_span_id()
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        event = {
+            "type": "span",
+            "name": name,
+            "label": label,
+            "dur": duration,
+            "pid": self.pid,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "trace_id": self.trace_id,
+        }
+        if self._span_buffer is not None:
+            event["ts"] = start - self._ctx_t0
+            self._span_buffer.append(event)
+        else:
+            event["ts"] = start - self._t0
+            self._emit(event)
 
     def event(self, payload: Mapping[str, Any]) -> None:
         """Forward an arbitrary event dict to the sinks."""
@@ -366,13 +496,16 @@ RECORDER = Recorder()
 class recording:
     """Context manager enabling :data:`RECORDER` for a block.
 
-    Resets the recorder on entry (fresh counters, fresh span clock), attaches
-    an optional JSONL trace sink, and on exit flushes counter/histogram
-    footers to the sink and disables recording again.
+    Resets the recorder on entry (fresh counters, fresh span clock, fresh
+    ``trace_id``), attaches an optional JSONL trace sink, and on exit flushes
+    counter/histogram footers to the sink and disables recording again.
+    ``fsync=True`` makes the sink flush every event to disk as it is written
+    (crash-safe traces; see :class:`repro.obs.sinks.JsonlSink`).
     """
 
-    def __init__(self, trace: Optional[str] = None) -> None:
+    def __init__(self, trace: Optional[str] = None, fsync: bool = False) -> None:
         self._trace = trace
+        self._fsync = fsync
         self._sink = None
 
     def __enter__(self) -> Recorder:
@@ -380,7 +513,7 @@ class recording:
         if self._trace is not None:
             from .sinks import JsonlSink
 
-            self._sink = JsonlSink(self._trace)
+            self._sink = JsonlSink(self._trace, fsync=self._fsync, trace_id=RECORDER.trace_id)
             RECORDER.add_sink(self._sink)
         RECORDER.enabled = True
         return RECORDER

@@ -1,0 +1,184 @@
+"""Trace-vs-trace comparison: the ``repro obs diff A B`` subcommand.
+
+Turns two JSONL traces into a structured delta so overhead and determinism
+claims become one-command checks:
+
+* **Counter deltas** — per-counter ``(a, b, b-a)``, split into deterministic
+  and volatile (``rt.``) groups.  Any deterministic counter that differs is
+  *drift*: the two runs did different logical work, which for
+  serial-vs-parallel pairs of the same scenario is a determinism bug.
+* **Histogram comparison** — bucket-wise count deltas plus count/total/mean
+  shifts per distribution, so a latency regression shows up as mass moving to
+  higher power-of-two buckets rather than as a single blurred mean.
+* **Span aggregates** — per-span-name count and total-duration deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .core import is_volatile
+from .report import TraceData
+
+__all__ = ["TraceDiff", "diff_traces", "diff_summary_lines"]
+
+
+@dataclass
+class TraceDiff:
+    """Structured difference between two traces (``a`` = baseline, ``b`` = candidate)."""
+
+    a_label: str = "a"
+    b_label: str = "b"
+    #: name -> (a, b) for every counter present in either trace.
+    counters: Dict[str, Any] = field(default_factory=dict)
+    #: deterministic counters whose values differ — empty means no drift.
+    drift: List[str] = field(default_factory=list)
+    #: name -> {"a": state|None, "b": state|None, "bucket_deltas": {bound: b-a}}
+    histograms: Dict[str, Any] = field(default_factory=dict)
+    #: span name -> {"count_a", "count_b", "total_a", "total_b"}
+    spans: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def deterministic_match(self) -> bool:
+        return not self.drift
+
+
+def _span_aggregates(trace: TraceData) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for span in trace.spans:
+        row = out.setdefault(span["name"], {"count": 0, "total": 0.0})
+        row["count"] += 1
+        row["total"] += span["dur"]
+    return out
+
+
+def diff_traces(a: TraceData, b: TraceData, a_label: str = "a", b_label: str = "b") -> TraceDiff:
+    """Compare two loaded traces; see the module docstring for semantics."""
+    diff = TraceDiff(a_label=a_label, b_label=b_label)
+
+    for name in sorted(set(a.counters) | set(b.counters)):
+        va = a.counters.get(name, 0)
+        vb = b.counters.get(name, 0)
+        diff.counters[name] = (va, vb)
+        if va != vb and not is_volatile(name):
+            diff.drift.append(name)
+
+    hists_a = {h["name"]: h for h in a.histograms}
+    hists_b = {h["name"]: h for h in b.histograms}
+    for name in sorted(set(hists_a) | set(hists_b)):
+        ha = hists_a.get(name)
+        hb = hists_b.get(name)
+        buckets_a = ha.get("buckets", {}) if ha else {}
+        buckets_b = hb.get("buckets", {}) if hb else {}
+        bucket_deltas = {
+            bound: buckets_b.get(bound, 0) - buckets_a.get(bound, 0)
+            for bound in sorted(set(buckets_a) | set(buckets_b), key=float)
+            if buckets_b.get(bound, 0) != buckets_a.get(bound, 0)
+        }
+        diff.histograms[name] = {"a": ha, "b": hb, "bucket_deltas": bucket_deltas}
+
+    spans_a = _span_aggregates(a)
+    spans_b = _span_aggregates(b)
+    for name in sorted(set(spans_a) | set(spans_b)):
+        sa = spans_a.get(name, {"count": 0, "total": 0.0})
+        sb = spans_b.get(name, {"count": 0, "total": 0.0})
+        diff.spans[name] = {
+            "count_a": int(sa["count"]),
+            "count_b": int(sb["count"]),
+            "total_a": sa["total"],
+            "total_b": sb["total"],
+        }
+    return diff
+
+
+def _mean(state: Optional[Dict[str, Any]]) -> float:
+    if not state or not state.get("count"):
+        return 0.0
+    return state["total"] / state["count"]
+
+
+def diff_summary_lines(diff: TraceDiff, changed_only: bool = True) -> List[str]:
+    """Render a :class:`TraceDiff` as summary tables.
+
+    ``changed_only`` hides identical counters/histograms (the common case for
+    determinism checks, where almost everything matches).
+    """
+    from ..analysis.tables import TextTable
+
+    lines: List[str] = [f"diff: {diff.a_label} -> {diff.b_label}"]
+    if diff.deterministic_match:
+        lines.append("deterministic metrics: MATCH (no drift)")
+    else:
+        lines.append(
+            f"deterministic metrics: DRIFT in {len(diff.drift)} counter(s): "
+            + ", ".join(diff.drift)
+        )
+
+    counter_rows = [
+        (name, va, vb)
+        for name, (va, vb) in diff.counters.items()
+        if not changed_only or va != vb
+    ]
+    if counter_rows:
+        table = TextTable(
+            title="Counter deltas", headers=("counter", diff.a_label, diff.b_label, "delta")
+        )
+        for name, va, vb in counter_rows:
+            table.add_row(name, va, vb, vb - va)
+        lines.append("")
+        lines.append(table.to_text())
+
+    hist_rows = []
+    for name, entry in diff.histograms.items():
+        mean_a = _mean(entry["a"])
+        mean_b = _mean(entry["b"])
+        if changed_only and not entry["bucket_deltas"] and mean_a == mean_b:
+            continue
+        hist_rows.append((name, entry, mean_a, mean_b))
+    if hist_rows:
+        table = TextTable(
+            title="Histogram comparison",
+            headers=("histogram", f"mean {diff.a_label}", f"mean {diff.b_label}", "buckets moved"),
+            precision=4,
+        )
+        for name, entry, mean_a, mean_b in hist_rows:
+            moved = sum(abs(n) for n in entry["bucket_deltas"].values())
+            table.add_row(name, mean_a, mean_b, moved)
+        lines.append("")
+        lines.append(table.to_text())
+        for name, entry, _, _ in hist_rows:
+            if entry["bucket_deltas"]:
+                shifts = ", ".join(
+                    f"<={float(bound):g}: {delta:+d}"
+                    for bound, delta in entry["bucket_deltas"].items()
+                )
+                lines.append(f"  {name}: {shifts}")
+
+    span_rows = [
+        (name, row)
+        for name, row in diff.spans.items()
+        if not changed_only
+        or row["count_a"] != row["count_b"]
+        or abs(row["total_b"] - row["total_a"]) > 1e-9
+    ]
+    if span_rows:
+        table = TextTable(
+            title="Span aggregates",
+            headers=(
+                "span",
+                f"n {diff.a_label}",
+                f"n {diff.b_label}",
+                f"s {diff.a_label}",
+                f"s {diff.b_label}",
+            ),
+            precision=4,
+        )
+        for name, row in span_rows:
+            table.add_row(name, row["count_a"], row["count_b"], row["total_a"], row["total_b"])
+        lines.append("")
+        lines.append(table.to_text())
+
+    if len(lines) == 2:
+        lines.append("no differences beyond volatile timings")
+    return lines

@@ -2,28 +2,39 @@
 
 Trace file schema (one JSON object per line):
 
-``{"type": "meta", "version": 1, "pid": ..., "started_unix": ...}``
+``{"type": "meta", "version": 2, "pid": ..., "trace_id": ..., "started_unix": ...}``
     First line of every trace.
-``{"type": "span", "name": ..., "label": ..., "ts": s, "dur": s, "pid": ...}``
+``{"type": "span", "name": ..., "label": ..., "ts": s, "dur": s, "pid": ...,
+"span_id": ..., "parent_id": ..., "trace_id": ...}``
     A timed region; ``ts`` is seconds since the recorder was enabled.
+    ``span_id``/``parent_id`` encode the causal tree — ``parent_id`` is the
+    ``span_id`` of the enclosing span (possibly recorded in another process)
+    or ``null`` for roots.
 ``{"type": "gauge", "name": ..., "value": ..., "pid": ...}``
     A point-in-time measurement.
 ``{"type": "counters", "counts": {name: int, ...}}``
     Footer: final counter values (written when the recording session closes).
 ``{"type": "histogram", "name": ..., "count": ..., "total": ..., "buckets": ...}``
     Footer: one line per histogram.
+
+Version 1 traces (no span ids) are still loadable; see
+:func:`repro.obs.report.load_trace`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
-__all__ = ["MemorySink", "JsonlSink", "TRACE_VERSION"]
+__all__ = ["MemorySink", "JsonlSink", "TRACE_VERSION", "SUPPORTED_TRACE_VERSIONS"]
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions :func:`repro.obs.report.load_trace` accepts (2 adds span ids).
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 class MemorySink:
@@ -40,10 +51,23 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Append-only JSONL event log with a meta header and metric footers."""
+    """Append-only JSONL event log with a meta header and metric footers.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    Parameters
+    ----------
+    path:
+        Trace file to create (parent directories are made on demand).
+    fsync:
+        Crash-safety knob: when true, every line is flushed *and* fsynced to
+        disk as it is written, so a crashed or killed run leaves a salvageable
+        trace (see ``load_trace(..., salvage=True)``) at the cost of one
+        syscall pair per event.  Off by default — the footers are only
+        guaranteed durable on :meth:`close` either way.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = False, trace_id: str = "") -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("w", encoding="utf-8")
         self._write_line(
@@ -51,12 +75,16 @@ class JsonlSink:
                 "type": "meta",
                 "version": TRACE_VERSION,
                 "pid": None,
+                "trace_id": trace_id or None,
                 "started_unix": time.time(),
             }
         )
 
     def _write_line(self, event: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        if self.fsync:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def write(self, event: Dict[str, Any]) -> None:
         self._write_line(event)

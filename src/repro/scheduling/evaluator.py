@@ -378,7 +378,10 @@ class IncrementalCostEvaluator:
             points = task.ordered_design_points()
             self._durations_by_task[task.name] = tuple(dp.execution_time for dp in points)
             self._currents_by_task[task.name] = tuple(dp.current for dp in points)
-        self.state = self._build_state(list(sequence), {name: assignment[name] for name in assignment})
+        with _OBS.span("eval.state.build", label=graph.name or None):
+            self.state = self._build_state(
+                list(sequence), {name: assignment[name] for name in assignment}
+            )
         self._positions = {name: index for index, name in enumerate(self.state.sequence)}
         self._undo_record: Optional[_UndoRecord] = None
         self._track_undo = bool(track_undo)

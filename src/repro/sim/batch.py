@@ -155,6 +155,10 @@ class BatchSimulator:
         if self._ran:
             raise SimulationError("a BatchSimulator instance runs exactly once")
         self._ran = True
+        with _OBS.span("sim.batch.run", label=self._obs_label):
+            return self._run_lockstep()
+
+    def _run_lockstep(self) -> Tuple[LaneOutcome, ...]:
         started = _time.perf_counter()
         lanes = self._lanes
         for index, lane in enumerate(lanes):

@@ -367,16 +367,17 @@ class Simulator:
         runtime state, so call sites wanting replications build one
         simulator per run (they are cheap).
         """
-        self._begin()
-        total = self.graph.num_tasks
-        while self._finished_count < total:
-            if self._running is None:
-                if not self._queue:
-                    self._wakeup_scheduler()
-                self._start_next()
-            else:
-                self._process_next_event()
-        return self._finalize()
+        with _OBS.span("sim.run", label=self._obs_label):
+            self._begin()
+            total = self.graph.num_tasks
+            while self._finished_count < total:
+                if self._running is None:
+                    if not self._queue:
+                        self._wakeup_scheduler()
+                    self._start_next()
+                else:
+                    self._process_next_event()
+            return self._finalize()
 
     def _begin(self) -> None:
         """Install the initial runtime state and bind the scheduler.

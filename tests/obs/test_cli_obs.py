@@ -38,11 +38,27 @@ class TestParser:
 
     def test_stats_arguments(self):
         args = build_parser().parse_args(
-            ["stats", "t.jsonl", "--chrome", "c.json", "--check"]
+            ["stats", "t.jsonl", "--chrome", "c.json", "--check", "--salvage"]
         )
         assert args.trace_file == "t.jsonl"
         assert args.chrome == "c.json"
         assert args.check is True
+        assert args.salvage is True
+
+    def test_trace_sync_flag(self):
+        parser = build_parser()
+        for command in ("sweep", "ablation", "suite", "simulate"):
+            args = parser.parse_args([command, "--trace", "t.jsonl", "--trace-sync"])
+            assert args.trace_sync is True
+            assert parser.parse_args([command]).trace_sync is False
+
+    def test_obs_diff_arguments(self):
+        args = build_parser().parse_args(
+            ["obs", "diff", "a.jsonl", "b.jsonl", "--strict", "--salvage", "--all"]
+        )
+        assert args.obs_command == "diff"
+        assert args.trace_a == "a.jsonl" and args.trace_b == "b.jsonl"
+        assert args.strict and args.salvage and args.show_all
 
 
 class TestTraceAndMetricsFlags:
@@ -106,6 +122,51 @@ class TestStatsCommand:
         with open(chrome, "r", encoding="utf-8") as handle:
             data = json.load(handle)
         assert any(event["ph"] == "X" for event in data["traceEvents"])
+
+
+class TestObsDiffCommand:
+    """`repro obs diff` on real serial-vs-parallel traces of one workload."""
+
+    ARGV = ["simulate", "--scenarios", "g3-jitter10", "--policies",
+            "static-replay", "deadline-slack", "--replications", "2",
+            "--seed", "9"]
+
+    @pytest.fixture
+    def traces(self, tmp_path, capsys):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        assert main(self.ARGV + ["--trace", str(serial)]) == 0
+        assert main(self.ARGV + ["--jobs", "2", "--trace", str(parallel)]) == 0
+        capsys.readouterr()
+        return serial, parallel
+
+    def test_serial_vs_parallel_matches_strict(self, traces, capsys):
+        serial, parallel = traces
+        assert main(["obs", "diff", str(serial), str(parallel), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic metrics: MATCH" in out
+
+    def test_strict_flags_drift(self, traces, tmp_path, capsys):
+        serial, _ = traces
+        other = tmp_path / "other.jsonl"
+        assert main(["simulate", "--scenarios", "g3-jitter10", "--policies",
+                     "static-replay", "--replications", "1", "--seed", "9",
+                     "--trace", str(other)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(serial), str(other), "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "obs diff FAILED" in captured.err
+        # non-strict mode reports the same drift but exits zero
+        assert main(["obs", "diff", str(serial), str(other)]) == 0
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_trace_sync_runs_record_identical_metrics(self, traces, tmp_path, capsys):
+        serial, _ = traces
+        synced = tmp_path / "synced.jsonl"
+        assert main(self.ARGV + ["--trace", str(synced), "--trace-sync"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(serial), str(synced), "--strict"]) == 0
+        capsys.readouterr()
 
 
 class TestCounterDeterminism:

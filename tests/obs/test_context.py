@@ -1,0 +1,237 @@
+"""Cross-process trace-context propagation: span ids, worker linkage, stores.
+
+The property at the heart of the tentpole: a ``--jobs N`` run's trace must
+contain the *worker-recorded* spans with true parent linkage — every worker
+span's ``parent_id`` resolves to a span in the trace, worker roots parent
+onto the parent-process ``engine.run``, and timestamp containment holds
+after the parent remaps worker clocks onto its own.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ParallelExecutor,
+    ResultStore,
+    SimulationJob,
+    SimulationRecord,
+    run_experiments,
+    run_simulation_jobs,
+)
+from repro.obs import RECORDER, TraceContext, recording
+from repro.obs.report import load_trace, validate_trace
+from repro.scenarios import default_registry
+from repro.scheduling import SchedulingProblem
+from repro.taskgraph import build_g2, build_g3
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    RECORDER.enabled = False
+    RECORDER.reset()
+    yield
+    RECORDER.enabled = False
+    RECORDER.reset()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestSpanIdentity:
+    def test_nested_spans_link_parent_ids(self):
+        with recording() as rec:
+            from repro.obs.sinks import MemorySink
+
+            sink = MemorySink()
+            rec.add_sink(sink)
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    pass
+        inner, outer = sink.by_type("span")  # inner exits first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["trace_id"] == outer["trace_id"] == rec.trace_id
+
+    def test_span_ids_unique(self):
+        with recording() as rec:
+            from repro.obs.sinks import MemorySink
+
+            sink = MemorySink()
+            rec.add_sink(sink)
+            for _ in range(10):
+                with rec.span("s"):
+                    pass
+        ids = [span["span_id"] for span in sink.by_type("span")]
+        assert len(set(ids)) == 10
+
+    def test_disabled_recorder_allocates_nothing(self):
+        RECORDER.reset()
+        with RECORDER.span("noop"):
+            pass
+        assert RECORDER._span_seq == 0
+
+
+class TestContextActivation:
+    def test_roundtrip_dict(self):
+        ctx = TraceContext(trace_id="t", parent_id="p/1", ctx_id="p/2")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_activated_context_buffers_and_namespaces(self):
+        with recording() as rec:
+            ctx = TraceContext(trace_id="trace-x", parent_id="p/1", ctx_id="p/2")
+            rec.activate_context(ctx)
+            with rec.span("engine.job"):
+                with rec.span("engine.algorithm"):
+                    pass
+            spans, elapsed = rec.deactivate_context()
+        assert elapsed >= 0.0
+        inner, root = spans
+        assert root["span_id"].startswith("p/2/")
+        assert root["parent_id"] == "p/1"
+        assert inner["parent_id"] == root["span_id"]
+        assert root["trace_id"] == "trace-x"
+        # buffered timestamps are relative to activation and within elapsed
+        assert 0.0 <= root["ts"] <= elapsed
+        assert root["ts"] + root["dur"] <= elapsed + 1e-9
+
+    def test_emit_remote_spans_offsets_onto_local_clock(self):
+        from repro.obs.sinks import MemorySink
+        import time
+
+        with recording() as rec:
+            sink = MemorySink()
+            rec.add_sink(sink)
+            anchor = time.perf_counter()
+            rec.emit_remote_spans(
+                [{"type": "span", "name": "x", "ts": 0.5, "dur": 0.1}], anchor
+            )
+        (event,) = sink.by_type("span")
+        assert event["ts"] >= 0.5  # anchor is at/after the recorder's t0
+
+
+def _spans_by_id(trace):
+    return {span["span_id"]: span for span in trace.spans if span.get("span_id")}
+
+
+def _assert_worker_linkage(trace, root_pid, worker_root_name):
+    """The cross-process tree property for one loaded trace."""
+    by_id = _spans_by_id(trace)
+    worker_spans = [span for span in trace.spans if span["pid"] != root_pid]
+    assert worker_spans, "expected worker-recorded spans in the trace"
+    for span in worker_spans:
+        parent_id = span["parent_id"]
+        assert parent_id is not None and parent_id in by_id, (
+            f"worker span {span['name']} has unresolved parent {parent_id!r}"
+        )
+        parent = by_id[parent_id]
+        if parent["pid"] == root_pid:
+            # a worker root: must hang off the engine.run span
+            assert span["name"] == worker_root_name
+            assert parent["name"] == "engine.run"
+        # remapped timestamps stay inside the parent's range
+        assert span["ts"] >= parent["ts"] - 1e-6
+        assert span["ts"] + span["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+
+class TestCrossProcessTree:
+    def test_parallel_suite_trace_links_worker_spans(self, tmp_path):
+        problems = [
+            SchedulingProblem(graph=build_g3(), deadline=230.0, name="g3"),
+            SchedulingProblem(graph=build_g2(), deadline=60.0, name="g2"),
+        ]
+        path = tmp_path / "suite.jsonl"
+        with recording(trace=str(path)) as rec:
+            root_pid = rec.pid
+            run_experiments(
+                problems,
+                ["all-fastest", "all-slowest", "iterative"],
+                executor=ParallelExecutor(max_workers=4),
+            )
+        assert validate_trace(path) == []
+        trace = load_trace(path)
+        _assert_worker_linkage(trace, root_pid, worker_root_name="engine.job")
+        # worker jobs carry their own nested children (the algorithm span)
+        algo_spans = [s for s in trace.spans if s["name"] == "engine.algorithm"]
+        assert len(algo_spans) == 6
+        assert all(s["pid"] != root_pid for s in algo_spans)
+
+    def test_parallel_simulation_trace_links_batch_spans(self, registry, tmp_path):
+        jobs = [
+            SimulationJob(spec=registry.get(name), policy=policy, seed=7, replication=r)
+            for name in ("g3-jitter10", "g2-jitter10-uniform")
+            for policy in ("static-replay", "deadline-slack")
+            for r in range(2)
+        ]
+        path = tmp_path / "sim.jsonl"
+        with recording(trace=str(path)) as rec:
+            root_pid = rec.pid
+            run_simulation_jobs(jobs, executor=ParallelExecutor(max_workers=4))
+        assert validate_trace(path) == []
+        trace = load_trace(path)
+        _assert_worker_linkage(trace, root_pid, worker_root_name="engine.batch")
+        # the simulator's own spans nest under the worker batch roots
+        sim_spans = [s for s in trace.spans if s["name"] == "sim.batch.run"]
+        assert sim_spans and all(s["pid"] != root_pid for s in sim_spans)
+
+    def test_queue_spans_still_synthesized_by_parent(self, registry, tmp_path):
+        # Two cells, so the pool really engages (one batch falls back to the
+        # in-process serial executor, which records spans directly).
+        jobs = [
+            SimulationJob(
+                spec=registry.get("g3-jitter10"), policy=policy, replication=r
+            )
+            for policy in ("static-replay", "deadline-slack")
+            for r in range(2)
+        ]
+        path = tmp_path / "queue.jsonl"
+        with recording(trace=str(path)) as rec:
+            root_pid = rec.pid
+            run_simulation_jobs(jobs, executor=ParallelExecutor(max_workers=2))
+        trace = load_trace(path)
+        queue = [s for s in trace.spans if s["name"] == "engine.batch.queue"]
+        assert queue and all(s["pid"] == root_pid for s in queue)
+
+
+class TestStoreIdentity:
+    def test_traced_vs_untraced_store_bytes_identical(self, registry, tmp_path):
+        jobs = [
+            SimulationJob(spec=registry.get("g3-jitter10"), policy=policy, replication=r)
+            for policy in ("static-replay", "deadline-slack")
+            for r in range(2)
+        ]
+        plain = tmp_path / "plain.jsonl"
+        traced = tmp_path / "traced.jsonl"
+        run_simulation_jobs(
+            jobs,
+            executor=ParallelExecutor(max_workers=2),
+            store=ResultStore(plain, record_type=SimulationRecord),
+        )
+        with recording(trace=str(tmp_path / "trace.jsonl")):
+            run_simulation_jobs(
+                jobs,
+                executor=ParallelExecutor(max_workers=2),
+                store=ResultStore(traced, record_type=SimulationRecord),
+            )
+
+        def rows(path):
+            out = []
+            for line in path.read_text().splitlines():
+                row = json.loads(line)
+                row.pop("elapsed_s", None)  # wall time is legitimately runtime-dependent
+                out.append(json.dumps(row, sort_keys=True))
+            return out
+
+        assert rows(plain) and rows(plain) == rows(traced)
+
+    def test_spans_never_enter_result_payloads(self, registry):
+        jobs = [
+            SimulationJob(spec=registry.get("g3-jitter10"), policy="static-replay")
+        ]
+        with recording():
+            run = run_simulation_jobs(jobs, executor=ParallelExecutor(max_workers=1))
+        payload = json.dumps([record.to_dict() for record in run.records])
+        assert '"spans"' not in payload and "trace_id" not in payload

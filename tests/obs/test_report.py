@@ -7,8 +7,10 @@ import pytest
 from repro.obs import RECORDER, recording
 from repro.obs.report import (
     chrome_trace,
+    critical_path,
     load_trace,
     recorder_summary_lines,
+    span_self_times,
     trace_summary_lines,
     validate_trace,
     write_chrome_trace,
@@ -77,11 +79,39 @@ class TestValidate:
         path.write_text('{"type": "meta", "version": 99}\n')
         assert any("unsupported trace version" in p for p in validate_trace(path))
 
+    def test_accepts_version_1(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            '{"type": "meta", "version": 1, "pid": null}\n'
+            '{"type": "span", "name": "x", "ts": 0.0, "dur": 1.0}\n'
+            '{"type": "counters", "counts": {}}\n'
+        )
+        assert validate_trace(path) == []
+
+    def test_span_ids_resolve(self, trace_path):
+        trace = load_trace(trace_path)
+        ids = {span["span_id"] for span in trace.spans}
+        for span in trace.spans:
+            parent = span["parent_id"]
+            assert parent is None or parent in ids
+
+    def test_flags_dangling_parent(self, tmp_path):
+        path = tmp_path / "dangling.jsonl"
+        path.write_text(
+            '{"type": "meta", "version": 2, "pid": null}\n'
+            '{"type": "span", "name": "x", "ts": 0.0, "dur": 1.0,'
+            ' "span_id": "a/1", "parent_id": "ghost/9"}\n'
+            '{"type": "counters", "counts": {}}\n'
+        )
+        assert any("does not resolve" in p for p in validate_trace(path))
+
 
 class TestLoad:
     def test_collects_all_sections(self, trace_path):
         trace = load_trace(trace_path)
-        assert trace.meta["version"] == 1
+        assert trace.meta["version"] == 2
+        assert trace.meta["trace_id"] == trace.spans[0]["trace_id"]
+        assert trace.complete and trace.problems == []
         assert [span["name"] for span in trace.spans] == [
             "engine.store.append",  # inner span exits (and is emitted) first
             "engine.job",
@@ -96,6 +126,104 @@ class TestLoad:
         trace_path.write_text(trace_path.read_text() + "not json\n")
         with pytest.raises(ValueError):
             load_trace(trace_path)
+
+
+class TestSalvage:
+    def test_truncated_tail_is_salvaged(self, trace_path):
+        # Simulate a crashed run: footers gone, last line torn mid-write.
+        lines = trace_path.read_text().splitlines()
+        spans = [line for line in lines if '"type": "span"' in line]
+        kept = [lines[0]] + spans
+        trace_path.write_text("\n".join(kept) + "\n" + spans[0][: len(spans[0]) // 2])
+        trace = load_trace(trace_path, salvage=True)
+        assert not trace.complete
+        assert len(trace.spans) == 2
+        assert any("truncated" in p for p in trace.problems)
+        assert any("no counter footer" in p for p in trace.problems)
+
+    def test_missing_footer_only(self, trace_path):
+        lines = [
+            line
+            for line in trace_path.read_text().splitlines()
+            if '"type": "counters"' not in line and '"type": "histogram"' not in line
+        ]
+        trace_path.write_text("\n".join(lines) + "\n")
+        trace = load_trace(trace_path, salvage=True)
+        assert not trace.complete
+        assert trace.spans and trace.counters == {}
+
+    def test_salvage_of_intact_trace_is_complete(self, trace_path):
+        trace = load_trace(trace_path, salvage=True)
+        assert trace.complete and trace.problems == []
+
+    def test_summary_reports_the_gap(self, trace_path):
+        trace_path.write_text(trace_path.read_text() + '{"type": "span"')
+        text = "\n".join(trace_summary_lines(load_trace(trace_path, salvage=True)))
+        assert "SALVAGED" in text
+
+
+class TestFsyncSink:
+    def test_fsync_trace_is_salvageable_without_close(self, tmp_path):
+        from repro.obs.sinks import JsonlSink
+
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlSink(path, fsync=True, trace_id="abc")
+        sink.write({"type": "span", "name": "x", "ts": 0.0, "dur": 1.0})
+        # No close(): the file must already hold both lines on disk.
+        trace = load_trace(path, salvage=True)
+        assert trace.meta["trace_id"] == "abc"
+        assert len(trace.spans) == 1
+        sink.close()
+
+    def test_recording_forwards_fsync(self, tmp_path):
+        path = tmp_path / "sync.jsonl"
+        with recording(trace=str(path), fsync=True) as rec:
+            with rec.span("engine.job"):
+                pass
+            partial = load_trace(path, salvage=True)
+            assert len(partial.spans) == 1
+        assert load_trace(path).complete
+
+
+class TestCausalViews:
+    @pytest.fixture
+    def tree_trace(self, tmp_path):
+        path = tmp_path / "tree.jsonl"
+        with recording(trace=str(path)) as rec:
+            with rec.span("engine.run"):
+                with rec.span("engine.job"):
+                    with rec.span("engine.algorithm"):
+                        pass
+                with rec.span("engine.store.append"):
+                    pass
+        return load_trace(path)
+
+    def test_self_time_excludes_children(self, tree_trace):
+        rows = span_self_times(tree_trace)
+        run = rows["engine.run"]
+        job = rows["engine.job"]
+        assert run["self_total"] <= run["total"]
+        children = job["total"] + rows["engine.store.append"]["total"]
+        assert run["self_total"] == pytest.approx(run["total"] - children, abs=1e-9)
+
+    def test_critical_path_descends_from_root(self, tree_trace):
+        path = critical_path(tree_trace)
+        assert path[0]["name"] == "engine.run"
+        assert len(path) >= 2
+        assert all(hop["self"] >= 0.0 for hop in path)
+
+    def test_summary_includes_self_time_and_critical_path(self, tree_trace):
+        text = "\n".join(trace_summary_lines(tree_trace))
+        assert "self_s" in text
+        assert "critical path" in text
+
+
+class TestRuntimeTable:
+    def test_pool_utilization_and_hit_rates_surface(self, trace_path):
+        text = "\n".join(trace_summary_lines(load_trace(trace_path)))
+        assert "Runtime (derived from rt.* metrics)" in text
+        assert "engine.pool.utilization" in text
+        assert "eval.cache.hit_rate" in text
 
 
 class TestChromeTrace:
